@@ -1,0 +1,135 @@
+// Fig. 5(i) + 5(j): scalability in the number of objects.
+//
+// Four variants over synthetic streams from two scan rounds of a large
+// warehouse (accuracy requirement: 0.5 ft):
+//   unfactorized             — basic joint particle filter (§IV-A),
+//   factorized               — per-object particles, no index (§IV-B),
+//   factorized+index         — spatial indexing of sensing regions (§IV-C),
+//   factorized+index+compress— belief compression on top (§IV-D).
+// Reported per variant and object count: mean XY error (Fig. 5(i)) and
+// milliseconds per processed reading (Fig. 5(j), log scale in the paper).
+//
+// The basic filter is capped at 20 objects and the index-less factorized
+// filter at a few hundred — exactly the scaling walls the paper plots. Run
+// with RFID_FULL_SCALE=1 for the paper's full 10..20,000 range.
+#include "bench_util.h"
+#include "sim/trace.h"
+
+namespace rfid {
+namespace {
+
+struct VariantResult {
+  double error = -1.0;  ///< -1: not run (beyond the variant's wall).
+  double ms_per_reading = -1.0;
+};
+
+SimulatedTrace MakeScalabilityTrace(int num_objects, uint64_t seed,
+                                    WarehouseLayout* layout_out) {
+  WarehouseConfig wc;
+  wc.objects_per_shelf = 50;
+  wc.num_shelves = std::max(1, num_objects / wc.objects_per_shelf);
+  wc.objects_per_shelf = (num_objects + wc.num_shelves - 1) / wc.num_shelves;
+  wc.shelf_length = 8.0;
+  wc.shelf_tags_per_shelf = 2;
+  auto layout = BuildWarehouse(wc);
+  RobotConfig robot;
+  robot.rounds = 2;  // Two rounds: compression must survive a rescan.
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), robot, {}, sensor, seed);
+  *layout_out = layout.value();
+  return gen.Generate();
+}
+
+ExperimentModelOptions ScalabilityModelOptions() {
+  ExperimentModelOptions options;
+  options.motion.delta = {};  // Two passes in opposite directions.
+  options.motion.sigma = {0.05, 0.15, 0.0};
+  return options;
+}
+
+VariantResult RunVariant(const WarehouseLayout& layout,
+                         const SimulatedTrace& trace,
+                         EngineConfig::FilterKind kind, bool index,
+                         bool compression) {
+  EngineConfig config;
+  config.filter = kind;
+  config.basic.num_particles = bench::FullScale() ? 100000 : 10000;
+  config.basic.seed = 31;
+  config.factored.num_reader_particles = 100;
+  config.factored.num_object_particles = 1000;
+  config.factored.seed = 31;
+  config.factored.use_spatial_index = index;
+  if (compression) {
+    config.factored.compression.mode = CompressionMode::kUnseenEpochs;
+    config.factored.compression.compress_after_epochs = 8;
+  }
+  auto engine = RfidInferenceEngine::Create(
+      MakeWorldModel(layout, std::make_unique<ConeSensorModel>(),
+                     ScalabilityModelOptions()),
+      config);
+  const TraceEvaluation eval = RunEngineOnTrace(engine.value().get(), trace);
+  VariantResult result;
+  result.error = eval.errors.MeanXY();
+  result.ms_per_reading = eval.engine_stats.MillisPerReading();
+  return result;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() {
+  using namespace rfid;
+  bench::PrintHeader(
+      "Scalability: inference error and time per reading vs object count",
+      "Fig. 5(i) and Fig. 5(j)");
+
+  std::vector<int> counts = {10, 20, 50, 100, 500, 1000, 2000};
+  int unfact_cap = 20, fact_cap = 200;
+  if (bench::FullScale()) {
+    counts = {10, 20, 100, 1000, 5000, 10000, 20000};
+    fact_cap = 1000;
+  }
+
+  TableWriter err_table({"objects", "unfactorized", "factorized",
+                         "factorized_index", "factorized_index_compress"});
+  TableWriter time_table({"objects", "unfactorized", "factorized",
+                          "factorized_index", "factorized_index_compress"});
+
+  for (int n : counts) {
+    WarehouseLayout layout;
+    const SimulatedTrace trace =
+        MakeScalabilityTrace(n, 1100 + static_cast<uint64_t>(n), &layout);
+
+    VariantResult unfact, fact, fact_idx, fact_idx_comp;
+    if (n <= unfact_cap) {
+      unfact = RunVariant(layout, trace, EngineConfig::FilterKind::kBasic,
+                          false, false);
+    }
+    if (n <= fact_cap) {
+      fact = RunVariant(layout, trace, EngineConfig::FilterKind::kFactored,
+                        false, false);
+    }
+    fact_idx = RunVariant(layout, trace, EngineConfig::FilterKind::kFactored,
+                          true, false);
+    fact_idx_comp = RunVariant(layout, trace,
+                               EngineConfig::FilterKind::kFactored, true,
+                               true);
+
+    (void)err_table.AddRow({static_cast<double>(n), unfact.error, fact.error,
+                            fact_idx.error, fact_idx_comp.error},
+                           3);
+    (void)time_table.AddRow(
+        {static_cast<double>(n), unfact.ms_per_reading, fact.ms_per_reading,
+         fact_idx.ms_per_reading, fact_idx_comp.ms_per_reading},
+        3);
+    std::printf("objects=%d done\n", n);
+  }
+
+  std::printf("\nFig 5(i) — mean XY inference error (ft); -1 = variant not "
+              "run at this scale\n");
+  bench::PrintTable(err_table);
+  std::printf("\nFig 5(j) — milliseconds per processed reading; -1 = variant "
+              "not run at this scale\n");
+  bench::PrintTable(time_table);
+  return 0;
+}

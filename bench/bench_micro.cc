@@ -1,0 +1,157 @@
+// Micro-benchmarks (google-benchmark) for the performance-critical
+// primitives: R*-tree operations, resampling schemes, sensor-model
+// evaluation, Gaussian belief fitting/sampling, and one factored-filter
+// epoch. These are the ablation-level numbers behind Fig. 5(j).
+#include <benchmark/benchmark.h>
+
+#include "index/rstar_tree.h"
+#include "model/cone_sensor.h"
+#include "pf/belief.h"
+#include "pf/factored_filter.h"
+#include "pf/resample.h"
+#include "sim/trace.h"
+#include "core/experiment.h"
+
+namespace rfid {
+namespace {
+
+Aabb RandomBox(Rng& rng) {
+  const Vec3 origin{rng.Uniform(0, 100), rng.Uniform(0, 100), 0};
+  return Aabb(origin, origin + Vec3{rng.Uniform(0.5, 5), rng.Uniform(0.5, 5),
+                                    0});
+}
+
+void BM_RStarTreeInsert(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    state.PauseTiming();
+    RStarTree tree(16);
+    state.ResumeTiming();
+    for (int i = 0; i < state.range(0); ++i) {
+      tree.Insert(RandomBox(rng), static_cast<uint64_t>(i));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RStarTreeInsert)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_RStarTreeQuery(benchmark::State& state) {
+  Rng rng(2);
+  RStarTree tree(16);
+  for (int i = 0; i < state.range(0); ++i) {
+    tree.Insert(RandomBox(rng), static_cast<uint64_t>(i));
+  }
+  std::vector<uint64_t> hits;
+  for (auto _ : state) {
+    hits.clear();
+    tree.Query(RandomBox(rng), &hits);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RStarTreeQuery)->Arg(1000)->Arg(10000)->Arg(100000);
+
+template <ResampleScheme kScheme>
+void BM_Resample(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<double> weights(state.range(0));
+  for (double& w : weights) w = rng.NextDouble();
+  NormalizeWeights(&weights);
+  for (auto _ : state) {
+    auto anc = ResampleAncestors(weights, weights.size(), kScheme, rng);
+    benchmark::DoNotOptimize(anc);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Resample<ResampleScheme::kMultinomial>)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_Resample<ResampleScheme::kSystematic>)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_Resample<ResampleScheme::kResidual>)->Arg(1000)->Arg(100000);
+
+void BM_ConeSensorProbRead(benchmark::State& state) {
+  ConeSensorModel sensor;
+  Rng rng(4);
+  const Pose reader({0, 0, 0}, 0.0);
+  for (auto _ : state) {
+    const Vec3 tag{rng.Uniform(0, 6), rng.Uniform(-3, 3), 0};
+    benchmark::DoNotOptimize(sensor.ProbReadAt(reader, tag));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ConeSensorProbRead);
+
+void BM_LogisticSensorProbRead(benchmark::State& state) {
+  LogisticSensorModel sensor;
+  Rng rng(5);
+  const Pose reader({0, 0, 0}, 0.0);
+  for (auto _ : state) {
+    const Vec3 tag{rng.Uniform(0, 6), rng.Uniform(-3, 3), 0};
+    benchmark::DoNotOptimize(sensor.ProbReadAt(reader, tag));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LogisticSensorProbRead);
+
+void BM_GaussianBeliefFit(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<WeightedPoint> points(state.range(0));
+  for (auto& p : points) {
+    p.position = {rng.Gaussian(0, 1), rng.Gaussian(0, 1), 0};
+    p.weight = rng.NextDouble();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GaussianBelief::Fit(points));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GaussianBeliefFit)->Arg(10)->Arg(1000);
+
+void BM_GaussianBeliefSample(benchmark::State& state) {
+  Rng rng(7);
+  const GaussianBelief belief({1, 2, 0}, {0.5, 0.1, 0, 0.3, 0, 0.01});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(belief.Sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GaussianBeliefSample);
+
+void BM_FactoredFilterEpoch(benchmark::State& state) {
+  // One epoch of the factored filter over a mid-sized warehouse stream.
+  WarehouseConfig wc;
+  wc.num_shelves = 4;
+  wc.objects_per_shelf = static_cast<int>(state.range(0)) / 4;
+  wc.shelf_tags_per_shelf = 2;
+  auto layout = BuildWarehouse(wc);
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, 8);
+  const SimulatedTrace trace = gen.Generate();
+
+  ExperimentModelOptions options;
+  options.motion.delta = {0.0, 0.1, 0.0};
+  options.motion.sigma = {0.02, 0.02, 0.0};
+  FactoredFilterConfig config;
+  config.num_reader_particles = 100;
+  config.num_object_particles = 1000;
+  config.seed = 9;
+  FactoredParticleFilter filter(
+      MakeWorldModel(layout.value(), std::make_unique<ConeSensorModel>(),
+                     options),
+      config);
+
+  size_t epoch_idx = 0;
+  size_t readings = 0;
+  for (auto _ : state) {
+    const auto& epoch = trace.epochs[epoch_idx % trace.epochs.size()];
+    filter.ObserveEpoch(epoch.observations);
+    readings += epoch.observations.tags.size();
+    ++epoch_idx;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(readings));
+  state.SetLabel("items = readings");
+}
+BENCHMARK(BM_FactoredFilterEpoch)->Arg(40)->Arg(200);
+
+}  // namespace
+}  // namespace rfid
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Shared helpers for the figure/table regeneration benches.
+//
+// Each bench binary regenerates one table or figure of the paper's
+// evaluation (§V) and prints it as an aligned table plus CSV. Absolute
+// numbers are simulator-calibrated, not the authors' testbed; the point of
+// comparison is the *shape* of each result (see EXPERIMENTS.md).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.h"
+#include "model/cone_sensor.h"
+#include "util/csv.h"
+
+namespace rfid {
+namespace bench {
+
+/// True when RFID_FULL_SCALE=1: run the paper's full parameter ranges
+/// (notably 20,000 objects in the scalability tests). Default is a reduced
+/// sweep that finishes in tens of seconds.
+inline bool FullScale() {
+  const char* env = std::getenv("RFID_FULL_SCALE");
+  return env != nullptr && std::string(env) == "1";
+}
+
+inline void PrintHeader(const std::string& title, const std::string& source) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("(reproduces %s; shape comparison, not absolute numbers)\n",
+              source.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintTable(const TableWriter& table) {
+  table.WriteAligned(std::cout);
+  std::printf("\n-- CSV --\n");
+  table.WriteCsv(std::cout);
+  std::printf("\n");
+}
+
+/// Standard warehouse for the sensitivity experiments (§V-B): two shelves,
+/// a handful of objects and shelf tags.
+inline WarehouseConfig SensitivityWarehouse(int objects, int shelf_tags) {
+  WarehouseConfig wc;
+  wc.num_shelves = 2;
+  wc.shelf_length = 8.0;
+  wc.objects_per_shelf = (objects + 1) / 2;
+  wc.shelf_tags_per_shelf = (shelf_tags + 1) / 2;
+  return wc;
+}
+
+/// Engine defaults used across benches (1000 particles/object, as in §V).
+inline EngineConfig DefaultEngineConfig(uint64_t seed = 71) {
+  EngineConfig c;
+  c.factored.num_reader_particles = 100;
+  c.factored.num_object_particles = 1000;
+  c.factored.seed = seed;
+  return c;
+}
+
+}  // namespace bench
+}  // namespace rfid

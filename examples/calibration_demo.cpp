@@ -1,0 +1,115 @@
+// Self-calibration demo (paper §III-C).
+//
+// Shows the full calibration workflow a deployment would run on day one:
+//  1. collect a small training trace in the fielded environment (here: a
+//     simulated aisle with a handful of known-location shelf tags),
+//  2. run EM to learn the sensor-model coefficients of Eq. (1) plus the
+//     reader motion and location-sensing parameters,
+//  3. compare inference accuracy with the uncalibrated, the learned, and
+//     the true model on a fresh trace.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "learn/em.h"
+#include "model/cone_sensor.h"
+#include "sim/trace.h"
+
+using namespace rfid;
+
+int main() {
+  // --- 1. Training deployment: 20 tags, 8 of them reference (shelf) tags.
+  WarehouseConfig train_wc;
+  train_wc.num_shelves = 1;
+  train_wc.shelf_length = 10.0;
+  train_wc.objects_per_shelf = 12;
+  train_wc.shelf_tags_per_shelf = 8;
+  auto train_layout = BuildWarehouse(train_wc);
+  if (!train_layout.ok()) {
+    std::fprintf(stderr, "%s\n", train_layout.status().ToString().c_str());
+    return 1;
+  }
+  // The "real" antenna, unknown to the system: a 70%-read-rate cone.
+  ConeSensorParams true_params;
+  true_params.major_read_rate = 0.7;
+  const ConeSensorModel true_sensor(true_params);
+  TraceGenerator train_gen(train_layout.value(), RobotConfig{}, {},
+                           true_sensor, 33);
+  const SimulatedTrace train_trace = train_gen.Generate();
+  std::printf("training trace: %zu epochs, %d shelf tags\n",
+              train_trace.epochs.size(),
+              train_wc.shelf_tags_per_shelf * train_wc.num_shelves);
+
+  // --- 2. EM calibration from an uninformed starting model.
+  ExperimentModelOptions options;
+  options.motion.delta = {0.0, 0.1, 0.0};
+  options.motion.sigma = {0.02, 0.02, 0.0};
+  EmConfig em;
+  em.iterations = 4;
+  em.filter.num_reader_particles = 60;
+  em.filter.num_object_particles = 400;
+  EmCalibrator calibrator(
+      MakeWorldModel(train_layout.value(),
+                     std::make_unique<LogisticSensorModel>(), options),
+      em);
+  auto calibrated = calibrator.Calibrate(train_trace.ObservationsOnly());
+  if (!calibrated.ok()) {
+    std::fprintf(stderr, "EM: %s\n", calibrated.status().ToString().c_str());
+    return 1;
+  }
+  for (const EmIterationStats& it : calibrated.value().iterations) {
+    std::printf(
+        "EM iter %d: %zu examples, sensor log-likelihood %.1f, "
+        "weights [%.2f %.2f %.2f %.2f %.2f]\n",
+        it.iteration, it.num_examples, it.sensor_log_likelihood,
+        it.sensor_weights[0], it.sensor_weights[1], it.sensor_weights[2],
+        it.sensor_weights[3], it.sensor_weights[4]);
+  }
+  const MotionModelParams learned_motion =
+      calibrated.value().model.motion().params();
+  std::printf("learned motion: delta=(%.3f, %.3f) ft/epoch\n",
+              learned_motion.delta.x, learned_motion.delta.y);
+
+  // --- 3. Evaluate on a fresh test trace.
+  WarehouseConfig test_wc;
+  test_wc.num_shelves = 2;
+  test_wc.shelf_length = 8.0;
+  test_wc.objects_per_shelf = 8;
+  test_wc.shelf_tags_per_shelf = 2;
+  auto test_layout = BuildWarehouse(test_wc);
+  TraceGenerator test_gen(test_layout.value(), RobotConfig{}, {}, true_sensor,
+                          34);
+  const SimulatedTrace test_trace = test_gen.Generate();
+
+  auto evaluate = [&](const char* name, std::unique_ptr<SensorModel> sensor) {
+    EngineConfig config;
+    config.factored.seed = 33;
+    auto engine = RfidInferenceEngine::Create(
+        MakeWorldModel(test_layout.value(), std::move(sensor), options),
+        config);
+    const TraceEvaluation eval =
+        RunEngineOnTrace(engine.value().get(), test_trace);
+    std::printf("%-20s mean XY error: %.3f ft (%zu objects)\n", name,
+                eval.errors.MeanXY(), eval.objects_evaluated);
+    return eval.errors.MeanXY();
+  };
+
+  const double uncalibrated =
+      evaluate("uncalibrated", std::make_unique<LogisticSensorModel>());
+  const double learned =
+      evaluate("learned (EM)", calibrated.value().model.sensor().Clone());
+  const double oracle = evaluate("true model", true_sensor.Clone());
+
+  if (learned <= oracle) {
+    std::printf("\nthe calibrated model matched or beat the true model "
+                "(%.3f vs %.3f ft): the learned decay is sharper than the "
+                "cone's uniform major-range read rate, so it localizes "
+                "better\n",
+                learned, oracle);
+  } else {
+    std::printf("\ncalibration closed %.0f%% of the gap between the "
+                "uncalibrated and the true model\n",
+                100.0 * (uncalibrated - learned) /
+                    std::max(uncalibrated - oracle, 1e-9));
+  }
+  return 0;
+}

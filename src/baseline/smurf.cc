@@ -1,0 +1,148 @@
+#include "baseline/smurf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rfid {
+
+SmurfBaseline::SmurfBaseline(const SmurfConfig& config,
+                             const SensorModel* sensor, ShelfRegions shelves)
+    : config_(config),
+      sensor_(sensor),
+      shelves_(std::move(shelves)),
+      rng_(config.seed) {}
+
+Vec3 SmurfBaseline::SampleAround(const Vec3& center, bool has_heading,
+                                 double heading) {
+  const double range = sensor_->MaxRange();
+  auto disc_sample = [&]() {
+    // With a known heading, sample the facing half-disc (the scanned shelf
+    // side); otherwise the full disc.
+    const double r = range * std::sqrt(rng_.NextDouble());
+    const double phi = has_heading
+                           ? heading + rng_.Uniform(-M_PI / 2, M_PI / 2)
+                           : rng_.Uniform(0.0, 2.0 * M_PI);
+    return Vec3{center.x + r * std::cos(phi), center.y + r * std::sin(phi),
+                center.z};
+  };
+  if (shelves_.empty()) return disc_sample();
+  for (int attempt = 0; attempt < config_.max_rejection_tries; ++attempt) {
+    const Vec3 p = disc_sample();
+    if (shelves_.Contains(p)) return p;
+  }
+  return disc_sample();
+}
+
+void SmurfBaseline::FinalizeScope(TagState* state) {
+  // Keep the estimate from the scope period with the most actual reads: a
+  // faint back-lobe re-sighting (smoothing keeps the tag "present" for a
+  // while, but with few reads) must not overwrite the estimate from the
+  // front-facing scan.
+  if (state->count > 0 && state->reads_in_scope > state->finalized_reads) {
+    state->finalized = state->sum / static_cast<double>(state->count);
+    state->finalized_count = state->count;
+    state->finalized_reads = state->reads_in_scope;
+  }
+  state->sum = {};
+  state->count = 0;
+  state->reads_in_scope = 0;
+}
+
+void SmurfBaseline::ObserveEpoch(const SyncedEpoch& epoch) {
+  const int64_t now = epoch_counter_++;
+  std::unordered_set<TagId> read_now(epoch.tags.begin(), epoch.tags.end());
+
+  // Register reads (creating state on first sight).
+  for (TagId tag : epoch.tags) {
+    TagState& state = tags_[tag];
+    if (state.first_seen < 0) state.first_seen = now;
+    state.read_epochs.push_back(now);
+    state.last_read = now;
+    ++state.reads_in_scope;
+  }
+
+  for (auto& [tag, state] : tags_) {
+    // Drop reads that fell out of the window.
+    while (!state.read_epochs.empty() &&
+           state.read_epochs.front() <= now - state.window) {
+      state.read_epochs.pop_front();
+    }
+
+    const auto w = static_cast<double>(
+        std::min<int64_t>(state.window, now - state.first_seen + 1));
+    const auto reads_in_window = static_cast<double>(state.read_epochs.size());
+    // Estimated per-epoch read rate, kept away from 0/1 for the statistics.
+    const double p_avg = std::clamp(reads_in_window / std::max(w, 1.0),
+                                    0.05, 0.95);
+
+    // Completeness: window large enough that a present tag is missed
+    // entirely with probability <= delta: (1-p)^w <= delta.
+    const int w_star = static_cast<int>(
+        std::ceil(std::log(config_.delta) / std::log(1.0 - p_avg)));
+
+    // Responsiveness: binomial test for "the tag left mid-window".
+    const double expected = w * p_avg;
+    const double dev = 2.0 * std::sqrt(w * p_avg * (1.0 - p_avg));
+    const bool transition =
+        w >= 2.0 && reads_in_window < expected - dev;
+
+    if (transition) {
+      state.window = std::max(config_.min_window, state.window / 2);
+    } else if (state.window < w_star) {
+      state.window = std::min({state.window + 1, w_star, config_.max_window});
+    } else {
+      state.window = std::min(w_star, config_.max_window);
+      state.window = std::max(state.window, config_.min_window);
+    }
+
+    // Smoothed presence: any read within the (possibly shrunk) window.
+    const bool was_present = state.present;
+    state.present =
+        state.last_read >= 0 && now - state.last_read < state.window;
+
+    if (state.present && epoch.has_location) {
+      for (int s = 0; s < config_.samples_per_epoch; ++s) {
+        state.sum += SampleAround(epoch.reported_location, epoch.has_heading,
+                                  epoch.reported_heading);
+        ++state.count;
+      }
+    }
+    if (was_present && !state.present) {
+      FinalizeScope(&state);
+    }
+  }
+}
+
+std::optional<LocationEstimate> SmurfBaseline::EstimateObject(
+    TagId tag) const {
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) return std::nullopt;
+  const TagState& state = it->second;
+
+  LocationEstimate est;
+  if (state.finalized.has_value()) {
+    est.mean = *state.finalized;
+    est.support = state.finalized_count;
+    return est;
+  }
+  if (state.count > 0) {  // Tag still in scope: use the running mean.
+    est.mean = state.sum / static_cast<double>(state.count);
+    est.support = state.count;
+    return est;
+  }
+  return std::nullopt;
+}
+
+bool SmurfBaseline::IsPresent(TagId tag) const {
+  auto it = tags_.find(tag);
+  return it != tags_.end() && it->second.present;
+}
+
+std::optional<int> SmurfBaseline::WindowSize(TagId tag) const {
+  auto it = tags_.find(tag);
+  if (it == tags_.end()) return std::nullopt;
+  return it->second.window;
+}
+
+}  // namespace rfid

@@ -1,0 +1,64 @@
+#include "baseline/uniform.h"
+
+#include <cmath>
+
+namespace rfid {
+
+Vec3 UniformBaseline::SampleAround(const Vec3& center, bool has_heading,
+                                   double heading) {
+  const double range = sensor_->MaxRange();
+  auto disc_sample = [&]() {
+    // With a known heading, sample the facing half-disc only (the reader is
+    // scanning that shelf side); otherwise the full disc.
+    const double r = range * std::sqrt(rng_.NextDouble());
+    const double phi = has_heading
+                           ? heading + rng_.Uniform(-M_PI / 2, M_PI / 2)
+                           : rng_.Uniform(0.0, 2.0 * M_PI);
+    return Vec3{center.x + r * std::cos(phi), center.y + r * std::sin(phi),
+                center.z};
+  };
+  if (shelves_.empty()) return disc_sample();
+  for (int attempt = 0; attempt < config_.max_rejection_tries; ++attempt) {
+    const Vec3 p = disc_sample();
+    if (shelves_.Contains(p)) return p;
+  }
+  return disc_sample();
+}
+
+void UniformBaseline::ObserveEpoch(const SyncedEpoch& epoch) {
+  if (!epoch.has_location) return;
+  for (TagId tag : epoch.tags) {
+    TagAccumulator& acc = acc_[tag];
+    for (int s = 0; s < config_.samples_per_read; ++s) {
+      const Vec3 p = SampleAround(epoch.reported_location, epoch.has_heading,
+                                  epoch.reported_heading);
+      acc.sum += p;
+      acc.sum_sq += {p.x * p.x, p.y * p.y, p.z * p.z};
+      ++acc.count;
+      // Reservoir of size 1: each sample survives with probability 1/count.
+      if (rng_.UniformInt(static_cast<uint64_t>(acc.count)) == 0) {
+        acc.reservoir = p;
+      }
+    }
+  }
+}
+
+std::optional<LocationEstimate> UniformBaseline::EstimateObject(
+    TagId tag) const {
+  auto it = acc_.find(tag);
+  if (it == acc_.end() || it->second.count == 0) return std::nullopt;
+  const TagAccumulator& acc = it->second;
+  const double n = acc.count;
+  LocationEstimate est;
+  const Vec3 mean = acc.sum / n;
+  est.mean = config_.mode == UniformEstimateMode::kSingleSample
+                 ? acc.reservoir
+                 : mean;
+  est.variance = {acc.sum_sq.x / n - mean.x * mean.x,
+                  acc.sum_sq.y / n - mean.y * mean.y,
+                  acc.sum_sq.z / n - mean.z * mean.z};
+  est.support = acc.count;
+  return est;
+}
+
+}  // namespace rfid

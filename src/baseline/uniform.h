@@ -1,0 +1,74 @@
+// Uniform-sampling baseline (paper §V-B): on every reading of a tag, sample
+// its location uniformly over the overlap of the sensing region (a disc of
+// the sensor's max range around the *reported* reader location) and the
+// shelf regions; the location estimate is the running mean of all samples.
+// The paper uses this as the worst-case bound on inference error.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "model/object_model.h"
+#include "model/sensor_model.h"
+#include "pf/estimate.h"
+#include "stream/readings.h"
+#include "util/rng.h"
+
+namespace rfid {
+
+/// How the per-tag estimate is formed from the collected samples.
+enum class UniformEstimateMode {
+  /// A single sample drawn uniformly from all samples of the tag (reservoir
+  /// sampling). This matches the paper's use of uniform as "a bound on the
+  /// worst-case inference error": the estimate is one random draw from the
+  /// sensing-region/shelf overlap, not an average.
+  kSingleSample,
+  /// Mean of all samples (a stronger variant; ablation in bench_fig6b).
+  kMeanOfSamples,
+};
+
+struct UniformBaselineConfig {
+  UniformEstimateMode mode = UniformEstimateMode::kSingleSample;
+  int samples_per_read = 32;
+  /// Rejection-sampling attempts per sample before falling back to the
+  /// unclipped disc sample.
+  int max_rejection_tries = 32;
+  uint64_t seed = 3;
+};
+
+class UniformBaseline {
+ public:
+  UniformBaseline(const UniformBaselineConfig& config,
+                  const SensorModel* sensor, ShelfRegions shelves)
+      : config_(config),
+        sensor_(sensor),
+        shelves_(std::move(shelves)),
+        rng_(config.seed) {}
+
+  /// Consumes one epoch (tags read + reported reader location). When the
+  /// epoch carries a reported heading, samples are restricted to the
+  /// reader's facing half-plane (the scanned shelf side).
+  void ObserveEpoch(const SyncedEpoch& epoch);
+
+  /// Mean of all samples collected for the tag so far.
+  std::optional<LocationEstimate> EstimateObject(TagId tag) const;
+
+ private:
+  Vec3 SampleAround(const Vec3& center, bool has_heading,
+                    double heading);
+
+  struct TagAccumulator {
+    Vec3 sum;
+    Vec3 sum_sq;
+    int count = 0;
+    Vec3 reservoir;  ///< One uniformly chosen sample (kSingleSample mode).
+  };
+
+  UniformBaselineConfig config_;
+  const SensorModel* sensor_;
+  ShelfRegions shelves_;
+  Rng rng_;
+  std::unordered_map<TagId, TagAccumulator> acc_;
+};
+
+}  // namespace rfid

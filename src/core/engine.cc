@@ -1,0 +1,87 @@
+#include "core/engine.h"
+
+namespace rfid {
+
+namespace {
+Status ValidateConfig(const EngineConfig& config) {
+  if (config.filter == EngineConfig::FilterKind::kBasic) {
+    if (config.basic.num_particles <= 0) {
+      return Status::Invalid("basic.num_particles must be positive");
+    }
+    if (config.basic.resample_threshold < 0 ||
+        config.basic.resample_threshold > 1) {
+      return Status::Invalid("basic.resample_threshold must be in [0, 1]");
+    }
+  } else {
+    const FactoredFilterConfig& f = config.factored;
+    if (f.num_reader_particles <= 0 || f.num_object_particles <= 0 ||
+        f.num_decompress_particles <= 0) {
+      return Status::Invalid("factored particle counts must be positive");
+    }
+    if (f.compression.mode != CompressionMode::kDisabled &&
+        !f.use_spatial_index) {
+      return Status::Invalid(
+          "belief compression requires the spatial index (a filter without "
+          "the index reprocesses every object each epoch and would "
+          "immediately decompress everything)");
+    }
+    if (f.reinit_keep_fraction < 0 ||
+        f.reinit_full_fraction < f.reinit_keep_fraction) {
+      return Status::Invalid(
+          "require 0 <= reinit_keep_fraction <= reinit_full_fraction");
+    }
+  }
+  if (config.emitter.delay_seconds < 0) {
+    return Status::Invalid("emitter.delay_seconds must be non-negative");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+RfidInferenceEngine::RfidInferenceEngine(
+    std::unique_ptr<InferenceFilter> filter, const EngineConfig& config)
+    : filter_(std::move(filter)), config_(config), emitter_(config.emitter) {}
+
+Result<std::unique_ptr<RfidInferenceEngine>> RfidInferenceEngine::Create(
+    WorldModel model, const EngineConfig& config) {
+  RFID_RETURN_NOT_OK(ValidateConfig(config));
+  std::unique_ptr<InferenceFilter> filter;
+  if (config.filter == EngineConfig::FilterKind::kBasic) {
+    filter = std::make_unique<BasicParticleFilter>(std::move(model),
+                                                   config.basic);
+  } else {
+    filter = std::make_unique<FactoredParticleFilter>(std::move(model),
+                                                      config.factored);
+  }
+  return std::unique_ptr<RfidInferenceEngine>(
+      new RfidInferenceEngine(std::move(filter), config));
+}
+
+void RfidInferenceEngine::ProcessEpoch(const SyncedEpoch& epoch) {
+  Stopwatch watch;
+  filter_->ObserveEpoch(epoch);
+  stats_.processing_seconds += watch.ElapsedSeconds();
+  stats_.epochs_processed += 1;
+  stats_.readings_processed += epoch.tags.size();
+
+  auto events = emitter_.OnEpoch(
+      epoch, [this](TagId tag) { return filter_->EstimateObject(tag); });
+  stats_.events_emitted += events.size();
+  pending_events_.insert(pending_events_.end(), events.begin(), events.end());
+}
+
+std::vector<LocationEvent> RfidInferenceEngine::TakeEvents() {
+  std::vector<LocationEvent> out;
+  out.swap(pending_events_);
+  return out;
+}
+
+std::vector<LocationEvent> RfidInferenceEngine::NotifyScanComplete(
+    double time) {
+  auto events = emitter_.NotifyScanComplete(
+      time, [this](TagId tag) { return filter_->EstimateObject(tag); });
+  stats_.events_emitted += events.size();
+  return events;
+}
+
+}  // namespace rfid

@@ -1,0 +1,88 @@
+#include "core/experiment.h"
+
+namespace rfid {
+
+WorldModel MakeWorldModel(const WarehouseLayout& layout,
+                          std::unique_ptr<SensorModel> sensor,
+                          const ExperimentModelOptions& options) {
+  return MakeWorldModel(layout.shelf_boxes, layout.shelf_tags,
+                        std::move(sensor), options);
+}
+
+WorldModel MakeWorldModel(std::vector<Aabb> shelf_boxes,
+                          std::vector<ShelfTag> shelf_tags,
+                          std::unique_ptr<SensorModel> sensor,
+                          const ExperimentModelOptions& options) {
+  ObjectModelParams op;
+  op.move_probability = options.object_move_probability;
+  return WorldModel(std::move(sensor), MotionModel(options.motion),
+                    LocationSensingModel(options.sensing),
+                    ObjectLocationModel(op, ShelfRegions(shelf_boxes)),
+                    std::move(shelf_tags));
+}
+
+namespace {
+
+/// Scores `estimate(tag)` for every ground-truth tag at the trace end time.
+template <typename EstimateFn>
+TraceEvaluation Score(const SimulatedTrace& trace, EstimateFn estimate) {
+  TraceEvaluation eval;
+  const double end_time =
+      trace.epochs.empty() ? 0.0 : trace.epochs.back().observations.time;
+  for (TagId tag : trace.truth.AllTags()) {
+    const auto truth = trace.truth.PositionAt(tag, end_time);
+    if (!truth.ok()) continue;
+    const auto est = estimate(tag);
+    if (!est.has_value()) {
+      ++eval.objects_missing;
+      continue;
+    }
+    eval.errors.Add(est->mean, truth.value());
+    ++eval.objects_evaluated;
+  }
+  return eval;
+}
+
+}  // namespace
+
+TraceEvaluation RunEngineOnTrace(RfidInferenceEngine* engine,
+                                 const SimulatedTrace& trace) {
+  for (const SimEpoch& epoch : trace.epochs) {
+    engine->ProcessEpoch(epoch.observations);
+  }
+  TraceEvaluation eval = Score(
+      trace, [&](TagId tag) { return engine->EstimateObject(tag); });
+  eval.engine_stats = engine->stats();
+  return eval;
+}
+
+TraceEvaluation RunUniformOnTrace(UniformBaseline* baseline,
+                                  const SimulatedTrace& trace) {
+  for (const SimEpoch& epoch : trace.epochs) {
+    baseline->ObserveEpoch(epoch.observations);
+  }
+  return Score(trace,
+               [&](TagId tag) { return baseline->EstimateObject(tag); });
+}
+
+TraceEvaluation RunSmurfOnTrace(SmurfBaseline* baseline,
+                                const SimulatedTrace& trace) {
+  for (const SimEpoch& epoch : trace.epochs) {
+    baseline->ObserveEpoch(epoch.observations);
+  }
+  return Score(trace,
+               [&](TagId tag) { return baseline->EstimateObject(tag); });
+}
+
+ErrorStats EvaluateEvents(const std::vector<LocationEvent>& events,
+                          const GroundTruth& truth) {
+  ErrorStats stats;
+  for (const LocationEvent& e : events) {
+    const auto pos = truth.PositionAt(e.tag, e.time);
+    if (!pos.ok()) continue;
+    stats.Add(e.location, pos.value());
+  }
+  return stats;
+}
+
+}  // namespace rfid

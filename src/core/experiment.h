@@ -1,0 +1,63 @@
+// Shared experiment helpers used by the benchmark harnesses, examples and
+// integration tests: building engine world-models from simulator layouts and
+// evaluating engines / baselines against ground truth.
+#pragma once
+
+#include <memory>
+
+#include "baseline/smurf.h"
+#include "baseline/uniform.h"
+#include "core/engine.h"
+#include "core/metrics.h"
+#include "sim/trace.h"
+#include "sim/warehouse.h"
+
+namespace rfid {
+
+/// Model-building knobs for experiments.
+struct ExperimentModelOptions {
+  MotionModelParams motion;
+  LocationSensingParams sensing{Vec3{}, Vec3{0.01, 0.01, 0.0}};
+  double object_move_probability = 1e-4;
+};
+
+/// Builds a WorldModel for inference over a warehouse layout.
+/// `sensor` is the model the *engine believes* (the true simulator model, a
+/// learned model, or a deliberately mis-specified one).
+WorldModel MakeWorldModel(const WarehouseLayout& layout,
+                          std::unique_ptr<SensorModel> sensor,
+                          const ExperimentModelOptions& options = {});
+
+/// Same, from explicit shelf geometry (used by the lab scenario).
+WorldModel MakeWorldModel(std::vector<Aabb> shelf_boxes,
+                          std::vector<ShelfTag> shelf_tags,
+                          std::unique_ptr<SensorModel> sensor,
+                          const ExperimentModelOptions& options = {});
+
+/// Result of running an algorithm over a trace and comparing its final
+/// per-object estimates against ground truth at the trace's end time.
+struct TraceEvaluation {
+  ErrorStats errors;
+  size_t objects_evaluated = 0;
+  size_t objects_missing = 0;  ///< Truth tags with no estimate.
+  EngineStats engine_stats;    ///< Zero for baselines.
+};
+
+/// Feeds every epoch to the engine, then scores final object estimates.
+TraceEvaluation RunEngineOnTrace(RfidInferenceEngine* engine,
+                                 const SimulatedTrace& trace);
+
+/// Scores the uniform-sampling baseline on a trace.
+TraceEvaluation RunUniformOnTrace(UniformBaseline* baseline,
+                                  const SimulatedTrace& trace);
+
+/// Scores the SMURF baseline on a trace.
+TraceEvaluation RunSmurfOnTrace(SmurfBaseline* baseline,
+                                const SimulatedTrace& trace);
+
+/// Scores emitted events against truth at each event's time (the paper's
+/// query-output metric, as opposed to final-estimate scoring).
+ErrorStats EvaluateEvents(const std::vector<LocationEvent>& events,
+                          const GroundTruth& truth);
+
+}  // namespace rfid

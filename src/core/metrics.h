@@ -1,0 +1,45 @@
+// Evaluation metrics (paper §V-A): inference error is the average distance
+// between reported and true object locations; throughput is time per reading.
+#pragma once
+
+#include <cstddef>
+
+#include "geometry/vec.h"
+
+namespace rfid {
+
+/// Accumulates per-axis and Euclidean location errors.
+class ErrorStats {
+ public:
+  void Add(const Vec3& estimated, const Vec3& truth) {
+    const double dx = std::abs(estimated.x - truth.x);
+    const double dy = std::abs(estimated.y - truth.y);
+    const double dz = std::abs(estimated.z - truth.z);
+    sum_x_ += dx;
+    sum_y_ += dy;
+    sum_z_ += dz;
+    sum_xy_ += std::hypot(estimated.x - truth.x, estimated.y - truth.y);
+    sum_xyz_ += estimated.DistanceTo(truth);
+    ++count_;
+  }
+
+  size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  double MeanX() const { return count_ ? sum_x_ / count_ : 0.0; }
+  double MeanY() const { return count_ ? sum_y_ / count_ : 0.0; }
+  double MeanZ() const { return count_ ? sum_z_ / count_ : 0.0; }
+  /// Mean error in the XY plane — the paper's headline metric.
+  double MeanXY() const { return count_ ? sum_xy_ / count_ : 0.0; }
+  double MeanXYZ() const { return count_ ? sum_xyz_ / count_ : 0.0; }
+
+ private:
+  double sum_x_ = 0.0;
+  double sum_y_ = 0.0;
+  double sum_z_ = 0.0;
+  double sum_xy_ = 0.0;
+  double sum_xyz_ = 0.0;
+  size_t count_ = 0;
+};
+
+}  // namespace rfid

@@ -1,0 +1,261 @@
+#include "index/rstar_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace rfid {
+
+RStarTree::RStarTree(int max_entries)
+    : max_entries_(std::max(max_entries, 4)),
+      min_entries_(std::max(2, static_cast<int>(max_entries_ * 0.4))) {
+  nodes_.emplace_back();  // Root starts as an empty leaf.
+}
+
+Aabb RStarTree::NodeBox(const Node& node) const {
+  Aabb box = Aabb::Empty();
+  for (const Entry& e : node.entries) box.Extend(e.box);
+  return box;
+}
+
+int RStarTree::ChooseLeaf(const Aabb& box, std::vector<int>* path) const {
+  int current = root_;
+  for (;;) {
+    path->push_back(current);
+    const Node& node = nodes_[current];
+    if (node.is_leaf) return current;
+
+    // R* heuristic: at the level above leaves minimize overlap enlargement;
+    // higher up minimize volume enlargement. Ties break on smaller volume.
+    const bool children_are_leaves = nodes_[node.entries[0].id].is_leaf;
+    int best = 0;
+    double best_primary = std::numeric_limits<double>::infinity();
+    double best_secondary = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < node.entries.size(); ++i) {
+      const Entry& e = node.entries[i];
+      Aabb enlarged = e.box;
+      enlarged.Extend(box);
+      double primary;
+      if (children_are_leaves) {
+        // Overlap enlargement against sibling entries.
+        double overlap_before = 0.0, overlap_after = 0.0;
+        for (size_t k = 0; k < node.entries.size(); ++k) {
+          if (k == i) continue;
+          overlap_before += e.box.OverlapVolume(node.entries[k].box);
+          overlap_after += enlarged.OverlapVolume(node.entries[k].box);
+        }
+        primary = overlap_after - overlap_before;
+      } else {
+        primary = e.box.Enlargement(box);
+      }
+      const double secondary = e.box.Enlargement(box) + e.box.Volume() * 1e-9;
+      if (primary < best_primary ||
+          (primary == best_primary && secondary < best_secondary)) {
+        best_primary = primary;
+        best_secondary = secondary;
+        best = static_cast<int>(i);
+      }
+    }
+    current = static_cast<int>(node.entries[best].id);
+  }
+}
+
+size_t RStarTree::ChooseSplit(std::vector<Entry>* entries) const {
+  // R* split: for each axis, sort by (min, max) and evaluate all legal
+  // distributions; pick the axis with the least total margin, then the
+  // distribution with the least overlap (ties: least total volume).
+  const size_t n = entries->size();
+  const size_t min_fill = static_cast<size_t>(min_entries_);
+
+  auto axis_key = [](const Entry& e, int axis) {
+    switch (axis) {
+      case 0: return std::pair<double, double>(e.box.min.x, e.box.max.x);
+      case 1: return std::pair<double, double>(e.box.min.y, e.box.max.y);
+      default: return std::pair<double, double>(e.box.min.z, e.box.max.z);
+    }
+  };
+
+  int best_axis = 0;
+  double best_margin = std::numeric_limits<double>::infinity();
+  for (int axis = 0; axis < 3; ++axis) {
+    std::sort(entries->begin(), entries->end(),
+              [&](const Entry& a, const Entry& b) {
+                return axis_key(a, axis) < axis_key(b, axis);
+              });
+    // Prefix/suffix boxes for O(n) margin evaluation.
+    std::vector<Aabb> prefix(n), suffix(n);
+    Aabb acc = Aabb::Empty();
+    for (size_t i = 0; i < n; ++i) {
+      acc.Extend((*entries)[i].box);
+      prefix[i] = acc;
+    }
+    acc = Aabb::Empty();
+    for (size_t i = n; i-- > 0;) {
+      acc.Extend((*entries)[i].box);
+      suffix[i] = acc;
+    }
+    double margin_sum = 0.0;
+    for (size_t split = min_fill; split <= n - min_fill; ++split) {
+      margin_sum += prefix[split - 1].Margin() + suffix[split].Margin();
+    }
+    if (margin_sum < best_margin) {
+      best_margin = margin_sum;
+      best_axis = axis;
+    }
+  }
+
+  std::sort(entries->begin(), entries->end(),
+            [&](const Entry& a, const Entry& b) {
+              return axis_key(a, best_axis) < axis_key(b, best_axis);
+            });
+  std::vector<Aabb> prefix(n), suffix(n);
+  Aabb acc = Aabb::Empty();
+  for (size_t i = 0; i < n; ++i) {
+    acc.Extend((*entries)[i].box);
+    prefix[i] = acc;
+  }
+  acc = Aabb::Empty();
+  for (size_t i = n; i-- > 0;) {
+    acc.Extend((*entries)[i].box);
+    suffix[i] = acc;
+  }
+  size_t best_split = min_fill;
+  double best_overlap = std::numeric_limits<double>::infinity();
+  double best_volume = std::numeric_limits<double>::infinity();
+  for (size_t split = min_fill; split <= n - min_fill; ++split) {
+    const double overlap = prefix[split - 1].OverlapVolume(suffix[split]);
+    const double volume = prefix[split - 1].Volume() + suffix[split].Volume();
+    if (overlap < best_overlap ||
+        (overlap == best_overlap && volume < best_volume)) {
+      best_overlap = overlap;
+      best_volume = volume;
+      best_split = split;
+    }
+  }
+  return best_split;
+}
+
+int RStarTree::SplitNode(int node_idx) {
+  // Take a copy of the entries, partition them, and distribute over the old
+  // node and a fresh sibling.
+  std::vector<Entry> entries = std::move(nodes_[node_idx].entries);
+  const size_t split = ChooseSplit(&entries);
+
+  const int sibling_idx = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  Node& node = nodes_[node_idx];
+  Node& sibling = nodes_[sibling_idx];
+  sibling.is_leaf = node.is_leaf;
+
+  node.entries.assign(entries.begin(), entries.begin() + split);
+  sibling.entries.assign(entries.begin() + split, entries.end());
+  return sibling_idx;
+}
+
+void RStarTree::Insert(const Aabb& box, uint64_t id) {
+  std::vector<int> path;
+  const int leaf = ChooseLeaf(box, &path);
+  nodes_[leaf].entries.push_back({box, id});
+  ++size_;
+
+  // Walk back up splitting overflowing nodes and refreshing parent boxes.
+  int child = leaf;
+  int overflow_sibling = -1;
+  if (static_cast<int>(nodes_[leaf].entries.size()) > max_entries_) {
+    overflow_sibling = SplitNode(leaf);
+  }
+  for (int level = static_cast<int>(path.size()) - 2; level >= 0; --level) {
+    const int parent = path[level];
+    Node& parent_node = nodes_[parent];
+    // Refresh the entry box covering `child`.
+    for (Entry& e : parent_node.entries) {
+      if (static_cast<int>(e.id) == child) {
+        e.box = NodeBox(nodes_[child]);
+        break;
+      }
+    }
+    if (overflow_sibling >= 0) {
+      parent_node.entries.push_back(
+          {NodeBox(nodes_[overflow_sibling]),
+           static_cast<uint64_t>(overflow_sibling)});
+      overflow_sibling = -1;
+      if (static_cast<int>(parent_node.entries.size()) > max_entries_) {
+        overflow_sibling = SplitNode(parent);
+      }
+    }
+    child = parent;
+  }
+
+  if (overflow_sibling >= 0) {
+    // Root split: grow the tree by one level.
+    const int new_root = static_cast<int>(nodes_.size());
+    nodes_.emplace_back();
+    Node& root_node = nodes_[new_root];
+    root_node.is_leaf = false;
+    root_node.entries.push_back(
+        {NodeBox(nodes_[root_]), static_cast<uint64_t>(root_)});
+    root_node.entries.push_back({NodeBox(nodes_[overflow_sibling]),
+                                 static_cast<uint64_t>(overflow_sibling)});
+    root_ = new_root;
+    ++height_;
+  }
+}
+
+void RStarTree::QueryRec(int node_idx, const Aabb& query,
+                         std::vector<uint64_t>* out) const {
+  const Node& node = nodes_[node_idx];
+  for (const Entry& e : node.entries) {
+    if (!e.box.Intersects(query)) continue;
+    if (node.is_leaf) {
+      out->push_back(e.id);
+    } else {
+      QueryRec(static_cast<int>(e.id), query, out);
+    }
+  }
+}
+
+void RStarTree::Query(const Aabb& query, std::vector<uint64_t>* out) const {
+  if (size_ == 0) return;
+  QueryRec(root_, query, out);
+}
+
+void RStarTree::QueryPoint(const Vec3& point, std::vector<uint64_t>* out) const {
+  Query(Aabb(point, point), out);
+}
+
+bool RStarTree::CheckNode(int node_idx, int depth, int leaf_depth) const {
+  const Node& node = nodes_[node_idx];
+  if (node.is_leaf) return depth == leaf_depth;
+  if (node.entries.empty()) return false;
+  for (const Entry& e : node.entries) {
+    const Node& child = nodes_[static_cast<int>(e.id)];
+    const Aabb tight = NodeBox(child);
+    // Parent entry must cover the child's actual extent.
+    if (!(e.box.min.x <= tight.min.x && e.box.min.y <= tight.min.y &&
+          e.box.min.z <= tight.min.z && e.box.max.x >= tight.max.x &&
+          e.box.max.y >= tight.max.y && e.box.max.z >= tight.max.z)) {
+      return false;
+    }
+    // Non-root nodes must satisfy minimum fill.
+    if (static_cast<int>(child.entries.size()) < min_entries_ &&
+        node_idx != root_) {
+      return false;
+    }
+    if (!CheckNode(static_cast<int>(e.id), depth + 1, leaf_depth)) return false;
+  }
+  return true;
+}
+
+bool RStarTree::CheckInvariants() const {
+  if (size_ == 0) return true;
+  // Find leaf depth along the leftmost path.
+  int depth = 0;
+  int current = root_;
+  while (!nodes_[current].is_leaf) {
+    ++depth;
+    current = static_cast<int>(nodes_[current].entries[0].id);
+  }
+  return CheckNode(root_, 0, depth);
+}
+
+}  // namespace rfid

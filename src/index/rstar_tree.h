@@ -1,0 +1,78 @@
+// Simplified R*-tree over axis-aligned boxes (paper §IV-C cites the R*-tree
+// of Beckmann et al. as the structure indexing sensing-region bounding
+// boxes).
+//
+// "Simplified" as in the paper: we keep the R* heuristics that matter for
+// query quality — ChooseSubtree by minimum overlap enlargement at leaf level,
+// split axis by minimum margin sum, split index by minimum overlap — and drop
+// forced reinsertion. Deletion is not needed (sensing regions only
+// accumulate), so it is not implemented.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+
+namespace rfid {
+
+class RStarTree {
+ public:
+  /// Node capacity M; minimum fill is M * 0.4 per the R* paper.
+  explicit RStarTree(int max_entries = 16);
+
+  /// Inserts a box with an opaque payload id.
+  void Insert(const Aabb& box, uint64_t id);
+
+  /// Appends the ids of all boxes intersecting `query` to `out`.
+  void Query(const Aabb& query, std::vector<uint64_t>* out) const;
+
+  /// Visits ids of all boxes containing `point`.
+  void QueryPoint(const Vec3& point, std::vector<uint64_t>* out) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Height of the tree (1 for a single leaf). Exposed for tests.
+  int height() const { return height_; }
+
+  /// Validation hook for property tests: checks parent boxes cover children
+  /// and node fill invariants. Returns false on violation.
+  bool CheckInvariants() const;
+
+ private:
+  struct Entry {
+    Aabb box;
+    // Leaf level: payload id. Internal level: child node index.
+    uint64_t id = 0;
+  };
+  struct Node {
+    bool is_leaf = true;
+    std::vector<Entry> entries;
+  };
+
+  /// Computes the tight bounding box of a node's entries.
+  Aabb NodeBox(const Node& node) const;
+
+  /// Descends to the leaf best suited for `box`, recording the path.
+  int ChooseLeaf(const Aabb& box, std::vector<int>* path) const;
+
+  /// Splits node `node_idx`; returns the index of the new sibling.
+  int SplitNode(int node_idx);
+
+  /// R*-style split of `entries` into two groups; returns the split position
+  /// after sorting (entries[0..pos) | entries[pos..)).
+  size_t ChooseSplit(std::vector<Entry>* entries) const;
+
+  void QueryRec(int node_idx, const Aabb& query,
+                std::vector<uint64_t>* out) const;
+  bool CheckNode(int node_idx, int depth, int leaf_depth) const;
+
+  int max_entries_;
+  int min_entries_;
+  std::vector<Node> nodes_;
+  int root_ = 0;
+  size_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace rfid

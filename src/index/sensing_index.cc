@@ -1,0 +1,64 @@
+#include "index/sensing_index.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+SensingRegionIndex::SensingRegionIndex(const SensingIndexConfig& config)
+    : config_(config), tree_(config.rtree_max_entries) {}
+
+void SensingRegionIndex::Insert(const Aabb& box,
+                                const std::vector<uint32_t>& object_slots) {
+  if (last_entry_ >= 0) {
+    Entry& last = entries_[last_entry_];
+    const Vec3 d = box.Center() - last.box.Center();
+    const double radius = 0.5 * std::max({box.Extent().x, box.Extent().y, 1e-9});
+    if (d.Norm() < config_.merge_distance_fraction * radius) {
+      // Merge into the previous entry: union the object sets. The entry box
+      // stays as inserted into the tree (boxes this close are interchangeable
+      // for probing; the small positional slack is covered by the overlap of
+      // neighbouring entries along the reader path).
+      std::vector<uint32_t> merged;
+      merged.reserve(last.object_slots.size() + object_slots.size());
+      std::vector<uint32_t> incoming = object_slots;
+      std::sort(incoming.begin(), incoming.end());
+      std::set_union(last.object_slots.begin(), last.object_slots.end(),
+                     incoming.begin(), incoming.end(),
+                     std::back_inserter(merged));
+      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+      last.object_slots = std::move(merged);
+      return;
+    }
+  }
+  Entry entry;
+  entry.box = box;
+  entry.object_slots = object_slots;
+  std::sort(entry.object_slots.begin(), entry.object_slots.end());
+  entry.object_slots.erase(
+      std::unique(entry.object_slots.begin(), entry.object_slots.end()),
+      entry.object_slots.end());
+  const auto id = static_cast<uint64_t>(entries_.size());
+  entries_.push_back(std::move(entry));
+  tree_.Insert(box, id);
+  last_entry_ = static_cast<int>(id);
+}
+
+void SensingRegionIndex::ForEachEntry(
+    const std::function<void(const Aabb&, const std::vector<uint32_t>&)>& fn)
+    const {
+  for (const Entry& e : entries_) fn(e.box, e.object_slots);
+}
+
+void SensingRegionIndex::Probe(const Aabb& box,
+                               std::vector<uint32_t>* out) const {
+  std::vector<uint64_t> hits;
+  tree_.Query(box, &hits);
+  for (uint64_t h : hits) {
+    const Entry& e = entries_[h];
+    out->insert(out->end(), e.object_slots.begin(), e.object_slots.end());
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+}  // namespace rfid

@@ -1,0 +1,62 @@
+// Sensing-region index (paper §IV-C, Fig. 4).
+//
+// Two components, exactly as the paper describes:
+//  1. a map from sensing-region bounding boxes to the set of objects that had
+//     at least one particle within the box when it was recorded, and
+//  2. a simplified R*-tree over those bounding boxes.
+//
+// At each epoch the filter inserts the current sensing region's bounding box
+// together with the objects it processed (Cases 1 and 2), and probes with the
+// new box to retrieve the Case-2 candidates: objects read before near the
+// current reader location. Objects never recorded near the current location
+// (Case 4) are skipped entirely — their read probability is rounded to zero.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "index/rstar_tree.h"
+
+namespace rfid {
+
+struct SensingIndexConfig {
+  /// Consecutive epoch boxes whose centers moved less than
+  /// merge_distance_fraction * box-radius are merged into one entry, keeping
+  /// the entry count proportional to path length instead of epoch count.
+  double merge_distance_fraction = 0.25;
+  int rtree_max_entries = 16;
+};
+
+class SensingRegionIndex {
+ public:
+  explicit SensingRegionIndex(const SensingIndexConfig& config = {});
+
+  /// Records that the objects in `object_slots` were processed while the
+  /// sensing region covered `box`.
+  void Insert(const Aabb& box, const std::vector<uint32_t>& object_slots);
+
+  /// Collects the deduplicated union of object slots recorded in boxes
+  /// overlapping `box` (the Case-2 candidate set).
+  void Probe(const Aabb& box, std::vector<uint32_t>* out) const;
+
+  size_t num_entries() const { return entries_.size(); }
+
+  /// Iterates recorded entries in insertion order (snapshot support).
+  void ForEachEntry(
+      const std::function<void(const Aabb&, const std::vector<uint32_t>&)>& fn)
+      const;
+
+ private:
+  struct Entry {
+    Aabb box;
+    std::vector<uint32_t> object_slots;  ///< Sorted, deduplicated.
+  };
+
+  SensingIndexConfig config_;
+  RStarTree tree_;
+  std::vector<Entry> entries_;
+  int last_entry_ = -1;  ///< Candidate for merge with the next insert.
+};
+
+}  // namespace rfid

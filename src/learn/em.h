@@ -1,0 +1,81 @@
+// EM self-calibration of the model parameters (paper §III-C).
+//
+// Parameters estimated from a small training trace collected in the fielded
+// environment: the sensor-model coefficients {a_c} u {b_c}, the average
+// reader velocity Delta with variance Sigma_m, and the location-sensing bias
+// mu_s with variance Sigma_s.
+//
+// Monte-Carlo E-step: run the factored particle filter under the current
+// parameters over the training trace and record posterior-weighted
+// (distance, angle, read?) examples — exact for shelf tags (known locations,
+// reader posterior marginalized), posterior-sampled for object tags — plus
+// the posterior reader trajectory. M-step: refit the logistic sensor model
+// (learn/logistic.h) and re-estimate the Gaussian motion/sensing parameters
+// from the trajectory.
+#pragma once
+
+#include <vector>
+
+#include "model/world_model.h"
+#include "pf/factored_filter.h"
+#include "learn/logistic.h"
+#include "stream/readings.h"
+#include "util/status.h"
+
+namespace rfid {
+
+struct EmConfig {
+  int iterations = 4;
+  /// Filter used for the E-step. Modest particle counts suffice: training
+  /// traces are small by design (the paper uses ~20 tags).
+  FactoredFilterConfig filter;
+  LogisticFitOptions logistic;
+  /// Negative (unread) examples are recorded only for tags within this
+  /// multiple of the sensor max range of the posterior reader position —
+  /// far-away misses carry no information about the decay shape.
+  double negative_example_range_factor = 1.5;
+  /// Posterior samples drawn per object tag per epoch for the E-step.
+  int object_samples_per_epoch = 16;
+  /// Object tags contribute examples only once their posterior has
+  /// concentrated below this spread (expected squared error, sq ft); early
+  /// wide posteriors would feed the fit mislabeled geometry.
+  double max_object_posterior_spread = 1.0;
+  bool learn_sensor = true;
+  bool learn_motion = true;
+  bool learn_location_sensing = true;
+  uint64_t seed = 7;
+};
+
+struct EmIterationStats {
+  int iteration = 0;
+  double sensor_log_likelihood = 0.0;
+  size_t num_examples = 0;
+  std::array<double, 5> sensor_weights = {};
+};
+
+struct EmResult {
+  WorldModel model;
+  std::vector<EmIterationStats> iterations;
+};
+
+/// Calibrates `initial` against a training trace. Object tags in the trace
+/// are any tags not registered as shelf tags in the model.
+class EmCalibrator {
+ public:
+  EmCalibrator(WorldModel initial, const EmConfig& config);
+
+  Result<EmResult> Calibrate(const std::vector<SyncedEpoch>& trace);
+
+ private:
+  /// Runs the filter over the trace, filling `examples` and the posterior
+  /// reader trajectory (one mean pose per epoch).
+  void EStep(const WorldModel& model, const std::vector<SyncedEpoch>& trace,
+             std::vector<LogisticExample>* examples,
+             std::vector<Vec3>* reader_means,
+             std::vector<Vec3>* reported) const;
+
+  WorldModel initial_;
+  EmConfig config_;
+};
+
+}  // namespace rfid

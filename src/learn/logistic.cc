@@ -1,0 +1,128 @@
+#include "learn/logistic.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace rfid {
+
+namespace {
+
+constexpr int kDim = 5;  // [1, d, d^2, theta, theta^2]
+
+std::array<double, kDim> Features(const LogisticExample& e) {
+  return {1.0, e.distance, e.distance * e.distance, e.angle,
+          e.angle * e.angle};
+}
+
+/// Solves the 5x5 system A x = b by Gaussian elimination with partial
+/// pivoting. Returns false when A is (numerically) singular.
+bool Solve5(std::array<std::array<double, kDim>, kDim> a,
+            std::array<double, kDim> b, std::array<double, kDim>* x) {
+  for (int col = 0; col < kDim; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < kDim; ++row) {
+      if (std::abs(a[row][col]) > std::abs(a[pivot][col])) pivot = row;
+    }
+    if (std::abs(a[pivot][col]) < 1e-12) return false;
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (int row = col + 1; row < kDim; ++row) {
+      const double f = a[row][col] / a[col][col];
+      for (int k = col; k < kDim; ++k) a[row][k] -= f * a[col][k];
+      b[row] -= f * b[col];
+    }
+  }
+  for (int col = kDim - 1; col >= 0; --col) {
+    double acc = b[col];
+    for (int k = col + 1; k < kDim; ++k) acc -= a[col][k] * (*x)[k];
+    (*x)[col] = acc / a[col][col];
+  }
+  return true;
+}
+
+}  // namespace
+
+double LogisticLogLikelihood(const LogisticSensorModel& model,
+                             const std::vector<LogisticExample>& examples) {
+  double ll = 0.0;
+  for (const LogisticExample& e : examples) {
+    const double p = model.ProbRead(e.distance, e.angle);
+    const double clamped = std::clamp(p, 1e-12, 1.0 - 1e-12);
+    ll += e.weight * (e.read ? std::log(clamped) : std::log(1.0 - clamped));
+  }
+  return ll;
+}
+
+Result<LogisticFitResult> FitLogisticSensorModel(
+    const std::vector<LogisticExample>& examples,
+    const LogisticFitOptions& options) {
+  if (examples.empty()) {
+    return Status::Invalid("no training examples");
+  }
+  double total_weight = 0.0, positive_weight = 0.0;
+  for (const LogisticExample& e : examples) {
+    if (e.weight < 0.0) {
+      return Status::Invalid("negative example weight");
+    }
+    total_weight += e.weight;
+    if (e.read) positive_weight += e.weight;
+  }
+  if (total_weight <= 0.0) {
+    return Status::Invalid("total example weight is zero");
+  }
+  if (positive_weight <= 0.0 || positive_weight >= total_weight) {
+    return Status::FailedPrecondition(
+        "training data is single-class; cannot fit a sensor model");
+  }
+
+  std::array<double, kDim> w = {0.0, 0.0, 0.0, 0.0, 0.0};
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Gradient and Hessian of the penalized log-likelihood.
+    std::array<double, kDim> grad = {};
+    std::array<std::array<double, kDim>, kDim> hess = {};
+    for (const LogisticExample& e : examples) {
+      const auto x = Features(e);
+      double z = 0.0;
+      for (int i = 0; i < kDim; ++i) z += w[i] * x[i];
+      const double p = Sigmoid(z);
+      const double y = e.read ? 1.0 : 0.0;
+      const double r = e.weight * (y - p);
+      const double s = e.weight * std::max(p * (1.0 - p), 1e-9);
+      for (int i = 0; i < kDim; ++i) {
+        grad[i] += r * x[i];
+        for (int j = 0; j < kDim; ++j) hess[i][j] += s * x[i] * x[j];
+      }
+    }
+    for (int i = 1; i < kDim; ++i) {  // MAP prior on non-intercept terms.
+      grad[i] -= options.prior_strength * (w[i] - options.prior_weights[i]);
+      hess[i][i] += options.prior_strength;
+    }
+    // Levenberg-style damping keeps Newton stable on ill-scaled data.
+    for (int i = 0; i < kDim; ++i) hess[i][i] += 1e-8;
+
+    std::array<double, kDim> step;
+    if (!Solve5(hess, grad, &step)) {
+      return Status::Internal("singular Hessian in logistic fit");
+    }
+    double max_step = 0.0;
+    for (int i = 0; i < kDim; ++i) {
+      w[i] += step[i];
+      max_step = std::max(max_step, std::abs(step[i]));
+    }
+    if (max_step < options.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+
+  LogisticFitResult result;
+  result.model =
+      LogisticSensorModel::FromWeightVector({w[0], w[1], w[2], w[3], w[4]});
+  result.iterations = iter;
+  result.final_log_likelihood = LogisticLogLikelihood(result.model, examples);
+  return result;
+}
+
+}  // namespace rfid

@@ -1,0 +1,55 @@
+// Weighted logistic regression on the sensor-model features
+// [1, d, d^2, theta, theta^2] (paper §III-A / §III-C).
+//
+// This is the M-step of the EM calibration: given (distance, angle,
+// read?) examples — fully observed for shelf tags, posterior-weighted for
+// object tags — fit the coefficients {a_c} and {b_c} of Eq. (1) by Newton's
+// method with a small L2 regularizer.
+#pragma once
+
+#include <vector>
+
+#include "model/sensor_model.h"
+#include "util/status.h"
+
+namespace rfid {
+
+/// One (possibly fractionally weighted) training example.
+struct LogisticExample {
+  double distance = 0.0;
+  double angle = 0.0;   ///< Radians in [0, pi].
+  bool read = false;
+  double weight = 1.0;  ///< Posterior weight; 1 for fully observed examples.
+};
+
+struct LogisticFitOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-8;  ///< Stop when the max coefficient step is below.
+  /// MAP estimation: Gaussian prior with precision `prior_strength` centered
+  /// on `prior_weights` (a generic decaying antenna profile). Training
+  /// geometry often leaves directions of the quadratic feature space
+  /// unidentified — e.g. an aisle scan couples distance and angle — and the
+  /// prior pins those directions to physically plausible decay instead of
+  /// letting the read rate extrapolate flat or upward. The intercept is
+  /// unpenalized.
+  double prior_strength = 1.0;
+  std::array<double, 5> prior_weights = {4.0, -0.5, -0.35, -1.0, -3.0};
+};
+
+struct LogisticFitResult {
+  LogisticSensorModel model;
+  int iterations = 0;
+  double final_log_likelihood = 0.0;
+};
+
+/// Fits Eq. (1)'s coefficients. Fails when examples are empty, have
+/// non-positive total weight, or are single-class (no reads or no misses).
+Result<LogisticFitResult> FitLogisticSensorModel(
+    const std::vector<LogisticExample>& examples,
+    const LogisticFitOptions& options = {});
+
+/// Weighted log-likelihood of `examples` under `model` (diagnostics/tests).
+double LogisticLogLikelihood(const LogisticSensorModel& model,
+                             const std::vector<LogisticExample>& examples);
+
+}  // namespace rfid

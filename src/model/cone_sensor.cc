@@ -1,0 +1,53 @@
+#include "model/cone_sensor.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+Aabb ConeSensorModel::SensingBounds(const Pose& reader) const {
+  const double r = MaxRange();
+  const double theta_max = params_.major_half_angle + params_.minor_extra_angle;
+  Aabb box;
+  box.Extend(reader.position);
+  // Sample the bounding arc: the extremes of the cone's planar footprint are
+  // attained at the arc endpoints, the axis, and (if inside the wedge) the
+  // axis-aligned tangent directions.
+  for (double a : {-theta_max, -theta_max / 2, 0.0, theta_max / 2, theta_max}) {
+    const double phi = reader.heading + a;
+    box.Extend(reader.position + Vec3{r * std::cos(phi), r * std::sin(phi), 0});
+  }
+  for (double phi_card = -M_PI; phi_card <= M_PI + 1e-9; phi_card += M_PI / 2) {
+    if (std::abs(WrapAngle(phi_card - reader.heading)) <= theta_max) {
+      box.Extend(reader.position +
+                 Vec3{r * std::cos(phi_card), r * std::sin(phi_card), 0});
+    }
+  }
+  // The 3-D angular acceptance allows tags above/below the antenna plane.
+  const double z_span = r * std::sin(theta_max);
+  box.Extend(reader.position + Vec3{0, 0, z_span});
+  box.Extend(reader.position - Vec3{0, 0, z_span});
+  return box;
+}
+
+double ConeSensorModel::ProbRead(double distance, double angle) const {
+  const double theta_major = params_.major_half_angle;
+  const double theta_max = theta_major + params_.minor_extra_angle;
+  if (angle >= theta_max) return 0.0;
+
+  const double r_major = params_.major_range;
+  const double r_max = r_major + params_.minor_extra_range;
+  if (distance >= r_max) return 0.0;
+
+  // Linear decay factors in the minor wedge / minor range; 1 inside major.
+  double angle_factor = 1.0;
+  if (angle > theta_major) {
+    angle_factor = 1.0 - (angle - theta_major) / params_.minor_extra_angle;
+  }
+  double range_factor = 1.0;
+  if (distance > r_major) {
+    range_factor = 1.0 - (distance - r_major) / params_.minor_extra_range;
+  }
+  return params_.major_read_rate * angle_factor * range_factor;
+}
+
+}  // namespace rfid

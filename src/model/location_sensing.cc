@@ -1,0 +1,39 @@
+#include "model/location_sensing.h"
+
+#include "model/motion_model.h"
+
+namespace rfid {
+
+Vec3 LocationSensingModel::SampleObservation(const Vec3& true_position,
+                                             Rng& rng) const {
+  return {true_position.x + params_.mu.x + rng.Gaussian(0.0, params_.sigma.x),
+          true_position.y + params_.mu.y + rng.Gaussian(0.0, params_.sigma.y),
+          true_position.z + params_.mu.z + rng.Gaussian(0.0, params_.sigma.z)};
+}
+
+double LocationSensingModel::LogPdf(const Vec3& observed,
+                                    const Vec3& true_position) const {
+  double lp = 0.0;
+  if (params_.sigma.x > 0) {
+    lp += GaussianLogPdf(observed.x, true_position.x + params_.mu.x,
+                         params_.sigma.x);
+  }
+  if (params_.sigma.y > 0) {
+    lp += GaussianLogPdf(observed.y, true_position.y + params_.mu.y,
+                         params_.sigma.y);
+  }
+  if (params_.sigma.z > 0) {
+    lp += GaussianLogPdf(observed.z, true_position.z + params_.mu.z,
+                         params_.sigma.z);
+  }
+  return lp;
+}
+
+double LocationSensingModel::HeadingLogPdf(double observed_heading,
+                                           double true_heading) const {
+  if (params_.heading_sigma <= 0.0) return 0.0;
+  return GaussianLogPdf(WrapAngle(observed_heading - true_heading), 0.0,
+                        params_.heading_sigma);
+}
+
+}  // namespace rfid

@@ -1,0 +1,44 @@
+// Reader location sensing model (paper §III-A): the positioning subsystem
+// reports R^_t = R_t + noise, noise ~ N(mu_s, Sigma_s) with diagonal Sigma_s.
+// mu_s captures systematic bias (e.g. dead-reckoning drift), Sigma_s the
+// random measurement noise.
+#pragma once
+
+#include "geometry/vec.h"
+#include "util/rng.h"
+
+namespace rfid {
+
+struct LocationSensingParams {
+  Vec3 mu{0.0, 0.0, 0.0};     ///< Systematic bias per axis (feet).
+  Vec3 sigma{0.01, 0.01, 0.0};///< Random noise std-dev per axis (feet).
+  /// Std-dev of the reported heading (radians); 0 disables heading evidence.
+  double heading_sigma = 0.0;
+};
+
+class LocationSensingModel {
+ public:
+  LocationSensingModel() = default;
+  explicit LocationSensingModel(const LocationSensingParams& params)
+      : params_(params) {}
+
+  /// Samples the reported location given the true reader position.
+  Vec3 SampleObservation(const Vec3& true_position, Rng& rng) const;
+
+  /// log p(observed | true position). Zero-sigma axes are ignored (they carry
+  /// no information rather than infinite certainty, since real positioning
+  /// systems report quantized values).
+  double LogPdf(const Vec3& observed, const Vec3& true_position) const;
+
+  /// log p(observed heading | true heading), wrapped Gaussian approximation.
+  /// Zero when heading_sigma is 0 (no heading evidence).
+  double HeadingLogPdf(double observed_heading, double true_heading) const;
+
+  const LocationSensingParams& params() const { return params_; }
+  LocationSensingParams* mutable_params() { return &params_; }
+
+ private:
+  LocationSensingParams params_;
+};
+
+}  // namespace rfid

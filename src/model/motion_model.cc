@@ -1,0 +1,45 @@
+#include "model/motion_model.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rfid {
+
+double GaussianLogPdf(double x, double mu, double sigma) {
+  if (sigma <= 0.0) {
+    // Deterministic axis: exact match contributes nothing, mismatch is
+    // impossible under the model.
+    return std::abs(x - mu) < 1e-9 ? 0.0
+                                   : -std::numeric_limits<double>::infinity();
+  }
+  const double z = (x - mu) / sigma;
+  return -0.5 * z * z - std::log(sigma) - 0.5 * std::log(2.0 * M_PI);
+}
+
+Pose MotionModel::Propagate(const Pose& prev, Rng& rng) const {
+  Pose next;
+  next.position.x =
+      prev.position.x + params_.delta.x + rng.Gaussian(0.0, params_.sigma.x);
+  next.position.y =
+      prev.position.y + params_.delta.y + rng.Gaussian(0.0, params_.sigma.y);
+  next.position.z =
+      prev.position.z + params_.delta.z + rng.Gaussian(0.0, params_.sigma.z);
+  next.heading = WrapAngle(prev.heading + params_.heading_delta +
+                           rng.Gaussian(0.0, params_.heading_sigma));
+  return next;
+}
+
+double MotionModel::LogPdf(const Pose& prev, const Pose& next) const {
+  double lp = 0.0;
+  lp += GaussianLogPdf(next.position.x, prev.position.x + params_.delta.x,
+                       params_.sigma.x);
+  lp += GaussianLogPdf(next.position.y, prev.position.y + params_.delta.y,
+                       params_.sigma.y);
+  lp += GaussianLogPdf(next.position.z, prev.position.z + params_.delta.z,
+                       params_.sigma.z);
+  lp += GaussianLogPdf(WrapAngle(next.heading - prev.heading),
+                       params_.heading_delta, params_.heading_sigma);
+  return lp;
+}
+
+}  // namespace rfid

@@ -1,0 +1,40 @@
+// Reader motion model (paper §III-A): R_t = R_{t-1} + Delta + eps,
+// eps ~ N(0, Sigma_m) with diagonal Sigma_m.
+#pragma once
+
+#include "geometry/vec.h"
+#include "util/rng.h"
+
+namespace rfid {
+
+/// Constant-velocity reader motion with diagonal Gaussian process noise.
+struct MotionModelParams {
+  Vec3 delta{0.0, 0.1, 0.0};   ///< Average per-epoch displacement (feet).
+  Vec3 sigma{0.01, 0.01, 0.0}; ///< Per-axis noise std-dev (feet).
+  double heading_delta = 0.0;  ///< Average per-epoch heading change (rad).
+  double heading_sigma = 0.0;  ///< Heading noise std-dev (rad).
+};
+
+class MotionModel {
+ public:
+  MotionModel() = default;
+  explicit MotionModel(const MotionModelParams& params) : params_(params) {}
+
+  /// Samples R_t given R_{t-1} (the particle-filter proposal for the reader).
+  Pose Propagate(const Pose& prev, Rng& rng) const;
+
+  /// log p(next | prev) under the Gaussian motion model. Axes with zero
+  /// sigma are treated as deterministic and contribute 0 when consistent.
+  double LogPdf(const Pose& prev, const Pose& next) const;
+
+  const MotionModelParams& params() const { return params_; }
+  MotionModelParams* mutable_params() { return &params_; }
+
+ private:
+  MotionModelParams params_;
+};
+
+/// log N(x | mu, sigma^2) for scalar x; deterministic when sigma == 0.
+double GaussianLogPdf(double x, double mu, double sigma);
+
+}  // namespace rfid

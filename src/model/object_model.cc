@@ -1,0 +1,54 @@
+#include "model/object_model.h"
+
+#include <cassert>
+
+namespace rfid {
+
+namespace {
+// Measure used for uniform sampling across regions: volume when the region
+// has thickness in z, area otherwise. A tiny floor keeps degenerate
+// (point-like) regions sampleable.
+double RegionMeasure(const Aabb& b) {
+  const Vec3 e = b.Extent();
+  const double xy = std::max(e.x, 1e-9) * std::max(e.y, 1e-9);
+  return xy * std::max(e.z, 1e-9);
+}
+}  // namespace
+
+ShelfRegions::ShelfRegions(std::vector<Aabb> regions)
+    : regions_(std::move(regions)) {
+  cumulative_measure_.reserve(regions_.size());
+  double acc = 0.0;
+  for (const Aabb& r : regions_) {
+    acc += RegionMeasure(r);
+    cumulative_measure_.push_back(acc);
+    bounds_.Extend(r);
+  }
+}
+
+Vec3 ShelfRegions::SampleUniform(Rng& rng) const {
+  assert(!regions_.empty());
+  const double total = cumulative_measure_.back();
+  const double u = rng.NextDouble() * total;
+  size_t idx = 0;
+  while (idx + 1 < regions_.size() && cumulative_measure_[idx] <= u) ++idx;
+  const Aabb& r = regions_[idx];
+  return {rng.Uniform(r.min.x, r.max.x), rng.Uniform(r.min.y, r.max.y),
+          r.min.z == r.max.z ? r.min.z : rng.Uniform(r.min.z, r.max.z)};
+}
+
+bool ShelfRegions::Contains(const Vec3& p) const {
+  for (const Aabb& r : regions_) {
+    if (r.Contains(p)) return true;
+  }
+  return false;
+}
+
+Vec3 ObjectLocationModel::Propagate(const Vec3& prev, Rng& rng) const {
+  if (!shelves_.empty() && rng.Bernoulli(params_.move_probability)) {
+    return shelves_.SampleUniform(rng);
+  }
+  return prev;
+}
+
+}  // namespace rfid

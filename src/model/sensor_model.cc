@@ -1,0 +1,74 @@
+#include "model/sensor_model.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+namespace {
+// Read probability below which a tag is considered out of range. Matches the
+// paper's Case-4 approximation of rounding tiny probabilities to zero.
+constexpr double kNegligibleProb = 1e-3;
+// Upper bound on any physically plausible UHF read range, in feet. Keeps the
+// max-range scan finite even for degenerate coefficient settings.
+constexpr double kRangeScanLimit = 25.0;
+// A learned fit trained on a narrow (d, theta) manifold can have long, thin
+// probability tails along the axis; the effective range additionally cuts
+// off where the on-axis rate falls below this fraction of the peak.
+constexpr double kPeakFraction = 0.1;
+}  // namespace
+
+LogisticSensorModel::LogisticSensorModel()
+    // ~95% read rate at the antenna, decaying past ~3 ft and ~0.4 rad.
+    : LogisticSensorModel({4.0, -0.5, -0.35}, {0.0, -1.0, -3.0}) {}
+
+LogisticSensorModel::LogisticSensorModel(const std::array<double, 3>& a,
+                                         const std::array<double, 3>& b)
+    : a_(a), b_(b) {
+  RecomputeMaxRange();
+}
+
+double LogisticSensorModel::ProbRead(double distance, double angle) const {
+  const double g = a_[0] + a_[1] * distance + a_[2] * distance * distance +
+                   b_[1] * angle + b_[2] * angle * angle;
+  return Sigmoid(g);
+}
+
+void LogisticSensorModel::SetCoefficients(const std::array<double, 3>& a,
+                                          const std::array<double, 3>& b) {
+  a_ = a;
+  b_ = b;
+  RecomputeMaxRange();
+}
+
+std::array<double, 5> LogisticSensorModel::AsWeightVector() const {
+  return {a_[0], a_[1], a_[2], b_[1], b_[2]};
+}
+
+LogisticSensorModel LogisticSensorModel::FromWeightVector(
+    const std::array<double, 5>& w) {
+  return LogisticSensorModel({w[0], w[1], w[2]}, {0.0, w[3], w[4]});
+}
+
+void LogisticSensorModel::RecomputeMaxRange() {
+  // Scan outward along the best-case bearing (theta = 0) until the read
+  // probability first drops below the negligible threshold. The quadratic
+  // form is not guaranteed monotone in d — a learned fit can curl upward far
+  // from the data — so the *first* crossing is the physically meaningful
+  // range (the far upturn is extrapolation artifact, not antenna gain).
+  double max_range = 0.0;
+  constexpr double kStep = 0.05;
+  const double cutoff =
+      std::max(kNegligibleProb, kPeakFraction * ProbRead(0.0, 0.0));
+  bool was_in_range = false;
+  for (double d = 0.0; d <= kRangeScanLimit; d += kStep) {
+    if (ProbRead(d, 0.0) >= cutoff) {
+      max_range = d + kStep;
+      was_in_range = true;
+    } else if (was_in_range) {
+      break;
+    }
+  }
+  max_range_ = std::max(max_range, kStep);
+}
+
+}  // namespace rfid

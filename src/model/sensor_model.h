@@ -1,0 +1,96 @@
+// RFID sensor models: p(tag responds | reader pose, tag location).
+//
+// The learnable model is the logistic form of paper Eq. (1):
+//   p(O_ti = 0 | d, theta) = 1 / (1 + exp{ sum_c a_c d^c + sum_c b_c theta^c })
+// equivalently p(read) = sigmoid(a0 + a1 d + a2 d^2 + b1 theta + b2 theta^2).
+#pragma once
+
+#include <array>
+#include <memory>
+
+#include "geometry/aabb.h"
+#include "geometry/vec.h"
+#include "util/status.h"
+
+namespace rfid {
+
+/// Numerically-stable logistic sigmoid.
+inline double Sigmoid(double x) {
+  if (x >= 0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+/// Interface: probability that a tag at range/bearing (d, theta) from the
+/// reader responds in one interrogation round.
+class SensorModel {
+ public:
+  virtual ~SensorModel() = default;
+
+  /// p(read = 1 | distance, angle). angle is in [0, pi].
+  virtual double ProbRead(double distance, double angle) const = 0;
+
+  /// Distance beyond which ProbRead is negligible for every angle; used to
+  /// build sensing-region bounding boxes (§IV-C) and the initialization cone.
+  virtual double MaxRange() const = 0;
+
+  virtual std::unique_ptr<SensorModel> Clone() const = 0;
+
+  /// Axis-aligned bounding box of the sensing region at `reader` (paper
+  /// §IV-C: "for each reported reader location, we construct a bounding box
+  /// of the sensing region"). The default is a conservative cube of
+  /// half-extent MaxRange(); directional models override with a tight box.
+  virtual Aabb SensingBounds(const Pose& reader) const {
+    return Aabb::FromCenterRadius(reader.position, MaxRange(), MaxRange());
+  }
+
+  /// Convenience helper via the paper's range/bearing computation.
+  /// (Distinctly named so derived overrides do not hide it.)
+  double ProbReadAt(const Pose& reader, const Vec3& tag) const {
+    const RangeBearing rb = ComputeRangeBearing(reader, tag);
+    return ProbRead(rb.distance, rb.angle);
+  }
+};
+
+/// Learnable parametric sensor model, paper Eq. (1).
+///
+/// Coefficients: a[0..2] multiply d^0, d^1, d^2 and b[1..2] multiply
+/// theta^1, theta^2 (b[0] is fixed at 0 — the constant term lives in a[0]).
+class LogisticSensorModel final : public SensorModel {
+ public:
+  /// Default coefficients describe a ~3 ft conical region; calibration
+  /// (learn/em.h) replaces them in any real use.
+  LogisticSensorModel();
+  LogisticSensorModel(const std::array<double, 3>& a,
+                      const std::array<double, 3>& b);
+
+  double ProbRead(double distance, double angle) const override;
+  double MaxRange() const override { return max_range_; }
+  std::unique_ptr<SensorModel> Clone() const override {
+    return std::make_unique<LogisticSensorModel>(*this);
+  }
+
+  const std::array<double, 3>& a() const { return a_; }
+  const std::array<double, 3>& b() const { return b_; }
+
+  /// Sets coefficients and recomputes the cached max range.
+  void SetCoefficients(const std::array<double, 3>& a,
+                       const std::array<double, 3>& b);
+
+  /// Coefficients as the flat vector [a0, a1, a2, b1, b2] used by the
+  /// logistic-regression trainer.
+  std::array<double, 5> AsWeightVector() const;
+  static LogisticSensorModel FromWeightVector(const std::array<double, 5>& w);
+
+ private:
+  void RecomputeMaxRange();
+
+  std::array<double, 3> a_;
+  std::array<double, 3> b_;
+  double max_range_ = 0.0;
+};
+
+}  // namespace rfid

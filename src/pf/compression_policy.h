@@ -1,0 +1,59 @@
+// Policies for choosing which objects to compress (paper §IV-D).
+//
+// The paper offers two: (1) compress an object whenever its tag has not been
+// read for several time steps (it has left the read range), and (2) rank
+// uncompressed objects by the KL divergence of their compressed
+// representation and compress those with the least compression error,
+// optionally gated by a KL threshold. Both are provided.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace rfid {
+
+enum class CompressionMode {
+  kDisabled,
+  kUnseenEpochs,  ///< Compress after `compress_after_epochs` unprocessed epochs.
+  kKlRanked,      ///< Keep at most `max_active_objects`; compress lowest-KL first.
+};
+
+struct CompressionPolicyConfig {
+  CompressionMode mode = CompressionMode::kDisabled;
+  /// kUnseenEpochs: epochs without processing before compression.
+  int64_t compress_after_epochs = 8;
+  /// Both modes: never compress when the compression error (the paper's KL
+  /// in its expected-squared-error sense, sq feet) exceeds this.
+  double kl_threshold = std::numeric_limits<double>::infinity();
+  /// kKlRanked: active-object budget.
+  size_t max_active_objects = 256;
+};
+
+/// A compressible object as seen by the policy.
+struct CompressionCandidate {
+  uint32_t slot = 0;
+  int64_t last_processed_step = -1;
+  double kl = 0.0;  ///< Compression error (GaussianBelief::CompressionErrorFrom).
+};
+
+/// Selects the slots to compress this epoch. Pure function of the candidate
+/// list, so it is unit-testable in isolation from the filter.
+class CompressionPolicy {
+ public:
+  explicit CompressionPolicy(const CompressionPolicyConfig& config)
+      : config_(config) {}
+
+  bool enabled() const { return config_.mode != CompressionMode::kDisabled; }
+  const CompressionPolicyConfig& config() const { return config_; }
+
+  /// `now` is the current epoch; `candidates` lists all active objects.
+  std::vector<uint32_t> SelectForCompression(
+      int64_t now, const std::vector<CompressionCandidate>& candidates) const;
+
+ private:
+  CompressionPolicyConfig config_;
+};
+
+}  // namespace rfid

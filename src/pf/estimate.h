@@ -1,0 +1,23 @@
+// Posterior summaries produced by the filters.
+#pragma once
+
+#include "geometry/vec.h"
+
+namespace rfid {
+
+/// Weighted-sample summary of a location posterior (paper Eq. 4 plus the
+/// derived statistics the output stream can attach to events).
+struct LocationEstimate {
+  Vec3 mean;
+  Vec3 variance;   ///< Per-axis marginal variance.
+  int support = 0; ///< Particle count backing the estimate (0 = compressed).
+};
+
+/// Posterior summary of the reader state.
+struct ReaderEstimate {
+  Vec3 mean;
+  Vec3 variance;
+  double heading = 0.0;  ///< Circular mean of particle headings.
+};
+
+}  // namespace rfid

@@ -1,0 +1,684 @@
+#include "pf/factored_filter.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+namespace rfid {
+
+namespace {
+constexpr double kProbFloor = 1e-9;
+constexpr double kSupportFloor = 1e-12;
+
+double SafeLog(double p) { return std::log(std::max(p, kProbFloor)); }
+}  // namespace
+
+FactoredParticleFilter::FactoredParticleFilter(
+    WorldModel model, const FactoredFilterConfig& config)
+    : model_(std::move(model)),
+      config_(config),
+      initializer_(config.init, &model_.sensor(),
+                   &model_.object_model().shelves()),
+      compression_(config.compression),
+      rng_(config.seed),
+      index_(config.index) {
+  readers_.resize(config_.num_reader_particles);
+}
+
+void FactoredParticleFilter::InitializeReaders(const SyncedEpoch& epoch) {
+  const Vec3 base = epoch.has_location ? epoch.reported_location : Vec3{};
+  const LocationSensingParams& sp = model_.location_sensing().params();
+  const double uniform = 1.0 / readers_.size();
+  for (ReaderParticle& r : readers_) {
+    r.pose.position = {
+        base.x - sp.mu.x + rng_.Gaussian(0.0, std::max(sp.sigma.x, 0.05)),
+        base.y - sp.mu.y + rng_.Gaussian(0.0, std::max(sp.sigma.y, 0.05)),
+        base.z - sp.mu.z + rng_.Gaussian(0.0, std::max(sp.sigma.z, 0.0))};
+    r.pose.heading = epoch.has_heading ? epoch.reported_heading : 0.0;
+    r.weight = uniform;
+  }
+  readers_initialized_ = true;
+}
+
+namespace {
+
+/// One axis of the conjugate (locally optimal) reader proposal
+/// p(R_t | R_{t-1}, R_hat_t): combines the Gaussian motion prior
+/// N(prev + delta, sigma_m^2) with the observation N(obs - mu_s, sigma_s^2).
+/// Returns the sampled value and adds the marginal-likelihood log term
+/// log N(obs; prev + delta + mu_s, sigma_m^2 + sigma_s^2) to *log_weight.
+double ProposeAxis(double prev, double delta, double sigma_m, double obs,
+                   double mu_s, double sigma_s, Rng& rng, double* log_weight) {
+  const double prior_mean = prev + delta;
+  if (sigma_s <= 0.0) {
+    // Uninformative observation on this axis: propose from the motion model.
+    return prior_mean + rng.Gaussian(0.0, sigma_m);
+  }
+  const double obs_mean = obs - mu_s;
+  if (sigma_m <= 0.0) {
+    // Deterministic motion: the proposal is the prior; the observation only
+    // contributes its likelihood.
+    *log_weight += GaussianLogPdf(obs, prior_mean + mu_s, sigma_s);
+    return prior_mean;
+  }
+  const double var_m = sigma_m * sigma_m;
+  const double var_s = sigma_s * sigma_s;
+  const double post_var = var_m * var_s / (var_m + var_s);
+  const double post_mean =
+      (prior_mean * var_s + obs_mean * var_m) / (var_m + var_s);
+  *log_weight +=
+      GaussianLogPdf(obs, prior_mean + mu_s, std::sqrt(var_m + var_s));
+  return post_mean + rng.Gaussian(0.0, std::sqrt(post_var));
+}
+
+}  // namespace
+
+void FactoredParticleFilter::PropagateReaders(const SyncedEpoch& epoch) {
+  // Locally optimal proposal: sample R_t from p(R_t | R_{t-1}, R_hat_t)
+  // instead of the bare motion model. With a tight location report, the
+  // bare-motion proposal would scatter particles far wider than the
+  // observation noise, collapsing the ESS and forcing a (costly) reader
+  // resampling every epoch; the conjugate proposal keeps weights nearly
+  // uniform so resampling stays rare (§IV-B's goal).
+  const MotionModelParams& mp = model_.motion().params();
+  const LocationSensingParams& sp = model_.location_sensing().params();
+  scratch_log_weights_.resize(readers_.size());
+  for (size_t j = 0; j < readers_.size(); ++j) {
+    ReaderParticle& r = readers_[j];
+    double lw = std::log(std::max(r.weight, kProbFloor));
+    if (epoch.has_location) {
+      r.pose.position.x =
+          ProposeAxis(r.pose.position.x, mp.delta.x, mp.sigma.x,
+                      epoch.reported_location.x, sp.mu.x, sp.sigma.x, rng_,
+                      &lw);
+      r.pose.position.y =
+          ProposeAxis(r.pose.position.y, mp.delta.y, mp.sigma.y,
+                      epoch.reported_location.y, sp.mu.y, sp.sigma.y, rng_,
+                      &lw);
+      r.pose.position.z =
+          ProposeAxis(r.pose.position.z, mp.delta.z, mp.sigma.z,
+                      epoch.reported_location.z, sp.mu.z, sp.sigma.z, rng_,
+                      &lw);
+    } else {
+      r.pose.position.x =
+          r.pose.position.x + mp.delta.x + rng_.Gaussian(0.0, mp.sigma.x);
+      r.pose.position.y =
+          r.pose.position.y + mp.delta.y + rng_.Gaussian(0.0, mp.sigma.y);
+      r.pose.position.z =
+          r.pose.position.z + mp.delta.z + rng_.Gaussian(0.0, mp.sigma.z);
+    }
+    if (epoch.has_heading && sp.heading_sigma > 0.0) {
+      // Conjugate on the wrapped angle around the current heading.
+      const double obs_rel =
+          r.pose.heading +
+          WrapAngle(epoch.reported_heading - r.pose.heading);
+      r.pose.heading = WrapAngle(
+          ProposeAxis(r.pose.heading, mp.heading_delta, mp.heading_sigma,
+                      obs_rel, 0.0, sp.heading_sigma, rng_, &lw));
+    } else {
+      r.pose.heading = WrapAngle(r.pose.heading + mp.heading_delta +
+                                 rng_.Gaussian(0.0, mp.heading_sigma));
+    }
+    scratch_log_weights_[j] = lw;
+  }
+  // Weights carry the marginal observation likelihood; shelf evidence is
+  // applied in WeightReaders on top.
+  NormalizeLogWeights(scratch_log_weights_, &scratch_weights_);
+  for (size_t j = 0; j < readers_.size(); ++j) {
+    readers_[j].weight = scratch_weights_[j];
+  }
+}
+
+void FactoredParticleFilter::WeightReaders(
+    const SyncedEpoch& epoch,
+    const std::vector<const ShelfTag*>& observed_shelves) {
+  // Negative shelf evidence only matters for shelf tags the reader could
+  // plausibly see; gather them once around a reference position.
+  const Vec3 ref = epoch.has_location ? epoch.reported_location
+                                      : EstimateReader().mean;
+  const std::vector<const ShelfTag*> nearby = model_.ShelfTagsNear(ref);
+  if (observed_shelves.empty() && nearby.empty()) return;
+  std::unordered_set<TagId> observed_ids;
+  for (const ShelfTag* s : observed_shelves) observed_ids.insert(s->tag);
+
+  scratch_log_weights_.resize(readers_.size());
+  for (size_t j = 0; j < readers_.size(); ++j) {
+    const Pose& pose = readers_[j].pose;
+    double lw = std::log(std::max(readers_[j].weight, kProbFloor));
+    for (const ShelfTag* s : observed_shelves) {
+      lw += SafeLog(model_.sensor().ProbReadAt(pose, s->location));
+    }
+    for (const ShelfTag* s : nearby) {
+      if (observed_ids.count(s->tag)) continue;
+      lw += SafeLog(1.0 - model_.sensor().ProbReadAt(pose, s->location));
+    }
+    scratch_log_weights_[j] = lw;
+  }
+  NormalizeLogWeights(scratch_log_weights_, &scratch_weights_);
+  for (size_t j = 0; j < readers_.size(); ++j) {
+    readers_[j].weight = scratch_weights_[j];
+  }
+}
+
+uint32_t FactoredParticleFilter::GetOrCreateSlot(TagId tag) {
+  auto it = slot_of_tag_.find(tag);
+  if (it != slot_of_tag_.end()) return it->second;
+  const auto slot = static_cast<uint32_t>(states_.size());
+  states_.emplace_back();
+  states_.back().tag = tag;
+  slot_of_tag_[tag] = slot;
+  return slot;
+}
+
+void FactoredParticleFilter::InitializeObjectParticles(ObjectState* state,
+                                                       int count) {
+  scratch_weights_.resize(readers_.size());
+  for (size_t j = 0; j < readers_.size(); ++j) {
+    scratch_weights_[j] = readers_[j].weight;
+  }
+  // Systematic assignment spreads attachments across readers proportionally
+  // to reader weight, so the implied joint matches the reader posterior.
+  const auto attach = ResampleAncestors(scratch_weights_, count,
+                                        ResampleScheme::kSystematic, rng_);
+  state->particles.clear();
+  state->particles.reserve(count);
+  const double uniform = 1.0 / count;
+  state->particle_bounds = Aabb::Empty();
+  for (int k = 0; k < count; ++k) {
+    ObjectParticle p;
+    p.reader_idx = attach[k];
+    p.position = initializer_.Sample(readers_[p.reader_idx].pose, rng_);
+    p.weight = uniform;
+    state->particle_bounds.Extend(p.position);
+    state->particles.push_back(p);
+  }
+  state->compressed.reset();
+}
+
+void FactoredParticleFilter::DecompressObject(ObjectState* state) {
+  assert(state->IsCompressed());
+  const GaussianBelief belief = *state->compressed;
+  scratch_weights_.resize(readers_.size());
+  for (size_t j = 0; j < readers_.size(); ++j) {
+    scratch_weights_[j] = readers_[j].weight;
+  }
+  const int count = config_.num_decompress_particles;
+  const auto attach = ResampleAncestors(scratch_weights_, count,
+                                        ResampleScheme::kSystematic, rng_);
+  state->particles.clear();
+  state->particles.reserve(count);
+  const double uniform = 1.0 / count;
+  state->particle_bounds = Aabb::Empty();
+  for (int k = 0; k < count; ++k) {
+    ObjectParticle p;
+    p.reader_idx = attach[k];
+    p.position = belief.Sample(rng_);
+    p.weight = uniform;
+    state->particle_bounds.Extend(p.position);
+    state->particles.push_back(p);
+  }
+  state->compressed.reset();
+}
+
+void FactoredParticleFilter::MaybeReinitialize(ObjectState* state,
+                                               const Vec3& reader_ref) {
+  const double range = model_.sensor().MaxRange();
+  const double d = (reader_ref - state->last_observed_reader_position).Norm();
+  if (d < config_.reinit_keep_fraction * range) {
+    return;  // Same neighbourhood: existing particles remain valid.
+  }
+  if (d >= config_.reinit_full_fraction * range) {
+    // Far away: the object clearly moved; discard all old particles
+    // ("we create new particles ... at a location far away").
+    InitializeObjectParticles(state, config_.num_object_particles);
+    return;
+  }
+  // Intermediate distance: ambiguous between local shuffling and a short
+  // move; hedge with the half re-initialization.
+  HalfReinitialize(state);
+}
+
+void FactoredParticleFilter::HalfReinitialize(ObjectState* state) {
+  // Keep half of the particles and re-initialize the other half at the new
+  // location; weighting/resampling will pick the winning hypothesis.
+  scratch_weights_.resize(readers_.size());
+  for (size_t j = 0; j < readers_.size(); ++j) {
+    scratch_weights_[j] = readers_[j].weight;
+  }
+  const size_t n = state->particles.size();
+  const auto attach = ResampleAncestors(scratch_weights_, (n + 1) / 2,
+                                        ResampleScheme::kSystematic, rng_);
+  size_t a = 0;
+  for (size_t k = 1; k < n; k += 2) {  // Every other particle moves.
+    ObjectParticle& p = state->particles[k];
+    p.reader_idx = attach[a++];
+    p.position = initializer_.Sample(readers_[p.reader_idx].pose, rng_);
+  }
+  const double uniform = 1.0 / static_cast<double>(n);
+  state->particle_bounds = Aabb::Empty();
+  for (ObjectParticle& p : state->particles) {
+    p.weight = uniform;
+    state->particle_bounds.Extend(p.position);
+  }
+}
+
+bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed) {
+  auto& particles = state->particles;
+  if (particles.empty()) return true;
+
+  // Proposal: object dynamics (stationary w.p. 1 - alpha, jump otherwise).
+  // The jump branch is sampled only while the object is being *read*: a
+  // jumped particle is then immediately confirmed or killed by the read
+  // likelihood. For unread (Case-2) objects the jump would inject
+  // unfalsifiable mass — nothing near the destination can ever weight it —
+  // which both biases the estimate and, by stretching the particle bounds,
+  // keeps the object inside every future sensing region (defeating §IV-C).
+  // The paper recovers movements of unread objects through the §IV-A
+  // re-initialization rules instead, as do we.
+  if (observed) {
+    for (ObjectParticle& p : particles) {
+      p.position = model_.object_model().Propagate(p.position, rng_);
+    }
+  }
+
+  // Factored weighting, Eq. (5): each particle is weighted against the
+  // current pose of the reader particle it is conditioned on.
+  double total = 0.0;
+  double best_likelihood = 0.0;
+  for (ObjectParticle& p : particles) {
+    const double pr =
+        model_.sensor().ProbReadAt(readers_[p.reader_idx].pose, p.position);
+    const double like = observed ? std::max(pr, kProbFloor)
+                                 : std::max(1.0 - pr, kProbFloor);
+    best_likelihood = std::max(best_likelihood, like);
+    p.weight *= like;
+    total += p.weight;
+  }
+  // Likelihood conflict: the tag responded but no particle could plausibly
+  // have been read. The belief is stale (e.g. the object moved parallel to
+  // the reader path, which the reader-distance rule cannot detect).
+  const bool conflict = observed && best_likelihood <= kProbFloor * 1.01;
+  if (total <= 0.0 || !std::isfinite(total)) {
+    const double uniform = 1.0 / particles.size();
+    for (ObjectParticle& p : particles) p.weight = uniform;
+  } else {
+    for (ObjectParticle& p : particles) p.weight /= total;
+  }
+
+  scratch_weights_.resize(particles.size());
+  for (size_t k = 0; k < particles.size(); ++k) {
+    scratch_weights_[k] = particles[k].weight;
+  }
+  if (EffectiveSampleSize(scratch_weights_) <
+      config_.object_resample_threshold *
+          static_cast<double>(particles.size())) {
+    const auto ancestors = ResampleAncestors(
+        scratch_weights_, particles.size(), config_.resample_scheme, rng_);
+    std::vector<ObjectParticle> next;
+    next.reserve(particles.size());
+    const double uniform = 1.0 / particles.size();
+    for (uint32_t anc : ancestors) {
+      ObjectParticle p = particles[anc];  // reader_idx pointer preserved.
+      p.weight = uniform;
+      next.push_back(p);
+    }
+    particles = std::move(next);
+  }
+
+  state->particle_bounds = Aabb::Empty();
+  for (const ObjectParticle& p : particles) {
+    state->particle_bounds.Extend(p.position);
+  }
+  return !conflict;
+}
+
+void FactoredParticleFilter::ResampleReaders(
+    const std::vector<uint32_t>& processed_slots) {
+  const size_t num_readers = readers_.size();
+
+  // Score each reader by its own weight times the support it receives from
+  // the processed objects (§IV-B: favor reader particles associated with
+  // good object particles). Support of object i for reader j is the summed
+  // weight of i's particles attached to j.
+  scratch_log_weights_.assign(num_readers, 0.0);
+  for (size_t j = 0; j < num_readers; ++j) {
+    scratch_log_weights_[j] = std::log(std::max(readers_[j].weight, kProbFloor));
+  }
+  std::vector<double> support(num_readers);
+  if (config_.reader_support_weight <= 0.0) {
+    // Support disabled: resample by reader weights alone.
+    NormalizeLogWeights(scratch_log_weights_, &scratch_weights_);
+  }
+  for (uint32_t slot : processed_slots) {
+    if (config_.reader_support_weight <= 0.0) break;
+    const ObjectState& state = states_[slot];
+    if (state.IsCompressed() || state.particles.empty()) continue;
+    std::fill(support.begin(), support.end(), 0.0);
+    for (const ObjectParticle& p : state.particles) {
+      support[p.reader_idx] += p.weight;
+    }
+    for (size_t j = 0; j < num_readers; ++j) {
+      scratch_log_weights_[j] += config_.reader_support_weight *
+                                 std::log(std::max(support[j], kSupportFloor));
+    }
+  }
+  NormalizeLogWeights(scratch_log_weights_, &scratch_weights_);
+
+  const auto ancestors = ResampleAncestors(
+      scratch_weights_, num_readers, config_.resample_scheme, rng_);
+
+  // Rebuild the reader list and a mapping old slot -> new slots.
+  std::vector<ReaderParticle> next(num_readers);
+  std::vector<std::vector<uint32_t>> new_slots_of(num_readers);
+  const double uniform = 1.0 / static_cast<double>(num_readers);
+  for (size_t j = 0; j < num_readers; ++j) {
+    next[j].pose = readers_[ancestors[j]].pose;
+    next[j].weight = uniform;
+    new_slots_of[ancestors[j]].push_back(static_cast<uint32_t>(j));
+  }
+  readers_ = std::move(next);
+
+  // Remap every active object particle to a surviving copy of its reader.
+  // Particles whose reader died are re-pointed to a random survivor: an
+  // approximation (their conditioning hypothesis changes), but those
+  // particles belonged to down-weighted readers, so the bias is bounded by
+  // the resampling threshold.
+  for (ObjectState& state : states_) {
+    for (ObjectParticle& p : state.particles) {
+      const auto& slots = new_slots_of[p.reader_idx];
+      if (slots.empty()) {
+        p.reader_idx = static_cast<uint32_t>(rng_.UniformInt(num_readers));
+      } else if (slots.size() == 1) {
+        p.reader_idx = slots[0];
+      } else {
+        p.reader_idx = slots[rng_.UniformInt(slots.size())];
+      }
+    }
+  }
+}
+
+GaussianBelief FactoredParticleFilter::FitBelief(
+    const ObjectState& state) const {
+  std::vector<WeightedPoint> points;
+  points.reserve(state.particles.size());
+  for (const ObjectParticle& p : state.particles) {
+    points.push_back({p.position, p.weight * readers_[p.reader_idx].weight});
+  }
+  return GaussianBelief::Fit(points);
+}
+
+void FactoredParticleFilter::RunCompression() {
+  if (!compression_.enabled()) return;
+  std::vector<CompressionCandidate> candidates;
+  std::vector<GaussianBelief> fits;
+  for (uint32_t slot = 0; slot < states_.size(); ++slot) {
+    ObjectState& state = states_[slot];
+    if (state.IsCompressed() || state.particles.size() < 2) continue;
+    // Cheap pre-filter for the unseen-epochs mode: skip in-scope objects
+    // before paying for a Gaussian fit.
+    if (compression_.config().mode == CompressionMode::kUnseenEpochs &&
+        step_ - state.last_processed_step <
+            compression_.config().compress_after_epochs) {
+      continue;
+    }
+    const GaussianBelief fit = FitBelief(state);
+    CompressionCandidate c;
+    c.slot = slot;
+    c.last_processed_step = state.last_processed_step;
+    {
+      std::vector<WeightedPoint> points;
+      points.reserve(state.particles.size());
+      for (const ObjectParticle& p : state.particles) {
+        points.push_back(
+            {p.position, p.weight * readers_[p.reader_idx].weight});
+      }
+      c.kl = fit.CompressionErrorFrom(points);
+    }
+    candidates.push_back(c);
+    fits.push_back(fit);
+  }
+  const std::vector<uint32_t> selected =
+      compression_.SelectForCompression(step_, candidates);
+  std::unordered_set<uint32_t> selected_set(selected.begin(), selected.end());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (!selected_set.count(candidates[i].slot)) continue;
+    ObjectState& state = states_[candidates[i].slot];
+    state.compressed = fits[i];
+    state.particles.clear();
+    state.particles.shrink_to_fit();
+  }
+}
+
+void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
+  // --- Reader update -------------------------------------------------------
+  if (!readers_initialized_) {
+    InitializeReaders(epoch);
+  } else {
+    PropagateReaders(epoch);
+  }
+
+  std::vector<const ShelfTag*> observed_shelves;
+  std::vector<TagId> observed_objects;
+  for (TagId tag : epoch.tags) {
+    if (const ShelfTag* shelf = model_.FindShelfTag(tag)) {
+      observed_shelves.push_back(shelf);
+    } else {
+      observed_objects.push_back(tag);
+    }
+  }
+
+  WeightReaders(epoch, observed_shelves);
+  const ReaderEstimate reader_est = EstimateReader();
+  const Vec3 reader_ref = reader_est.mean;
+  const Aabb sensing_box =
+      model_.sensor().SensingBounds(Pose(reader_ref, reader_est.heading));
+
+  // --- Determine the processed object set (Fig. 4) -------------------------
+  // Case 1: objects read this epoch.
+  std::vector<uint32_t> case1;
+  std::unordered_set<uint32_t> case1_set;
+  for (TagId tag : observed_objects) {
+    const uint32_t slot = GetOrCreateSlot(tag);
+    case1.push_back(slot);
+    case1_set.insert(slot);
+  }
+
+  // Case 2: objects not read now but recorded near the current location.
+  std::vector<uint32_t> case2;
+  if (config_.use_spatial_index) {
+    index_.Probe(sensing_box, &case2);
+  } else {
+    // Without the index the filter must touch every tracked object.
+    case2.reserve(states_.size());
+    for (uint32_t slot = 0; slot < states_.size(); ++slot) case2.push_back(slot);
+  }
+
+  // --- Case 1: initialize / revive / re-initialize, then update ------------
+  for (uint32_t slot : case1) {
+    ObjectState& state = states_[slot];
+    const bool brand_new =
+        state.particles.empty() && !state.IsCompressed();
+    if (brand_new) {
+      InitializeObjectParticles(&state, config_.num_object_particles);
+    } else if (state.IsCompressed()) {
+      DecompressObject(&state);
+    } else if (state.last_observed_step >= 0) {
+      MaybeReinitialize(&state, reader_ref);
+    }
+    if (!UpdateObject(&state, /*observed=*/true)) {
+      // Every particle sat at the likelihood floor for this reading. That
+      // happens both for marginal geometry (correct particles just outside
+      // the cone edge) and for genuinely stale beliefs (the object moved
+      // parallel to the reader path, which the reader-distance rule cannot
+      // see). Only the latter warrants re-initialization: hedge with the
+      // half re-init when the believed location is entirely out of sensing
+      // range of the reader that produced the reading.
+      Vec3 cloud_mean;
+      for (const ObjectParticle& p : state.particles) {
+        cloud_mean += p.position;
+      }
+      cloud_mean = cloud_mean / static_cast<double>(state.particles.size());
+      const double explain = model_.sensor().ProbReadAt(
+          Pose(reader_ref, reader_est.heading), cloud_mean);
+      if (explain < config_.decompress_neg_evidence_prob) {
+        HalfReinitialize(&state);
+        UpdateObject(&state, /*observed=*/true);
+      }
+    }
+    state.last_observed_step = step_;
+    state.last_processed_step = step_;
+    state.last_observed_reader_position = reader_ref;
+  }
+
+  // --- Case 2: negative evidence for nearby unread objects -----------------
+  std::vector<uint32_t> processed = case1;
+  for (uint32_t slot : case2) {
+    if (case1_set.count(slot)) continue;
+    ObjectState& state = states_[slot];
+    if (state.IsCompressed()) {
+      // Revive only when the miss is informative at the object's belief.
+      const double pr = model_.sensor().ProbReadAt(
+          Pose(reader_ref, reader_est.heading), state.compressed->mean());
+      if (pr < config_.decompress_neg_evidence_prob) continue;
+      DecompressObject(&state);
+    }
+    if (state.particles.empty()) continue;
+    UpdateObject(&state, /*observed=*/false);
+    state.last_processed_step = step_;
+    processed.push_back(slot);
+  }
+
+  // --- Reader resampling (rare; factored weights persist across epochs) ----
+  scratch_weights_.resize(readers_.size());
+  for (size_t j = 0; j < readers_.size(); ++j) {
+    scratch_weights_[j] = readers_[j].weight;
+  }
+  if (EffectiveSampleSize(scratch_weights_) <
+      config_.reader_resample_threshold * static_cast<double>(readers_.size())) {
+    ResampleReaders(processed);
+  }
+
+  // --- Spatial-index maintenance -------------------------------------------
+  if (config_.use_spatial_index) {
+    // Record only objects that actually have a particle within the sensing
+    // box (Fig. 4(b)); otherwise Case-2 objects would be dragged along the
+    // reader path forever and never leave scope.
+    std::vector<uint32_t> in_box;
+    in_box.reserve(processed.size());
+    for (uint32_t slot : processed) {
+      const ObjectState& state = states_[slot];
+      if (!state.IsCompressed() &&
+          state.particle_bounds.Intersects(sensing_box)) {
+        in_box.push_back(slot);
+      }
+    }
+    index_.Insert(sensing_box, in_box);
+  }
+
+  // --- Belief compression ---------------------------------------------------
+  RunCompression();
+
+  ++step_;
+}
+
+std::optional<LocationEstimate> FactoredParticleFilter::EstimateObject(
+    TagId tag) const {
+  auto it = slot_of_tag_.find(tag);
+  if (it == slot_of_tag_.end()) return std::nullopt;
+  const ObjectState& state = states_[it->second];
+
+  LocationEstimate est;
+  if (state.IsCompressed()) {
+    est.mean = state.compressed->mean();
+    est.variance = state.compressed->DiagonalVariance();
+    est.support = 0;
+    return est;
+  }
+  if (state.particles.empty()) return std::nullopt;
+
+  // Marginal weight of a particle is its factored weight times the weight of
+  // the reader hypothesis it is conditioned on.
+  double total = 0.0;
+  Vec3 mean;
+  for (const ObjectParticle& p : state.particles) {
+    const double w = p.weight * readers_[p.reader_idx].weight;
+    mean += p.position * w;
+    total += w;
+  }
+  if (total <= 0.0) {
+    const double uniform = 1.0 / state.particles.size();
+    mean = {};
+    for (const ObjectParticle& p : state.particles) {
+      mean += p.position * uniform;
+    }
+    total = 1.0;
+    est.mean = mean;
+  } else {
+    est.mean = mean / total;
+  }
+  Vec3 var;
+  for (const ObjectParticle& p : state.particles) {
+    const double w = p.weight * readers_[p.reader_idx].weight / total;
+    const Vec3 d = p.position - est.mean;
+    var.x += w * d.x * d.x;
+    var.y += w * d.y * d.y;
+    var.z += w * d.z * d.z;
+  }
+  est.variance = var;
+  est.support = static_cast<int>(state.particles.size());
+  return est;
+}
+
+ReaderEstimate FactoredParticleFilter::EstimateReader() const {
+  ReaderEstimate est;
+  double sin_sum = 0.0, cos_sum = 0.0;
+  for (const ReaderParticle& r : readers_) {
+    est.mean += r.pose.position * r.weight;
+    sin_sum += r.weight * std::sin(r.pose.heading);
+    cos_sum += r.weight * std::cos(r.pose.heading);
+  }
+  for (const ReaderParticle& r : readers_) {
+    const Vec3 d = r.pose.position - est.mean;
+    est.variance.x += r.weight * d.x * d.x;
+    est.variance.y += r.weight * d.y * d.y;
+    est.variance.z += r.weight * d.z * d.z;
+  }
+  est.heading = std::atan2(sin_sum, cos_sum);
+  return est;
+}
+
+const FactoredParticleFilter::ObjectState* FactoredParticleFilter::FindObject(
+    TagId tag) const {
+  auto it = slot_of_tag_.find(tag);
+  if (it == slot_of_tag_.end()) return nullptr;
+  return &states_[it->second];
+}
+
+size_t FactoredParticleFilter::NumActiveObjects() const {
+  size_t n = 0;
+  for (const ObjectState& s : states_) {
+    if (!s.IsCompressed() && !s.particles.empty()) ++n;
+  }
+  return n;
+}
+
+size_t FactoredParticleFilter::NumCompressedObjects() const {
+  size_t n = 0;
+  for (const ObjectState& s : states_) {
+    if (s.IsCompressed()) ++n;
+  }
+  return n;
+}
+
+size_t FactoredParticleFilter::ApproxMemoryBytes() const {
+  size_t bytes = readers_.capacity() * sizeof(ReaderParticle);
+  for (const ObjectState& s : states_) {
+    bytes += sizeof(ObjectState);
+    bytes += s.particles.capacity() * sizeof(ObjectParticle);
+    if (s.IsCompressed()) bytes += sizeof(GaussianBelief);
+  }
+  return bytes;
+}
+
+}  // namespace rfid

@@ -1,0 +1,191 @@
+// Factored particle filter — the paper's core contribution (§IV-B..D).
+//
+// Instead of joint particles over (reader, all objects), the filter keeps
+//  * a list of reader particles (pose + weight), and
+//  * per-object particle lists whose particles each hold a position, a weight
+//    and a pointer (index) to the reader particle they are conditioned on,
+// representing an exponentially large set of unfactored particles in space
+// linear in the number of objects (Fig. 3). Weights factor per Eq. (5), so
+// every weighting step runs on the factored representation directly.
+//
+// Optional extensions, toggled in the config:
+//  * spatial indexing (§IV-C): only objects read now (Case 1) or recorded
+//    near the current reader location before (Case 2) are processed;
+//  * belief compression (§IV-D): objects out of scope collapse to a Gaussian
+//    and are revived with a small particle count when read again.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "index/sensing_index.h"
+#include "model/world_model.h"
+#include "pf/belief.h"
+#include "pf/compression_policy.h"
+#include "pf/filter.h"
+#include "pf/initializer.h"
+#include "pf/resample.h"
+#include "util/status.h"
+
+namespace rfid {
+
+class FactoredParticleFilter;
+Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
+                          std::ostream& os);
+Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter);
+
+struct FactoredFilterConfig {
+  int num_reader_particles = 100;
+  int num_object_particles = 1000;
+  /// Particle count used when reviving a compressed object (§IV-D notes many
+  /// fewer particles suffice after decompression; the paper uses 10).
+  int num_decompress_particles = 10;
+
+  double object_resample_threshold = 0.5;
+  double reader_resample_threshold = 0.5;
+  ResampleScheme resample_scheme = ResampleScheme::kSystematic;
+
+  InitializerConfig init;
+
+  bool use_spatial_index = true;
+  SensingIndexConfig index;
+
+  CompressionPolicyConfig compression;  ///< Disabled by default.
+
+  /// Re-initialization rules of §IV-A, as fractions of the sensor max range:
+  /// observing an object from a reader position closer than
+  /// `reinit_keep_fraction * range` to the previous observation position
+  /// keeps the particles; farther than `reinit_full_fraction * range`
+  /// recreates them; in between, half are kept and half re-initialized.
+  double reinit_keep_fraction = 0.75;
+  double reinit_full_fraction = 2.0;
+
+  /// Exponent on the object-support term in reader resampling (§IV-B).
+  /// 1.0 reproduces the paper's "favor reader particles associated with good
+  /// object particles"; smaller values damp the feedback of stale object
+  /// posteriors onto the reader estimate (useful under systematic
+  /// dead-reckoning drift); 0 resamples readers by their own weights only.
+  double reader_support_weight = 1.0;
+
+  /// Compressed Case-2 objects are revived for negative evidence only when
+  /// the read probability at their mean exceeds this (otherwise the miss is
+  /// uninformative and decompression would thrash).
+  double decompress_neg_evidence_prob = 0.1;
+
+  uint64_t seed = 1;
+};
+
+class FactoredParticleFilter final : public InferenceFilter {
+ public:
+  /// A reader-location hypothesis (Fig. 3(b), left table).
+  struct ReaderParticle {
+    Pose pose;
+    double weight = 0.0;
+  };
+
+  /// An object-location hypothesis tied to a reader hypothesis
+  /// (Fig. 3(b), right table).
+  struct ObjectParticle {
+    Vec3 position;
+    uint32_t reader_idx = 0;  ///< Pointer to the conditioning reader particle.
+    double weight = 0.0;      ///< Normalized within the object.
+  };
+
+  /// Per-object belief: either a particle list or a compressed Gaussian.
+  struct ObjectState {
+    TagId tag = 0;
+    std::vector<ObjectParticle> particles;        ///< Empty when compressed.
+    std::optional<GaussianBelief> compressed;
+    int64_t last_observed_step = -1;
+    int64_t last_processed_step = -1;
+    Vec3 last_observed_reader_position;
+    /// Bounding box of the current particle positions; consulted when
+    /// recording sensing-index entries ("objects that have at least one
+    /// particle within the bounding box", Fig. 4(b)).
+    Aabb particle_bounds;
+
+    bool IsCompressed() const { return compressed.has_value(); }
+  };
+
+  FactoredParticleFilter(WorldModel model, const FactoredFilterConfig& config);
+
+  void ObserveEpoch(const SyncedEpoch& epoch) override;
+  std::optional<LocationEstimate> EstimateObject(TagId tag) const override;
+  ReaderEstimate EstimateReader() const override;
+  size_t NumTrackedObjects() const override { return states_.size(); }
+
+  // --- Introspection (tests, EM calibration, memory accounting) ---
+  const std::vector<ReaderParticle>& reader_particles() const {
+    return readers_;
+  }
+  const ObjectState* FindObject(TagId tag) const;
+  /// All per-object states, indexed by slot (EM E-step iterates these).
+  const std::vector<ObjectState>& object_states() const { return states_; }
+  size_t NumActiveObjects() const;
+  size_t NumCompressedObjects() const;
+  /// Bytes used by particle and belief storage (excludes index internals).
+  size_t ApproxMemoryBytes() const;
+  int64_t current_step() const { return step_; }
+  const WorldModel& model() const { return model_; }
+
+ private:
+  friend Status SaveFilterSnapshot(const FactoredParticleFilter&,
+                                   std::ostream&);
+  friend Status LoadFilterSnapshot(std::istream&, FactoredParticleFilter*);
+
+  void InitializeReaders(const SyncedEpoch& epoch);
+  void PropagateReaders(const SyncedEpoch& epoch);
+  /// Applies reported-location and shelf-tag evidence to reader weights.
+  void WeightReaders(const SyncedEpoch& epoch,
+                     const std::vector<const ShelfTag*>& observed_shelves);
+
+  uint32_t GetOrCreateSlot(TagId tag);
+  /// Builds a fresh particle set of `count` particles for a slot, sampling
+  /// reader attachments proportionally to reader weights.
+  void InitializeObjectParticles(ObjectState* state, int count);
+  void DecompressObject(ObjectState* state);
+  /// §IV-A re-initialization rules for a re-observed active object.
+  void MaybeReinitialize(ObjectState* state, const Vec3& reader_ref);
+  /// Keeps half of the particles and re-initializes the other half from the
+  /// current reader hypotheses (the paper's ambiguous-move handling).
+  void HalfReinitialize(ObjectState* state);
+
+  /// Propagates, weights and (if needed) resamples one processed object.
+  /// Returns false on likelihood conflict: the object was observed but every
+  /// particle sat at the probability floor (the belief contradicts the
+  /// reading — the object has been "detected in a new location", §IV-A).
+  bool UpdateObject(ObjectState* state, bool observed);
+
+  /// Resamples reader particles, scoring each by its own weight times the
+  /// support it receives from the processed objects' particles (§IV-B).
+  void ResampleReaders(const std::vector<uint32_t>& processed_slots);
+
+  /// Fits the current Gaussian to an object's particles (weights combined
+  /// with reader weights, i.e. the true marginal).
+  GaussianBelief FitBelief(const ObjectState& state) const;
+
+  void RunCompression();
+
+  WorldModel model_;
+  FactoredFilterConfig config_;
+  ParticleInitializer initializer_;
+  CompressionPolicy compression_;
+  Rng rng_;
+
+  std::vector<ReaderParticle> readers_;
+  bool readers_initialized_ = false;
+
+  std::vector<ObjectState> states_;
+  std::unordered_map<TagId, uint32_t> slot_of_tag_;
+
+  SensingRegionIndex index_;
+  int64_t step_ = 0;
+
+  // Scratch buffers reused across epochs to avoid per-epoch allocation.
+  std::vector<double> scratch_weights_;
+  std::vector<double> scratch_log_weights_;
+};
+
+}  // namespace rfid

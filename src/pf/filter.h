@@ -1,0 +1,30 @@
+// Common interface of the inference filters (basic and factored), so the
+// engine and the benchmark harness can swap implementations.
+#pragma once
+
+#include <optional>
+
+#include "pf/estimate.h"
+#include "stream/readings.h"
+
+namespace rfid {
+
+class InferenceFilter {
+ public:
+  virtual ~InferenceFilter() = default;
+
+  /// Consumes one synchronized epoch of observations.
+  virtual void ObserveEpoch(const SyncedEpoch& epoch) = 0;
+
+  /// Posterior location estimate for an object tag; nullopt if the tag has
+  /// never been observed.
+  virtual std::optional<LocationEstimate> EstimateObject(TagId tag) const = 0;
+
+  /// Posterior estimate of the reader state.
+  virtual ReaderEstimate EstimateReader() const = 0;
+
+  /// Number of object tags the filter currently tracks.
+  virtual size_t NumTrackedObjects() const = 0;
+};
+
+}  // namespace rfid

@@ -1,0 +1,138 @@
+#include "pf/resample.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rfid {
+
+double EffectiveSampleSize(const std::vector<double>& weights) {
+  double sum_sq = 0.0;
+  for (double w : weights) sum_sq += w * w;
+  if (sum_sq <= 0.0) return 0.0;
+  return 1.0 / sum_sq;
+}
+
+bool NormalizeWeights(std::vector<double>* weights) {
+  double total = 0.0;
+  for (double w : *weights) total += w;
+  if (!(total > 0.0) || !std::isfinite(total)) {
+    const double uniform = weights->empty() ? 0.0 : 1.0 / weights->size();
+    std::fill(weights->begin(), weights->end(), uniform);
+    return false;
+  }
+  for (double& w : *weights) w /= total;
+  return true;
+}
+
+bool NormalizeLogWeights(const std::vector<double>& log_weights,
+                         std::vector<double>* weights) {
+  weights->resize(log_weights.size());
+  double max_lw = -std::numeric_limits<double>::infinity();
+  for (double lw : log_weights) max_lw = std::max(max_lw, lw);
+  if (!std::isfinite(max_lw)) {
+    const double uniform = weights->empty() ? 0.0 : 1.0 / weights->size();
+    std::fill(weights->begin(), weights->end(), uniform);
+    return false;
+  }
+  double total = 0.0;
+  for (size_t i = 0; i < log_weights.size(); ++i) {
+    (*weights)[i] = std::exp(log_weights[i] - max_lw);
+    total += (*weights)[i];
+  }
+  for (double& w : *weights) w /= total;
+  return true;
+}
+
+namespace {
+
+std::vector<uint32_t> MultinomialAncestors(const std::vector<double>& weights,
+                                           size_t count, Rng& rng) {
+  // Sample `count` sorted uniforms in one sweep using the exponential-spacing
+  // trick, then merge against the CDF: O(n + count).
+  std::vector<double> sorted_u(count);
+  double acc = 0.0;
+  for (size_t k = 0; k < count; ++k) {
+    acc += -std::log(1.0 - rng.NextDouble());
+    sorted_u[k] = acc;
+  }
+  acc += -std::log(1.0 - rng.NextDouble());
+  for (double& u : sorted_u) u /= acc;
+
+  std::vector<uint32_t> out(count);
+  double cdf = weights.empty() ? 0.0 : weights[0];
+  size_t i = 0;
+  for (size_t k = 0; k < count; ++k) {
+    while (sorted_u[k] > cdf && i + 1 < weights.size()) {
+      ++i;
+      cdf += weights[i];
+    }
+    out[k] = static_cast<uint32_t>(i);
+  }
+  return out;
+}
+
+std::vector<uint32_t> SystematicAncestors(const std::vector<double>& weights,
+                                          size_t count, Rng& rng) {
+  std::vector<uint32_t> out(count);
+  const double step = 1.0 / static_cast<double>(count);
+  double u = rng.NextDouble() * step;
+  double cdf = weights.empty() ? 0.0 : weights[0];
+  size_t i = 0;
+  for (size_t k = 0; k < count; ++k) {
+    while (u > cdf && i + 1 < weights.size()) {
+      ++i;
+      cdf += weights[i];
+    }
+    out[k] = static_cast<uint32_t>(i);
+    u += step;
+  }
+  return out;
+}
+
+std::vector<uint32_t> ResidualAncestors(const std::vector<double>& weights,
+                                        size_t count, Rng& rng) {
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  std::vector<double> residual(weights.size());
+  size_t deterministic = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double scaled = weights[i] * static_cast<double>(count);
+    const auto copies = static_cast<size_t>(std::floor(scaled));
+    residual[i] = scaled - static_cast<double>(copies);
+    for (size_t c = 0; c < copies; ++c) out.push_back(static_cast<uint32_t>(i));
+    deterministic += copies;
+  }
+  const size_t remainder = count - deterministic;
+  if (remainder > 0) {
+    if (!NormalizeWeights(&residual)) {
+      // All residual mass vanished; top up uniformly.
+      for (size_t k = 0; k < remainder; ++k) {
+        out.push_back(static_cast<uint32_t>(rng.UniformInt(weights.size())));
+      }
+      return out;
+    }
+    auto extra = MultinomialAncestors(residual, remainder, rng);
+    out.insert(out.end(), extra.begin(), extra.end());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<uint32_t> ResampleAncestors(const std::vector<double>& weights,
+                                        size_t count, ResampleScheme scheme,
+                                        Rng& rng) {
+  assert(!weights.empty());
+  switch (scheme) {
+    case ResampleScheme::kMultinomial:
+      return MultinomialAncestors(weights, count, rng);
+    case ResampleScheme::kSystematic:
+      return SystematicAncestors(weights, count, rng);
+    case ResampleScheme::kResidual:
+      return ResidualAncestors(weights, count, rng);
+  }
+  return SystematicAncestors(weights, count, rng);
+}
+
+}  // namespace rfid

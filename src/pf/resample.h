@@ -1,0 +1,38 @@
+// Resampling schemes for particle filters (paper §IV-A step 2c).
+//
+// All schemes take normalized weights and return `count` ancestor indices:
+// out[k] = index of the particle that the k-th offspring copies.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace rfid {
+
+enum class ResampleScheme {
+  kMultinomial,  ///< Independent categorical draws (paper's description).
+  kSystematic,   ///< Single stratified sweep; lower variance, O(n).
+  kResidual,     ///< Deterministic floor(n*w) copies + multinomial remainder.
+};
+
+/// Effective sample size 1 / sum(w^2) of normalized weights. Ranges from 1
+/// (degenerate) to weights.size() (uniform).
+double EffectiveSampleSize(const std::vector<double>& weights);
+
+/// Normalizes `weights` in place to sum to 1. Returns false (and resets to
+/// uniform) when the total mass is zero or non-finite.
+bool NormalizeWeights(std::vector<double>* weights);
+
+/// Converts log weights to normalized linear weights with the max-log trick.
+/// Returns false (uniform fallback) when all log weights are -inf.
+bool NormalizeLogWeights(const std::vector<double>& log_weights,
+                         std::vector<double>* weights);
+
+/// Draws `count` ancestor indices according to `scheme`.
+std::vector<uint32_t> ResampleAncestors(const std::vector<double>& weights,
+                                        size_t count, ResampleScheme scheme,
+                                        Rng& rng);
+
+}  // namespace rfid

@@ -1,0 +1,197 @@
+#include "pf/snapshot.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+namespace rfid {
+
+namespace {
+
+constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'S', 'N', 'A', 'P'};
+constexpr uint32_t kVersion = 1;
+// Sanity caps: a snapshot claiming more than these is corrupt, not big.
+constexpr uint64_t kMaxCount = 100'000'000;
+
+template <typename T>
+void WritePod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return is.good();
+}
+
+void WriteVec3(std::ostream& os, const Vec3& v) {
+  WritePod(os, v.x);
+  WritePod(os, v.y);
+  WritePod(os, v.z);
+}
+
+bool ReadVec3(std::istream& is, Vec3* v) {
+  return ReadPod(is, &v->x) && ReadPod(is, &v->y) && ReadPod(is, &v->z);
+}
+
+Status Truncated() { return Status::IOError("truncated snapshot"); }
+
+}  // namespace
+
+Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
+                          std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  WritePod(os, kVersion);
+  WritePod(os, filter.step_);
+  WritePod(os, static_cast<uint8_t>(filter.readers_initialized_ ? 1 : 0));
+
+  WritePod(os, static_cast<uint64_t>(filter.readers_.size()));
+  for (const auto& r : filter.readers_) {
+    WriteVec3(os, r.pose.position);
+    WritePod(os, r.pose.heading);
+    WritePod(os, r.weight);
+  }
+
+  WritePod(os, static_cast<uint64_t>(filter.states_.size()));
+  for (const auto& state : filter.states_) {
+    WritePod(os, state.tag);
+    WritePod(os, state.last_observed_step);
+    WritePod(os, state.last_processed_step);
+    WriteVec3(os, state.last_observed_reader_position);
+    WriteVec3(os, state.particle_bounds.min);
+    WriteVec3(os, state.particle_bounds.max);
+    WritePod(os, static_cast<uint8_t>(state.IsCompressed() ? 1 : 0));
+    if (state.IsCompressed()) {
+      WriteVec3(os, state.compressed->mean());
+      for (double c : state.compressed->covariance()) WritePod(os, c);
+    }
+    WritePod(os, static_cast<uint64_t>(state.particles.size()));
+    for (const auto& p : state.particles) {
+      WriteVec3(os, p.position);
+      WritePod(os, p.reader_idx);
+      WritePod(os, p.weight);
+    }
+  }
+
+  WritePod(os, static_cast<uint64_t>(filter.index_.num_entries()));
+  filter.index_.ForEachEntry(
+      [&os](const Aabb& box, const std::vector<uint32_t>& slots) {
+        WriteVec3(os, box.min);
+        WriteVec3(os, box.max);
+        WritePod(os, static_cast<uint64_t>(slots.size()));
+        for (uint32_t s : slots) WritePod(os, s);
+      });
+
+  if (!os.good()) return Status::IOError("failed writing snapshot");
+  return Status::OK();
+}
+
+Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Invalid("not a filter snapshot (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(is, &version)) return Truncated();
+  if (version != kVersion) {
+    return Status::Invalid("unsupported snapshot version " +
+                           std::to_string(version));
+  }
+
+  int64_t step = 0;
+  uint8_t readers_initialized = 0;
+  if (!ReadPod(is, &step) || !ReadPod(is, &readers_initialized)) {
+    return Truncated();
+  }
+
+  uint64_t reader_count = 0;
+  if (!ReadPod(is, &reader_count) || reader_count > kMaxCount) {
+    return Truncated();
+  }
+  std::vector<FactoredParticleFilter::ReaderParticle> readers(reader_count);
+  for (auto& r : readers) {
+    if (!ReadVec3(is, &r.pose.position) || !ReadPod(is, &r.pose.heading) ||
+        !ReadPod(is, &r.weight)) {
+      return Truncated();
+    }
+  }
+
+  uint64_t state_count = 0;
+  if (!ReadPod(is, &state_count) || state_count > kMaxCount) {
+    return Truncated();
+  }
+  std::vector<FactoredParticleFilter::ObjectState> states(state_count);
+  for (auto& state : states) {
+    uint8_t compressed = 0;
+    if (!ReadPod(is, &state.tag) || !ReadPod(is, &state.last_observed_step) ||
+        !ReadPod(is, &state.last_processed_step) ||
+        !ReadVec3(is, &state.last_observed_reader_position) ||
+        !ReadVec3(is, &state.particle_bounds.min) ||
+        !ReadVec3(is, &state.particle_bounds.max) ||
+        !ReadPod(is, &compressed)) {
+      return Truncated();
+    }
+    if (compressed != 0) {
+      Vec3 mean;
+      std::array<double, 6> cov;
+      if (!ReadVec3(is, &mean)) return Truncated();
+      for (double& c : cov) {
+        if (!ReadPod(is, &c)) return Truncated();
+      }
+      state.compressed = GaussianBelief(mean, cov);
+    }
+    uint64_t particle_count = 0;
+    if (!ReadPod(is, &particle_count) || particle_count > kMaxCount) {
+      return Truncated();
+    }
+    state.particles.resize(particle_count);
+    for (auto& p : state.particles) {
+      if (!ReadVec3(is, &p.position) || !ReadPod(is, &p.reader_idx) ||
+          !ReadPod(is, &p.weight)) {
+        return Truncated();
+      }
+      if (p.reader_idx >= reader_count) {
+        return Status::Invalid("snapshot particle references invalid reader");
+      }
+    }
+  }
+
+  uint64_t entry_count = 0;
+  if (!ReadPod(is, &entry_count) || entry_count > kMaxCount) {
+    return Truncated();
+  }
+  SensingRegionIndex index(filter->config_.index);
+  for (uint64_t e = 0; e < entry_count; ++e) {
+    Aabb box;
+    uint64_t slot_count = 0;
+    if (!ReadVec3(is, &box.min) || !ReadVec3(is, &box.max) ||
+        !ReadPod(is, &slot_count) || slot_count > kMaxCount) {
+      return Truncated();
+    }
+    std::vector<uint32_t> slots(slot_count);
+    for (auto& s : slots) {
+      if (!ReadPod(is, &s)) return Truncated();
+      if (s >= state_count) {
+        return Status::Invalid("snapshot index references invalid slot");
+      }
+    }
+    index.Insert(box, slots);
+  }
+
+  // Commit only after the whole snapshot parsed.
+  filter->step_ = step;
+  filter->readers_initialized_ = readers_initialized != 0;
+  filter->readers_ = std::move(readers);
+  filter->states_ = std::move(states);
+  filter->index_ = std::move(index);
+  filter->slot_of_tag_.clear();
+  for (uint32_t slot = 0; slot < filter->states_.size(); ++slot) {
+    filter->slot_of_tag_[filter->states_[slot].tag] = slot;
+  }
+  return Status::OK();
+}
+
+}  // namespace rfid

@@ -1,0 +1,32 @@
+// Checkpoint / restore of the factored filter's belief state.
+//
+// A long-running deployment must survive process restarts without rescanning
+// the warehouse: the snapshot captures reader particles, every object's
+// belief (particles or compressed Gaussian plus bookkeeping) and the epoch
+// counter. The sensing-region index is rebuilt from recorded entries on
+// load. The RNG is reseeded from the filter config on restore, so replaying
+// the same tail of a stream after a restore is deterministic for the
+// restored process (but not bit-identical to the uninterrupted run).
+//
+// Format: same-architecture binary (magic + version header). Not intended
+// as a cross-platform interchange format.
+#pragma once
+
+#include <iosfwd>
+
+#include "pf/factored_filter.h"
+#include "util/status.h"
+
+namespace rfid {
+
+/// Writes the filter's belief state. The WorldModel and config are NOT
+/// serialized — the caller reconstructs the filter with the same model and
+/// config before restoring.
+Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
+                          std::ostream& os);
+
+/// Restores belief state into a freshly constructed filter (same model and
+/// config as the saved one). Fails on magic/version mismatch or truncation.
+Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter);
+
+}  // namespace rfid

@@ -1,0 +1,107 @@
+#include "sim/lab.h"
+
+#include <cmath>
+
+namespace rfid {
+
+Result<LabDeployment> BuildLabDeployment(const LabConfig& config) {
+  if (config.tags_per_row <= 0 || config.reference_tags_per_row < 0) {
+    return Status::Invalid("tag counts must be positive");
+  }
+  if (config.shelf_depth <= 0 || config.row_x <= 0) {
+    return Status::Invalid("geometry must be positive");
+  }
+
+  LabDeployment lab;
+  lab.config = config;
+  lab.sensor = SphericalSensorModel::ForTimeoutMs(config.timeout_ms);
+
+  const double row_length = config.tags_per_row * config.tag_spacing;
+
+  // Row A at x = +row_x (scanned first, robot faces +x), row B at -row_x.
+  TagId next_shelf_tag = 1;
+  TagId next_object_tag = 1000;
+  for (int row = 0; row < 2; ++row) {
+    const double x = row == 0 ? config.row_x : -config.row_x;
+    const double depth_dir = row == 0 ? 1.0 : -1.0;
+    lab.shelf_boxes.emplace_back(
+        Vec3{std::min(x, x + depth_dir * config.shelf_depth), 0.0, 0.0},
+        Vec3{std::max(x, x + depth_dir * config.shelf_depth), row_length,
+             0.0});
+    for (int k = 0; k < config.reference_tags_per_row; ++k) {
+      const double frac = (k + 0.5) / config.reference_tags_per_row;
+      lab.shelf_tags.push_back(
+          {next_shelf_tag++, Vec3{x, frac * row_length, 0.0}});
+    }
+    for (int k = 0; k < config.tags_per_row; ++k) {
+      lab.objects.push_back(
+          {next_object_tag++,
+           Vec3{x, (k + 0.5) * config.tag_spacing, 0.0}});
+    }
+  }
+
+  // --- Trace generation: scan row A northbound, turn, row B southbound ----
+  Rng rng(config.seed);
+  SimulatedTrace trace;
+  const double y_begin = -config.start_margin;
+  const double y_end = row_length + config.start_margin;
+  const double max_range = lab.sensor.MaxRange();
+  const double max_range_sq = max_range * max_range;
+
+  Pose pose;
+  pose.position = {0.0, y_begin, 0.0};
+  Vec3 drift;  // Accumulated dead-reckoning error.
+  int64_t step = 0;
+  double time = 0.0;
+
+  for (int leg = 0; leg < 2; ++leg) {
+    const double dir = leg == 0 ? 1.0 : -1.0;
+    pose.heading = leg == 0 ? 0.0 : M_PI;  // Face the row being scanned.
+    const double target = leg == 0 ? y_end : y_begin;
+
+    while ((dir > 0 && pose.position.y < target) ||
+           (dir < 0 && pose.position.y > target)) {
+      pose.position.y += dir * config.robot_speed + rng.Gaussian(0.0, 0.005);
+      pose.position.x = rng.Gaussian(0.0, 0.01);
+
+      // Dead reckoning slips along the direction of travel and jitters.
+      drift.y += dir * config.drift_per_epoch +
+                 rng.Gaussian(0.0, config.drift_jitter * 0.2);
+      drift.x += rng.Gaussian(0.0, config.drift_jitter * 0.1);
+
+      SimEpoch epoch;
+      epoch.true_reader_pose = pose;
+      epoch.observations.step = step;
+      epoch.observations.time = time;
+      epoch.observations.has_location = true;
+      epoch.observations.reported_location =
+          pose.position + drift +
+          Vec3{rng.Gaussian(0.0, config.drift_jitter),
+               rng.Gaussian(0.0, config.drift_jitter), 0.0};
+      // Dead reckoning also tracks orientation (wheel encoders), with mild
+      // noise and no appreciable systematic drift over a two-leg run.
+      epoch.observations.has_heading = true;
+      epoch.observations.reported_heading =
+          WrapAngle(pose.heading + rng.Gaussian(0.0, 0.05));
+
+      auto try_read = [&](TagId tag, const Vec3& location) {
+        if ((location - pose.position).NormSq() > max_range_sq) return;
+        const double p = lab.sensor.ProbReadAt(pose, location);
+        if (p > 0.0 && rng.Bernoulli(p)) {
+          epoch.observations.tags.push_back(tag);
+        }
+      };
+      for (const ShelfTag& s : lab.shelf_tags) try_read(s.tag, s.location);
+      for (const ObjectPlacement& o : lab.objects) try_read(o.tag, o.position);
+
+      trace.epochs.push_back(std::move(epoch));
+      ++step;
+      time += 1.0;
+    }
+  }
+  trace.truth = GroundTruth(lab.objects, {});
+  lab.trace = std::move(trace);
+  return lab;
+}
+
+}  // namespace rfid

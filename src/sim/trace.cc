@@ -1,0 +1,172 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfid {
+
+GroundTruth::GroundTruth(const std::vector<ObjectPlacement>& initial,
+                         std::vector<MovementEvent> events)
+    : events_(std::move(events)) {
+  for (const ObjectPlacement& o : initial) initial_[o.tag] = o.position;
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const MovementEvent& a, const MovementEvent& b) {
+                     return a.time < b.time;
+                   });
+  for (size_t i = 0; i < events_.size(); ++i) {
+    events_of_tag_[events_[i].tag].push_back(i);
+  }
+}
+
+Result<Vec3> GroundTruth::PositionAt(TagId tag, double time) const {
+  auto it = initial_.find(tag);
+  if (it == initial_.end()) {
+    return Status::NotFound("unknown tag " + std::to_string(tag));
+  }
+  Vec3 pos = it->second;
+  auto ev_it = events_of_tag_.find(tag);
+  if (ev_it != events_of_tag_.end()) {
+    for (size_t idx : ev_it->second) {
+      if (events_[idx].time <= time) pos = events_[idx].to;
+    }
+  }
+  return pos;
+}
+
+std::vector<TagId> GroundTruth::AllTags() const {
+  std::vector<TagId> tags;
+  tags.reserve(initial_.size());
+  for (const auto& [tag, pos] : initial_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  return tags;
+}
+
+std::vector<SyncedEpoch> SimulatedTrace::ObservationsOnly() const {
+  std::vector<SyncedEpoch> out;
+  out.reserve(epochs.size());
+  for (const SimEpoch& e : epochs) out.push_back(e.observations);
+  return out;
+}
+
+TraceGenerator::TraceGenerator(WarehouseLayout layout, RobotConfig robot,
+                               ObjectMovementConfig movement,
+                               const SensorModel& true_sensor, uint64_t seed)
+    : layout_(std::move(layout)),
+      robot_(robot),
+      movement_(movement),
+      sensor_(true_sensor.Clone()),
+      rng_(seed) {}
+
+MovementEvent TraceGenerator::MoveRandomObject(
+    double time, std::vector<ObjectPlacement>* objects) {
+  ObjectPlacement& obj =
+      (*objects)[rng_.UniformInt(objects->size())];
+  MovementEvent event;
+  event.time = time;
+  event.tag = obj.tag;
+  event.from = obj.position;
+
+  // Displace along the shelf line (y), keeping x on the tag plane. Choose
+  // the direction that stays inside the warehouse extent, then snap into the
+  // nearest shelf if the target falls into a gap.
+  const double extent = layout_.TotalYExtent();
+  double new_y = obj.position.y + movement_.distance;
+  if (new_y > extent || (rng_.Bernoulli(0.5) &&
+                         obj.position.y - movement_.distance >= 0.0)) {
+    new_y = obj.position.y - movement_.distance;
+  }
+  new_y = std::clamp(new_y, 0.0, extent);
+  // Snap into a shelf region if the destination is in a gap.
+  double best_dist = std::numeric_limits<double>::infinity();
+  double snapped_y = new_y;
+  for (const Aabb& shelf : layout_.shelf_boxes) {
+    const double clamped = std::clamp(new_y, shelf.min.y, shelf.max.y);
+    const double d = std::abs(clamped - new_y);
+    if (d < best_dist) {
+      best_dist = d;
+      snapped_y = clamped;
+    }
+  }
+  obj.position.y = snapped_y;
+  event.to = obj.position;
+  return event;
+}
+
+SimulatedTrace TraceGenerator::Generate() {
+  SimulatedTrace trace;
+  std::vector<ObjectPlacement> objects = layout_.objects;  // Mutable copy.
+  std::vector<MovementEvent> events;
+
+  const double y_begin = -robot_.start_margin;
+  const double y_end = layout_.TotalYExtent() + robot_.start_margin;
+  LocationSensingModel sensing(robot_.sensing_noise);
+
+  Pose pose;
+  pose.position = {robot_.aisle_x, y_begin, layout_.config.tag_z};
+  pose.heading = 0.0;  // Facing the shelves (+x).
+
+  int64_t step = 0;
+  double time = 0.0;
+  double next_move_time = movement_.interval_seconds;
+
+  for (int round = 0; round < robot_.rounds; ++round) {
+    const bool forward = (round % 2 == 0);
+    const double target_y = forward ? y_end : y_begin;
+    const double dir = forward ? 1.0 : -1.0;
+
+    while ((forward && pose.position.y < target_y) ||
+           (!forward && pose.position.y > target_y)) {
+      // Move one epoch: nominal speed along y plus true motion jitter.
+      pose.position.x =
+          robot_.aisle_x + rng_.Gaussian(0.0, robot_.motion_sigma.x);
+      pose.position.y += dir * robot_.speed +
+                         rng_.Gaussian(0.0, robot_.motion_sigma.y);
+
+      // Scheduled object movements.
+      while (movement_.enabled && time >= next_move_time) {
+        for (int k = 0; k < movement_.objects_per_event; ++k) {
+          events.push_back(MoveRandomObject(time, &objects));
+        }
+        next_move_time += movement_.interval_seconds;
+      }
+
+      SimEpoch epoch;
+      epoch.true_reader_pose = pose;
+      epoch.observations.step = step;
+      epoch.observations.time = time;
+      epoch.observations.has_location = true;
+      epoch.observations.reported_location =
+          sensing.SampleObservation(pose.position, rng_);
+      epoch.observations.has_heading = true;
+      epoch.observations.reported_heading =
+          WrapAngle(pose.heading + rng_.Gaussian(0.0, 0.02));
+
+      // Interrogate every tag; the distance pre-check keeps this cheap for
+      // large warehouses.
+      const double max_range = sensor_->MaxRange();
+      const double max_range_sq = max_range * max_range;
+      auto try_read = [&](TagId tag, const Vec3& location) {
+        if ((location - pose.position).NormSq() > max_range_sq) return;
+        const double p = sensor_->ProbReadAt(pose, location);
+        if (p <= 0.0) return;
+        for (int r = 0; r < robot_.reads_per_epoch; ++r) {
+          if (rng_.Bernoulli(p)) {
+            epoch.observations.tags.push_back(tag);
+            break;
+          }
+        }
+      };
+      for (const ShelfTag& s : layout_.shelf_tags) try_read(s.tag, s.location);
+      for (const ObjectPlacement& o : objects) try_read(o.tag, o.position);
+
+      trace.epochs.push_back(std::move(epoch));
+      ++step;
+      time += robot_.epoch_seconds;
+    }
+  }
+
+  trace.truth = GroundTruth(layout_.objects, std::move(events));
+  return trace;
+}
+
+}  // namespace rfid

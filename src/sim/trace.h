@@ -1,0 +1,108 @@
+// Synthetic trace generation (paper §V-A): a robot-mounted reader travels
+// down the aisle, stops every epoch, senses its location (with noise) and
+// interrogates tags through a ground-truth sensor model.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "model/location_sensing.h"
+#include "model/sensor_model.h"
+#include "sim/warehouse.h"
+#include "stream/readings.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace rfid {
+
+/// Robot scan plan for the warehouse.
+struct RobotConfig {
+  double speed = 0.1;          ///< Feet per epoch (paper default 0.1 ft).
+  double epoch_seconds = 1.0;
+  int reads_per_epoch = 1;     ///< RF: interrogation rounds per epoch.
+  int rounds = 1;              ///< Passes over the warehouse (alternating direction).
+  double start_margin = 2.0;   ///< Feet before the first shelf / after the last.
+  double aisle_x = 0.0;
+
+  /// True per-epoch motion jitter of the robot (mu 0, sigma .01 by default,
+  /// matching the paper's reader-motion Gaussian).
+  Vec3 motion_sigma{0.01, 0.01, 0.0};
+  /// Noise applied to the reported location stream.
+  LocationSensingParams sensing_noise;
+};
+
+/// Controlled object-movement injection (paper Fig. 5(h)).
+struct ObjectMovementConfig {
+  bool enabled = false;
+  double interval_seconds = 1600.0;  ///< Time between movement events.
+  double distance = 5.0;             ///< Feet moved along the shelf line.
+  int objects_per_event = 1;
+};
+
+/// A recorded object relocation, for ground-truth evaluation.
+struct MovementEvent {
+  double time = 0.0;
+  TagId tag = 0;
+  Vec3 from;
+  Vec3 to;
+};
+
+/// Piecewise-constant true object trajectories.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  GroundTruth(const std::vector<ObjectPlacement>& initial,
+              std::vector<MovementEvent> events);
+
+  /// True position of `tag` at `time`. Fails for unknown tags.
+  Result<Vec3> PositionAt(TagId tag, double time) const;
+
+  const std::vector<MovementEvent>& events() const { return events_; }
+  std::vector<TagId> AllTags() const;
+
+ private:
+  std::unordered_map<TagId, Vec3> initial_;
+  std::vector<MovementEvent> events_;  ///< Sorted by time.
+  std::unordered_map<TagId, std::vector<size_t>> events_of_tag_;
+};
+
+/// One simulated epoch: what the engine sees plus the true reader state.
+struct SimEpoch {
+  SyncedEpoch observations;
+  Pose true_reader_pose;
+};
+
+struct SimulatedTrace {
+  std::vector<SimEpoch> epochs;
+  GroundTruth truth;
+
+  std::vector<SyncedEpoch> ObservationsOnly() const;
+};
+
+/// Generates warehouse traces. The ground-truth sensor model is an arbitrary
+/// SensorModel (the paper uses the cone of Fig. 5(a)).
+class TraceGenerator {
+ public:
+  TraceGenerator(WarehouseLayout layout, RobotConfig robot,
+                 ObjectMovementConfig movement, const SensorModel& true_sensor,
+                 uint64_t seed);
+
+  SimulatedTrace Generate();
+
+  const WarehouseLayout& layout() const { return layout_; }
+
+ private:
+  /// Moves one randomly chosen object by ~distance along the shelf line,
+  /// staying within shelf regions. Returns the recorded event.
+  MovementEvent MoveRandomObject(double time,
+                                 std::vector<ObjectPlacement>* objects);
+
+  WarehouseLayout layout_;
+  RobotConfig robot_;
+  ObjectMovementConfig movement_;
+  std::unique_ptr<SensorModel> sensor_;
+  Rng rng_;
+};
+
+}  // namespace rfid

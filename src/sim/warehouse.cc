@@ -1,0 +1,61 @@
+#include "sim/warehouse.h"
+
+namespace rfid {
+
+double WarehouseLayout::TotalYExtent() const {
+  return config.num_shelves * config.shelf_length +
+         (config.num_shelves - 1) * config.shelf_gap;
+}
+
+Result<WarehouseLayout> BuildWarehouse(const WarehouseConfig& config) {
+  if (config.num_shelves <= 0) {
+    return Status::Invalid("num_shelves must be positive");
+  }
+  if (config.shelf_length <= 0 || config.shelf_depth <= 0) {
+    return Status::Invalid("shelf dimensions must be positive");
+  }
+  if (config.objects_per_shelf < 0 || config.shelf_tags_per_shelf < 0) {
+    return Status::Invalid("tag counts must be non-negative");
+  }
+  if (config.first_object_tag <=
+      config.first_shelf_tag +
+          static_cast<TagId>(config.num_shelves *
+                             config.shelf_tags_per_shelf)) {
+    return Status::Invalid("object tag block overlaps shelf tag block");
+  }
+
+  WarehouseLayout layout;
+  layout.config = config;
+
+  TagId next_shelf_tag = config.first_shelf_tag;
+  TagId next_object_tag = config.first_object_tag;
+  for (int s = 0; s < config.num_shelves; ++s) {
+    const double y0 = s * (config.shelf_length + config.shelf_gap);
+    const double y1 = y0 + config.shelf_length;
+    layout.shelf_boxes.emplace_back(
+        Vec3{config.shelf_x, y0, config.tag_z},
+        Vec3{config.shelf_x + config.shelf_depth, y1, config.tag_z});
+
+    // Shelf tags sit on the shelf front edge (the plane facing the aisle),
+    // evenly spaced with half-spacing margins.
+    for (int k = 0; k < config.shelf_tags_per_shelf; ++k) {
+      const double frac = (k + 0.5) / config.shelf_tags_per_shelf;
+      layout.shelf_tags.push_back(
+          {next_shelf_tag++,
+           Vec3{config.shelf_x, y0 + frac * config.shelf_length,
+                config.tag_z}});
+    }
+    // Objects evenly spaced along the shelf, also at the front edge where a
+    // reader in the aisle can see them.
+    for (int k = 0; k < config.objects_per_shelf; ++k) {
+      const double frac = (k + 0.5) / config.objects_per_shelf;
+      layout.objects.push_back(
+          {next_object_tag++,
+           Vec3{config.shelf_x, y0 + frac * config.shelf_length,
+                config.tag_z}});
+    }
+  }
+  return layout;
+}
+
+}  // namespace rfid

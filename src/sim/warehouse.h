@@ -1,0 +1,54 @@
+// Warehouse scenario builder (paper §V-A): consecutive shelves aligned on the
+// y axis with objects evenly spaced on them, shelf tags at known locations,
+// and an aisle along x = aisle_x from which the robot reader scans.
+#pragma once
+
+#include <vector>
+
+#include "model/object_model.h"
+#include "model/world_model.h"
+#include "stream/readings.h"
+#include "util/status.h"
+
+namespace rfid {
+
+struct WarehouseConfig {
+  int num_shelves = 2;
+  double shelf_length = 10.0;  ///< y extent of each shelf (feet).
+  double shelf_gap = 1.0;      ///< y gap between consecutive shelves.
+  double shelf_x = 1.5;        ///< x of the shelf front edge (tag plane).
+  double shelf_depth = 1.0;    ///< x extent of the shelf region behind the edge.
+  double tag_z = 0.0;          ///< All tags share one height (paper ignores z).
+
+  int objects_per_shelf = 10;
+  int shelf_tags_per_shelf = 2;
+
+  /// Tag-id blocks: shelf tags from 1, object tags from this base.
+  TagId first_object_tag = 1000;
+  TagId first_shelf_tag = 1;
+};
+
+/// One object with its tag and true initial position.
+struct ObjectPlacement {
+  TagId tag = 0;
+  Vec3 position;
+};
+
+/// Fully laid-out warehouse: geometry plus tag placements.
+struct WarehouseLayout {
+  WarehouseConfig config;
+  std::vector<Aabb> shelf_boxes;       ///< One region per shelf.
+  std::vector<ShelfTag> shelf_tags;    ///< Known, fixed locations.
+  std::vector<ObjectPlacement> objects;
+
+  /// Shelf regions for the object location model / initializer clipping.
+  ShelfRegions MakeShelfRegions() const { return ShelfRegions(shelf_boxes); }
+
+  /// y extent covered by shelves: [0, ReturnValue].
+  double TotalYExtent() const;
+};
+
+/// Lays out the warehouse. Fails on non-positive dimensions or counts.
+Result<WarehouseLayout> BuildWarehouse(const WarehouseConfig& config);
+
+}  // namespace rfid

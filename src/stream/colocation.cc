@@ -1,0 +1,56 @@
+#include "stream/colocation.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+void ColocationTracker::Process(const LocationEvent& event) {
+  for (const auto& [other, report] : last_) {
+    if (other == event.tag) continue;
+    if (event.time - report.time > config_.time_slack_seconds) continue;
+    const PairKey key = other < event.tag ? PairKey{other, event.tag}
+                                          : PairKey{event.tag, other};
+    PairStatsEntry& stats = pairs_[key];
+    ++stats.joint;
+    if (event.location.DistanceXYTo(report.location) <=
+        config_.colocation_radius_feet) {
+      ++stats.colocated;
+    }
+  }
+  last_[event.tag] = {event.time, event.location};
+}
+
+std::vector<ColocationCandidate> ColocationTracker::Candidates() const {
+  std::vector<ColocationCandidate> out;
+  for (const auto& [key, stats] : pairs_) {
+    if (stats.joint < config_.min_joint_observations) continue;
+    const double ratio =
+        static_cast<double>(stats.colocated) / static_cast<double>(stats.joint);
+    if (ratio < config_.min_colocation_ratio) continue;
+    out.push_back({key.a, key.b, stats.joint, stats.colocated, ratio});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ColocationCandidate& x, const ColocationCandidate& y) {
+              if (x.ratio != y.ratio) return x.ratio > y.ratio;
+              return x.joint_observations > y.joint_observations;
+            });
+  return out;
+}
+
+std::optional<ColocationCandidate> ColocationTracker::PairStats(
+    TagId a, TagId b) const {
+  const PairKey key = a < b ? PairKey{a, b} : PairKey{b, a};
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) return std::nullopt;
+  ColocationCandidate c;
+  c.a = key.a;
+  c.b = key.b;
+  c.joint_observations = it->second.joint;
+  c.colocated_observations = it->second.colocated;
+  c.ratio = it->second.joint > 0
+                ? static_cast<double>(it->second.colocated) / it->second.joint
+                : 0.0;
+  return c;
+}
+
+}  // namespace rfid

@@ -1,0 +1,84 @@
+// Inter-object containment candidates (prototype of the paper's §VII future
+// work: "enhance our techniques to address inter-object containment
+// relationships").
+//
+// Containment (a case packed inside a pallet, items inside a case) shows up
+// in the clean event stream as persistent co-location: two tags whose
+// inferred locations stay within a small radius across many reports. This
+// operator consumes location events and maintains, per tag pair, a count of
+// co-located and separated observations within sliding time proximity; pairs
+// whose co-location ratio passes a threshold after enough joint observations
+// are reported as containment candidates.
+//
+// This is deliberately a statistics-level prototype — full containment
+// inference belongs in the probabilistic model (and is future work in the
+// paper as well) — but it is already useful for seeding containment graphs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/events.h"
+
+namespace rfid {
+
+struct ColocationConfig {
+  /// Two events are "joint" when their times differ by at most this.
+  double time_slack_seconds = 90.0;
+  /// Joint events count as co-located when locations are within this radius.
+  double colocation_radius_feet = 1.0;
+  /// Minimum joint observations before a pair can be reported.
+  int min_joint_observations = 3;
+  /// Minimum fraction of joint observations that were co-located.
+  double min_colocation_ratio = 0.8;
+};
+
+/// A candidate containment / co-packing relation between two tags.
+struct ColocationCandidate {
+  TagId a = 0;
+  TagId b = 0;  ///< a < b.
+  int joint_observations = 0;
+  int colocated_observations = 0;
+  double ratio = 0.0;
+};
+
+class ColocationTracker {
+ public:
+  explicit ColocationTracker(const ColocationConfig& config = {})
+      : config_(config) {}
+
+  /// Feeds one clean location event.
+  void Process(const LocationEvent& event);
+
+  /// All pairs currently satisfying the candidate criteria, sorted by ratio
+  /// (descending), ties by joint observations.
+  std::vector<ColocationCandidate> Candidates() const;
+
+  /// Pair statistics for testing / inspection; nullopt if never joint.
+  std::optional<ColocationCandidate> PairStats(TagId a, TagId b) const;
+
+ private:
+  struct PairKey {
+    TagId a, b;
+    bool operator<(const PairKey& o) const {
+      return a != o.a ? a < o.a : b < o.b;
+    }
+  };
+  struct PairStatsEntry {
+    int joint = 0;
+    int colocated = 0;
+  };
+  struct LastReport {
+    double time = 0.0;
+    Vec3 location;
+  };
+
+  ColocationConfig config_;
+  std::unordered_map<TagId, LastReport> last_;
+  std::map<PairKey, PairStatsEntry> pairs_;
+};
+
+}  // namespace rfid

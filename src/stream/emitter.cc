@@ -1,0 +1,78 @@
+#include "stream/emitter.h"
+
+#include <cmath>
+
+namespace rfid {
+
+LocationEvent EventEmitter::MakeEvent(double time, TagId tag,
+                                      const LocationEstimate& est) const {
+  LocationEvent event;
+  event.time = time;
+  event.tag = tag;
+  event.location = est.mean;
+  if (config_.attach_stats) {
+    LocationStats stats;
+    stats.variance = est.variance;
+    stats.rmse_radius =
+        std::sqrt(est.variance.x + est.variance.y + est.variance.z);
+    stats.support = est.support;
+    event.stats = stats;
+  }
+  return event;
+}
+
+std::vector<LocationEvent> EventEmitter::OnEpoch(const SyncedEpoch& epoch,
+                                                 const EstimateFn& estimate) {
+  const int64_t now = epoch_counter_++;
+  std::vector<LocationEvent> events;
+
+  for (TagId tag : epoch.tags) {
+    auto [it, inserted] = scopes_.try_emplace(tag);
+    TagScope& scope = it->second;
+    if (inserted || now - scope.last_read_epoch > config_.scope_timeout_epochs) {
+      // New scope period: reset so this visit can produce its own event.
+      scope.first_read_time = epoch.time;
+      scope.emitted = false;
+    }
+    scope.last_read_epoch = now;
+  }
+
+  switch (config_.policy) {
+    case EmitPolicy::kAfterDelay:
+      for (auto& [tag, scope] : scopes_) {
+        if (scope.emitted) continue;
+        if (epoch.time - scope.first_read_time < config_.delay_seconds) {
+          continue;
+        }
+        if (auto est = estimate(tag)) {
+          events.push_back(MakeEvent(epoch.time, tag, *est));
+          scope.emitted = true;
+        }
+      }
+      break;
+    case EmitPolicy::kEveryEpoch:
+      for (auto& [tag, scope] : scopes_) {
+        if (auto est = estimate(tag)) {
+          events.push_back(MakeEvent(epoch.time, tag, *est));
+        }
+      }
+      break;
+    case EmitPolicy::kOnScanComplete:
+      break;  // Deferred to NotifyScanComplete().
+  }
+  return events;
+}
+
+std::vector<LocationEvent> EventEmitter::NotifyScanComplete(
+    double time, const EstimateFn& estimate) {
+  std::vector<LocationEvent> events;
+  for (auto& [tag, scope] : scopes_) {
+    if (auto est = estimate(tag)) {
+      events.push_back(MakeEvent(time, tag, *est));
+      scope.emitted = true;
+    }
+  }
+  return events;
+}
+
+}  // namespace rfid

@@ -1,0 +1,67 @@
+// Event output policies (paper §II-A): "our system outputs an event for an
+// object only at particular points: for example, within x seconds after an
+// object was read, upon completion of a shelf scan, or upon completion of a
+// full area scan. The choice of when to output reports is left to the
+// discretion of the application."
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "pf/estimate.h"
+#include "stream/events.h"
+#include "stream/readings.h"
+
+namespace rfid {
+
+enum class EmitPolicy {
+  kAfterDelay,        ///< Emit once, delay seconds after a tag enters scope.
+  kOnScanComplete,    ///< Emit all tags when NotifyScanComplete() is called.
+  kEveryEpoch,        ///< Emit every tracked tag each epoch (debugging).
+};
+
+struct EmitterConfig {
+  EmitPolicy policy = EmitPolicy::kAfterDelay;
+  double delay_seconds = 60.0;  ///< Paper's experiments use 60 s.
+  /// Epochs without a read after which a tag's scope period ends (a later
+  /// read then starts a new scope and can trigger a new event).
+  int64_t scope_timeout_epochs = 30;
+  bool attach_stats = true;
+};
+
+/// Turns filter posteriors into a clean output event stream according to the
+/// configured policy. The emitter only decides *when* to report; *what* is
+/// reported comes from the estimate callback, keeping it decoupled from the
+/// filter implementation.
+class EventEmitter {
+ public:
+  using EstimateFn =
+      std::function<std::optional<LocationEstimate>(TagId tag)>;
+
+  explicit EventEmitter(const EmitterConfig& config) : config_(config) {}
+
+  /// Processes one epoch's read set; returns the events due at this epoch.
+  std::vector<LocationEvent> OnEpoch(const SyncedEpoch& epoch,
+                                     const EstimateFn& estimate);
+
+  /// kOnScanComplete: emits an event for every tag seen since the last scan.
+  std::vector<LocationEvent> NotifyScanComplete(double time,
+                                                const EstimateFn& estimate);
+
+ private:
+  struct TagScope {
+    double first_read_time = 0.0;
+    int64_t last_read_epoch = 0;
+    bool emitted = false;
+  };
+
+  LocationEvent MakeEvent(double time, TagId tag,
+                          const LocationEstimate& est) const;
+
+  EmitterConfig config_;
+  std::unordered_map<TagId, TagScope> scopes_;
+  int64_t epoch_counter_ = 0;
+};
+
+}  // namespace rfid

@@ -1,0 +1,26 @@
+// Output event stream types (paper §II-A): clean, queriable location events.
+#pragma once
+
+#include <optional>
+
+#include "stream/readings.h"
+
+namespace rfid {
+
+/// Summary statistics of the estimated location distribution, attached to an
+/// event as the optional `(statistics)?` field of the output schema.
+struct LocationStats {
+  Vec3 variance;          ///< Per-axis variance of the location posterior.
+  double rmse_radius = 0.0;  ///< sqrt(trace of covariance): 1-sigma radius.
+  int support = 0;        ///< Number of particles (or 0 if compressed belief).
+};
+
+/// One clean output event: (time, tag_id, (x,y,z), stats?).
+struct LocationEvent {
+  double time = 0.0;
+  TagId tag = 0;
+  Vec3 location;
+  std::optional<LocationStats> stats;
+};
+
+}  // namespace rfid

@@ -1,0 +1,67 @@
+#include "stream/query.h"
+
+#include <cmath>
+
+namespace rfid {
+
+std::optional<LocationEvent> LocationUpdateQuery::Process(
+    const LocationEvent& event) {
+  auto it = last_.find(event.tag);
+  if (it != last_.end() &&
+      it->second.DistanceTo(event.location) <= min_change_) {
+    return std::nullopt;
+  }
+  last_[event.tag] = event.location;
+  return event;
+}
+
+FireCodeQuery::FireCodeQuery(double window_seconds, double weight_limit,
+                             WeightFn weight_fn, double cell_size_feet)
+    : window_seconds_(window_seconds),
+      weight_limit_(weight_limit),
+      weight_fn_(std::move(weight_fn)),
+      cell_size_(cell_size_feet > 0 ? cell_size_feet : 1.0) {}
+
+AreaCell FireCodeQuery::CellOf(const Vec3& p) const {
+  return {static_cast<int64_t>(std::floor(p.x / cell_size_)),
+          static_cast<int64_t>(std::floor(p.y / cell_size_))};
+}
+
+void FireCodeQuery::Evict(double now) {
+  while (!window_.empty() && window_.front().time <= now - window_seconds_) {
+    const WindowEntry& e = window_.front();
+    auto it = area_weight_.find(e.cell);
+    if (it != area_weight_.end()) {
+      it->second -= e.weight;
+      if (it->second <= weight_limit_) alerted_[e.cell] = false;
+      if (it->second <= 1e-12) area_weight_.erase(it);
+    }
+    window_.pop_front();
+  }
+}
+
+std::vector<FireCodeAlert> FireCodeQuery::Process(const LocationEvent& event) {
+  Evict(event.time);
+
+  WindowEntry entry;
+  entry.time = event.time;
+  entry.cell = CellOf(event.location);
+  entry.weight = weight_fn_ ? weight_fn_(event.tag) : 0.0;
+  window_.push_back(entry);
+  area_weight_[entry.cell] += entry.weight;
+
+  std::vector<FireCodeAlert> alerts;
+  const double total = area_weight_[entry.cell];
+  if (total > weight_limit_ && !alerted_[entry.cell]) {
+    alerted_[entry.cell] = true;
+    alerts.push_back({event.time, entry.cell, total});
+  }
+  return alerts;
+}
+
+double FireCodeQuery::AreaWeight(const AreaCell& cell) const {
+  auto it = area_weight_.find(cell);
+  return it == area_weight_.end() ? 0.0 : it->second;
+}
+
+}  // namespace rfid

@@ -1,0 +1,102 @@
+// Stream query operators over the clean event stream (paper §II-B).
+//
+// Two CQL queries from the paper are implemented as typed operators:
+//
+//  Query 1 — location update:
+//    Select Istream(E.tag_id, E.(x,y,z))
+//    From EventStream E [Partition By tag_id Row 1]
+//  emits a tag's location whenever it differs from the previous report.
+//
+//  Query 2 — fire-code monitoring:
+//    Select Rstream(E2.area, sum(E2.weight))
+//    From (Select Rstream(*, SquareFtArea(E.(x,y,z)) As area,
+//                            Weight(E.tag_id) As weight)
+//          From EventStream E [Now]) E2 [Range 5 seconds]
+//    Group By E2.area  Having sum(E2.weight) > 200 pounds
+//  groups events of the last 5 seconds by square-foot shelf area and alerts
+//  on groups whose total weight exceeds the threshold.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/events.h"
+
+namespace rfid {
+
+/// Query 1. Istream over [Partition By tag_id Row 1]: one row per tag, and
+/// an output whenever that row changes.
+class LocationUpdateQuery {
+ public:
+  /// `min_change_feet` suppresses jitter below the given distance.
+  explicit LocationUpdateQuery(double min_change_feet = 1e-6)
+      : min_change_(min_change_feet) {}
+
+  /// Returns the update to emit (if any) for one input event.
+  std::optional<LocationEvent> Process(const LocationEvent& event);
+
+  size_t num_partitions() const { return last_.size(); }
+
+ private:
+  double min_change_;
+  std::unordered_map<TagId, Vec3> last_;
+};
+
+/// Identifier of a 1 sq-ft (or cell_size^2) shelf area cell.
+struct AreaCell {
+  int64_t x = 0;
+  int64_t y = 0;
+  bool operator==(const AreaCell& o) const { return x == o.x && y == o.y; }
+  bool operator<(const AreaCell& o) const {
+    return x != o.x ? x < o.x : y < o.y;
+  }
+};
+
+/// An alert from the fire-code query.
+struct FireCodeAlert {
+  double time = 0.0;
+  AreaCell area;
+  double total_weight = 0.0;
+};
+
+/// Query 2. Sliding [Range window] group-by-area having sum(weight) > limit.
+class FireCodeQuery {
+ public:
+  using WeightFn = std::function<double(TagId)>;
+
+  FireCodeQuery(double window_seconds, double weight_limit, WeightFn weight_fn,
+                double cell_size_feet = 1.0);
+
+  /// Feeds one event; returns alerts for areas that newly exceed the limit
+  /// (an area alerts once per excursion above the threshold).
+  std::vector<FireCodeAlert> Process(const LocationEvent& event);
+
+  /// Current total weight in an area cell (testing hook).
+  double AreaWeight(const AreaCell& cell) const;
+
+  AreaCell CellOf(const Vec3& p) const;
+
+ private:
+  struct WindowEntry {
+    double time = 0.0;
+    AreaCell cell;
+    double weight = 0.0;
+  };
+
+  void Evict(double now);
+
+  double window_seconds_;
+  double weight_limit_;
+  WeightFn weight_fn_;
+  double cell_size_;
+
+  std::deque<WindowEntry> window_;
+  std::map<AreaCell, double> area_weight_;
+  std::map<AreaCell, bool> alerted_;  ///< Suppress duplicate alerts.
+};
+
+}  // namespace rfid

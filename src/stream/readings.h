@@ -1,0 +1,46 @@
+// Raw input stream types produced by a mobile RFID reader (paper §II-A).
+//
+// Two streams arrive: RFID readings (time, tag_id) and reader location
+// reports (time, (x,y,z)). A Synchronizer groups both into coarse epochs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec.h"
+
+namespace rfid {
+
+/// Unique identifier of an RFID tag (object tag or shelf tag).
+using TagId = uint32_t;
+
+/// One raw RFID reading: a tag responded to the reader at `time`.
+struct TagReading {
+  double time = 0.0;
+  TagId tag = 0;
+};
+
+/// One raw reader-location report from the positioning subsystem
+/// (dead reckoning, ultrasound, indoor GPS, ...). Dead-reckoning systems
+/// can also report the reader's heading.
+struct ReaderLocationReport {
+  double time = 0.0;
+  Vec3 location;
+  bool has_heading = false;
+  double heading = 0.0;  ///< Radians; valid only when has_heading.
+};
+
+/// All observations of one coarse-grained time step (epoch), after
+/// synchronizing the two raw streams. Readings within the epoch share the
+/// epoch time; multiple location reports are averaged (paper §II-A).
+struct SyncedEpoch {
+  int64_t step = 0;     ///< Epoch index (monotonically increasing).
+  double time = 0.0;    ///< Epoch start time in seconds.
+  std::vector<TagId> tags;  ///< Tags read in this epoch (deduplicated).
+  bool has_location = false;
+  Vec3 reported_location;   ///< Valid only when has_location.
+  bool has_heading = false;
+  double reported_heading = 0.0;  ///< Radians; valid only when has_heading.
+};
+
+}  // namespace rfid

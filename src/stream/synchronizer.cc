@@ -1,0 +1,144 @@
+#include "stream/synchronizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace rfid {
+
+StreamSynchronizer::StreamSynchronizer(double epoch_seconds)
+    : epoch_seconds_(epoch_seconds > 0 ? epoch_seconds : 1.0) {}
+
+StreamSynchronizer::PendingEpoch& StreamSynchronizer::Pending(int64_t index) {
+  for (auto& p : pending_) {
+    if (p.index == index) return p;
+  }
+  PendingEpoch p;
+  p.index = index;
+  pending_.push_back(p);
+  std::sort(pending_.begin(), pending_.end(),
+            [](const PendingEpoch& a, const PendingEpoch& b) {
+              return a.index < b.index;
+            });
+  for (auto& q : pending_) {
+    if (q.index == index) return q;
+  }
+  return pending_.back();  // Unreachable.
+}
+
+SyncedEpoch StreamSynchronizer::Close(PendingEpoch&& pending) const {
+  SyncedEpoch epoch;
+  epoch.step = pending.index;
+  epoch.time = static_cast<double>(pending.index) * epoch_seconds_;
+  // Deduplicate tags read multiple times within the epoch.
+  std::sort(pending.tags.begin(), pending.tags.end());
+  pending.tags.erase(std::unique(pending.tags.begin(), pending.tags.end()),
+                     pending.tags.end());
+  epoch.tags = std::move(pending.tags);
+  if (pending.location_count > 0) {
+    epoch.has_location = true;
+    epoch.reported_location =
+        pending.location_sum / static_cast<double>(pending.location_count);
+  }
+  if (pending.heading_count > 0) {
+    epoch.has_heading = true;
+    epoch.reported_heading =
+        std::atan2(pending.heading_sin_sum, pending.heading_cos_sum);
+  }
+  return epoch;
+}
+
+Result<std::vector<SyncedEpoch>> StreamSynchronizer::Synchronize(
+    const std::vector<TagReading>& readings,
+    const std::vector<ReaderLocationReport>& locations) const {
+  for (size_t i = 1; i < readings.size(); ++i) {
+    if (readings[i].time < readings[i - 1].time) {
+      return Status::Invalid("RFID reading stream is not time-ordered");
+    }
+  }
+  for (size_t i = 1; i < locations.size(); ++i) {
+    if (locations[i].time < locations[i - 1].time) {
+      return Status::Invalid("location stream is not time-ordered");
+    }
+  }
+  if (readings.empty() && locations.empty()) {
+    return std::vector<SyncedEpoch>{};
+  }
+
+  int64_t first = std::numeric_limits<int64_t>::max();
+  int64_t last = std::numeric_limits<int64_t>::min();
+  auto update_bounds = [&](double time) {
+    const int64_t idx = EpochIndex(time);
+    first = std::min(first, idx);
+    last = std::max(last, idx);
+  };
+  for (const auto& r : readings) update_bounds(r.time);
+  for (const auto& l : locations) update_bounds(l.time);
+
+  std::vector<PendingEpoch> epochs(static_cast<size_t>(last - first + 1));
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    epochs[i].index = first + static_cast<int64_t>(i);
+  }
+  for (const auto& r : readings) {
+    epochs[static_cast<size_t>(EpochIndex(r.time) - first)].tags.push_back(
+        r.tag);
+  }
+  for (const auto& l : locations) {
+    auto& e = epochs[static_cast<size_t>(EpochIndex(l.time) - first)];
+    e.location_sum += l.location;
+    ++e.location_count;
+    if (l.has_heading) {
+      e.heading_sin_sum += std::sin(l.heading);
+      e.heading_cos_sum += std::cos(l.heading);
+      ++e.heading_count;
+    }
+  }
+
+  std::vector<SyncedEpoch> out;
+  out.reserve(epochs.size());
+  for (auto& e : epochs) out.push_back(Close(std::move(e)));
+  return out;
+}
+
+void StreamSynchronizer::Push(const TagReading& reading) {
+  Pending(EpochIndex(reading.time)).tags.push_back(reading.tag);
+}
+
+void StreamSynchronizer::Push(const ReaderLocationReport& report) {
+  auto& e = Pending(EpochIndex(report.time));
+  e.location_sum += report.location;
+  ++e.location_count;
+  if (report.has_heading) {
+    e.heading_sin_sum += std::sin(report.heading);
+    e.heading_cos_sum += std::cos(report.heading);
+    ++e.heading_count;
+  }
+}
+
+std::vector<SyncedEpoch> StreamSynchronizer::Poll(double time) {
+  const int64_t open_from = EpochIndex(time);
+  std::vector<SyncedEpoch> out;
+  size_t kept = 0;
+  for (auto& p : pending_) {
+    if (p.index < open_from) {
+      out.push_back(Close(std::move(p)));
+    } else {
+      pending_[kept++] = std::move(p);
+    }
+  }
+  pending_.resize(kept);
+  return out;
+}
+
+std::vector<SyncedEpoch> StreamSynchronizer::Finish() {
+  std::vector<SyncedEpoch> out;
+  for (auto& p : pending_) out.push_back(Close(std::move(p)));
+  pending_.clear();
+  std::sort(out.begin(), out.end(),
+            [](const SyncedEpoch& a, const SyncedEpoch& b) {
+              return a.step < b.step;
+            });
+  return out;
+}
+
+}  // namespace rfid

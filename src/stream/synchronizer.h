@@ -1,0 +1,57 @@
+// Epoch synchronization of the two raw streams (paper §II-A): RFID readings
+// produced within one epoch share the epoch's time step, and multiple
+// location reports within an epoch are averaged into a single update.
+#pragma once
+
+#include <vector>
+
+#include "stream/readings.h"
+#include "util/status.h"
+
+namespace rfid {
+
+class StreamSynchronizer {
+ public:
+  explicit StreamSynchronizer(double epoch_seconds = 1.0);
+
+  /// Offline synchronization of complete streams. Inputs must be
+  /// time-ordered within each stream; fails otherwise. Empty epochs between
+  /// the first and last record are emitted (the filter needs to advance time
+  /// even when nothing was read).
+  Result<std::vector<SyncedEpoch>> Synchronize(
+      const std::vector<TagReading>& readings,
+      const std::vector<ReaderLocationReport>& locations) const;
+
+  // --- Online (push) interface ---
+  /// Feeds one record; completed epochs become available via Poll().
+  void Push(const TagReading& reading);
+  void Push(const ReaderLocationReport& report);
+  /// Closes every epoch ending at or before `time` and returns them.
+  std::vector<SyncedEpoch> Poll(double time);
+  /// Flushes the remaining partial epoch (end of stream).
+  std::vector<SyncedEpoch> Finish();
+
+  double epoch_seconds() const { return epoch_seconds_; }
+
+ private:
+  struct PendingEpoch {
+    int64_t index = 0;
+    std::vector<TagId> tags;
+    Vec3 location_sum;
+    int location_count = 0;
+    double heading_sin_sum = 0.0;
+    double heading_cos_sum = 0.0;
+    int heading_count = 0;
+  };
+
+  int64_t EpochIndex(double time) const {
+    return static_cast<int64_t>(std::floor(time / epoch_seconds_));
+  }
+  PendingEpoch& Pending(int64_t index);
+  SyncedEpoch Close(PendingEpoch&& pending) const;
+
+  double epoch_seconds_;
+  std::vector<PendingEpoch> pending_;  ///< Sorted by epoch index.
+};
+
+}  // namespace rfid

@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace rfid {
+
+std::string FormatDouble(double v, int precision) {
+  std::ostringstream oss;
+  oss << std::fixed << std::setprecision(precision) << v;
+  return oss.str();
+}
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+Status TableWriter::AddRow(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    return Status::Invalid("row arity " + std::to_string(row.size()) +
+                           " does not match header arity " +
+                           std::to_string(header_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status TableWriter::AddRow(const std::vector<double>& row, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(row.size());
+  for (double v : row) cells.push_back(FormatDouble(v, precision));
+  return AddRow(std::move(cells));
+}
+
+void TableWriter::WriteCsv(std::ostream& os) const {
+  auto write_line = [&os](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << ',';
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  write_line(header_);
+  for (const auto& row : rows_) write_line(row);
+}
+
+void TableWriter::WriteAligned(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto write_line = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i) os << "  ";
+      os << std::setw(static_cast<int>(widths[i])) << std::left << cells[i];
+    }
+    os << '\n';
+  };
+  write_line(header_);
+  for (const auto& row : rows_) write_line(row);
+}
+
+}  // namespace rfid

@@ -1,0 +1,38 @@
+// Minimal CSV / aligned-table writers used by the benchmark harnesses to
+// print figure series and tables in a uniform format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace rfid {
+
+/// Accumulates rows of string cells and renders them either as CSV or as an
+/// aligned text table (for terminal-readable benchmark output).
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one row; must have the same arity as the header.
+  Status AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  Status AddRow(const std::vector<double>& row, int precision = 4);
+
+  void WriteCsv(std::ostream& os) const;
+  void WriteAligned(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for table rows).
+std::string FormatDouble(double v, int precision = 4);
+
+}  // namespace rfid

@@ -1,0 +1,127 @@
+// Deterministic pseudo-random number generation.
+//
+// Self-contained xoshiro256++ generator seeded via splitmix64, plus the
+// distribution helpers used across the codebase (uniform, Gaussian,
+// categorical, Bernoulli). Every stochastic component takes an explicit seed
+// so experiments are reproducible bit-for-bit across platforms, which
+// std::mt19937 + std::normal_distribution would not guarantee.
+#pragma once
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rfid {
+
+/// splitmix64: used to expand a single 64-bit seed into generator state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256++ PRNG with distribution helpers.
+///
+/// Not thread-safe; give each thread / component its own instance.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+    cached_gaussian_valid_ = false;
+  }
+
+  /// Next raw 64-bit output.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n) {
+    assert(n > 0);
+    // Lemire's unbiased bounded generation.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      uint64_t t = -n % n;
+      while (l < t) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Marsaglia polar method (cached pair).
+  double Gaussian() {
+    if (cached_gaussian_valid_) {
+      cached_gaussian_valid_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    cached_gaussian_valid_ = true;
+    return u * factor;
+  }
+
+  /// Normal draw with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Samples an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    assert(total > 0.0);
+    double u = NextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (u < acc) return i;
+    }
+    return weights.size() - 1;  // Guard against floating-point round-off.
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  double cached_gaussian_ = 0.0;
+  bool cached_gaussian_valid_ = false;
+};
+
+}  // namespace rfid

@@ -1,0 +1,228 @@
+// Tests for the baselines: uniform sampling and SMURF adaptive smoothing.
+#include <gtest/gtest.h>
+
+#include "baseline/smurf.h"
+#include "baseline/uniform.h"
+#include "model/cone_sensor.h"
+#include "test_util.h"
+
+namespace rfid {
+namespace {
+
+using testing_util::MakeEpoch;
+
+ShelfRegions LineShelf() {
+  return ShelfRegions({Aabb({1.5, 0, 0}, {2.5, 10, 0})});
+}
+
+// ----------------------------------------------------------- Uniform ------
+
+TEST(UniformBaselineTest, NoReadsNoEstimate) {
+  ConeSensorModel sensor;
+  UniformBaseline baseline({}, &sensor, LineShelf());
+  baseline.ObserveEpoch(MakeEpoch(0, 1.0, {}));
+  EXPECT_FALSE(baseline.EstimateObject(1000).has_value());
+}
+
+TEST(UniformBaselineTest, SamplesClipToShelf) {
+  ConeSensorModel sensor;
+  UniformBaselineConfig config;
+  config.mode = UniformEstimateMode::kMeanOfSamples;
+  config.samples_per_read = 200;
+  UniformBaseline baseline(config, &sensor, LineShelf());
+  baseline.ObserveEpoch(MakeEpoch(0, 5.0, {1000}));
+  const auto est = baseline.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  // Mean of shelf-clipped samples must be inside the shelf x range.
+  EXPECT_GT(est->mean.x, 1.5);
+  EXPECT_LT(est->mean.x, 2.5);
+}
+
+TEST(UniformBaselineTest, MeanXErrorIsHalfShelfDepthForEdgeTags) {
+  // The paper's Fig. 6(b) analysis: with the true tag at the shelf front
+  // edge, uniform sampling over the shelf depth w gives mean |x error| w/2.
+  ConeSensorModel sensor;
+  UniformBaselineConfig config;
+  config.mode = UniformEstimateMode::kMeanOfSamples;
+  config.samples_per_read = 50;
+  UniformBaseline baseline(config, &sensor, LineShelf());
+  for (int t = 0; t < 40; ++t) {
+    baseline.ObserveEpoch(MakeEpoch(t, 3.0 + 0.1 * t, {1000}));
+  }
+  const auto est = baseline.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  // True tag at x = 1.5 (front edge); shelf depth 1.0 -> mean x ~ 2.0.
+  EXPECT_NEAR(est->mean.x - 1.5, 0.5, 0.1);
+}
+
+TEST(UniformBaselineTest, EstimateCentersOnReaderPath) {
+  ConeSensorModel sensor;
+  UniformBaselineConfig config;
+  config.mode = UniformEstimateMode::kMeanOfSamples;
+  UniformBaseline baseline(config, &sensor, ShelfRegions{});  // No shelf clip.
+  for (int t = 0; t < 20; ++t) {
+    baseline.ObserveEpoch(MakeEpoch(t, 5.0, {1000}));
+  }
+  const auto est = baseline.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_NEAR(est->mean.x, 0.0, 0.3);
+  EXPECT_NEAR(est->mean.y, 5.0, 0.3);
+}
+
+TEST(UniformBaselineTest, EpochsWithoutLocationAreSkipped) {
+  ConeSensorModel sensor;
+  UniformBaseline baseline({}, &sensor, LineShelf());
+  SyncedEpoch e;
+  e.tags = {1000};
+  e.has_location = false;
+  baseline.ObserveEpoch(e);
+  EXPECT_FALSE(baseline.EstimateObject(1000).has_value());
+}
+
+TEST(UniformBaselineTest, SingleSampleModeReturnsOneOfTheSamples) {
+  // Default (paper) mode: the estimate is a single uniformly chosen sample
+  // from the sensing-region / shelf overlap.
+  ConeSensorModel sensor;
+  UniformBaseline baseline({}, &sensor, LineShelf());
+  for (int t = 0; t < 10; ++t) {
+    baseline.ObserveEpoch(MakeEpoch(t, 5.0, {1000}));
+  }
+  const auto est = baseline.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  // The sample is clipped to the shelf and within range of the reader path.
+  EXPECT_GE(est->mean.x, 1.5);
+  EXPECT_LE(est->mean.x, 2.5);
+  EXPECT_LT(est->mean.DistanceXYTo({0, 5, 0}), sensor.MaxRange() + 0.01);
+}
+
+TEST(UniformBaselineTest, SupportCountsSamples) {
+  ConeSensorModel sensor;
+  UniformBaselineConfig config;
+  config.samples_per_read = 8;
+  UniformBaseline baseline(config, &sensor, LineShelf());
+  baseline.ObserveEpoch(MakeEpoch(0, 5.0, {1000}));
+  baseline.ObserveEpoch(MakeEpoch(1, 5.1, {1000}));
+  EXPECT_EQ(baseline.EstimateObject(1000)->support, 16);
+}
+
+// -------------------------------------------------------------- SMURF -----
+
+SmurfBaseline MakeSmurf(const SensorModel* sensor) {
+  return SmurfBaseline(SmurfConfig{}, sensor, LineShelf());
+}
+
+TEST(SmurfTest, PresenceRequiresARead) {
+  ConeSensorModel sensor;
+  SmurfBaseline smurf = MakeSmurf(&sensor);
+  smurf.ObserveEpoch(MakeEpoch(0, 1.0, {}));
+  EXPECT_FALSE(smurf.IsPresent(1000));
+  smurf.ObserveEpoch(MakeEpoch(1, 1.1, {1000}));
+  EXPECT_TRUE(smurf.IsPresent(1000));
+}
+
+TEST(SmurfTest, SmoothsOverDropouts) {
+  // Read rate ~50%: the adaptive window must grow enough to bridge misses.
+  ConeSensorModel sensor;
+  SmurfBaseline smurf = MakeSmurf(&sensor);
+  Rng rng(1);
+  int false_absent = 0, epochs_in_range = 0;
+  for (int t = 0; t < 60; ++t) {
+    std::vector<TagId> tags;
+    if (rng.Bernoulli(0.5)) tags.push_back(1000);
+    smurf.ObserveEpoch(MakeEpoch(t, 1.0, tags));
+    if (t > 10) {  // After warm-up.
+      ++epochs_in_range;
+      if (!smurf.IsPresent(1000)) ++false_absent;
+    }
+  }
+  EXPECT_LT(static_cast<double>(false_absent) / epochs_in_range, 0.2);
+}
+
+TEST(SmurfTest, WindowGrowsForLossyTags) {
+  ConeSensorModel sensor;
+  SmurfBaseline smurf = MakeSmurf(&sensor);
+  Rng rng(2);
+  for (int t = 0; t < 40; ++t) {
+    std::vector<TagId> tags;
+    if (rng.Bernoulli(0.3)) tags.push_back(1000);
+    smurf.ObserveEpoch(MakeEpoch(t, 1.0, tags));
+  }
+  const auto w = smurf.WindowSize(1000);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_GE(*w, 4);  // ln(20)/0.3 ~ 10; at least several epochs.
+}
+
+TEST(SmurfTest, DepartedTagEventuallyAbsent) {
+  ConeSensorModel sensor;
+  SmurfBaseline smurf = MakeSmurf(&sensor);
+  for (int t = 0; t < 20; ++t) {
+    smurf.ObserveEpoch(MakeEpoch(t, 1.0, {1000}));
+  }
+  EXPECT_TRUE(smurf.IsPresent(1000));
+  for (int t = 20; t < 60; ++t) {
+    smurf.ObserveEpoch(MakeEpoch(t, 1.0, {}));
+  }
+  EXPECT_FALSE(smurf.IsPresent(1000));
+}
+
+TEST(SmurfTest, LocationEstimateAveragesScopePeriod) {
+  ConeSensorModel sensor;
+  SmurfBaseline smurf = MakeSmurf(&sensor);
+  // Reader sweeps past the tag from y=3 to y=7, reading at every epoch.
+  for (int t = 0; t < 40; ++t) {
+    smurf.ObserveEpoch(MakeEpoch(t, 3.0 + 0.1 * t, {1000}));
+  }
+  // Tag leaves scope.
+  for (int t = 40; t < 80; ++t) {
+    smurf.ObserveEpoch(MakeEpoch(t, 7.0 + 0.1 * (t - 40), {}));
+  }
+  const auto est = smurf.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  // Average of samples around the sweep midpoint (y~5), within the shelf in x.
+  EXPECT_NEAR(est->mean.y, 5.2, 1.2);
+  EXPECT_GT(est->mean.x, 1.4);
+}
+
+TEST(SmurfTest, CannotCorrectReportedLocationBias) {
+  // The documented SMURF weakness (§V-C): samples follow the *reported*
+  // location, so a systematic +1 ft y bias shifts the estimate by ~+1 ft.
+  ConeSensorModel sensor;
+  SmurfBaseline smurf = MakeSmurf(&sensor);
+  for (int t = 0; t < 40; ++t) {
+    smurf.ObserveEpoch(MakeEpoch(t, 3.0 + 0.1 * t, {1000},
+                                 /*reported_offset_y=*/1.0));
+  }
+  for (int t = 40; t < 80; ++t) {
+    smurf.ObserveEpoch(MakeEpoch(t, 7.0 + 0.1 * (t - 40), {},
+                                 /*reported_offset_y=*/1.0));
+  }
+  const auto est = smurf.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_GT(est->mean.y, 5.7);  // Biased upward from the true midpoint ~5.
+}
+
+TEST(SmurfTest, SecondScopePeriodReplacesEstimate) {
+  ConeSensorModel sensor;
+  SmurfBaseline smurf = MakeSmurf(&sensor);
+  for (int t = 0; t < 20; ++t) smurf.ObserveEpoch(MakeEpoch(t, 2.0, {1000}));
+  for (int t = 20; t < 60; ++t) smurf.ObserveEpoch(MakeEpoch(t, 6.0, {}));
+  const auto first = smurf.EstimateObject(1000);
+  ASSERT_TRUE(first.has_value());
+  // Tag reappears near y=8.
+  for (int t = 60; t < 90; ++t) smurf.ObserveEpoch(MakeEpoch(t, 8.0, {1000}));
+  for (int t = 90; t < 130; ++t) smurf.ObserveEpoch(MakeEpoch(t, 12.0, {}));
+  const auto second = smurf.EstimateObject(1000);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(second->mean.y, first->mean.y + 2.0);
+}
+
+TEST(SmurfTest, UnknownTagHasNoState) {
+  ConeSensorModel sensor;
+  const SmurfBaseline smurf = MakeSmurf(&sensor);
+  EXPECT_FALSE(smurf.EstimateObject(42).has_value());
+  EXPECT_FALSE(smurf.IsPresent(42));
+  EXPECT_FALSE(smurf.WindowSize(42).has_value());
+}
+
+}  // namespace
+}  // namespace rfid

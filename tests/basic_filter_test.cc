@@ -1,0 +1,135 @@
+// Tests for the basic (unfactorized) particle filter (§IV-A).
+#include <gtest/gtest.h>
+
+#include "pf/basic_filter.h"
+#include "test_util.h"
+
+namespace rfid {
+namespace {
+
+using testing_util::MakeEpoch;
+using testing_util::MakeLineWorld;
+
+BasicFilterConfig SmallConfig(int particles = 2000) {
+  BasicFilterConfig c;
+  c.num_particles = particles;
+  c.seed = 17;
+  return c;
+}
+
+TEST(BasicFilterTest, UnknownTagHasNoEstimate) {
+  BasicParticleFilter filter(MakeLineWorld(), SmallConfig(100));
+  filter.ObserveEpoch(MakeEpoch(0, 0.0, {}));
+  EXPECT_FALSE(filter.EstimateObject(1000).has_value());
+  EXPECT_EQ(filter.NumTrackedObjects(), 0u);
+}
+
+TEST(BasicFilterTest, TracksReaderAlongReportedPath) {
+  BasicParticleFilter filter(MakeLineWorld(), SmallConfig(500));
+  for (int t = 0; t < 50; ++t) {
+    filter.ObserveEpoch(MakeEpoch(t, 0.1 * t, {}));
+  }
+  const ReaderEstimate est = filter.EstimateReader();
+  EXPECT_NEAR(est.mean.y, 0.1 * 49, 0.3);
+  EXPECT_NEAR(est.mean.x, 0.0, 0.3);
+}
+
+TEST(BasicFilterTest, ObjectEstimateConvergesNearTruth) {
+  // Object at (1.5, 2.0): the reader passes by and reads it repeatedly.
+  BasicParticleFilter filter(MakeLineWorld(), SmallConfig(3000));
+  const Vec3 truth{1.5, 2.0, 0.0};
+  ConeSensorModel sensor;
+  Rng rng(3);
+  for (int t = 0; t < 60; ++t) {
+    const double y = 0.1 * t - 1.0 + 2.0;  // Pass from y=1 to y=7 around it.
+    std::vector<TagId> tags;
+    const Pose pose({0.0, y, 0.0}, 0.0);
+    if (rng.Bernoulli(sensor.ProbReadAt(pose, truth))) tags.push_back(1000);
+    filter.ObserveEpoch(MakeEpoch(t, y, tags));
+  }
+  const auto est = filter.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LT(est->mean.DistanceXYTo(truth), 1.0);
+  EXPECT_EQ(est->support, 3000);
+}
+
+TEST(BasicFilterTest, NewObjectsGetSlots) {
+  BasicParticleFilter filter(MakeLineWorld(), SmallConfig(200));
+  filter.ObserveEpoch(MakeEpoch(0, 2.0, {1000, 1001}));
+  EXPECT_EQ(filter.NumTrackedObjects(), 2u);
+  EXPECT_TRUE(filter.EstimateObject(1000).has_value());
+  EXPECT_TRUE(filter.EstimateObject(1001).has_value());
+  // Shelf tags never become object slots.
+  filter.ObserveEpoch(MakeEpoch(1, 2.1, {1}));
+  EXPECT_EQ(filter.NumTrackedObjects(), 2u);
+  EXPECT_FALSE(filter.EstimateObject(1).has_value());
+}
+
+TEST(BasicFilterTest, InitialParticlesComeFromSensingCone) {
+  BasicParticleFilter filter(MakeLineWorld(), SmallConfig(2000));
+  filter.ObserveEpoch(MakeEpoch(0, 3.0, {1000}));
+  const auto est = filter.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  // The cone points toward +x from (0, 3): the estimate must be in front of
+  // the reader and within the (overestimated) range.
+  EXPECT_GT(est->mean.x, 0.0);
+  EXPECT_LT(est->mean.DistanceXYTo({0, 3, 0}), 4.5 * 1.2 + 0.5);
+}
+
+TEST(BasicFilterTest, VarianceShrinksWithMoreReadings) {
+  BasicParticleFilter filter(MakeLineWorld(), SmallConfig(2000));
+  filter.ObserveEpoch(MakeEpoch(0, 1.0, {1000}));
+  const auto first = filter.EstimateObject(1000);
+  ASSERT_TRUE(first.has_value());
+  const double var0 = first->variance.x + first->variance.y;
+  for (int t = 1; t < 30; ++t) {
+    filter.ObserveEpoch(MakeEpoch(t, 1.0 + 0.1 * t, {1000}));
+  }
+  const auto later = filter.EstimateObject(1000);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_LT(later->variance.x + later->variance.y, var0);
+}
+
+TEST(BasicFilterTest, DeterministicForFixedSeed) {
+  auto run = [](uint64_t seed) {
+    BasicFilterConfig c = SmallConfig(500);
+    c.seed = seed;
+    BasicParticleFilter filter(MakeLineWorld(), c);
+    for (int t = 0; t < 20; ++t) {
+      filter.ObserveEpoch(MakeEpoch(t, 0.1 * t, t % 3 == 0
+                                                    ? std::vector<TagId>{1000}
+                                                    : std::vector<TagId>{}));
+    }
+    return filter.EstimateObject(1000)->mean;
+  };
+  const Vec3 a = run(5), b = run(5), c = run(6);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BasicFilterTest, ShelfTagEvidenceCorrectsSystematicBias) {
+  // Reported locations are biased +0.8 in y; shelf tags anchor the truth.
+  WorldModel model = MakeLineWorld(1e-4, {0.0, 0.8, 0.0}, {0.05, 0.05, 0.0});
+  BasicFilterConfig config = SmallConfig(4000);
+  BasicParticleFilter filter(std::move(model), config);
+  ConeSensorModel sensor;
+  Rng rng(9);
+  // True reader path passes the shelf tag at y=2.5; reports say y+0.8.
+  for (int t = 0; t < 50; ++t) {
+    const double y = 0.1 * t;
+    std::vector<TagId> tags;
+    const Pose pose({0.0, y, 0.0}, 0.0);
+    for (TagId shelf_tag : {1u, 2u}) {
+      const Vec3 loc = shelf_tag == 1 ? Vec3{1.5, 2.5, 0} : Vec3{1.5, 7.5, 0};
+      if (rng.Bernoulli(sensor.ProbReadAt(pose, loc))) tags.push_back(shelf_tag);
+    }
+    filter.ObserveEpoch(MakeEpoch(t, y, tags, /*reported_offset_y=*/0.8));
+  }
+  const ReaderEstimate est = filter.EstimateReader();
+  // Without correction the estimate would sit near 4.9 + 0.8; the model knows
+  // the bias, so the posterior must land near the true 4.9.
+  EXPECT_NEAR(est.mean.y, 4.9, 0.4);
+}
+
+}  // namespace
+}  // namespace rfid

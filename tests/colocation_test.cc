@@ -1,0 +1,122 @@
+// Tests for the containment-candidate (co-location) tracker — the prototype
+// of the paper's §VII future work on inter-object relationships.
+#include <gtest/gtest.h>
+
+#include "stream/colocation.h"
+
+namespace rfid {
+namespace {
+
+LocationEvent Ev(double time, TagId tag, double x, double y) {
+  LocationEvent e;
+  e.time = time;
+  e.tag = tag;
+  e.location = {x, y, 0.0};
+  return e;
+}
+
+TEST(ColocationTest, NoPairsInitially) {
+  ColocationTracker tracker;
+  EXPECT_TRUE(tracker.Candidates().empty());
+  EXPECT_FALSE(tracker.PairStats(1, 2).has_value());
+}
+
+TEST(ColocationTest, PersistentlyCloseTagsBecomeCandidates) {
+  ColocationTracker tracker;
+  for (int t = 0; t < 5; ++t) {
+    tracker.Process(Ev(t * 10.0, 1, 2.0, 3.0));
+    tracker.Process(Ev(t * 10.0 + 1, 2, 2.3, 3.2));
+  }
+  const auto candidates = tracker.Candidates();
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].a, 1u);
+  EXPECT_EQ(candidates[0].b, 2u);
+  EXPECT_GE(candidates[0].ratio, 0.8);
+  EXPECT_GE(candidates[0].joint_observations, 3);
+}
+
+TEST(ColocationTest, DistantTagsAreNotCandidates) {
+  ColocationTracker tracker;
+  for (int t = 0; t < 5; ++t) {
+    tracker.Process(Ev(t * 10.0, 1, 2.0, 3.0));
+    tracker.Process(Ev(t * 10.0 + 1, 2, 2.0, 8.0));
+  }
+  EXPECT_TRUE(tracker.Candidates().empty());
+  const auto stats = tracker.PairStats(1, 2);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->colocated_observations, 0);
+  EXPECT_GE(stats->joint_observations, 3);
+}
+
+TEST(ColocationTest, StaleReportsAreNotJoint) {
+  ColocationConfig config;
+  config.time_slack_seconds = 5.0;
+  ColocationTracker tracker(config);
+  tracker.Process(Ev(0.0, 1, 2.0, 3.0));
+  tracker.Process(Ev(100.0, 2, 2.0, 3.0));  // Long after tag 1's report.
+  EXPECT_FALSE(tracker.PairStats(1, 2).has_value());
+}
+
+TEST(ColocationTest, RequiresMinimumJointObservations) {
+  ColocationConfig config;
+  config.min_joint_observations = 4;
+  config.time_slack_seconds = 5.0;  // Only same-round reports are joint.
+  ColocationTracker tracker(config);
+  for (int t = 0; t < 3; ++t) {
+    tracker.Process(Ev(t * 10.0, 1, 2.0, 3.0));
+    tracker.Process(Ev(t * 10.0 + 1, 2, 2.1, 3.0));
+  }
+  EXPECT_TRUE(tracker.Candidates().empty());  // Only 3 joint observations.
+}
+
+TEST(ColocationTest, RatioThresholdFiltersFlakyPairs) {
+  ColocationConfig config;
+  config.min_colocation_ratio = 0.8;
+  config.time_slack_seconds = 5.0;  // Only same-round reports are joint.
+  ColocationTracker tracker(config);
+  // Half of the joint observations are far apart: ratio 0.5 < 0.8.
+  for (int t = 0; t < 8; ++t) {
+    tracker.Process(Ev(t * 10.0, 1, 2.0, 3.0));
+    const double y = (t % 2 == 0) ? 3.0 : 9.0;
+    tracker.Process(Ev(t * 10.0 + 1, 2, 2.0, y));
+  }
+  EXPECT_TRUE(tracker.Candidates().empty());
+  const auto stats = tracker.PairStats(1, 2);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_NEAR(stats->ratio, 0.5, 0.01);
+}
+
+TEST(ColocationTest, CandidatesSortedByRatio) {
+  ColocationTracker tracker;
+  // Pair (1,2): perfectly co-located. Pair (3,4): mostly co-located.
+  for (int t = 0; t < 10; ++t) {
+    tracker.Process(Ev(t * 10.0, 1, 2.0, 3.0));
+    tracker.Process(Ev(t * 10.0 + 1, 2, 2.1, 3.0));
+    tracker.Process(Ev(t * 10.0 + 2, 3, 12.0, 3.0));
+    tracker.Process(Ev(t * 10.0 + 3, 4, t < 9 ? 12.1 : 20.0, 3.0));
+  }
+  const auto candidates = tracker.Candidates();
+  ASSERT_GE(candidates.size(), 2u);
+  EXPECT_EQ(candidates[0].a, 1u);
+  EXPECT_GE(candidates[0].ratio, candidates[1].ratio);
+}
+
+TEST(ColocationTest, ManyTagsOnlyAdjacentPairsQualify) {
+  // Tags on a line, 2 ft apart; radius 1 ft -> no pair qualifies; radius
+  // 2.5 ft -> only adjacent pairs do.
+  ColocationConfig config;
+  config.colocation_radius_feet = 2.5;
+  ColocationTracker tracker(config);
+  for (int t = 0; t < 5; ++t) {
+    for (TagId tag = 0; tag < 4; ++tag) {
+      tracker.Process(Ev(t * 10.0 + tag, tag, 2.0 * tag, 0.0));
+    }
+  }
+  for (const auto& c : tracker.Candidates()) {
+    EXPECT_EQ(c.b - c.a, 1u) << "non-adjacent pair " << c.a << "," << c.b;
+  }
+  EXPECT_FALSE(tracker.Candidates().empty());
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,178 @@
+// Tests for EM self-calibration (§III-C): learning the sensor model and the
+// location-sensing parameters from a small simulated training trace.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "learn/em.h"
+#include "model/cone_sensor.h"
+#include "sim/trace.h"
+
+namespace rfid {
+namespace {
+
+/// Small training warehouse: one shelf, 20 tags of which `shelf_tags` have
+/// known locations (the paper's calibration setup).
+struct TrainingSetup {
+  WarehouseLayout layout;
+  SimulatedTrace trace;
+};
+
+TrainingSetup MakeTrainingTrace(int shelf_tag_count, uint64_t seed) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 10.0;
+  wc.objects_per_shelf = 20 - shelf_tag_count;
+  wc.shelf_tags_per_shelf = shelf_tag_count;
+  auto layout = BuildWarehouse(wc);
+  EXPECT_TRUE(layout.ok());
+  ConeSensorModel true_sensor;
+  RobotConfig robot;
+  TraceGenerator gen(layout.value(), robot, ObjectMovementConfig{},
+                     true_sensor, seed);
+  return {layout.value(), gen.Generate()};
+}
+
+EmConfig FastEmConfig() {
+  EmConfig config;
+  config.iterations = 3;
+  config.filter.num_reader_particles = 40;
+  config.filter.num_object_particles = 200;
+  config.seed = 99;
+  return config;
+}
+
+WorldModel InitialModel(const WarehouseLayout& layout) {
+  // Deliberately wrong initial sensor (generic logistic), correct-ish motion.
+  ExperimentModelOptions options;
+  options.motion.delta = {0.0, 0.1, 0.0};
+  options.motion.sigma = {0.02, 0.02, 0.0};
+  return MakeWorldModel(layout, std::make_unique<LogisticSensorModel>(),
+                        options);
+}
+
+TEST(EmCalibratorTest, EmptyTraceFails) {
+  const auto setup = MakeTrainingTrace(4, 1);
+  EmCalibrator calibrator(InitialModel(setup.layout), FastEmConfig());
+  EXPECT_FALSE(calibrator.Calibrate({}).ok());
+}
+
+TEST(EmCalibratorTest, LearnedSensorApproximatesTrueCone) {
+  const auto setup = MakeTrainingTrace(/*shelf_tag_count=*/10, 2);
+  EmCalibrator calibrator(InitialModel(setup.layout), FastEmConfig());
+  const auto result = calibrator.Calibrate(setup.trace.ObservationsOnly());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const ConeSensorModel truth;
+  const SensorModel& learned = result.value().model.sensor();
+  // The learned model must broadly match the cone on the geometry the
+  // deployment can actually produce: the reader scans the aisle at a
+  // perpendicular distance of ~1.5 ft from the tag plane, so only (d, theta)
+  // pairs with d * cos(theta) near the shelf offset are observable. Compare
+  // over that reachable manifold (tags up to 3 ft along the shelf, particles
+  // up to 1 ft deep into the shelf).
+  EXPECT_GT(learned.ProbRead(1.55, 0.05), 0.5);   // Dead ahead at the shelf.
+  EXPECT_LT(learned.ProbRead(6.0, 0.05), 0.4);    // Far: never read.
+  EXPECT_LT(learned.ProbRead(2.5, 1.0), 0.4);     // Far off-axis: never read.
+  double dev = 0.0;
+  int n = 0;
+  for (double perp = 1.5; perp <= 2.5; perp += 0.5) {
+    for (double along = 0.0; along <= 3.0; along += 0.25) {
+      const double d = std::hypot(perp, along);
+      const double th = std::atan2(along, perp);
+      dev += std::abs(learned.ProbRead(d, th) - truth.ProbRead(d, th));
+      ++n;
+    }
+  }
+  EXPECT_LT(dev / n, 0.30);
+}
+
+TEST(EmCalibratorTest, ReportsIterationStats) {
+  const auto setup = MakeTrainingTrace(6, 3);
+  EmConfig config = FastEmConfig();
+  config.iterations = 2;
+  EmCalibrator calibrator(InitialModel(setup.layout), config);
+  const auto result = calibrator.Calibrate(setup.trace.ObservationsOnly());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().iterations.size(), 2u);
+  EXPECT_GT(result.value().iterations[0].num_examples, 0u);
+}
+
+TEST(EmCalibratorTest, LearnsMotionDelta) {
+  const auto setup = MakeTrainingTrace(6, 4);
+  EmCalibrator calibrator(InitialModel(setup.layout), FastEmConfig());
+  const auto result = calibrator.Calibrate(setup.trace.ObservationsOnly());
+  ASSERT_TRUE(result.ok());
+  // Robot moves +0.1 ft per epoch along y.
+  const Vec3 delta = result.value().model.motion().params().delta;
+  EXPECT_NEAR(delta.y, 0.1, 0.03);
+  EXPECT_NEAR(delta.x, 0.0, 0.03);
+}
+
+TEST(EmCalibratorTest, LearnsLocationSensingBias) {
+  // Trace with a systematic +0.5 ft bias in reported y.
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 10.0;
+  wc.objects_per_shelf = 10;
+  wc.shelf_tags_per_shelf = 10;
+  auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  RobotConfig robot;
+  robot.sensing_noise.mu = {0.0, 0.5, 0.0};
+  robot.sensing_noise.sigma = {0.05, 0.05, 0.0};
+  ConeSensorModel true_sensor;
+  TraceGenerator gen(layout.value(), robot, ObjectMovementConfig{},
+                     true_sensor, 5);
+  const SimulatedTrace trace = gen.Generate();
+
+  // Initial model assumes no bias and a generous sigma.
+  ExperimentModelOptions options;
+  options.motion.delta = {0.0, 0.1, 0.0};
+  options.motion.sigma = {0.02, 0.02, 0.0};
+  options.sensing.sigma = {0.2, 0.2, 0.0};
+  WorldModel initial = MakeWorldModel(
+      layout.value(), std::make_unique<ConeSensorModel>(), options);
+
+  EmConfig config = FastEmConfig();
+  config.learn_sensor = false;  // Isolate the sensing-parameter learning.
+  EmCalibrator calibrator(std::move(initial), config);
+  const auto result = calibrator.Calibrate(trace.ObservationsOnly());
+  ASSERT_TRUE(result.ok());
+  const Vec3 mu = result.value().model.location_sensing().params().mu;
+  // The learned bias should move substantially toward +0.5 (shelf tags
+  // anchor the true trajectory).
+  EXPECT_GT(mu.y, 0.2);
+  EXPECT_LT(mu.y, 0.8);
+}
+
+TEST(EmCalibratorTest, MoreShelfTagsGiveBetterSensorFit) {
+  // Reproduces the trend of Fig. 5(e): models learned with more known-
+  // location tags fit the true sensor better (compare 1 vs 12 shelf tags),
+  // measured over the (d, theta) manifold the deployment can produce.
+  const ConeSensorModel truth;
+  auto fit_quality = [&](int shelf_tags, uint64_t seed) {
+    const auto setup = MakeTrainingTrace(shelf_tags, seed);
+    EmCalibrator calibrator(InitialModel(setup.layout), FastEmConfig());
+    const auto result = calibrator.Calibrate(setup.trace.ObservationsOnly());
+    if (!result.ok()) return 1e9;
+    // Evaluate on the tag plane (perpendicular distance = shelf offset),
+    // which is where the filter queries the model for real objects.
+    double dev = 0.0;
+    int n = 0;
+    const double perp = 1.5;
+    for (double along = 0.0; along <= 3.0; along += 0.25) {
+      const double d = std::hypot(perp, along);
+      const double th = std::atan2(along, perp);
+      dev += std::abs(result.value().model.sensor().ProbRead(d, th) -
+                      truth.ProbRead(d, th));
+      ++n;
+    }
+    return dev / n;
+  };
+  const double many = 0.5 * (fit_quality(12, 7) + fit_quality(12, 8));
+  const double few = 0.5 * (fit_quality(1, 7) + fit_quality(1, 8));
+  EXPECT_LT(many, few + 0.02);
+}
+
+}  // namespace
+}  // namespace rfid

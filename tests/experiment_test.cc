@@ -1,0 +1,159 @@
+// Tests for core/: ErrorStats and the experiment helpers.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "model/cone_sensor.h"
+
+namespace rfid {
+namespace {
+
+// -------------------------------------------------------------- ErrorStats -
+
+TEST(ErrorStatsTest, EmptyIsZero) {
+  ErrorStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_EQ(stats.MeanXY(), 0.0);
+  EXPECT_EQ(stats.count(), 0u);
+}
+
+TEST(ErrorStatsTest, SingleSampleAxes) {
+  ErrorStats stats;
+  stats.Add({3.0, 4.0, 1.0}, {0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(stats.MeanX(), 3.0);
+  EXPECT_DOUBLE_EQ(stats.MeanY(), 4.0);
+  EXPECT_DOUBLE_EQ(stats.MeanZ(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.MeanXY(), 5.0);
+  EXPECT_NEAR(stats.MeanXYZ(), std::sqrt(26.0), 1e-12);
+}
+
+TEST(ErrorStatsTest, MeansAverageOverSamples) {
+  ErrorStats stats;
+  stats.Add({1.0, 0.0, 0.0}, {0.0, 0.0, 0.0});
+  stats.Add({3.0, 0.0, 0.0}, {0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(stats.MeanX(), 2.0);
+  EXPECT_EQ(stats.count(), 2u);
+}
+
+TEST(ErrorStatsTest, ErrorsAreAbsolute) {
+  ErrorStats stats;
+  stats.Add({-2.0, 1.0, 0.0}, {0.0, 0.0, 0.0});
+  stats.Add({2.0, -1.0, 0.0}, {0.0, 0.0, 0.0});
+  // Signed errors would cancel; absolute must not.
+  EXPECT_DOUBLE_EQ(stats.MeanX(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.MeanY(), 1.0);
+}
+
+// ----------------------------------------------------------- MakeWorldModel
+
+TEST(ExperimentTest, MakeWorldModelWiresLayout) {
+  WarehouseConfig wc;
+  wc.num_shelves = 2;
+  wc.shelf_tags_per_shelf = 3;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  ExperimentModelOptions options;
+  options.object_move_probability = 0.01;
+  const WorldModel model = MakeWorldModel(
+      layout.value(), std::make_unique<ConeSensorModel>(), options);
+  EXPECT_EQ(model.shelf_tags().size(), 6u);
+  EXPECT_EQ(model.object_model().params().move_probability, 0.01);
+  EXPECT_EQ(model.object_model().shelves().size(), 2u);
+  // Every shelf tag location lies on a shelf edge covered by the regions'
+  // bounding box.
+  for (const ShelfTag& s : model.shelf_tags()) {
+    EXPECT_TRUE(model.object_model().shelves().BoundingBox().Contains(
+        s.location));
+  }
+}
+
+// ------------------------------------------------------------- Run helpers
+
+TEST(ExperimentTest, RunEngineOnTraceCountsObjects) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 6.0;
+  wc.objects_per_shelf = 6;
+  wc.shelf_tags_per_shelf = 2;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, 12);
+  const SimulatedTrace trace = gen.Generate();
+
+  EngineConfig config;
+  config.factored.num_reader_particles = 30;
+  config.factored.num_object_particles = 100;
+  config.factored.seed = 12;
+  auto engine = RfidInferenceEngine::Create(
+      MakeWorldModel(layout.value(), sensor.Clone()), config);
+  ASSERT_TRUE(engine.ok());
+  const TraceEvaluation eval = RunEngineOnTrace(engine.value().get(), trace);
+  EXPECT_EQ(eval.objects_evaluated + eval.objects_missing, 6u);
+  EXPECT_EQ(eval.objects_missing, 0u);  // 100% read rate: all seen.
+  EXPECT_EQ(eval.engine_stats.epochs_processed, trace.epochs.size());
+  EXPECT_GT(eval.engine_stats.readings_processed, 0u);
+}
+
+TEST(ExperimentTest, EvaluateEventsUsesEventTimeTruth) {
+  // An object moves at t=100; an event before the move must be scored
+  // against the old location, one after against the new.
+  const std::vector<ObjectPlacement> objs = {{5, {0, 0, 0}}};
+  const GroundTruth truth(objs, {{100.0, 5, {0, 0, 0}, {0, 10, 0}}});
+
+  LocationEvent before;
+  before.time = 50.0;
+  before.tag = 5;
+  before.location = {0, 0, 0};
+  LocationEvent after;
+  after.time = 150.0;
+  after.tag = 5;
+  after.location = {0, 10, 0};
+
+  const ErrorStats stats = EvaluateEvents({before, after},
+                                          truth);
+  EXPECT_EQ(stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.MeanXY(), 0.0);
+
+  // Swapped locations: both wrong by 10 ft.
+  LocationEvent wrong_before = before;
+  wrong_before.location = {0, 10, 0};
+  LocationEvent wrong_after = after;
+  wrong_after.location = {0, 0, 0};
+  const ErrorStats wrong = EvaluateEvents({wrong_before, wrong_after}, truth);
+  EXPECT_DOUBLE_EQ(wrong.MeanXY(), 10.0);
+}
+
+TEST(ExperimentTest, EvaluateEventsSkipsUnknownTags) {
+  const std::vector<ObjectPlacement> objs = {{5, {0, 0, 0}}};
+  const GroundTruth truth(objs, {});
+  LocationEvent e;
+  e.tag = 999;  // Not in ground truth.
+  e.location = {1, 1, 0};
+  EXPECT_EQ(EvaluateEvents({e}, truth).count(), 0u);
+}
+
+TEST(ExperimentTest, BaselineRunnersProduceEvaluations) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 6.0;
+  wc.objects_per_shelf = 4;
+  wc.shelf_tags_per_shelf = 2;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, 13);
+  const SimulatedTrace trace = gen.Generate();
+
+  UniformBaseline uniform({}, &sensor, layout.value().MakeShelfRegions());
+  const auto u = RunUniformOnTrace(&uniform, trace);
+  EXPECT_EQ(u.objects_evaluated, 4u);
+  EXPECT_GT(u.errors.MeanXY(), 0.0);
+
+  SmurfBaseline smurf(SmurfConfig{}, &sensor,
+                      layout.value().MakeShelfRegions());
+  const auto s = RunSmurfOnTrace(&smurf, trace);
+  EXPECT_GT(s.objects_evaluated, 0u);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,318 @@
+// Tests for the factored particle filter (§IV-B..D): factored weighting,
+// spatial-index gating, re-initialization rules, belief compression and the
+// decompression cycle.
+#include <gtest/gtest.h>
+
+#include "pf/factored_filter.h"
+#include "test_util.h"
+
+namespace rfid {
+namespace {
+
+using testing_util::MakeEpoch;
+using testing_util::MakeLineWorld;
+
+FactoredFilterConfig SmallConfig() {
+  FactoredFilterConfig c;
+  c.num_reader_particles = 50;
+  c.num_object_particles = 400;
+  c.seed = 23;
+  return c;
+}
+
+/// Scripted pass of the reader from y=0 to y=0.1*(epochs-1), reading the
+/// given object when the true cone would plausibly see it.
+void RunPass(FactoredParticleFilter* filter, const Vec3& object_pos,
+             TagId tag, int epochs, uint64_t seed, double y0 = 0.0,
+             int64_t step0 = 0) {
+  ConeSensorModel sensor;
+  Rng rng(seed);
+  for (int t = 0; t < epochs; ++t) {
+    const double y = y0 + 0.1 * t;
+    std::vector<TagId> tags;
+    const Pose pose({0.0, y, 0.0}, 0.0);
+    if (rng.Bernoulli(sensor.ProbReadAt(pose, object_pos))) {
+      tags.push_back(tag);
+    }
+    filter->ObserveEpoch(MakeEpoch(step0 + t, y, tags));
+  }
+}
+
+TEST(FactoredFilterTest, UnknownTagHasNoEstimate) {
+  FactoredParticleFilter filter(MakeLineWorld(), SmallConfig());
+  filter.ObserveEpoch(MakeEpoch(0, 0.0, {}));
+  EXPECT_FALSE(filter.EstimateObject(1000).has_value());
+  EXPECT_EQ(filter.FindObject(1000), nullptr);
+}
+
+TEST(FactoredFilterTest, ReaderWeightsAreNormalized) {
+  FactoredParticleFilter filter(MakeLineWorld(), SmallConfig());
+  for (int t = 0; t < 10; ++t) {
+    filter.ObserveEpoch(MakeEpoch(t, 0.1 * t, {}));
+  }
+  double sum = 0.0;
+  for (const auto& r : filter.reader_particles()) sum += r.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FactoredFilterTest, ObjectWeightsAreNormalized) {
+  FactoredParticleFilter filter(MakeLineWorld(), SmallConfig());
+  filter.ObserveEpoch(MakeEpoch(0, 2.0, {1000}));
+  const auto* state = filter.FindObject(1000);
+  ASSERT_NE(state, nullptr);
+  double sum = 0.0;
+  for (const auto& p : state->particles) sum += p.weight;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FactoredFilterTest, ParticlePointersReferenceValidReaders) {
+  FactoredParticleFilter filter(MakeLineWorld(), SmallConfig());
+  RunPass(&filter, {1.5, 2.0, 0.0}, 1000, 60, 31);
+  const auto* state = filter.FindObject(1000);
+  ASSERT_NE(state, nullptr);
+  for (const auto& p : state->particles) {
+    EXPECT_LT(p.reader_idx, filter.reader_particles().size());
+  }
+}
+
+TEST(FactoredFilterTest, ConvergesNearTruth) {
+  FactoredParticleFilter filter(MakeLineWorld(), SmallConfig());
+  const Vec3 truth{1.5, 2.0, 0.0};
+  RunPass(&filter, truth, 1000, 60, 37);
+  const auto est = filter.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LT(est->mean.DistanceXYTo(truth), 1.0);
+}
+
+TEST(FactoredFilterTest, TracksReaderAlongPath) {
+  FactoredParticleFilter filter(MakeLineWorld(), SmallConfig());
+  for (int t = 0; t < 50; ++t) {
+    filter.ObserveEpoch(MakeEpoch(t, 0.1 * t, {}));
+  }
+  EXPECT_NEAR(filter.EstimateReader().mean.y, 4.9, 0.3);
+}
+
+TEST(FactoredFilterTest, NegativeEvidencePrunesCloseHypotheses) {
+  // The object is read once, then repeatedly missed while the reader is
+  // nearby: particles right in front of the reader must lose weight, so the
+  // variance along the aisle shrinks slower than the mean drifts away from
+  // the reader's subsequent positions.
+  FactoredParticleFilter filter(MakeLineWorld(), SmallConfig());
+  filter.ObserveEpoch(MakeEpoch(0, 2.0, {1000}));
+  const auto first = filter.EstimateObject(1000);
+  ASSERT_TRUE(first.has_value());
+  // Reader moves on without ever reading the object again.
+  for (int t = 1; t < 15; ++t) {
+    filter.ObserveEpoch(MakeEpoch(t, 2.0 + 0.1 * t, {}));
+  }
+  const auto later = filter.EstimateObject(1000);
+  ASSERT_TRUE(later.has_value());
+  const double var0 = first->variance.x + first->variance.y;
+  const double var1 = later->variance.x + later->variance.y;
+  EXPECT_LT(var1, var0 * 1.5);  // Does not blow up.
+}
+
+TEST(FactoredFilterTest, DeterministicForFixedSeed) {
+  auto run = [](uint64_t seed) {
+    FactoredFilterConfig c = SmallConfig();
+    c.seed = seed;
+    FactoredParticleFilter filter(MakeLineWorld(), c);
+    RunPass(&filter, {1.5, 3.0, 0.0}, 1000, 50, 41);
+    return filter.EstimateObject(1000)->mean;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_FALSE(run(5) == run(6));
+}
+
+TEST(FactoredFilterTest, SpatialIndexVariantTracksLikeFullProcessing) {
+  auto run = [](bool use_index) {
+    FactoredFilterConfig c = SmallConfig();
+    c.use_spatial_index = use_index;
+    FactoredParticleFilter filter(MakeLineWorld(), c);
+    RunPass(&filter, {1.5, 2.0, 0.0}, 1000, 70, 43);
+    return filter.EstimateObject(1000)->mean;
+  };
+  const Vec3 with_index = run(true);
+  const Vec3 without = run(false);
+  // Both must land near the true object; the index is an approximation, not
+  // a different answer.
+  EXPECT_LT(with_index.DistanceXYTo({1.5, 2.0, 0}), 1.0);
+  EXPECT_LT(without.DistanceXYTo({1.5, 2.0, 0}), 1.0);
+}
+
+// --------------------------------------------------------- Reinit rules ---
+
+TEST(FactoredFilterTest, FullReinitWhenSeenFarAway) {
+  FactoredFilterConfig c = SmallConfig();
+  FactoredParticleFilter filter(MakeLineWorld(), c);
+  // Seen around y=2 first, then the reader travels (without reading the
+  // object) to y=14, far beyond reinit_full_fraction * 4.5 ft.
+  RunPass(&filter, {1.5, 2.0, 0.0}, 1000, 30, 47);
+  int64_t step = filter.current_step();
+  for (double y = 3.0; y < 14.0; y += 0.1) {
+    filter.ObserveEpoch(MakeEpoch(step++, y, {}));
+  }
+  // The object reappears under the reader at y=14: full re-initialization.
+  filter.ObserveEpoch(MakeEpoch(step, 14.0, {1000}));
+  const auto est = filter.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  // Estimate must have jumped to the new neighbourhood.
+  EXPECT_GT(est->mean.y, 8.0);
+}
+
+TEST(FactoredFilterTest, HalfReinitKeepsBothHypotheses) {
+  FactoredFilterConfig c = SmallConfig();
+  c.reinit_keep_fraction = 0.2;   // Force the half-reinit branch at ~4 ft.
+  c.reinit_full_fraction = 2.0;
+  // Disable object resampling so the kept (low-likelihood) half remains
+  // visible in the particle positions for this inspection.
+  c.object_resample_threshold = 0.0;
+  FactoredParticleFilter filter(MakeLineWorld(), c);
+  RunPass(&filter, {1.5, 2.0, 0.0}, 1000, 25, 53);
+  int64_t step = filter.current_step();
+  for (double y = 2.5; y < 6.0; y += 0.1) {
+    filter.ObserveEpoch(MakeEpoch(step++, y, {}));
+  }
+  // One read from ~4 ft down the aisle: ambiguous.
+  filter.ObserveEpoch(MakeEpoch(step, 6.0, {1000}));
+  const auto* state = filter.FindObject(1000);
+  ASSERT_NE(state, nullptr);
+  // Particles should now straddle both neighbourhoods.
+  int low = 0, high = 0;
+  for (const auto& p : state->particles) {
+    if (p.position.y < 4.0) ++low;
+    if (p.position.y >= 4.0) ++high;
+  }
+  EXPECT_GT(low, 0);
+  EXPECT_GT(high, 0);
+}
+
+// ---------------------------------------------------------- Compression ---
+
+FactoredFilterConfig CompressionConfig() {
+  FactoredFilterConfig c = SmallConfig();
+  c.use_spatial_index = true;
+  c.compression.mode = CompressionMode::kUnseenEpochs;
+  c.compression.compress_after_epochs = 5;
+  return c;
+}
+
+TEST(FactoredFilterTest, ObjectCompressesAfterLeavingScope) {
+  FactoredParticleFilter filter(MakeLineWorld(), CompressionConfig());
+  RunPass(&filter, {1.5, 2.0, 0.0}, 1000, 40, 59);
+  // Keep scanning far past the object so it goes unprocessed (sensing boxes
+  // stop overlapping the recorded ones once the reader is ~2 ranges away).
+  for (int t = 40; t < 160; ++t) {
+    filter.ObserveEpoch(MakeEpoch(t, 0.1 * t, {}));
+  }
+  const auto* state = filter.FindObject(1000);
+  ASSERT_NE(state, nullptr);
+  EXPECT_TRUE(state->IsCompressed());
+  EXPECT_EQ(filter.NumCompressedObjects(), 1u);
+  EXPECT_EQ(filter.NumActiveObjects(), 0u);
+}
+
+TEST(FactoredFilterTest, CompressedEstimateStaysNearTruth) {
+  FactoredParticleFilter filter(MakeLineWorld(), CompressionConfig());
+  const Vec3 truth{1.5, 2.0, 0.0};
+  RunPass(&filter, truth, 1000, 40, 61);
+  const Vec3 before = filter.EstimateObject(1000)->mean;
+  for (int t = 40; t < 160; ++t) {
+    filter.ObserveEpoch(MakeEpoch(t, 0.1 * t, {}));
+  }
+  const auto est = filter.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_EQ(est->support, 0);  // Compressed representation.
+  EXPECT_LT(est->mean.DistanceXYTo(before), 0.2);
+}
+
+TEST(FactoredFilterTest, DecompressionRevivesParticles) {
+  FactoredFilterConfig c = CompressionConfig();
+  c.num_decompress_particles = 10;
+  FactoredParticleFilter filter(MakeLineWorld(), c);
+  const Vec3 truth{1.5, 2.0, 0.0};
+  RunPass(&filter, truth, 1000, 40, 67);
+  for (int t = 40; t < 160; ++t) {
+    filter.ObserveEpoch(MakeEpoch(t, 0.1 * t, {}));
+  }
+  ASSERT_TRUE(filter.FindObject(1000)->IsCompressed());
+  // Second scan pass: travel back (reading nothing) and read the object
+  // again -> decompression with few particles.
+  int64_t step = filter.current_step();
+  for (double y = 15.9; y > 2.0; y -= 0.1) {
+    filter.ObserveEpoch(MakeEpoch(step++, y, {}));
+  }
+  filter.ObserveEpoch(MakeEpoch(step, 2.0, {1000}));
+  const auto* state = filter.FindObject(1000);
+  EXPECT_FALSE(state->IsCompressed());
+  EXPECT_EQ(state->particles.size(), 10u);
+  const auto est = filter.EstimateObject(1000);
+  ASSERT_TRUE(est.has_value());
+  EXPECT_LT(est->mean.DistanceXYTo(truth), 1.2);
+}
+
+TEST(FactoredFilterTest, MemoryShrinksWithCompression) {
+  FactoredParticleFilter with(MakeLineWorld(), CompressionConfig());
+  FactoredFilterConfig no_comp = SmallConfig();
+  FactoredParticleFilter without(MakeLineWorld(), no_comp);
+  for (auto* f : {&with, &without}) {
+    RunPass(f, {1.5, 2.0, 0.0}, 1000, 40, 71);
+    for (int t = 40; t < 160; ++t) {
+      f->ObserveEpoch(MakeEpoch(t, 0.1 * t, {}));
+    }
+  }
+  EXPECT_LT(with.ApproxMemoryBytes(), without.ApproxMemoryBytes());
+}
+
+TEST(FactoredFilterTest, ShelfTagEvidenceCorrectsSystematicBias) {
+  WorldModel model = MakeLineWorld(1e-4, {0.0, 0.8, 0.0}, {0.05, 0.05, 0.0});
+  FactoredFilterConfig c = SmallConfig();
+  c.num_reader_particles = 200;
+  FactoredParticleFilter filter(std::move(model), c);
+  ConeSensorModel sensor;
+  Rng rng(73);
+  for (int t = 0; t < 50; ++t) {
+    const double y = 0.1 * t;
+    std::vector<TagId> tags;
+    const Pose pose({0.0, y, 0.0}, 0.0);
+    for (TagId shelf_tag : {1u, 2u}) {
+      const Vec3 loc = shelf_tag == 1 ? Vec3{1.5, 2.5, 0} : Vec3{1.5, 7.5, 0};
+      if (rng.Bernoulli(sensor.ProbReadAt(pose, loc))) tags.push_back(shelf_tag);
+    }
+    filter.ObserveEpoch(MakeEpoch(t, y, tags, /*reported_offset_y=*/0.8));
+  }
+  EXPECT_NEAR(filter.EstimateReader().mean.y, 4.9, 0.4);
+}
+
+TEST(FactoredFilterTest, ManyObjectsAllTracked) {
+  FactoredFilterConfig c = SmallConfig();
+  c.num_object_particles = 100;
+  FactoredParticleFilter filter(MakeLineWorld(), c);
+  // 20 objects spaced along the shelf; read when near.
+  std::vector<Vec3> objects;
+  for (int i = 0; i < 20; ++i) objects.push_back({1.5, 0.25 + 0.5 * i, 0.0});
+  ConeSensorModel sensor;
+  Rng rng(79);
+  for (int t = 0; t < 120; ++t) {
+    const double y = 0.1 * t;
+    const Pose pose({0.0, y, 0.0}, 0.0);
+    std::vector<TagId> tags;
+    for (int i = 0; i < 20; ++i) {
+      if (rng.Bernoulli(sensor.ProbReadAt(pose, objects[i]))) {
+        tags.push_back(2000 + i);
+      }
+    }
+    filter.ObserveEpoch(MakeEpoch(t, y, tags));
+  }
+  EXPECT_EQ(filter.NumTrackedObjects(), 20u);
+  double total_err = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const auto est = filter.EstimateObject(2000 + i);
+    ASSERT_TRUE(est.has_value()) << "object " << i;
+    total_err += est->mean.DistanceXYTo(objects[i]);
+  }
+  EXPECT_LT(total_err / 20.0, 1.0);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,268 @@
+// Tests for geometry/: Vec3, Pose, angle utilities, range-bearing, Aabb.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/aabb.h"
+#include "geometry/vec.h"
+
+namespace rfid {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+// ------------------------------------------------------------------ Vec3 ---
+
+TEST(Vec3Test, DefaultIsZero) {
+  Vec3 v;
+  EXPECT_EQ(v.x, 0.0);
+  EXPECT_EQ(v.y, 0.0);
+  EXPECT_EQ(v.z, 0.0);
+}
+
+TEST(Vec3Test, Arithmetic) {
+  const Vec3 a{1, 2, 3}, b{4, -5, 6};
+  EXPECT_EQ(a + b, Vec3(5, -3, 9));
+  EXPECT_EQ(a - b, Vec3(-3, 7, -3));
+  EXPECT_EQ(a * 2.0, Vec3(2, 4, 6));
+  EXPECT_EQ(2.0 * a, Vec3(2, 4, 6));
+  EXPECT_EQ(a / 2.0, Vec3(0.5, 1, 1.5));
+  EXPECT_EQ(-a, Vec3(-1, -2, -3));
+}
+
+TEST(Vec3Test, CompoundAssignment) {
+  Vec3 v{1, 1, 1};
+  v += {1, 2, 3};
+  EXPECT_EQ(v, Vec3(2, 3, 4));
+  v -= {1, 1, 1};
+  EXPECT_EQ(v, Vec3(1, 2, 3));
+  v *= 3.0;
+  EXPECT_EQ(v, Vec3(3, 6, 9));
+}
+
+TEST(Vec3Test, DotAndNorm) {
+  const Vec3 a{3, 4, 0};
+  EXPECT_DOUBLE_EQ(a.Dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(a.NormSq(), 25.0);
+  EXPECT_DOUBLE_EQ(a.NormXY(), 5.0);
+}
+
+TEST(Vec3Test, DistanceXYIgnoresZ) {
+  const Vec3 a{0, 0, 0}, b{3, 4, 100};
+  EXPECT_DOUBLE_EQ(a.DistanceXYTo(b), 5.0);
+  EXPECT_GT(a.DistanceTo(b), 100.0);
+}
+
+// ------------------------------------------------------------ WrapAngle ---
+
+TEST(WrapAngleTest, IdentityInRange) {
+  EXPECT_NEAR(WrapAngle(0.5), 0.5, kEps);
+  EXPECT_NEAR(WrapAngle(-0.5), -0.5, kEps);
+}
+
+TEST(WrapAngleTest, WrapsLargePositive) {
+  EXPECT_NEAR(WrapAngle(2 * M_PI + 0.25), 0.25, 1e-9);
+  EXPECT_NEAR(WrapAngle(4 * M_PI - 0.25), -0.25, 1e-9);
+}
+
+TEST(WrapAngleTest, WrapsLargeNegative) {
+  EXPECT_NEAR(WrapAngle(-2 * M_PI - 0.25), -0.25, 1e-9);
+}
+
+TEST(WrapAngleTest, ResultAlwaysInHalfOpenInterval) {
+  for (double a = -20.0; a <= 20.0; a += 0.1) {
+    const double w = WrapAngle(a);
+    EXPECT_GT(w, -M_PI - kEps);
+    EXPECT_LE(w, M_PI + kEps);
+  }
+}
+
+// ----------------------------------------------------------------- Pose ---
+
+TEST(PoseTest, FacingMatchesHeading) {
+  Pose p({0, 0, 0}, 0.0);
+  EXPECT_NEAR(p.Facing().x, 1.0, kEps);
+  EXPECT_NEAR(p.Facing().y, 0.0, kEps);
+  Pose q({0, 0, 0}, M_PI / 2);
+  EXPECT_NEAR(q.Facing().x, 0.0, kEps);
+  EXPECT_NEAR(q.Facing().y, 1.0, kEps);
+}
+
+TEST(PoseTest, ConstructorWrapsHeading) {
+  Pose p({0, 0, 0}, 3 * M_PI);
+  EXPECT_NEAR(std::abs(p.heading), M_PI, 1e-9);
+}
+
+// --------------------------------------------------------- RangeBearing ---
+
+TEST(RangeBearingTest, DeadAhead) {
+  const Pose reader({0, 0, 0}, 0.0);
+  const auto rb = ComputeRangeBearing(reader, {3, 0, 0});
+  EXPECT_NEAR(rb.distance, 3.0, kEps);
+  EXPECT_NEAR(rb.angle, 0.0, kEps);
+}
+
+TEST(RangeBearingTest, PerpendicularIsHalfPi) {
+  const Pose reader({0, 0, 0}, 0.0);
+  const auto rb = ComputeRangeBearing(reader, {0, 2, 0});
+  EXPECT_NEAR(rb.distance, 2.0, kEps);
+  EXPECT_NEAR(rb.angle, M_PI / 2, 1e-9);
+}
+
+TEST(RangeBearingTest, BehindIsPi) {
+  const Pose reader({0, 0, 0}, 0.0);
+  const auto rb = ComputeRangeBearing(reader, {-1, 0, 0});
+  EXPECT_NEAR(rb.angle, M_PI, 1e-9);
+}
+
+TEST(RangeBearingTest, HeadingRotatesFrame) {
+  const Pose reader({0, 0, 0}, M_PI / 2);  // Facing +y.
+  const auto rb = ComputeRangeBearing(reader, {0, 5, 0});
+  EXPECT_NEAR(rb.angle, 0.0, 1e-9);
+}
+
+TEST(RangeBearingTest, CoincidentPointIsZero) {
+  const Pose reader({1, 1, 1}, 0.3);
+  const auto rb = ComputeRangeBearing(reader, {1, 1, 1});
+  EXPECT_EQ(rb.distance, 0.0);
+  EXPECT_EQ(rb.angle, 0.0);
+}
+
+TEST(RangeBearingTest, DistanceIncludesZ) {
+  const Pose reader({0, 0, 0}, 0.0);
+  const auto rb = ComputeRangeBearing(reader, {0, 0, 4});
+  EXPECT_NEAR(rb.distance, 4.0, kEps);
+}
+
+// ----------------------------------------------------------------- Aabb ---
+
+TEST(AabbTest, EmptyByDefault) {
+  Aabb b;
+  EXPECT_TRUE(b.IsEmpty());
+  EXPECT_EQ(b.Volume(), 0.0);
+}
+
+TEST(AabbTest, ExtendPoint) {
+  Aabb b;
+  b.Extend({1, 2, 3});
+  EXPECT_FALSE(b.IsEmpty());
+  EXPECT_TRUE(b.Contains({1, 2, 3}));
+  b.Extend({-1, 0, 5});
+  EXPECT_TRUE(b.Contains({0, 1, 4}));
+  EXPECT_FALSE(b.Contains({2, 2, 3}));
+}
+
+TEST(AabbTest, ExtendBox) {
+  Aabb a({0, 0, 0}, {1, 1, 1});
+  a.Extend(Aabb({2, 2, 2}, {3, 3, 3}));
+  EXPECT_TRUE(a.Contains({1.5, 1.5, 1.5}));
+  a.Extend(Aabb::Empty());  // No-op.
+  EXPECT_EQ(a.max.x, 3.0);
+}
+
+TEST(AabbTest, FromCenterRadius) {
+  const Aabb b = Aabb::FromCenterRadius({1, 2, 0}, 2.0, 0.5);
+  EXPECT_EQ(b.min.x, -1.0);
+  EXPECT_EQ(b.max.x, 3.0);
+  EXPECT_EQ(b.min.y, 0.0);
+  EXPECT_EQ(b.max.y, 4.0);
+  EXPECT_EQ(b.min.z, -0.5);
+  EXPECT_EQ(b.max.z, 0.5);
+}
+
+TEST(AabbTest, IntersectsSymmetric) {
+  const Aabb a({0, 0, 0}, {2, 2, 2});
+  const Aabb b({1, 1, 1}, {3, 3, 3});
+  const Aabb c({5, 5, 5}, {6, 6, 6});
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  EXPECT_FALSE(a.Intersects(c));
+  EXPECT_FALSE(c.Intersects(a));
+}
+
+TEST(AabbTest, TouchingBoxesIntersect) {
+  const Aabb a({0, 0, 0}, {1, 1, 0});
+  const Aabb b({1, 0, 0}, {2, 1, 0});
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(AabbTest, EmptyNeverIntersects) {
+  const Aabb a({0, 0, 0}, {1, 1, 1});
+  EXPECT_FALSE(a.Intersects(Aabb::Empty()));
+  EXPECT_FALSE(Aabb::Empty().Intersects(a));
+}
+
+TEST(AabbTest, IntersectionBox) {
+  const Aabb a({0, 0, 0}, {2, 2, 2});
+  const Aabb b({1, 1, 1}, {3, 3, 3});
+  const Aabb i = a.Intersection(b);
+  EXPECT_EQ(i.min, Vec3(1, 1, 1));
+  EXPECT_EQ(i.max, Vec3(2, 2, 2));
+  EXPECT_TRUE(a.Intersection(Aabb({9, 9, 9}, {10, 10, 10})).IsEmpty());
+}
+
+TEST(AabbTest, VolumeAndMargin) {
+  const Aabb b({0, 0, 0}, {2, 3, 4});
+  EXPECT_DOUBLE_EQ(b.Volume(), 24.0);
+  EXPECT_DOUBLE_EQ(b.Margin(), 9.0);
+}
+
+TEST(AabbTest, OverlapVolume) {
+  const Aabb a({0, 0, 0}, {2, 2, 2});
+  const Aabb b({1, 1, 1}, {3, 3, 3});
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(Aabb({5, 5, 5}, {6, 6, 6})), 0.0);
+}
+
+TEST(AabbTest, Enlargement) {
+  const Aabb a({0, 0, 0}, {1, 1, 1});
+  EXPECT_DOUBLE_EQ(a.Enlargement(Aabb({0, 0, 0}, {1, 1, 1})), 0.0);
+  EXPECT_DOUBLE_EQ(a.Enlargement(Aabb({0, 0, 0}, {2, 1, 1})), 1.0);
+}
+
+TEST(AabbTest, CenterAndExtent) {
+  const Aabb b({0, 2, 4}, {2, 4, 8});
+  EXPECT_EQ(b.Center(), Vec3(1, 3, 6));
+  EXPECT_EQ(b.Extent(), Vec3(2, 2, 4));
+}
+
+TEST(AabbTest, ContainsBoundary) {
+  const Aabb b({0, 0, 0}, {1, 1, 1});
+  EXPECT_TRUE(b.Contains({0, 0, 0}));
+  EXPECT_TRUE(b.Contains({1, 1, 1}));
+  EXPECT_FALSE(b.Contains({1.0 + 1e-9, 0.5, 0.5}));
+}
+
+// Property sweep: intersection volume is symmetric and bounded by each box.
+class AabbPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AabbPropertyTest, IntersectionProperties) {
+  // Deterministic pseudo-random boxes derived from the parameter.
+  const int seed = GetParam();
+  auto coord = [&](int i) {
+    return std::fmod(std::abs(std::sin(seed * 12.9898 + i * 78.233)) * 43758.5,
+                     10.0);
+  };
+  Aabb a, b;
+  a.Extend({coord(0), coord(1), coord(2)});
+  a.Extend({coord(3), coord(4), coord(5)});
+  b.Extend({coord(6), coord(7), coord(8)});
+  b.Extend({coord(9), coord(10), coord(11)});
+
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), b.OverlapVolume(a));
+  EXPECT_LE(a.OverlapVolume(b), a.Volume() + kEps);
+  EXPECT_LE(a.OverlapVolume(b), b.Volume() + kEps);
+  EXPECT_EQ(a.Intersects(b), a.OverlapVolume(b) > 0 ||
+                                 !a.Intersection(b).IsEmpty());
+  Aabb merged = a;
+  merged.Extend(b);
+  EXPECT_GE(merged.Volume() + 1e-9, a.Volume());
+  EXPECT_GE(merged.Volume() + 1e-9, b.Volume());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomBoxes, AabbPropertyTest,
+                         ::testing::Range(1, 33));
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,150 @@
+// Tests for the weighted logistic-regression sensor-model fit (§III-C).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "learn/logistic.h"
+#include "util/rng.h"
+
+namespace rfid {
+namespace {
+
+/// Draws labeled examples from a known logistic model over a grid of
+/// distances/angles.
+std::vector<LogisticExample> Synthesize(const LogisticSensorModel& truth,
+                                        int n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LogisticExample> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    LogisticExample e;
+    e.distance = rng.Uniform(0.0, 6.0);
+    e.angle = rng.Uniform(0.0, M_PI / 2);
+    e.read = rng.Bernoulli(truth.ProbRead(e.distance, e.angle));
+    out.push_back(e);
+  }
+  return out;
+}
+
+TEST(LogisticFitTest, RecoversSyntheticModel) {
+  const LogisticSensorModel truth({3.0, -0.8, -0.2}, {0.0, -0.5, -1.0});
+  const auto examples = Synthesize(truth, 20000, 1);
+  const auto fit = FitLogisticSensorModel(examples);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  // Compare predicted probabilities over the domain, not raw coefficients
+  // (the quadratic features are correlated).
+  double max_dev = 0.0;
+  for (double d = 0; d <= 5; d += 0.25) {
+    for (double th = 0; th <= 1.5; th += 0.25) {
+      max_dev = std::max(max_dev, std::abs(fit.value().model.ProbRead(d, th) -
+                                           truth.ProbRead(d, th)));
+    }
+  }
+  EXPECT_LT(max_dev, 0.06);
+}
+
+TEST(LogisticFitTest, EmptyExamplesFail) {
+  const auto fit = FitLogisticSensorModel({});
+  EXPECT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LogisticFitTest, SingleClassFails) {
+  std::vector<LogisticExample> all_read(100, {1.0, 0.1, true, 1.0});
+  EXPECT_EQ(FitLogisticSensorModel(all_read).status().code(),
+            StatusCode::kFailedPrecondition);
+  std::vector<LogisticExample> none_read(100, {1.0, 0.1, false, 1.0});
+  EXPECT_EQ(FitLogisticSensorModel(none_read).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LogisticFitTest, NegativeWeightFails) {
+  std::vector<LogisticExample> ex = {{1.0, 0.1, true, 1.0},
+                                     {2.0, 0.1, false, -0.5}};
+  EXPECT_EQ(FitLogisticSensorModel(ex).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(LogisticFitTest, ZeroTotalWeightFails) {
+  std::vector<LogisticExample> ex = {{1.0, 0.1, true, 0.0},
+                                     {2.0, 0.1, false, 0.0}};
+  EXPECT_FALSE(FitLogisticSensorModel(ex).ok());
+}
+
+TEST(LogisticFitTest, WeightsInfluenceFit) {
+  // Same geometry, but reads get 10x weight: predicted read probability at
+  // that point must exceed the unweighted fit's.
+  std::vector<LogisticExample> base;
+  for (int i = 0; i < 200; ++i) {
+    base.push_back({1.0, 0.2, i % 2 == 0, 1.0});
+    base.push_back({3.0, 0.2, i % 4 == 0, 1.0});
+  }
+  auto weighted = base;
+  for (auto& e : weighted) {
+    if (e.read) e.weight = 10.0;
+  }
+  const auto fit_base = FitLogisticSensorModel(base);
+  const auto fit_weighted = FitLogisticSensorModel(weighted);
+  ASSERT_TRUE(fit_base.ok());
+  ASSERT_TRUE(fit_weighted.ok());
+  EXPECT_GT(fit_weighted.value().model.ProbRead(1.0, 0.2),
+            fit_base.value().model.ProbRead(1.0, 0.2));
+}
+
+TEST(LogisticFitTest, ConvergesInFewIterations) {
+  const LogisticSensorModel truth({2.0, -0.6, -0.1}, {0.0, -0.8, -0.5});
+  const auto examples = Synthesize(truth, 5000, 3);
+  const auto fit = FitLogisticSensorModel(examples);
+  ASSERT_TRUE(fit.ok());
+  EXPECT_LT(fit.value().iterations, 30);
+}
+
+TEST(LogisticFitTest, LogLikelihoodImprovesOverDefault) {
+  const LogisticSensorModel truth({3.0, -0.8, -0.2}, {0.0, -0.5, -1.0});
+  const auto examples = Synthesize(truth, 5000, 4);
+  const auto fit = FitLogisticSensorModel(examples);
+  ASSERT_TRUE(fit.ok());
+  const LogisticSensorModel default_model;
+  EXPECT_GT(fit.value().final_log_likelihood,
+            LogisticLogLikelihood(default_model, examples));
+}
+
+TEST(LogisticFitTest, FitApproximatesConeShape) {
+  // The logistic form must be flexible enough to fit the simulator's cone
+  // reasonably (this is what Fig. 5(b) demonstrates visually).
+  Rng rng(5);
+  std::vector<LogisticExample> examples;
+  // Cone: read inside (d < 3, theta < 0.26) with rate 1, decaying wedges.
+  auto cone_prob = [](double d, double th) {
+    if (th > 0.52 || d > 4.5) return 0.0;
+    double p = 1.0;
+    if (th > 0.26) p *= 1.0 - (th - 0.26) / 0.26;
+    if (d > 3.0) p *= 1.0 - (d - 3.0) / 1.5;
+    return p;
+  };
+  for (int i = 0; i < 30000; ++i) {
+    LogisticExample e;
+    e.distance = rng.Uniform(0.0, 6.0);
+    e.angle = rng.Uniform(0.0, 1.2);
+    e.read = rng.Bernoulli(cone_prob(e.distance, e.angle));
+    examples.push_back(e);
+  }
+  const auto fit = FitLogisticSensorModel(examples);
+  ASSERT_TRUE(fit.ok());
+  const auto& m = fit.value().model;
+  // Qualitative shape: high read probability deep inside the cone, low far
+  // outside.
+  EXPECT_GT(m.ProbRead(1.0, 0.05), 0.6);
+  EXPECT_LT(m.ProbRead(5.5, 0.05), 0.35);
+  EXPECT_LT(m.ProbRead(1.0, 1.1), 0.35);
+}
+
+TEST(LogisticLogLikelihoodTest, PerfectPredictionApproachesZero) {
+  LogisticSensorModel m({100.0, -60.0, 0.0}, {0.0, 0.0, 0.0});  // Step at ~1.67.
+  std::vector<LogisticExample> ex = {{0.5, 0.0, true, 1.0},
+                                     {3.0, 0.0, false, 1.0}};
+  EXPECT_NEAR(LogisticLogLikelihood(m, ex), 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rfid

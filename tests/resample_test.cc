@@ -1,0 +1,174 @@
+// Tests for resampling: ESS, weight normalization, and the unbiasedness of
+// all three resampling schemes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "pf/resample.h"
+
+namespace rfid {
+namespace {
+
+// ---------------------------------------------------------------- ESS -----
+
+TEST(EssTest, UniformWeightsGiveN) {
+  const std::vector<double> w(10, 0.1);
+  EXPECT_NEAR(EffectiveSampleSize(w), 10.0, 1e-9);
+}
+
+TEST(EssTest, DegenerateWeightsGiveOne) {
+  std::vector<double> w(10, 0.0);
+  w[3] = 1.0;
+  EXPECT_NEAR(EffectiveSampleSize(w), 1.0, 1e-9);
+}
+
+TEST(EssTest, ZeroWeightsGiveZero) {
+  EXPECT_EQ(EffectiveSampleSize(std::vector<double>(5, 0.0)), 0.0);
+}
+
+TEST(EssTest, BetweenOneAndN) {
+  const std::vector<double> w = {0.5, 0.25, 0.125, 0.125};
+  const double ess = EffectiveSampleSize(w);
+  EXPECT_GT(ess, 1.0);
+  EXPECT_LT(ess, 4.0);
+}
+
+// ------------------------------------------------------- Normalization ----
+
+TEST(NormalizeWeightsTest, ScalesToUnitSum) {
+  std::vector<double> w = {1.0, 3.0, 4.0};
+  EXPECT_TRUE(NormalizeWeights(&w));
+  EXPECT_NEAR(w[0], 0.125, 1e-12);
+  EXPECT_NEAR(w[1], 0.375, 1e-12);
+  EXPECT_NEAR(w[2], 0.5, 1e-12);
+}
+
+TEST(NormalizeWeightsTest, ZeroMassFallsBackToUniform) {
+  std::vector<double> w = {0.0, 0.0, 0.0, 0.0};
+  EXPECT_FALSE(NormalizeWeights(&w));
+  for (double x : w) EXPECT_NEAR(x, 0.25, 1e-12);
+}
+
+TEST(NormalizeLogWeightsTest, MatchesDirectNormalization) {
+  const std::vector<double> lw = {std::log(1.0), std::log(3.0), std::log(4.0)};
+  std::vector<double> w;
+  EXPECT_TRUE(NormalizeLogWeights(lw, &w));
+  EXPECT_NEAR(w[0], 0.125, 1e-12);
+  EXPECT_NEAR(w[2], 0.5, 1e-12);
+}
+
+TEST(NormalizeLogWeightsTest, HandlesExtremeMagnitudes) {
+  // Without the max-log trick this would under/overflow.
+  const std::vector<double> lw = {-1e5, -1e5 + std::log(2.0)};
+  std::vector<double> w;
+  EXPECT_TRUE(NormalizeLogWeights(lw, &w));
+  EXPECT_NEAR(w[0], 1.0 / 3.0, 1e-9);
+  EXPECT_NEAR(w[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(NormalizeLogWeightsTest, AllNegInfFallsBackToUniform) {
+  const double ninf = -std::numeric_limits<double>::infinity();
+  std::vector<double> w;
+  EXPECT_FALSE(NormalizeLogWeights({ninf, ninf}, &w));
+  EXPECT_NEAR(w[0], 0.5, 1e-12);
+}
+
+// ---------------------------------------------------------- Resampling ----
+
+class ResampleSchemeTest : public ::testing::TestWithParam<ResampleScheme> {};
+
+TEST_P(ResampleSchemeTest, AncestorsWithinBounds) {
+  Rng rng(1);
+  std::vector<double> w = {0.1, 0.2, 0.3, 0.4};
+  const auto anc = ResampleAncestors(w, 100, GetParam(), rng);
+  ASSERT_EQ(anc.size(), 100u);
+  for (uint32_t a : anc) EXPECT_LT(a, 4u);
+}
+
+TEST_P(ResampleSchemeTest, UnbiasedOffspringCounts) {
+  // E[count of ancestor i] = n * w_i for every scheme.
+  Rng rng(2);
+  const std::vector<double> w = {0.05, 0.15, 0.3, 0.5};
+  constexpr size_t kCount = 200;
+  constexpr int kTrials = 2000;
+  std::vector<double> totals(w.size(), 0.0);
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const auto anc = ResampleAncestors(w, kCount, GetParam(), rng);
+    for (uint32_t a : anc) totals[a] += 1.0;
+  }
+  for (size_t i = 0; i < w.size(); ++i) {
+    const double mean_count = totals[i] / kTrials;
+    EXPECT_NEAR(mean_count, kCount * w[i], kCount * 0.02)
+        << "ancestor " << i;
+  }
+}
+
+TEST_P(ResampleSchemeTest, DegenerateWeightPicksOnlySurvivor) {
+  Rng rng(3);
+  std::vector<double> w = {0.0, 1.0, 0.0};
+  const auto anc = ResampleAncestors(w, 50, GetParam(), rng);
+  for (uint32_t a : anc) EXPECT_EQ(a, 1u);
+}
+
+TEST_P(ResampleSchemeTest, SingleParticle) {
+  Rng rng(4);
+  const auto anc = ResampleAncestors({1.0}, 10, GetParam(), rng);
+  ASSERT_EQ(anc.size(), 10u);
+  for (uint32_t a : anc) EXPECT_EQ(a, 0u);
+}
+
+TEST_P(ResampleSchemeTest, CountLargerThanParticles) {
+  Rng rng(5);
+  const std::vector<double> w = {0.5, 0.5};
+  const auto anc = ResampleAncestors(w, 1000, GetParam(), rng);
+  EXPECT_EQ(anc.size(), 1000u);
+}
+
+TEST_P(ResampleSchemeTest, CountSmallerThanParticles) {
+  Rng rng(6);
+  const std::vector<double> w(100, 0.01);
+  const auto anc = ResampleAncestors(w, 10, GetParam(), rng);
+  EXPECT_EQ(anc.size(), 10u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ResampleSchemeTest,
+                         ::testing::Values(ResampleScheme::kMultinomial,
+                                           ResampleScheme::kSystematic,
+                                           ResampleScheme::kResidual));
+
+TEST(SystematicTest, LowVarianceOffspringCounts) {
+  // Systematic resampling guarantees counts within 1 of n * w_i.
+  Rng rng(7);
+  const std::vector<double> w = {0.1, 0.2, 0.3, 0.4};
+  const auto anc = ResampleAncestors(w, 100, ResampleScheme::kSystematic, rng);
+  std::map<uint32_t, int> counts;
+  for (uint32_t a : anc) ++counts[a];
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(counts[i], 100 * w[i], 1.0) << "ancestor " << i;
+  }
+}
+
+TEST(ResidualTest, DeterministicFloorCopies) {
+  // Residual resampling must produce at least floor(n * w_i) copies.
+  Rng rng(8);
+  const std::vector<double> w = {0.25, 0.75};
+  const auto anc = ResampleAncestors(w, 100, ResampleScheme::kResidual, rng);
+  std::map<uint32_t, int> counts;
+  for (uint32_t a : anc) ++counts[a];
+  EXPECT_GE(counts[0], 25);
+  EXPECT_GE(counts[1], 75);
+  EXPECT_EQ(counts[0] + counts[1], 100);
+}
+
+TEST(MultinomialTest, AncestorsAreSorted) {
+  // The sorted-uniforms construction yields non-decreasing ancestors, which
+  // keeps downstream copies cache-friendly.
+  Rng rng(9);
+  const std::vector<double> w = {0.1, 0.2, 0.3, 0.4};
+  const auto anc = ResampleAncestors(w, 200, ResampleScheme::kMultinomial, rng);
+  for (size_t i = 1; i < anc.size(); ++i) EXPECT_LE(anc[i - 1], anc[i]);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,178 @@
+// Tests for the simplified R*-tree: correctness against brute force,
+// structural invariants, and growth behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/rstar_tree.h"
+#include "util/rng.h"
+
+namespace rfid {
+namespace {
+
+Aabb RandomBox(Rng& rng, double world = 100.0, double max_extent = 5.0) {
+  const Vec3 origin{rng.Uniform(0, world), rng.Uniform(0, world),
+                    rng.Uniform(0, 2)};
+  const Vec3 extent{rng.Uniform(0.1, max_extent), rng.Uniform(0.1, max_extent),
+                    rng.Uniform(0.0, 0.5)};
+  return Aabb(origin, origin + extent);
+}
+
+std::vector<uint64_t> BruteForce(const std::vector<Aabb>& boxes,
+                                 const Aabb& query) {
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < boxes.size(); ++i) {
+    if (boxes[i].Intersects(query)) out.push_back(i);
+  }
+  return out;
+}
+
+TEST(RStarTreeTest, EmptyTreeQueriesNothing) {
+  RStarTree tree;
+  std::vector<uint64_t> out;
+  tree.Query(Aabb({0, 0, 0}, {10, 10, 10}), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, SingleInsertIsFound) {
+  RStarTree tree;
+  tree.Insert(Aabb({1, 1, 0}, {2, 2, 0}), 42);
+  std::vector<uint64_t> out;
+  tree.Query(Aabb({0, 0, 0}, {3, 3, 0}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 42u);
+  out.clear();
+  tree.Query(Aabb({5, 5, 0}, {6, 6, 0}), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RStarTreeTest, SizeTracksInserts) {
+  RStarTree tree;
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    tree.Insert(RandomBox(rng), i);
+    EXPECT_EQ(tree.size(), static_cast<size_t>(i + 1));
+  }
+}
+
+TEST(RStarTreeTest, HeightGrowsLogarithmically) {
+  RStarTree tree(8);
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) tree.Insert(RandomBox(rng), i);
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_LE(tree.height(), 8);
+}
+
+TEST(RStarTreeTest, InvariantsHoldDuringGrowth) {
+  RStarTree tree(6);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(RandomBox(rng), i);
+    if (i % 50 == 0) EXPECT_TRUE(tree.CheckInvariants()) << "at insert " << i;
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(RStarTreeTest, QueryPointFindsContainingBoxes) {
+  RStarTree tree;
+  tree.Insert(Aabb({0, 0, 0}, {2, 2, 0}), 1);
+  tree.Insert(Aabb({1, 1, 0}, {3, 3, 0}), 2);
+  tree.Insert(Aabb({10, 10, 0}, {11, 11, 0}), 3);
+  std::vector<uint64_t> out;
+  tree.QueryPoint({1.5, 1.5, 0}, &out);
+  std::sort(out.begin(), out.end());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 2u);
+}
+
+TEST(RStarTreeTest, DuplicateBoxesAllReturned) {
+  RStarTree tree;
+  const Aabb box({0, 0, 0}, {1, 1, 0});
+  for (uint64_t i = 0; i < 50; ++i) tree.Insert(box, i);
+  std::vector<uint64_t> out;
+  tree.Query(box, &out);
+  EXPECT_EQ(out.size(), 50u);
+  std::set<uint64_t> unique(out.begin(), out.end());
+  EXPECT_EQ(unique.size(), 50u);
+}
+
+// Property test over random workloads and node capacities: tree results must
+// exactly match brute force.
+struct RTreeParam {
+  int max_entries;
+  int num_boxes;
+  uint64_t seed;
+};
+
+class RTreeMatchesBruteForce : public ::testing::TestWithParam<RTreeParam> {};
+
+TEST_P(RTreeMatchesBruteForce, AllQueriesAgree) {
+  const RTreeParam param = GetParam();
+  Rng rng(param.seed);
+  RStarTree tree(param.max_entries);
+  std::vector<Aabb> boxes;
+  for (int i = 0; i < param.num_boxes; ++i) {
+    const Aabb box = RandomBox(rng);
+    boxes.push_back(box);
+    tree.Insert(box, static_cast<uint64_t>(i));
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  for (int q = 0; q < 50; ++q) {
+    const Aabb query = RandomBox(rng, 100.0, 20.0);
+    std::vector<uint64_t> got;
+    tree.Query(query, &got);
+    std::sort(got.begin(), got.end());
+    const auto expected = BruteForce(boxes, query);
+    EXPECT_EQ(got, expected) << "query " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, RTreeMatchesBruteForce,
+    ::testing::Values(RTreeParam{4, 50, 11}, RTreeParam{4, 300, 12},
+                      RTreeParam{8, 300, 13}, RTreeParam{16, 300, 14},
+                      RTreeParam{16, 1500, 15}, RTreeParam{32, 800, 16},
+                      RTreeParam{5, 97, 17}, RTreeParam{16, 2, 18}));
+
+TEST(RStarTreeTest, ClusteredInsertOrderStillCorrect) {
+  // Sorted (worst-case) insertion order, mimicking a reader path of
+  // overlapping sensing boxes along the y axis.
+  RStarTree tree(8);
+  std::vector<Aabb> boxes;
+  for (int i = 0; i < 400; ++i) {
+    const double y = i * 0.1;
+    const Aabb box({-4.5, y - 4.5, 0}, {4.5, y + 4.5, 0});
+    boxes.push_back(box);
+    tree.Insert(box, static_cast<uint64_t>(i));
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  const Aabb query({-1, 10, 0}, {1, 12, 0});
+  std::vector<uint64_t> got;
+  tree.Query(query, &got);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(got, BruteForce(boxes, query));
+}
+
+TEST(RStarTreeTest, TinyCapacityClampedToFour) {
+  RStarTree tree(1);  // Clamped internally.
+  Rng rng(20);
+  std::vector<Aabb> boxes;
+  for (int i = 0; i < 100; ++i) {
+    const Aabb box = RandomBox(rng);
+    boxes.push_back(box);
+    tree.Insert(box, static_cast<uint64_t>(i));
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<uint64_t> got;
+  const Aabb query({0, 0, 0}, {100, 100, 2});
+  tree.Query(query, &got);
+  EXPECT_EQ(got.size(), 100u);
+}
+
+}  // namespace
+}  // namespace rfid

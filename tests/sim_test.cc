@@ -1,0 +1,357 @@
+// Tests for the warehouse simulator, trace generator, ground truth and the
+// lab deployment emulation.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "model/cone_sensor.h"
+#include "sim/lab.h"
+#include "sim/trace.h"
+#include "sim/warehouse.h"
+
+namespace rfid {
+namespace {
+
+// ------------------------------------------------------------- Warehouse ---
+
+TEST(WarehouseTest, RejectsInvalidConfig) {
+  WarehouseConfig wc;
+  wc.num_shelves = 0;
+  EXPECT_FALSE(BuildWarehouse(wc).ok());
+  wc = WarehouseConfig{};
+  wc.shelf_length = -1;
+  EXPECT_FALSE(BuildWarehouse(wc).ok());
+  wc = WarehouseConfig{};
+  wc.first_object_tag = 2;  // Collides with shelf tag ids.
+  wc.num_shelves = 2;
+  wc.shelf_tags_per_shelf = 2;
+  EXPECT_FALSE(BuildWarehouse(wc).ok());
+}
+
+TEST(WarehouseTest, CountsMatchConfig) {
+  WarehouseConfig wc;
+  wc.num_shelves = 3;
+  wc.objects_per_shelf = 7;
+  wc.shelf_tags_per_shelf = 2;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_EQ(layout.value().shelf_boxes.size(), 3u);
+  EXPECT_EQ(layout.value().objects.size(), 21u);
+  EXPECT_EQ(layout.value().shelf_tags.size(), 6u);
+}
+
+TEST(WarehouseTest, TagIdsAreUnique) {
+  WarehouseConfig wc;
+  wc.num_shelves = 4;
+  wc.objects_per_shelf = 10;
+  wc.shelf_tags_per_shelf = 3;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  std::set<TagId> ids;
+  for (const auto& s : layout.value().shelf_tags) ids.insert(s.tag);
+  for (const auto& o : layout.value().objects) ids.insert(o.tag);
+  EXPECT_EQ(ids.size(), layout.value().shelf_tags.size() +
+                            layout.value().objects.size());
+}
+
+TEST(WarehouseTest, ObjectsLieOnTheirShelfFrontEdge) {
+  WarehouseConfig wc;
+  wc.num_shelves = 2;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  const ShelfRegions regions = layout.value().MakeShelfRegions();
+  for (const auto& o : layout.value().objects) {
+    EXPECT_DOUBLE_EQ(o.position.x, wc.shelf_x);
+    EXPECT_TRUE(regions.Contains(o.position));
+  }
+}
+
+TEST(WarehouseTest, ObjectsEvenlySpaced) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 10.0;
+  wc.objects_per_shelf = 10;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  const auto& objs = layout.value().objects;
+  for (size_t i = 1; i < objs.size(); ++i) {
+    EXPECT_NEAR(objs[i].position.y - objs[i - 1].position.y, 1.0, 1e-9);
+  }
+}
+
+TEST(WarehouseTest, TotalYExtentIncludesGaps) {
+  WarehouseConfig wc;
+  wc.num_shelves = 3;
+  wc.shelf_length = 10.0;
+  wc.shelf_gap = 2.0;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  EXPECT_DOUBLE_EQ(layout.value().TotalYExtent(), 34.0);
+}
+
+// ----------------------------------------------------------- GroundTruth ---
+
+TEST(GroundTruthTest, InitialPositions) {
+  const std::vector<ObjectPlacement> objs = {{10, {1, 2, 0}}, {11, {3, 4, 0}}};
+  const GroundTruth truth(objs, {});
+  EXPECT_EQ(truth.PositionAt(10, 0.0).value(), Vec3(1, 2, 0));
+  EXPECT_EQ(truth.PositionAt(11, 100.0).value(), Vec3(3, 4, 0));
+  EXPECT_FALSE(truth.PositionAt(99, 0.0).ok());
+}
+
+TEST(GroundTruthTest, MovementEventsApplyAtTheirTime) {
+  const std::vector<ObjectPlacement> objs = {{10, {0, 0, 0}}};
+  std::vector<MovementEvent> events = {
+      {50.0, 10, {0, 0, 0}, {0, 5, 0}},
+      {100.0, 10, {0, 5, 0}, {0, 9, 0}},
+  };
+  const GroundTruth truth(objs, std::move(events));
+  EXPECT_EQ(truth.PositionAt(10, 0.0).value(), Vec3(0, 0, 0));
+  EXPECT_EQ(truth.PositionAt(10, 49.9).value(), Vec3(0, 0, 0));
+  EXPECT_EQ(truth.PositionAt(10, 50.0).value(), Vec3(0, 5, 0));
+  EXPECT_EQ(truth.PositionAt(10, 99.0).value(), Vec3(0, 5, 0));
+  EXPECT_EQ(truth.PositionAt(10, 500.0).value(), Vec3(0, 9, 0));
+}
+
+TEST(GroundTruthTest, AllTagsSorted) {
+  const std::vector<ObjectPlacement> objs = {{30, {}}, {10, {}}, {20, {}}};
+  const GroundTruth truth(objs, {});
+  EXPECT_EQ(truth.AllTags(), (std::vector<TagId>{10, 20, 30}));
+}
+
+// --------------------------------------------------------- TraceGenerator --
+
+TEST(TraceGeneratorTest, EpochCountMatchesPathLength) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 10.0;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  RobotConfig robot;
+  robot.speed = 0.1;
+  robot.start_margin = 2.0;
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), robot, {}, sensor, 1);
+  const auto trace = gen.Generate();
+  // Path is 14 ft at 0.1 ft/epoch -> ~140 epochs (plus jitter).
+  EXPECT_NEAR(static_cast<double>(trace.epochs.size()), 140.0, 15.0);
+}
+
+TEST(TraceGeneratorTest, ReportedLocationsCarryConfiguredNoise) {
+  WarehouseConfig wc;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  RobotConfig robot;
+  robot.sensing_noise.mu = {0.0, 0.5, 0.0};
+  robot.sensing_noise.sigma = {0.01, 0.01, 0.0};
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), robot, {}, sensor, 2);
+  const auto trace = gen.Generate();
+  double mean_residual_y = 0.0;
+  for (const auto& e : trace.epochs) {
+    mean_residual_y += e.observations.reported_location.y -
+                       e.true_reader_pose.position.y;
+  }
+  mean_residual_y /= trace.epochs.size();
+  EXPECT_NEAR(mean_residual_y, 0.5, 0.05);
+}
+
+TEST(TraceGeneratorTest, ReadsOnlyHappenWithinSensorRange) {
+  WarehouseConfig wc;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, 3);
+  const auto trace = gen.Generate();
+  const GroundTruth& truth = trace.truth;
+  for (const auto& e : trace.epochs) {
+    for (TagId tag : e.observations.tags) {
+      Vec3 pos;
+      if (tag < 1000) {  // Shelf tag.
+        bool found = false;
+        for (const auto& s : layout.value().shelf_tags) {
+          if (s.tag == tag) {
+            pos = s.location;
+            found = true;
+          }
+        }
+        ASSERT_TRUE(found);
+      } else {
+        pos = truth.PositionAt(tag, e.observations.time).value();
+      }
+      EXPECT_LE((pos - e.true_reader_pose.position).Norm(),
+                sensor.MaxRange() + 1e-9);
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, EveryObjectIsReadAtLeastOnceAtFullReadRate) {
+  WarehouseConfig wc;
+  wc.num_shelves = 2;
+  wc.objects_per_shelf = 8;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  ConeSensorModel sensor;  // 100% major read rate.
+  TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, 4);
+  const auto trace = gen.Generate();
+  std::set<TagId> read;
+  for (const auto& e : trace.epochs) {
+    read.insert(e.observations.tags.begin(), e.observations.tags.end());
+  }
+  for (const auto& o : layout.value().objects) {
+    EXPECT_TRUE(read.count(o.tag)) << "object " << o.tag << " never read";
+  }
+}
+
+TEST(TraceGeneratorTest, LowerReadRateProducesFewerReads) {
+  WarehouseConfig wc;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  auto count_reads = [&](double rr, uint64_t seed) {
+    ConeSensorParams p;
+    p.major_read_rate = rr;
+    ConeSensorModel sensor(p);
+    TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, seed);
+    const auto trace = gen.Generate();
+    size_t reads = 0;
+    for (const auto& e : trace.epochs) reads += e.observations.tags.size();
+    return reads;
+  };
+  EXPECT_GT(count_reads(1.0, 5), count_reads(0.5, 5));
+}
+
+TEST(TraceGeneratorTest, MultipleRoundsAlternateDirection) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  RobotConfig robot;
+  robot.rounds = 2;
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), robot, {}, sensor, 6);
+  const auto trace = gen.Generate();
+  // y must go up then come back down.
+  const double mid_y =
+      trace.epochs[trace.epochs.size() / 2].true_reader_pose.position.y;
+  const double end_y = trace.epochs.back().true_reader_pose.position.y;
+  EXPECT_GT(mid_y, 5.0);
+  EXPECT_LT(end_y, 0.0);
+}
+
+TEST(TraceGeneratorTest, MovementEventsRecorded) {
+  WarehouseConfig wc;
+  wc.num_shelves = 2;
+  const auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  RobotConfig robot;
+  robot.rounds = 4;  // Long trace so several moves trigger.
+  ObjectMovementConfig mv;
+  mv.enabled = true;
+  mv.interval_seconds = 100.0;
+  mv.distance = 5.0;
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), robot, mv, sensor, 7);
+  const auto trace = gen.Generate();
+  EXPECT_GT(trace.truth.events().size(), 2u);
+  const ShelfRegions regions = layout.value().MakeShelfRegions();
+  for (const auto& ev : trace.truth.events()) {
+    EXPECT_TRUE(regions.Contains(ev.to))
+        << "moved object left the shelves: " << ev.to;
+  }
+}
+
+// ------------------------------------------------------------------ Lab ---
+
+TEST(LabTest, RejectsInvalidConfig) {
+  LabConfig config;
+  config.tags_per_row = 0;
+  EXPECT_FALSE(BuildLabDeployment(config).ok());
+  config = LabConfig{};
+  config.shelf_depth = -1;
+  EXPECT_FALSE(BuildLabDeployment(config).ok());
+}
+
+TEST(LabTest, GeometryMatchesPaperSetup) {
+  const auto lab = BuildLabDeployment(LabConfig{});
+  ASSERT_TRUE(lab.ok());
+  EXPECT_EQ(lab.value().objects.size(), 80u);      // 80 EPC Gen2 tags.
+  EXPECT_EQ(lab.value().shelf_tags.size(), 10u);   // 5 reference tags/row.
+  EXPECT_EQ(lab.value().shelf_boxes.size(), 2u);
+  // Tags spaced four inches apart.
+  EXPECT_NEAR(lab.value().objects[1].position.y -
+                  lab.value().objects[0].position.y,
+              1.0 / 3.0, 1e-9);
+}
+
+TEST(LabTest, RowsAreOnOppositeSides) {
+  const auto lab = BuildLabDeployment(LabConfig{});
+  ASSERT_TRUE(lab.ok());
+  int positive = 0, negative = 0;
+  for (const auto& o : lab.value().objects) {
+    (o.position.x > 0 ? positive : negative)++;
+  }
+  EXPECT_EQ(positive, 40);
+  EXPECT_EQ(negative, 40);
+}
+
+TEST(LabTest, DeadReckoningDriftGrowsToAboutAFoot) {
+  const auto lab = BuildLabDeployment(LabConfig{});
+  ASSERT_TRUE(lab.ok());
+  double max_err = 0.0;
+  for (const auto& e : lab.value().trace.epochs) {
+    max_err = std::max(max_err,
+                       (e.observations.reported_location -
+                        e.true_reader_pose.position)
+                           .Norm());
+  }
+  EXPECT_GT(max_err, 0.4);
+  EXPECT_LT(max_err, 2.0);
+}
+
+TEST(LabTest, LargerTimeoutYieldsMoreReads) {
+  LabConfig c250;
+  c250.timeout_ms = 250;
+  LabConfig c750;
+  c750.timeout_ms = 750;
+  const auto lab250 = BuildLabDeployment(c250);
+  const auto lab750 = BuildLabDeployment(c750);
+  ASSERT_TRUE(lab250.ok());
+  ASSERT_TRUE(lab750.ok());
+  auto total_reads = [](const LabDeployment& lab) {
+    size_t n = 0;
+    for (const auto& e : lab.trace.epochs) n += e.observations.tags.size();
+    return n;
+  };
+  EXPECT_GT(total_reads(lab750.value()), total_reads(lab250.value()));
+}
+
+TEST(LabTest, ShelfDepthControlsRegionWidth) {
+  LabConfig ss;
+  ss.shelf_depth = 0.66;
+  LabConfig ls;
+  ls.shelf_depth = 2.6;
+  const auto lab_ss = BuildLabDeployment(ss);
+  const auto lab_ls = BuildLabDeployment(ls);
+  ASSERT_TRUE(lab_ss.ok());
+  ASSERT_TRUE(lab_ls.ok());
+  EXPECT_NEAR(lab_ss.value().shelf_boxes[0].Extent().x, 0.66, 1e-9);
+  EXPECT_NEAR(lab_ls.value().shelf_boxes[0].Extent().x, 2.6, 1e-9);
+}
+
+TEST(LabTest, BothRowsGetScanned) {
+  const auto lab = BuildLabDeployment(LabConfig{});
+  ASSERT_TRUE(lab.ok());
+  std::set<TagId> read;
+  for (const auto& e : lab.value().trace.epochs) {
+    read.insert(e.observations.tags.begin(), e.observations.tags.end());
+  }
+  int row_a = 0, row_b = 0;
+  for (const auto& o : lab.value().objects) {
+    if (read.count(o.tag)) (o.position.x > 0 ? row_a : row_b)++;
+  }
+  EXPECT_GT(row_a, 30);
+  EXPECT_GT(row_b, 30);
+}
+
+}  // namespace
+}  // namespace rfid

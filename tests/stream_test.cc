@@ -1,0 +1,305 @@
+// Tests for the stream layer: synchronizer, event emitter, and the two CQL
+// queries of §II-B.
+#include <gtest/gtest.h>
+
+#include "stream/emitter.h"
+#include "stream/query.h"
+#include "stream/synchronizer.h"
+
+namespace rfid {
+namespace {
+
+// ---------------------------------------------------------- Synchronizer ---
+
+TEST(SynchronizerTest, EmptyStreamsYieldNothing) {
+  StreamSynchronizer sync(1.0);
+  const auto epochs = sync.Synchronize({}, {});
+  ASSERT_TRUE(epochs.ok());
+  EXPECT_TRUE(epochs.value().empty());
+}
+
+TEST(SynchronizerTest, GroupsReadingsByEpoch) {
+  StreamSynchronizer sync(1.0);
+  const std::vector<TagReading> readings = {
+      {0.1, 5}, {0.7, 6}, {1.2, 7}, {2.9, 8}};
+  const auto epochs = sync.Synchronize(readings, {});
+  ASSERT_TRUE(epochs.ok());
+  ASSERT_EQ(epochs.value().size(), 3u);
+  EXPECT_EQ(epochs.value()[0].tags, (std::vector<TagId>{5, 6}));
+  EXPECT_EQ(epochs.value()[1].tags, (std::vector<TagId>{7}));
+  EXPECT_EQ(epochs.value()[2].tags, (std::vector<TagId>{8}));
+}
+
+TEST(SynchronizerTest, DeduplicatesTagsWithinEpoch) {
+  StreamSynchronizer sync(1.0);
+  const std::vector<TagReading> readings = {{0.1, 5}, {0.5, 5}, {0.9, 5}};
+  const auto epochs = sync.Synchronize(readings, {});
+  ASSERT_TRUE(epochs.ok());
+  ASSERT_EQ(epochs.value().size(), 1u);
+  EXPECT_EQ(epochs.value()[0].tags, (std::vector<TagId>{5}));
+}
+
+TEST(SynchronizerTest, AveragesLocationReports) {
+  StreamSynchronizer sync(1.0);
+  const std::vector<ReaderLocationReport> locs = {{0.2, {1, 2, 0}},
+                                                  {0.8, {3, 4, 0}}};
+  const auto epochs = sync.Synchronize({}, locs);
+  ASSERT_TRUE(epochs.ok());
+  ASSERT_EQ(epochs.value().size(), 1u);
+  EXPECT_TRUE(epochs.value()[0].has_location);
+  EXPECT_EQ(epochs.value()[0].reported_location, Vec3(2, 3, 0));
+}
+
+TEST(SynchronizerTest, EmitsEmptyEpochsBetweenRecords) {
+  StreamSynchronizer sync(1.0);
+  const std::vector<TagReading> readings = {{0.5, 1}, {3.5, 2}};
+  const auto epochs = sync.Synchronize(readings, {});
+  ASSERT_TRUE(epochs.ok());
+  ASSERT_EQ(epochs.value().size(), 4u);
+  EXPECT_TRUE(epochs.value()[1].tags.empty());
+  EXPECT_FALSE(epochs.value()[1].has_location);
+}
+
+TEST(SynchronizerTest, SlightlyOutOfSyncStreamsLandInSameEpoch) {
+  // The paper's motivation for coarse epochs: streams slightly out of sync.
+  StreamSynchronizer sync(1.0);
+  const std::vector<TagReading> readings = {{1.05, 9}};
+  const std::vector<ReaderLocationReport> locs = {{1.95, {5, 5, 0}}};
+  const auto epochs = sync.Synchronize(readings, locs);
+  ASSERT_TRUE(epochs.ok());
+  ASSERT_EQ(epochs.value().size(), 1u);
+  EXPECT_EQ(epochs.value()[0].tags.size(), 1u);
+  EXPECT_TRUE(epochs.value()[0].has_location);
+}
+
+TEST(SynchronizerTest, RejectsUnorderedStreams) {
+  StreamSynchronizer sync(1.0);
+  EXPECT_FALSE(sync.Synchronize({{2.0, 1}, {1.0, 2}}, {}).ok());
+  EXPECT_FALSE(
+      sync.Synchronize({}, {{2.0, {0, 0, 0}}, {1.0, {0, 0, 0}}}).ok());
+}
+
+TEST(SynchronizerTest, CustomEpochLength) {
+  StreamSynchronizer sync(2.0);
+  const std::vector<TagReading> readings = {{0.5, 1}, {1.5, 2}, {2.5, 3}};
+  const auto epochs = sync.Synchronize(readings, {});
+  ASSERT_TRUE(epochs.ok());
+  ASSERT_EQ(epochs.value().size(), 2u);
+  EXPECT_EQ(epochs.value()[0].tags.size(), 2u);
+}
+
+TEST(SynchronizerTest, OnlinePollReturnsClosedEpochs) {
+  StreamSynchronizer sync(1.0);
+  sync.Push(TagReading{0.3, 1});
+  sync.Push(ReaderLocationReport{0.5, {1, 1, 0}});
+  sync.Push(TagReading{1.2, 2});
+  // Epoch 0 closes once time passes 1.0.
+  const auto closed = sync.Poll(1.5);
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].step, 0);
+  EXPECT_EQ(closed[0].tags, (std::vector<TagId>{1}));
+  EXPECT_TRUE(closed[0].has_location);
+  // Finish flushes the rest.
+  const auto rest = sync.Finish();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].tags, (std::vector<TagId>{2}));
+}
+
+TEST(SynchronizerTest, PollTwiceDoesNotDuplicate) {
+  StreamSynchronizer sync(1.0);
+  sync.Push(TagReading{0.3, 1});
+  EXPECT_EQ(sync.Poll(2.0).size(), 1u);
+  EXPECT_TRUE(sync.Poll(3.0).empty());
+}
+
+// --------------------------------------------------------------- Emitter ---
+
+SyncedEpoch EmitterEpoch(int64_t step, std::vector<TagId> tags) {
+  SyncedEpoch e;
+  e.step = step;
+  e.time = static_cast<double>(step);
+  e.tags = std::move(tags);
+  return e;
+}
+
+EventEmitter::EstimateFn FixedEstimate(const Vec3& at) {
+  return [at](TagId) -> std::optional<LocationEstimate> {
+    LocationEstimate est;
+    est.mean = at;
+    est.variance = {0.01, 0.02, 0.0};
+    est.support = 100;
+    return est;
+  };
+}
+
+TEST(EmitterTest, AfterDelayEmitsOncePerScope) {
+  EmitterConfig config;
+  config.policy = EmitPolicy::kAfterDelay;
+  config.delay_seconds = 5.0;
+  EventEmitter emitter(config);
+  const auto estimate = FixedEstimate({1, 2, 0});
+  size_t total = 0;
+  for (int t = 0; t < 20; ++t) {
+    const auto events =
+        emitter.OnEpoch(EmitterEpoch(t, {1000}), estimate);
+    total += events.size();
+    if (t < 5) EXPECT_TRUE(events.empty()) << "premature emit at " << t;
+  }
+  EXPECT_EQ(total, 1u);
+}
+
+TEST(EmitterTest, NewScopePeriodEmitsAgain) {
+  EmitterConfig config;
+  config.delay_seconds = 2.0;
+  config.scope_timeout_epochs = 5;
+  EventEmitter emitter(config);
+  const auto estimate = FixedEstimate({1, 2, 0});
+  size_t total = 0;
+  for (int t = 0; t < 10; ++t) {
+    total += emitter.OnEpoch(EmitterEpoch(t, {1000}), estimate).size();
+  }
+  for (int t = 10; t < 30; ++t) {  // Long gap: scope ends.
+    total += emitter.OnEpoch(EmitterEpoch(t, {}), estimate).size();
+  }
+  for (int t = 30; t < 40; ++t) {  // Reappears: new scope, new event.
+    total += emitter.OnEpoch(EmitterEpoch(t, {1000}), estimate).size();
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(EmitterTest, EventCarriesStats) {
+  EmitterConfig config;
+  config.delay_seconds = 0.0;
+  EventEmitter emitter(config);
+  const auto events =
+      emitter.OnEpoch(EmitterEpoch(0, {7}), FixedEstimate({3, 4, 0}));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].tag, 7u);
+  EXPECT_EQ(events[0].location, Vec3(3, 4, 0));
+  ASSERT_TRUE(events[0].stats.has_value());
+  EXPECT_NEAR(events[0].stats->rmse_radius, std::sqrt(0.03), 1e-9);
+  EXPECT_EQ(events[0].stats->support, 100);
+}
+
+TEST(EmitterTest, StatsCanBeDisabled) {
+  EmitterConfig config;
+  config.delay_seconds = 0.0;
+  config.attach_stats = false;
+  EventEmitter emitter(config);
+  const auto events =
+      emitter.OnEpoch(EmitterEpoch(0, {7}), FixedEstimate({3, 4, 0}));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_FALSE(events[0].stats.has_value());
+}
+
+TEST(EmitterTest, ScanCompleteEmitsEverySeenTag) {
+  EmitterConfig config;
+  config.policy = EmitPolicy::kOnScanComplete;
+  EventEmitter emitter(config);
+  const auto estimate = FixedEstimate({1, 1, 0});
+  EXPECT_TRUE(emitter.OnEpoch(EmitterEpoch(0, {1, 2}), estimate).empty());
+  EXPECT_TRUE(emitter.OnEpoch(EmitterEpoch(1, {3}), estimate).empty());
+  const auto events = emitter.NotifyScanComplete(10.0, estimate);
+  EXPECT_EQ(events.size(), 3u);
+}
+
+TEST(EmitterTest, EveryEpochPolicyEmitsContinuously) {
+  EmitterConfig config;
+  config.policy = EmitPolicy::kEveryEpoch;
+  EventEmitter emitter(config);
+  const auto estimate = FixedEstimate({1, 1, 0});
+  emitter.OnEpoch(EmitterEpoch(0, {1}), estimate);
+  const auto events = emitter.OnEpoch(EmitterEpoch(1, {}), estimate);
+  EXPECT_EQ(events.size(), 1u);  // Tag 1 still tracked.
+}
+
+// --------------------------------------------------- LocationUpdateQuery ---
+
+LocationEvent Event(double time, TagId tag, const Vec3& loc) {
+  LocationEvent e;
+  e.time = time;
+  e.tag = tag;
+  e.location = loc;
+  return e;
+}
+
+TEST(LocationUpdateQueryTest, FirstReportAlwaysEmits) {
+  LocationUpdateQuery q;
+  EXPECT_TRUE(q.Process(Event(0, 1, {1, 1, 0})).has_value());
+}
+
+TEST(LocationUpdateQueryTest, UnchangedLocationSuppressed) {
+  LocationUpdateQuery q(0.05);
+  EXPECT_TRUE(q.Process(Event(0, 1, {1, 1, 0})).has_value());
+  EXPECT_FALSE(q.Process(Event(1, 1, {1, 1.01, 0})).has_value());
+  EXPECT_TRUE(q.Process(Event(2, 1, {1, 2, 0})).has_value());
+}
+
+TEST(LocationUpdateQueryTest, PartitionsByTag) {
+  LocationUpdateQuery q(0.05);
+  EXPECT_TRUE(q.Process(Event(0, 1, {1, 1, 0})).has_value());
+  EXPECT_TRUE(q.Process(Event(0, 2, {1, 1, 0})).has_value());
+  EXPECT_EQ(q.num_partitions(), 2u);
+  EXPECT_FALSE(q.Process(Event(1, 2, {1, 1, 0})).has_value());
+}
+
+// ---------------------------------------------------------- FireCodeQuery --
+
+TEST(FireCodeQueryTest, CellOfUsesFloor) {
+  FireCodeQuery q(5.0, 200.0, [](TagId) { return 1.0; });
+  EXPECT_EQ(q.CellOf({0.5, 0.5, 0}).x, 0);
+  EXPECT_EQ(q.CellOf({-0.5, 1.5, 0}).x, -1);
+  EXPECT_EQ(q.CellOf({-0.5, 1.5, 0}).y, 1);
+}
+
+TEST(FireCodeQueryTest, AlertsWhenWeightExceedsLimit) {
+  FireCodeQuery q(5.0, 200.0, [](TagId) { return 150.0; });
+  EXPECT_TRUE(q.Process(Event(0.0, 1, {0.5, 0.5, 0})).empty());
+  const auto alerts = q.Process(Event(1.0, 2, {0.7, 0.3, 0}));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].area.x, 0);
+  EXPECT_EQ(alerts[0].area.y, 0);
+  EXPECT_DOUBLE_EQ(alerts[0].total_weight, 300.0);
+}
+
+TEST(FireCodeQueryTest, DifferentCellsDoNotCombine) {
+  FireCodeQuery q(5.0, 200.0, [](TagId) { return 150.0; });
+  EXPECT_TRUE(q.Process(Event(0.0, 1, {0.5, 0.5, 0})).empty());
+  EXPECT_TRUE(q.Process(Event(1.0, 2, {5.5, 0.5, 0})).empty());
+}
+
+TEST(FireCodeQueryTest, WindowEvictionClearsOldWeight) {
+  FireCodeQuery q(5.0, 200.0, [](TagId) { return 150.0; });
+  q.Process(Event(0.0, 1, {0.5, 0.5, 0}));
+  // 6 seconds later the first event fell out of the 5 s window.
+  EXPECT_TRUE(q.Process(Event(6.0, 2, {0.5, 0.5, 0})).empty());
+  EXPECT_DOUBLE_EQ(q.AreaWeight({0, 0}), 150.0);
+}
+
+TEST(FireCodeQueryTest, AlertOncePerExcursion) {
+  FireCodeQuery q(10.0, 200.0, [](TagId) { return 150.0; });
+  q.Process(Event(0.0, 1, {0.5, 0.5, 0}));
+  EXPECT_EQ(q.Process(Event(1.0, 2, {0.5, 0.5, 0})).size(), 1u);
+  // Still above threshold: no duplicate alert.
+  EXPECT_TRUE(q.Process(Event(2.0, 3, {0.5, 0.5, 0})).empty());
+}
+
+TEST(FireCodeQueryTest, ReAlertsAfterDroppingBelowLimit) {
+  FireCodeQuery q(5.0, 200.0, [](TagId) { return 150.0; });
+  q.Process(Event(0.0, 1, {0.5, 0.5, 0}));
+  EXPECT_EQ(q.Process(Event(1.0, 2, {0.5, 0.5, 0})).size(), 1u);
+  // Window slides past both events; weight drops to zero, then builds again.
+  q.Process(Event(10.0, 3, {0.5, 0.5, 0}));
+  EXPECT_EQ(q.Process(Event(11.0, 4, {0.5, 0.5, 0})).size(), 1u);
+}
+
+TEST(FireCodeQueryTest, WeightFunctionPerTag) {
+  FireCodeQuery q(5.0, 200.0,
+                  [](TagId tag) { return tag == 1 ? 500.0 : 1.0; });
+  const auto alerts = q.Process(Event(0.0, 1, {0.5, 0.5, 0}));
+  ASSERT_EQ(alerts.size(), 1u);  // Single heavy object trips the code.
+  EXPECT_TRUE(q.Process(Event(1.0, 2, {8.5, 0.5, 0})).empty());
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,129 @@
+// Tests for CSV trace persistence and epoch flattening.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stream/synchronizer.h"
+#include "stream/trace_io.h"
+
+namespace rfid {
+namespace {
+
+TEST(TraceIoTest, ReadingsRoundTrip) {
+  const std::vector<TagReading> readings = {
+      {0.5, 7}, {1.25, 1000}, {1.25, 1001}, {9.75, 42}};
+  std::stringstream ss;
+  ASSERT_TRUE(WriteReadingsCsv(readings, ss).ok());
+  const auto back = ReadReadingsCsv(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), readings.size());
+  for (size_t i = 0; i < readings.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.value()[i].time, readings[i].time);
+    EXPECT_EQ(back.value()[i].tag, readings[i].tag);
+  }
+}
+
+TEST(TraceIoTest, LocationsRoundTripWithAndWithoutHeading) {
+  std::vector<ReaderLocationReport> reports(2);
+  reports[0].time = 1.0;
+  reports[0].location = {1.5, -2.25, 0.5};
+  reports[0].has_heading = true;
+  reports[0].heading = 1.57;
+  reports[1].time = 2.0;
+  reports[1].location = {0, 0, 0};
+  reports[1].has_heading = false;
+  std::stringstream ss;
+  ASSERT_TRUE(WriteLocationsCsv(reports, ss).ok());
+  const auto back = ReadLocationsCsv(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_TRUE(back.value()[0].has_heading);
+  EXPECT_DOUBLE_EQ(back.value()[0].heading, 1.57);
+  EXPECT_DOUBLE_EQ(back.value()[0].location.y, -2.25);
+  EXPECT_FALSE(back.value()[1].has_heading);
+}
+
+TEST(TraceIoTest, EmptyStreamsRoundTrip) {
+  std::stringstream ss;
+  ASSERT_TRUE(WriteReadingsCsv({}, ss).ok());
+  const auto back = ReadReadingsCsv(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(TraceIoTest, MissingHeaderFails) {
+  std::stringstream ss("1.0,42\n");
+  EXPECT_FALSE(ReadReadingsCsv(ss).ok());
+  std::stringstream ss2("time,tag\n");  // Wrong header for locations.
+  EXPECT_FALSE(ReadLocationsCsv(ss2).ok());
+}
+
+TEST(TraceIoTest, MalformedRowsReportLineNumber) {
+  std::stringstream ss("time,tag\n1.0,42\nnot_a_number,7\n");
+  const auto back = ReadReadingsCsv(ss);
+  ASSERT_FALSE(back.ok());
+  EXPECT_NE(back.status().message().find("line 3"), std::string::npos);
+}
+
+TEST(TraceIoTest, WrongArityFails) {
+  std::stringstream ss("time,tag\n1.0,42,extra\n");
+  EXPECT_FALSE(ReadReadingsCsv(ss).ok());
+  std::stringstream ss2("time,x,y,z,heading\n1.0,2.0,3.0\n");
+  EXPECT_FALSE(ReadLocationsCsv(ss2).ok());
+}
+
+TEST(TraceIoTest, BlankLinesAreSkipped) {
+  std::stringstream ss("time,tag\n1.0,42\n\n2.0,43\n");
+  const auto back = ReadReadingsCsv(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 2u);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/readings.csv";
+  const std::vector<TagReading> readings = {{0.5, 7}, {1.5, 8}};
+  ASSERT_TRUE(WriteReadingsCsvFile(readings, path).ok());
+  const auto back = ReadReadingsCsvFile(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 2u);
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  EXPECT_EQ(ReadReadingsCsvFile("/nonexistent/path.csv").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(TraceIoTest, FlattenThenResynchronizeRoundTrips) {
+  // Epochs -> raw streams -> synchronizer -> identical epochs.
+  std::vector<SyncedEpoch> epochs(3);
+  for (int t = 0; t < 3; ++t) {
+    epochs[t].step = t;
+    epochs[t].time = static_cast<double>(t);
+    epochs[t].has_location = true;
+    epochs[t].reported_location = {0.0, 0.1 * t, 0.0};
+    epochs[t].has_heading = true;
+    epochs[t].reported_heading = 0.25;
+  }
+  epochs[0].tags = {5, 7};
+  epochs[2].tags = {9};
+
+  std::vector<TagReading> readings;
+  std::vector<ReaderLocationReport> reports;
+  FlattenEpochs(epochs, &readings, &reports);
+  EXPECT_EQ(readings.size(), 3u);
+  EXPECT_EQ(reports.size(), 3u);
+
+  StreamSynchronizer sync(1.0);
+  const auto back = sync.Synchronize(readings, reports);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 3u);
+  EXPECT_EQ(back.value()[0].tags, (std::vector<TagId>{5, 7}));
+  EXPECT_TRUE(back.value()[1].tags.empty());
+  EXPECT_EQ(back.value()[2].tags, (std::vector<TagId>{9}));
+  EXPECT_TRUE(back.value()[1].has_location);
+  EXPECT_TRUE(back.value()[2].has_heading);
+  EXPECT_NEAR(back.value()[2].reported_heading, 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace rfid
