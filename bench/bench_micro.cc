@@ -4,6 +4,7 @@
 // epoch. These are the ablation-level numbers behind Fig. 5(j).
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "index/rstar_tree.h"
 #include "model/cone_sensor.h"
 #include "pf/belief.h"
@@ -11,6 +12,7 @@
 #include "pf/resample.h"
 #include "sim/trace.h"
 #include "core/experiment.h"
+#include "util/stopwatch.h"
 
 namespace rfid {
 namespace {
@@ -79,6 +81,60 @@ void BM_ConeSensorProbRead(benchmark::State& state) {
 }
 BENCHMARK(BM_ConeSensorProbRead);
 
+/// The SoA batch kernel against the scalar loop above: one frame, a
+/// contiguous block of particle positions (the factored filter's hot path).
+template <typename SensorT>
+void BM_SensorProbReadBatch(benchmark::State& state) {
+  SensorT sensor;
+  Rng rng(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<double> xs(n), ys(n), zs(n), out(n);
+  for (size_t k = 0; k < n; ++k) {
+    xs[k] = rng.Uniform(0, 6);
+    ys[k] = rng.Uniform(-3, 3);
+    zs[k] = 0.0;
+  }
+  const ReaderFrame frame = ReaderFrame::From(Pose({0, 0, 0}, 0.0));
+  for (auto _ : state) {
+    sensor.ProbReadBatch(frame, xs.data(), ys.data(), zs.data(), n,
+                         out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SensorProbReadBatch<ConeSensorModel>)->Arg(1000);
+BENCHMARK(BM_SensorProbReadBatch<LogisticSensorModel>)->Arg(1000);
+
+/// The gather variant used by the factored weighting (per-particle reader
+/// attachment, 100 frames).
+void BM_ConeSensorProbReadBatchGather(benchmark::State& state) {
+  ConeSensorModel sensor;
+  Rng rng(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  constexpr size_t kFrames = 100;
+  std::vector<ReaderFrame> frames;
+  for (size_t j = 0; j < kFrames; ++j) {
+    frames.push_back(ReaderFrame::From(
+        Pose({rng.Uniform(-0.2, 0.2), rng.Uniform(-0.2, 0.2), 0},
+             rng.Uniform(-0.1, 0.1))));
+  }
+  std::vector<double> xs(n), ys(n), zs(n), out(n);
+  std::vector<uint32_t> idx(n);
+  for (size_t k = 0; k < n; ++k) {
+    xs[k] = rng.Uniform(0, 6);
+    ys[k] = rng.Uniform(-3, 3);
+    zs[k] = 0.0;
+    idx[k] = static_cast<uint32_t>(rng.UniformInt(kFrames));
+  }
+  for (auto _ : state) {
+    sensor.ProbReadBatchGather(frames.data(), idx.data(), xs.data(), ys.data(),
+                               zs.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ConeSensorProbReadBatchGather)->Arg(1000);
+
 void BM_LogisticSensorProbRead(benchmark::State& state) {
   LogisticSensorModel sensor;
   Rng rng(5);
@@ -116,7 +172,8 @@ void BM_GaussianBeliefSample(benchmark::State& state) {
 BENCHMARK(BM_GaussianBeliefSample);
 
 void BM_FactoredFilterEpoch(benchmark::State& state) {
-  // One epoch of the factored filter over a mid-sized warehouse stream.
+  // One epoch of the factored filter over a mid-sized warehouse stream;
+  // second argument is the worker-pool width.
   WarehouseConfig wc;
   wc.num_shelves = 4;
   wc.objects_per_shelf = static_cast<int>(state.range(0)) / 4;
@@ -133,6 +190,7 @@ void BM_FactoredFilterEpoch(benchmark::State& state) {
   config.num_reader_particles = 100;
   config.num_object_particles = 1000;
   config.seed = 9;
+  config.num_threads = static_cast<int>(state.range(1));
   FactoredParticleFilter filter(
       MakeWorldModel(layout.value(), std::make_unique<ConeSensorModel>(),
                      options),
@@ -149,9 +207,70 @@ void BM_FactoredFilterEpoch(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(readings));
   state.SetLabel("items = readings");
 }
-BENCHMARK(BM_FactoredFilterEpoch)->Arg(40)->Arg(200);
+BENCHMARK(BM_FactoredFilterEpoch)
+    ->Args({40, 1})
+    ->Args({200, 1})
+    ->Args({200, 4});
+
+/// Short self-timed factored run for BENCH_micro.json (epochs/sec,
+/// particles/sec at a given pool width), independent of the
+/// google-benchmark output format.
+void WriteMicroJson() {
+  bench::BenchJson json("micro");
+  for (const int threads : {1, 4}) {
+    WarehouseConfig wc;
+    wc.num_shelves = 4;
+    wc.objects_per_shelf = 50;
+    wc.shelf_tags_per_shelf = 2;
+    auto layout = BuildWarehouse(wc);
+    ConeSensorModel sensor;
+    TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, 8);
+    const SimulatedTrace trace = gen.Generate();
+
+    ExperimentModelOptions options;
+    options.motion.delta = {0.0, 0.1, 0.0};
+    options.motion.sigma = {0.02, 0.02, 0.0};
+    FactoredFilterConfig config;
+    config.num_reader_particles = 100;
+    config.num_object_particles = 1000;
+    config.seed = 9;
+    config.num_threads = threads;
+    FactoredParticleFilter filter(
+        MakeWorldModel(layout.value(), std::make_unique<ConeSensorModel>(),
+                       options),
+        config);
+    Stopwatch watch;
+    for (const auto& epoch : trace.epochs) {
+      filter.ObserveEpoch(epoch.observations);
+    }
+    const double seconds = watch.ElapsedSeconds();
+    json.BeginRow();
+    json.Add("benchmark", "factored_filter_trace");
+    json.Add("objects", wc.num_shelves * wc.objects_per_shelf);
+    json.Add("threads", threads);
+    json.Add("epochs", trace.epochs.size());
+    json.Add("epochs_per_sec",
+             seconds > 0 ? trace.epochs.size() / seconds : 0.0);
+    json.Add("particles_per_sec",
+             seconds > 0
+                 ? static_cast<double>(filter.particle_updates()) / seconds
+                 : 0.0);
+  }
+  if (!json.WriteFile("BENCH_micro.json")) {
+    std::fprintf(stderr, "warning: failed writing BENCH_micro.json\n");
+  } else {
+    std::printf("wrote BENCH_micro.json\n");
+  }
+}
 
 }  // namespace
 }  // namespace rfid
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  rfid::WriteMicroJson();
+  return 0;
+}

@@ -8,8 +8,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/experiment.h"
 #include "model/cone_sensor.h"
@@ -60,6 +63,78 @@ inline EngineConfig DefaultEngineConfig(uint64_t seed = 71) {
   c.factored.seed = seed;
   return c;
 }
+
+/// Machine-readable bench output: a flat JSON document with one object per
+/// measured configuration, written next to the working directory as
+/// BENCH_<name>.json so successive PRs can diff the perf trajectory.
+///
+///   BenchJson json("throughput");
+///   json.BeginRow();
+///   json.Add("configuration", "factorized+index");
+///   json.Add("threads", 4);
+///   json.Add("epochs_per_sec", 1234.5);
+///   json.WriteFile("BENCH_throughput.json");
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void BeginRow() { rows_.emplace_back(); }
+
+  void Add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    AddRaw(key, buf);
+  }
+  void Add(const std::string& key, int value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const std::string& key, size_t value) {
+    AddRaw(key, std::to_string(value));
+  }
+  void Add(const std::string& key, const std::string& value) {
+    AddRaw(key, "\"" + Escaped(value) + "\"");
+  }
+  void Add(const std::string& key, const char* value) {
+    Add(key, std::string(value));
+  }
+
+  /// Serializes {"bench": name, "rows": [...]}; returns false on IO failure.
+  bool WriteFile(const std::string& path) const {
+    std::ofstream os(path);
+    if (!os) return false;
+    os << "{\n  \"bench\": \"" << Escaped(name_) << "\",\n  \"rows\": [\n";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      os << "    {";
+      for (size_t f = 0; f < rows_[r].size(); ++f) {
+        if (f > 0) os << ", ";
+        os << "\"" << Escaped(rows_[r][f].first)
+           << "\": " << rows_[r][f].second;
+      }
+      os << "}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
+    return os.good();
+  }
+
+ private:
+  void AddRaw(const std::string& key, std::string rendered) {
+    if (rows_.empty()) BeginRow();
+    rows_.back().emplace_back(key, std::move(rendered));
+  }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
+};
 
 }  // namespace bench
 }  // namespace rfid

@@ -30,6 +30,9 @@ Status ValidateConfig(const EngineConfig& config) {
       return Status::Invalid(
           "require 0 <= reinit_keep_fraction <= reinit_full_fraction");
     }
+    if (f.num_threads < 1) {
+      return Status::Invalid("factored.num_threads must be >= 1");
+    }
   }
   if (config.emitter.delay_seconds < 0) {
     return Status::Invalid("emitter.delay_seconds must be non-negative");

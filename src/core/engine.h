@@ -49,6 +49,11 @@ struct EngineStats {
                ? static_cast<double>(readings_processed) / processing_seconds
                : 0.0;
   }
+  double EpochsPerSecond() const {
+    return processing_seconds > 0
+               ? static_cast<double>(epochs_processed) / processing_seconds
+               : 0.0;
+  }
   double MillisPerReading() const {
     return readings_processed > 0
                ? processing_seconds * 1e3 /

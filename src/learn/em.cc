@@ -53,41 +53,44 @@ void EmCalibrator::EStep(const WorldModel& model,
       if (state.particles.empty()) continue;
       const bool read = observed.count(state.tag) > 0;
 
-      // Posterior mean / spread under the combined factored weights.
+      // Posterior mean / spread under the combined factored weights. The
+      // particle store is SoA; stream the component arrays directly.
+      const ParticleSoa& particles = state.particles;
+      const size_t n = particles.size();
+      const double* weights = particles.weights();
+      const uint32_t* reader_idx = particles.reader_indices();
       Vec3 mean;
       double weight_total = 0.0;
-      for (const auto& p : state.particles) {
+      for (size_t k = 0; k < n; ++k) {
         const double w =
-            p.weight * filter.reader_particles()[p.reader_idx].weight;
-        mean += p.position * w;
+            weights[k] * filter.reader_particles()[reader_idx[k]].weight;
+        mean += particles.PositionAt(k) * w;
         weight_total += w;
       }
       if (weight_total <= 0.0) continue;
       mean = mean / weight_total;
       double spread = 0.0;
-      for (const auto& p : state.particles) {
+      for (size_t k = 0; k < n; ++k) {
         const double w =
-            p.weight * filter.reader_particles()[p.reader_idx].weight;
-        spread += (w / weight_total) * (p.position - mean).NormSq();
+            weights[k] * filter.reader_particles()[reader_idx[k]].weight;
+        spread += (w / weight_total) * (particles.PositionAt(k) - mean).NormSq();
       }
       if (spread > config_.max_object_posterior_spread) continue;
       if (!read && (mean - reader.mean).NormSq() > neg_range_sq) continue;
 
       const size_t stride = std::max<size_t>(
-          1, state.particles.size() /
-                 static_cast<size_t>(config_.object_samples_per_epoch));
+          1, n / static_cast<size_t>(config_.object_samples_per_epoch));
       double weight_scale = 0.0;
-      for (size_t k = 0; k < state.particles.size(); k += stride) {
-        const auto& p = state.particles[k];
+      for (size_t k = 0; k < n; k += stride) {
         weight_scale +=
-            p.weight * filter.reader_particles()[p.reader_idx].weight;
+            weights[k] * filter.reader_particles()[reader_idx[k]].weight;
       }
       if (weight_scale <= 0.0) continue;
-      for (size_t k = 0; k < state.particles.size(); k += stride) {
-        const auto& p = state.particles[k];
-        const auto& rp = filter.reader_particles()[p.reader_idx];
-        const RangeBearing rb = ComputeRangeBearing(rp.pose, p.position);
-        const double w = p.weight * rp.weight / weight_scale;
+      for (size_t k = 0; k < n; k += stride) {
+        const auto& rp = filter.reader_particles()[reader_idx[k]];
+        const RangeBearing rb =
+            ComputeRangeBearing(rp.pose, particles.PositionAt(k));
+        const double w = weights[k] * rp.weight / weight_scale;
         if (w <= 0.0) continue;
         examples->push_back({rb.distance, rb.angle, read, w});
       }

@@ -50,4 +50,25 @@ double ConeSensorModel::ProbRead(double distance, double angle) const {
   return params_.major_read_rate * angle_factor * range_factor;
 }
 
+void ConeSensorModel::ProbReadBatch(const ReaderFrame& frame, const double* xs,
+                                    const double* ys, const double* zs,
+                                    size_t n, double* out) const {
+  batch_detail::BatchSoa(*this, frame, xs, ys, zs, n, out, MaxRange());
+}
+
+void ConeSensorModel::ProbReadBatchPositions(const ReaderFrame& frame,
+                                             const Vec3* positions, size_t n,
+                                             double* out) const {
+  batch_detail::BatchAos(*this, frame, positions, n, out, MaxRange());
+}
+
+void ConeSensorModel::ProbReadBatchGather(const ReaderFrame* frames,
+                                          const uint32_t* frame_idx,
+                                          const double* xs, const double* ys,
+                                          const double* zs, size_t n,
+                                          double* out) const {
+  batch_detail::BatchGather(*this, frames, frame_idx, xs, ys, zs, n, out,
+                            MaxRange());
+}
+
 }  // namespace rfid

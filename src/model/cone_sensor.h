@@ -39,6 +39,18 @@ class ConeSensorModel final : public SensorModel {
     return std::make_unique<ConeSensorModel>(*this);
   }
 
+  // Devirtualized batch kernels; beyond MaxRange() the cone is exactly zero,
+  // so out-of-range particles skip the bearing acos entirely.
+  void ProbReadBatch(const ReaderFrame& frame, const double* xs,
+                     const double* ys, const double* zs, size_t n,
+                     double* out) const override;
+  void ProbReadBatchPositions(const ReaderFrame& frame, const Vec3* positions,
+                              size_t n, double* out) const override;
+  void ProbReadBatchGather(const ReaderFrame* frames, const uint32_t* frame_idx,
+                           const double* xs, const double* ys,
+                           const double* zs, size_t n,
+                           double* out) const override;
+
   const ConeSensorParams& params() const { return params_; }
 
  private:

@@ -17,6 +17,51 @@ constexpr double kRangeScanLimit = 25.0;
 constexpr double kPeakFraction = 0.1;
 }  // namespace
 
+void SensorModel::ProbReadBatch(const ReaderFrame& frame, const double* xs,
+                                const double* ys, const double* zs, size_t n,
+                                double* out) const {
+  batch_detail::BatchSoa(*this, frame, xs, ys, zs, n, out,
+                         batch_detail::kNoCutoff);
+}
+
+void SensorModel::ProbReadBatchPositions(const ReaderFrame& frame,
+                                         const Vec3* positions, size_t n,
+                                         double* out) const {
+  batch_detail::BatchAos(*this, frame, positions, n, out,
+                         batch_detail::kNoCutoff);
+}
+
+void SensorModel::ProbReadBatchGather(const ReaderFrame* frames,
+                                      const uint32_t* frame_idx,
+                                      const double* xs, const double* ys,
+                                      const double* zs, size_t n,
+                                      double* out) const {
+  batch_detail::BatchGather(*this, frames, frame_idx, xs, ys, zs, n, out,
+                            batch_detail::kNoCutoff);
+}
+
+void LogisticSensorModel::ProbReadBatch(const ReaderFrame& frame,
+                                        const double* xs, const double* ys,
+                                        const double* zs, size_t n,
+                                        double* out) const {
+  batch_detail::BatchSoa(*this, frame, xs, ys, zs, n, out,
+                         batch_detail::kNoCutoff);
+}
+
+void LogisticSensorModel::ProbReadBatchPositions(const ReaderFrame& frame,
+                                                 const Vec3* positions,
+                                                 size_t n, double* out) const {
+  batch_detail::BatchAos(*this, frame, positions, n, out,
+                         batch_detail::kNoCutoff);
+}
+
+void LogisticSensorModel::ProbReadBatchGather(
+    const ReaderFrame* frames, const uint32_t* frame_idx, const double* xs,
+    const double* ys, const double* zs, size_t n, double* out) const {
+  batch_detail::BatchGather(*this, frames, frame_idx, xs, ys, zs, n, out,
+                            batch_detail::kNoCutoff);
+}
+
 LogisticSensorModel::LogisticSensorModel()
     // ~95% read rate at the antenna, decaying past ~3 ft and ~0.4 rad.
     : LogisticSensorModel({4.0, -0.5, -0.35}, {0.0, -1.0, -3.0}) {}

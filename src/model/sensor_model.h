@@ -6,10 +6,12 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <memory>
 
 #include "geometry/aabb.h"
 #include "geometry/vec.h"
+#include "model/reader_frame.h"
 #include "util/status.h"
 
 namespace rfid {
@@ -53,6 +55,31 @@ class SensorModel {
     const RangeBearing rb = ComputeRangeBearing(reader, tag);
     return ProbRead(rb.distance, rb.angle);
   }
+
+  // --- Batched evaluation -------------------------------------------------
+  //
+  // All three variants produce exactly the scalar ProbReadAt result per
+  // element (same range/bearing arithmetic, see reader_frame.h); concrete
+  // models override them with devirtualized inner loops. The base
+  // implementations pay one virtual ProbRead per element and exist so new
+  // sensor models work unoptimized out of the box.
+
+  /// out[k] = p(read | frame, (xs[k], ys[k], zs[k])) for k in [0, n).
+  virtual void ProbReadBatch(const ReaderFrame& frame, const double* xs,
+                             const double* ys, const double* zs, size_t n,
+                             double* out) const;
+
+  /// Same, with array-of-structs positions.
+  virtual void ProbReadBatchPositions(const ReaderFrame& frame,
+                                      const Vec3* positions, size_t n,
+                                      double* out) const;
+
+  /// Per-element frames: out[k] uses frames[frame_idx[k]] (the factored
+  /// representation, where each particle conditions on its own reader).
+  virtual void ProbReadBatchGather(const ReaderFrame* frames,
+                                   const uint32_t* frame_idx, const double* xs,
+                                   const double* ys, const double* zs,
+                                   size_t n, double* out) const;
 };
 
 /// Learnable parametric sensor model, paper Eq. (1).
@@ -72,6 +99,16 @@ class LogisticSensorModel final : public SensorModel {
   std::unique_ptr<SensorModel> Clone() const override {
     return std::make_unique<LogisticSensorModel>(*this);
   }
+
+  void ProbReadBatch(const ReaderFrame& frame, const double* xs,
+                     const double* ys, const double* zs, size_t n,
+                     double* out) const override;
+  void ProbReadBatchPositions(const ReaderFrame& frame, const Vec3* positions,
+                              size_t n, double* out) const override;
+  void ProbReadBatchGather(const ReaderFrame* frames, const uint32_t* frame_idx,
+                           const double* xs, const double* ys,
+                           const double* zs, size_t n,
+                           double* out) const override;
 
   const std::array<double, 3>& a() const { return a_; }
   const std::array<double, 3>& b() const { return b_; }

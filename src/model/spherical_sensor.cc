@@ -30,4 +30,27 @@ double SphericalSensorModel::MaxRange() const {
   return 1.9 * params_.range;
 }
 
+void SphericalSensorModel::ProbReadBatch(const ReaderFrame& frame,
+                                         const double* xs, const double* ys,
+                                         const double* zs, size_t n,
+                                         double* out) const {
+  batch_detail::BatchSoa(*this, frame, xs, ys, zs, n, out,
+                         batch_detail::kNoCutoff);
+}
+
+void SphericalSensorModel::ProbReadBatchPositions(const ReaderFrame& frame,
+                                                  const Vec3* positions,
+                                                  size_t n,
+                                                  double* out) const {
+  batch_detail::BatchAos(*this, frame, positions, n, out,
+                         batch_detail::kNoCutoff);
+}
+
+void SphericalSensorModel::ProbReadBatchGather(
+    const ReaderFrame* frames, const uint32_t* frame_idx, const double* xs,
+    const double* ys, const double* zs, size_t n, double* out) const {
+  batch_detail::BatchGather(*this, frames, frame_idx, xs, ys, zs, n, out,
+                            batch_detail::kNoCutoff);
+}
+
 }  // namespace rfid

@@ -39,6 +39,18 @@ class SphericalSensorModel final : public SensorModel {
     return std::make_unique<SphericalSensorModel>(*this);
   }
 
+  // Devirtualized batch kernels (no distance cutoff: the Gaussian decay
+  // never reaches exactly zero).
+  void ProbReadBatch(const ReaderFrame& frame, const double* xs,
+                     const double* ys, const double* zs, size_t n,
+                     double* out) const override;
+  void ProbReadBatchPositions(const ReaderFrame& frame, const Vec3* positions,
+                              size_t n, double* out) const override;
+  void ProbReadBatchGather(const ReaderFrame* frames, const uint32_t* frame_idx,
+                           const double* xs, const double* ys,
+                           const double* zs, size_t n,
+                           double* out) const override;
+
   const SphericalSensorParams& params() const { return params_; }
 
  private:

@@ -73,6 +73,8 @@ void BasicParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
         it != object_slots_.end() ? it->second : AddObjectSlot(tag);
     observed_slots.insert(slot);
   }
+  scratch_observed_.assign(slot_tags_.size(), 0);
+  for (size_t slot : observed_slots) scratch_observed_[slot] = 1;
 
   // Propagate object locations through the object dynamics.
   for (auto& particle : particles_) {
@@ -95,6 +97,9 @@ void BasicParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
   std::vector<double> log_weights(particles_.size());
   for (size_t j = 0; j < particles_.size(); ++j) {
     const Particle& particle = particles_[j];
+    // Hoist the reader pose's heading trig once per particle; every sensor
+    // evaluation below then goes through the batched kernels.
+    const ReaderFrame frame = ReaderFrame::From(particle.reader);
     double lw = std::log(std::max(weights_[j], kProbFloor));
     if (epoch.has_location) {
       lw += model_.location_sensing().LogPdf(epoch.reported_location,
@@ -112,10 +117,13 @@ void BasicParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
       lw += SafeLog(1.0 -
                     model_.sensor().ProbReadAt(particle.reader, s->location));
     }
-    for (size_t slot = 0; slot < particle.objects.size(); ++slot) {
-      const double p =
-          model_.sensor().ProbReadAt(particle.reader, particle.objects[slot]);
-      lw += observed_slots.count(slot) ? SafeLog(p) : SafeLog(1.0 - p);
+    const size_t num_slots = particle.objects.size();
+    scratch_probs_.resize(num_slots);
+    model_.sensor().ProbReadBatchPositions(frame, particle.objects.data(),
+                                           num_slots, scratch_probs_.data());
+    for (size_t slot = 0; slot < num_slots; ++slot) {
+      const double p = scratch_probs_[slot];
+      lw += scratch_observed_[slot] ? SafeLog(p) : SafeLog(1.0 - p);
     }
     log_weights[j] = lw;
   }

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "model/reader_frame.h"
 #include "model/world_model.h"
 #include "pf/filter.h"
 #include "pf/initializer.h"
@@ -61,6 +62,11 @@ class BasicParticleFilter final : public InferenceFilter {
   std::unordered_map<TagId, size_t> object_slots_;
   std::vector<TagId> slot_tags_;
   bool reader_initialized_ = false;
+
+  // Scratch reused across epochs: batched per-object likelihoods and the
+  // observed-slot bitmap for the weighting loop.
+  std::vector<double> scratch_probs_;
+  std::vector<uint8_t> scratch_observed_;
 };
 
 }  // namespace rfid

@@ -11,6 +11,9 @@ namespace {
 constexpr double kProbFloor = 1e-9;
 constexpr double kSupportFloor = 1e-12;
 
+/// Salt separating the reader-repoint streams from the update streams.
+constexpr uint64_t kRepointSalt = 0x5bd1e995u;
+
 double SafeLog(double p) { return std::log(std::max(p, kProbFloor)); }
 }  // namespace
 
@@ -22,8 +25,15 @@ FactoredParticleFilter::FactoredParticleFilter(
                    &model_.object_model().shelves()),
       compression_(config.compression),
       rng_(config.seed),
-      index_(config.index) {
+      index_(config.index),
+      pool_(config.num_threads) {
   readers_.resize(config_.num_reader_particles);
+  reader_frames_.resize(config_.num_reader_particles);
+  lane_scratch_.resize(pool_.num_threads());
+  // Reader-sized temporaries are needed every epoch; size them once.
+  scratch_weights_.reserve(config_.num_reader_particles);
+  scratch_log_weights_.reserve(config_.num_reader_particles);
+  scratch_support_.reserve(config_.num_reader_particles);
 }
 
 void FactoredParticleFilter::InitializeReaders(const SyncedEpoch& epoch) {
@@ -161,6 +171,13 @@ void FactoredParticleFilter::WeightReaders(
   }
 }
 
+void FactoredParticleFilter::BuildReaderFrames() {
+  reader_frames_.resize(readers_.size());
+  for (size_t j = 0; j < readers_.size(); ++j) {
+    reader_frames_[j] = ReaderFrame::From(readers_[j].pose);
+  }
+}
+
 uint32_t FactoredParticleFilter::GetOrCreateSlot(TagId tag) {
   auto it = slot_of_tag_.find(tag);
   if (it != slot_of_tag_.end()) return it->second;
@@ -179,19 +196,17 @@ void FactoredParticleFilter::InitializeObjectParticles(ObjectState* state,
   }
   // Systematic assignment spreads attachments across readers proportionally
   // to reader weight, so the implied joint matches the reader posterior.
-  const auto attach = ResampleAncestors(scratch_weights_, count,
-                                        ResampleScheme::kSystematic, rng_);
+  ResampleAncestors(scratch_weights_.data(), scratch_weights_.size(), count,
+                    ResampleScheme::kSystematic, rng_, &scratch_ancestors_);
   state->particles.clear();
   state->particles.reserve(count);
   const double uniform = 1.0 / count;
   state->particle_bounds = Aabb::Empty();
   for (int k = 0; k < count; ++k) {
-    ObjectParticle p;
-    p.reader_idx = attach[k];
-    p.position = initializer_.Sample(readers_[p.reader_idx].pose, rng_);
-    p.weight = uniform;
-    state->particle_bounds.Extend(p.position);
-    state->particles.push_back(p);
+    const uint32_t reader_idx = scratch_ancestors_[k];
+    const Vec3 position = initializer_.Sample(readers_[reader_idx].pose, rng_);
+    state->particle_bounds.Extend(position);
+    state->particles.PushBack(position, reader_idx, uniform);
   }
   state->compressed.reset();
 }
@@ -204,19 +219,16 @@ void FactoredParticleFilter::DecompressObject(ObjectState* state) {
     scratch_weights_[j] = readers_[j].weight;
   }
   const int count = config_.num_decompress_particles;
-  const auto attach = ResampleAncestors(scratch_weights_, count,
-                                        ResampleScheme::kSystematic, rng_);
+  ResampleAncestors(scratch_weights_.data(), scratch_weights_.size(), count,
+                    ResampleScheme::kSystematic, rng_, &scratch_ancestors_);
   state->particles.clear();
   state->particles.reserve(count);
   const double uniform = 1.0 / count;
   state->particle_bounds = Aabb::Empty();
   for (int k = 0; k < count; ++k) {
-    ObjectParticle p;
-    p.reader_idx = attach[k];
-    p.position = belief.Sample(rng_);
-    p.weight = uniform;
-    state->particle_bounds.Extend(p.position);
-    state->particles.push_back(p);
+    const Vec3 position = belief.Sample(rng_);
+    state->particle_bounds.Extend(position);
+    state->particles.PushBack(position, scratch_ancestors_[k], uniform);
   }
   state->compressed.reset();
 }
@@ -246,26 +258,49 @@ void FactoredParticleFilter::HalfReinitialize(ObjectState* state) {
   for (size_t j = 0; j < readers_.size(); ++j) {
     scratch_weights_[j] = readers_[j].weight;
   }
-  const size_t n = state->particles.size();
-  const auto attach = ResampleAncestors(scratch_weights_, (n + 1) / 2,
-                                        ResampleScheme::kSystematic, rng_);
+  ParticleSoa& particles = state->particles;
+  const size_t n = particles.size();
+  ResampleAncestors(scratch_weights_.data(), scratch_weights_.size(),
+                    (n + 1) / 2, ResampleScheme::kSystematic, rng_,
+                    &scratch_ancestors_);
   size_t a = 0;
   for (size_t k = 1; k < n; k += 2) {  // Every other particle moves.
-    ObjectParticle& p = state->particles[k];
-    p.reader_idx = attach[a++];
-    p.position = initializer_.Sample(readers_[p.reader_idx].pose, rng_);
+    const uint32_t reader_idx = scratch_ancestors_[a++];
+    particles.SetReaderIdx(k, reader_idx);
+    particles.SetPosition(k, initializer_.Sample(readers_[reader_idx].pose,
+                                                 rng_));
   }
-  const double uniform = 1.0 / static_cast<double>(n);
-  state->particle_bounds = Aabb::Empty();
-  for (ObjectParticle& p : state->particles) {
-    p.weight = uniform;
-    state->particle_bounds.Extend(p.position);
-  }
+  particles.SetUniformWeights();
+  state->particle_bounds = particles.ComputeBounds();
 }
 
-bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed) {
-  auto& particles = state->particles;
-  if (particles.empty()) return true;
+uint64_t FactoredParticleFilter::SlotStreamSeed(uint32_t slot,
+                                                uint64_t salt) const {
+  // splitmix64 chain over (seed, slot, step, salt): cheap, and decorrelated
+  // enough that neighbouring slots / steps give independent xoshiro states
+  // (which re-expand the 64-bit value through splitmix64 again).
+  uint64_t state = config_.seed;
+  uint64_t h = SplitMix64(state);
+  state ^= slot;
+  h ^= SplitMix64(state);
+  state ^= static_cast<uint64_t>(step_);
+  h ^= SplitMix64(state);
+  state ^= salt;
+  h ^= SplitMix64(state);
+  return h;
+}
+
+bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
+                                          uint32_t slot, uint64_t salt,
+                                          UpdateScratch* scratch) {
+  ParticleSoa& particles = state->particles;
+  const size_t n = particles.size();
+  if (n == 0) return true;
+
+  // All randomness below comes from this private stream: the update is a
+  // pure function of (slot state, readers, seed, slot, step), so slots can
+  // run on any lane in any order and still produce identical results.
+  Rng rng(SlotStreamSeed(slot, salt));
 
   // Proposal: object dynamics (stationary w.p. 1 - alpha, jump otherwise).
   // The jump branch is sampled only while the object is being *read*: a
@@ -277,59 +312,55 @@ bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed) {
   // The paper recovers movements of unread objects through the §IV-A
   // re-initialization rules instead, as do we.
   if (observed) {
-    for (ObjectParticle& p : particles) {
-      p.position = model_.object_model().Propagate(p.position, rng_);
+    const ObjectLocationModel& om = model_.object_model();
+    for (size_t k = 0; k < n; ++k) {
+      particles.SetPosition(k, om.Propagate(particles.PositionAt(k), rng));
     }
   }
 
   // Factored weighting, Eq. (5): each particle is weighted against the
-  // current pose of the reader particle it is conditioned on.
+  // current pose of the reader particle it is conditioned on. The whole
+  // batch goes through the sensor model's devirtualized kernel against the
+  // precomputed reader frames.
+  scratch->probs.resize(n);
+  model_.sensor().ProbReadBatchGather(
+      reader_frames_.data(), particles.reader_indices(), particles.xs(),
+      particles.ys(), particles.zs(), n, scratch->probs.data());
+
+  double* weights = particles.mutable_weights();
   double total = 0.0;
   double best_likelihood = 0.0;
-  for (ObjectParticle& p : particles) {
-    const double pr =
-        model_.sensor().ProbReadAt(readers_[p.reader_idx].pose, p.position);
+  for (size_t k = 0; k < n; ++k) {
+    const double pr = scratch->probs[k];
     const double like = observed ? std::max(pr, kProbFloor)
                                  : std::max(1.0 - pr, kProbFloor);
     best_likelihood = std::max(best_likelihood, like);
-    p.weight *= like;
-    total += p.weight;
+    weights[k] *= like;
+    total += weights[k];
   }
   // Likelihood conflict: the tag responded but no particle could plausibly
   // have been read. The belief is stale (e.g. the object moved parallel to
   // the reader path, which the reader-distance rule cannot detect).
   const bool conflict = observed && best_likelihood <= kProbFloor * 1.01;
   if (total <= 0.0 || !std::isfinite(total)) {
-    const double uniform = 1.0 / particles.size();
-    for (ObjectParticle& p : particles) p.weight = uniform;
+    particles.SetUniformWeights();
   } else {
-    for (ObjectParticle& p : particles) p.weight /= total;
+    for (size_t k = 0; k < n; ++k) weights[k] /= total;
   }
 
-  scratch_weights_.resize(particles.size());
-  for (size_t k = 0; k < particles.size(); ++k) {
-    scratch_weights_[k] = particles[k].weight;
-  }
-  if (EffectiveSampleSize(scratch_weights_) <
-      config_.object_resample_threshold *
-          static_cast<double>(particles.size())) {
-    const auto ancestors = ResampleAncestors(
-        scratch_weights_, particles.size(), config_.resample_scheme, rng_);
-    std::vector<ObjectParticle> next;
-    next.reserve(particles.size());
-    const double uniform = 1.0 / particles.size();
-    for (uint32_t anc : ancestors) {
-      ObjectParticle p = particles[anc];  // reader_idx pointer preserved.
-      p.weight = uniform;
-      next.push_back(p);
-    }
-    particles = std::move(next);
+  if (EffectiveSampleSize(particles.weights(), n) <
+      config_.object_resample_threshold * static_cast<double>(n)) {
+    ResampleAncestors(particles.weights(), n, n, config_.resample_scheme, rng,
+                      &scratch->ancestors);
+    // Gather into the lane's scratch set, then swap the storage in;
+    // reader_idx pointers are preserved by the gather.
+    scratch->gathered.GatherFrom(particles, scratch->ancestors,
+                                 1.0 / static_cast<double>(n));
+    std::swap(particles, scratch->gathered);
   }
 
-  state->particle_bounds = Aabb::Empty();
-  for (const ObjectParticle& p : particles) {
-    state->particle_bounds.Extend(p.position);
-  }
+  state->particle_bounds = particles.ComputeBounds();
+  particle_updates_.fetch_add(n, std::memory_order_relaxed);
   return !conflict;
 }
 
@@ -345,37 +376,37 @@ void FactoredParticleFilter::ResampleReaders(
   for (size_t j = 0; j < num_readers; ++j) {
     scratch_log_weights_[j] = std::log(std::max(readers_[j].weight, kProbFloor));
   }
-  std::vector<double> support(num_readers);
-  if (config_.reader_support_weight <= 0.0) {
-    // Support disabled: resample by reader weights alone.
-    NormalizeLogWeights(scratch_log_weights_, &scratch_weights_);
-  }
+  scratch_support_.resize(num_readers);
   for (uint32_t slot : processed_slots) {
     if (config_.reader_support_weight <= 0.0) break;
     const ObjectState& state = states_[slot];
     if (state.IsCompressed() || state.particles.empty()) continue;
-    std::fill(support.begin(), support.end(), 0.0);
-    for (const ObjectParticle& p : state.particles) {
-      support[p.reader_idx] += p.weight;
+    std::fill(scratch_support_.begin(), scratch_support_.end(), 0.0);
+    const uint32_t* reader_idx = state.particles.reader_indices();
+    const double* weights = state.particles.weights();
+    for (size_t k = 0; k < state.particles.size(); ++k) {
+      scratch_support_[reader_idx[k]] += weights[k];
     }
     for (size_t j = 0; j < num_readers; ++j) {
-      scratch_log_weights_[j] += config_.reader_support_weight *
-                                 std::log(std::max(support[j], kSupportFloor));
+      scratch_log_weights_[j] +=
+          config_.reader_support_weight *
+          std::log(std::max(scratch_support_[j], kSupportFloor));
     }
   }
   NormalizeLogWeights(scratch_log_weights_, &scratch_weights_);
 
-  const auto ancestors = ResampleAncestors(
-      scratch_weights_, num_readers, config_.resample_scheme, rng_);
+  ResampleAncestors(scratch_weights_.data(), scratch_weights_.size(),
+                    num_readers, config_.resample_scheme, rng_,
+                    &scratch_ancestors_);
 
   // Rebuild the reader list and a mapping old slot -> new slots.
   std::vector<ReaderParticle> next(num_readers);
   std::vector<std::vector<uint32_t>> new_slots_of(num_readers);
   const double uniform = 1.0 / static_cast<double>(num_readers);
   for (size_t j = 0; j < num_readers; ++j) {
-    next[j].pose = readers_[ancestors[j]].pose;
+    next[j].pose = readers_[scratch_ancestors_[j]].pose;
     next[j].weight = uniform;
-    new_slots_of[ancestors[j]].push_back(static_cast<uint32_t>(j));
+    new_slots_of[scratch_ancestors_[j]].push_back(static_cast<uint32_t>(j));
   }
   readers_ = std::move(next);
 
@@ -383,27 +414,37 @@ void FactoredParticleFilter::ResampleReaders(
   // Particles whose reader died are re-pointed to a random survivor: an
   // approximation (their conditioning hypothesis changes), but those
   // particles belonged to down-weighted readers, so the bias is bounded by
-  // the resampling threshold.
-  for (ObjectState& state : states_) {
-    for (ObjectParticle& p : state.particles) {
-      const auto& slots = new_slots_of[p.reader_idx];
+  // the resampling threshold. Objects are independent here, so the remap
+  // fans out across the pool; each slot draws from its own salted stream to
+  // stay deterministic at any thread count.
+  pool_.ParallelFor(states_.size(), [&](size_t slot, int) {
+    ParticleSoa& particles = states_[slot].particles;
+    const size_t n = particles.size();
+    if (n == 0) return;
+    Rng rng(SlotStreamSeed(static_cast<uint32_t>(slot), kRepointSalt));
+    uint32_t* reader_idx = particles.mutable_reader_indices();
+    for (size_t k = 0; k < n; ++k) {
+      const auto& slots = new_slots_of[reader_idx[k]];
       if (slots.empty()) {
-        p.reader_idx = static_cast<uint32_t>(rng_.UniformInt(num_readers));
+        reader_idx[k] = static_cast<uint32_t>(rng.UniformInt(num_readers));
       } else if (slots.size() == 1) {
-        p.reader_idx = slots[0];
+        reader_idx[k] = slots[0];
       } else {
-        p.reader_idx = slots[rng_.UniformInt(slots.size())];
+        reader_idx[k] = slots[rng.UniformInt(slots.size())];
       }
     }
-  }
+  });
 }
 
 GaussianBelief FactoredParticleFilter::FitBelief(
     const ObjectState& state) const {
   std::vector<WeightedPoint> points;
   points.reserve(state.particles.size());
-  for (const ObjectParticle& p : state.particles) {
-    points.push_back({p.position, p.weight * readers_[p.reader_idx].weight});
+  for (size_t k = 0; k < state.particles.size(); ++k) {
+    points.push_back(
+        {state.particles.PositionAt(k),
+         state.particles.WeightAt(k) *
+             readers_[state.particles.ReaderIdxAt(k)].weight});
   }
   return GaussianBelief::Fit(points);
 }
@@ -429,9 +470,11 @@ void FactoredParticleFilter::RunCompression() {
     {
       std::vector<WeightedPoint> points;
       points.reserve(state.particles.size());
-      for (const ObjectParticle& p : state.particles) {
+      for (size_t k = 0; k < state.particles.size(); ++k) {
         points.push_back(
-            {p.position, p.weight * readers_[p.reader_idx].weight});
+            {state.particles.PositionAt(k),
+             state.particles.WeightAt(k) *
+                 readers_[state.particles.ReaderIdxAt(k)].weight});
       }
       c.kl = fit.CompressionErrorFrom(points);
     }
@@ -446,7 +489,7 @@ void FactoredParticleFilter::RunCompression() {
     ObjectState& state = states_[candidates[i].slot];
     state.compressed = fits[i];
     state.particles.clear();
-    state.particles.shrink_to_fit();
+    state.particles.ShrinkToFit();
   }
 }
 
@@ -469,6 +512,9 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
   }
 
   WeightReaders(epoch, observed_shelves);
+  // Readers keep these poses until the post-update resampling, so the frames
+  // are valid for every object update this epoch.
+  BuildReaderFrames();
   const ReaderEstimate reader_est = EstimateReader();
   const Vec3 reader_ref = reader_est.mean;
   const Aabb sensing_box =
@@ -495,6 +541,8 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
   }
 
   // --- Case 1: initialize / revive / re-initialize, then update ------------
+  // Serial: initialization and re-initialization sample from the shared
+  // stream, and the set is small (bounded by the tags read in one epoch).
   for (uint32_t slot : case1) {
     ObjectState& state = states_[slot];
     const bool brand_new =
@@ -506,7 +554,8 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
     } else if (state.last_observed_step >= 0) {
       MaybeReinitialize(&state, reader_ref);
     }
-    if (!UpdateObject(&state, /*observed=*/true)) {
+    if (!UpdateObject(&state, /*observed=*/true, slot, /*salt=*/0,
+                      &lane_scratch_[0])) {
       // Every particle sat at the likelihood floor for this reading. That
       // happens both for marginal geometry (correct particles just outside
       // the cone edge) and for genuinely stale beliefs (the object moved
@@ -515,15 +564,16 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
       // half re-init when the believed location is entirely out of sensing
       // range of the reader that produced the reading.
       Vec3 cloud_mean;
-      for (const ObjectParticle& p : state.particles) {
-        cloud_mean += p.position;
+      for (size_t k = 0; k < state.particles.size(); ++k) {
+        cloud_mean += state.particles.PositionAt(k);
       }
       cloud_mean = cloud_mean / static_cast<double>(state.particles.size());
       const double explain = model_.sensor().ProbReadAt(
           Pose(reader_ref, reader_est.heading), cloud_mean);
       if (explain < config_.decompress_neg_evidence_prob) {
         HalfReinitialize(&state);
-        UpdateObject(&state, /*observed=*/true);
+        UpdateObject(&state, /*observed=*/true, slot, /*salt=*/1,
+                     &lane_scratch_[0]);
       }
     }
     state.last_observed_step = step_;
@@ -532,7 +582,10 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
   }
 
   // --- Case 2: negative evidence for nearby unread objects -----------------
-  std::vector<uint32_t> processed = case1;
+  // First a serial sweep for the decompression decisions (they sample from
+  // the shared stream), collecting the slots to update...
+  std::vector<uint32_t>& case2_updates = scratch_case2_updates_;
+  case2_updates.clear();
   for (uint32_t slot : case2) {
     if (case1_set.count(slot)) continue;
     ObjectState& state = states_[slot];
@@ -544,8 +597,20 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
       DecompressObject(&state);
     }
     if (state.particles.empty()) continue;
-    UpdateObject(&state, /*observed=*/false);
-    state.last_processed_step = step_;
+    case2_updates.push_back(slot);
+  }
+  // ...then the updates themselves fan out across the pool. Given the
+  // frozen reader frames they are conditionally independent (§IV-B), and
+  // each draws from its own (seed, slot, step) stream.
+  pool_.ParallelFor(case2_updates.size(), [&](size_t i, int lane) {
+    const uint32_t slot = case2_updates[i];
+    UpdateObject(&states_[slot], /*observed=*/false, slot, /*salt=*/0,
+                 &lane_scratch_[lane]);
+  });
+  std::vector<uint32_t> processed = case1;
+  processed.reserve(case1.size() + case2_updates.size());
+  for (uint32_t slot : case2_updates) {
+    states_[slot].last_processed_step = step_;
     processed.push_back(slot);
   }
 
@@ -595,22 +660,26 @@ std::optional<LocationEstimate> FactoredParticleFilter::EstimateObject(
     est.support = 0;
     return est;
   }
-  if (state.particles.empty()) return std::nullopt;
+  const ParticleSoa& particles = state.particles;
+  const size_t n = particles.size();
+  if (n == 0) return std::nullopt;
 
   // Marginal weight of a particle is its factored weight times the weight of
   // the reader hypothesis it is conditioned on.
+  const double* weights = particles.weights();
+  const uint32_t* reader_idx = particles.reader_indices();
   double total = 0.0;
   Vec3 mean;
-  for (const ObjectParticle& p : state.particles) {
-    const double w = p.weight * readers_[p.reader_idx].weight;
-    mean += p.position * w;
+  for (size_t k = 0; k < n; ++k) {
+    const double w = weights[k] * readers_[reader_idx[k]].weight;
+    mean += particles.PositionAt(k) * w;
     total += w;
   }
   if (total <= 0.0) {
-    const double uniform = 1.0 / state.particles.size();
+    const double uniform = 1.0 / static_cast<double>(n);
     mean = {};
-    for (const ObjectParticle& p : state.particles) {
-      mean += p.position * uniform;
+    for (size_t k = 0; k < n; ++k) {
+      mean += particles.PositionAt(k) * uniform;
     }
     total = 1.0;
     est.mean = mean;
@@ -618,15 +687,15 @@ std::optional<LocationEstimate> FactoredParticleFilter::EstimateObject(
     est.mean = mean / total;
   }
   Vec3 var;
-  for (const ObjectParticle& p : state.particles) {
-    const double w = p.weight * readers_[p.reader_idx].weight / total;
-    const Vec3 d = p.position - est.mean;
+  for (size_t k = 0; k < n; ++k) {
+    const double w = weights[k] * readers_[reader_idx[k]].weight / total;
+    const Vec3 d = particles.PositionAt(k) - est.mean;
     var.x += w * d.x * d.x;
     var.y += w * d.y * d.y;
     var.z += w * d.z * d.z;
   }
   est.variance = var;
-  est.support = static_cast<int>(state.particles.size());
+  est.support = static_cast<int>(n);
   return est;
 }
 
@@ -675,7 +744,7 @@ size_t FactoredParticleFilter::ApproxMemoryBytes() const {
   size_t bytes = readers_.capacity() * sizeof(ReaderParticle);
   for (const ObjectState& s : states_) {
     bytes += sizeof(ObjectState);
-    bytes += s.particles.capacity() * sizeof(ObjectParticle);
+    bytes += s.particles.ApproxMemoryBytes();
     if (s.IsCompressed()) bytes += sizeof(GaussianBelief);
   }
   return bytes;

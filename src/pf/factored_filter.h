@@ -13,21 +13,33 @@
 //    near the current reader location before (Case 2) are processed;
 //  * belief compression (§IV-D): objects out of scope collapse to a Gaussian
 //    and are revived with a small particle count when read again.
+//
+// Performance architecture (see PERF.md): per-object particles live in a
+// structure-of-arrays store (ParticleSoa) and are weighted through the
+// sensor models' batched kernels against per-epoch precomputed reader
+// frames. Per-object updates are conditionally independent given the reader
+// particles, so they fan out across a fixed worker pool; every update draws
+// its randomness from a private stream keyed by (config.seed, slot, step),
+// which makes results bit-identical at any thread count.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "index/sensing_index.h"
+#include "model/reader_frame.h"
 #include "model/world_model.h"
 #include "pf/belief.h"
 #include "pf/compression_policy.h"
 #include "pf/filter.h"
 #include "pf/initializer.h"
+#include "pf/particle_soa.h"
 #include "pf/resample.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace rfid {
 
@@ -74,6 +86,10 @@ struct FactoredFilterConfig {
   /// uninformative and decompression would thrash).
   double decompress_neg_evidence_prob = 0.1;
 
+  /// Worker-pool width for per-object updates (1 = fully serial). Estimates
+  /// are bit-identical across thread counts at a fixed seed.
+  int num_threads = 1;
+
   uint64_t seed = 1;
 };
 
@@ -86,17 +102,14 @@ class FactoredParticleFilter final : public InferenceFilter {
   };
 
   /// An object-location hypothesis tied to a reader hypothesis
-  /// (Fig. 3(b), right table).
-  struct ObjectParticle {
-    Vec3 position;
-    uint32_t reader_idx = 0;  ///< Pointer to the conditioning reader particle.
-    double weight = 0.0;      ///< Normalized within the object.
-  };
+  /// (Fig. 3(b), right table). Storage is the SoA ParticleSoa; this value
+  /// view keeps the historical field shape for iteration.
+  using ObjectParticle = ParticleSoa::View;
 
   /// Per-object belief: either a particle list or a compressed Gaussian.
   struct ObjectState {
     TagId tag = 0;
-    std::vector<ObjectParticle> particles;        ///< Empty when compressed.
+    ParticleSoa particles;                        ///< Empty when compressed.
     std::optional<GaussianBelief> compressed;
     int64_t last_observed_step = -1;
     int64_t last_processed_step = -1;
@@ -129,17 +142,32 @@ class FactoredParticleFilter final : public InferenceFilter {
   size_t ApproxMemoryBytes() const;
   int64_t current_step() const { return step_; }
   const WorldModel& model() const { return model_; }
+  /// Cumulative count of particle weightings performed (throughput metric).
+  uint64_t particle_updates() const {
+    return particle_updates_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend Status SaveFilterSnapshot(const FactoredParticleFilter&,
                                    std::ostream&);
   friend Status LoadFilterSnapshot(std::istream&, FactoredParticleFilter*);
 
+  /// Reusable per-lane buffers for the parallel object updates; lane 0's
+  /// scratch also serves the serial Case-1 path.
+  struct UpdateScratch {
+    std::vector<double> probs;        ///< Batched likelihoods.
+    std::vector<uint32_t> ancestors;  ///< Resampling output.
+    ParticleSoa gathered;             ///< Resampling gather target.
+  };
+
   void InitializeReaders(const SyncedEpoch& epoch);
   void PropagateReaders(const SyncedEpoch& epoch);
   /// Applies reported-location and shelf-tag evidence to reader weights.
   void WeightReaders(const SyncedEpoch& epoch,
                      const std::vector<const ShelfTag*>& observed_shelves);
+  /// Hoists each reader particle's position + heading trig into
+  /// reader_frames_, once per epoch, for the batched kernels.
+  void BuildReaderFrames();
 
   uint32_t GetOrCreateSlot(TagId tag);
   /// Builds a fresh particle set of `count` particles for a slot, sampling
@@ -152,11 +180,20 @@ class FactoredParticleFilter final : public InferenceFilter {
   /// current reader hypotheses (the paper's ambiguous-move handling).
   void HalfReinitialize(ObjectState* state);
 
+  /// Deterministic RNG stream for one object update: a pure function of
+  /// (config.seed, slot, step, salt), independent of thread count and of the
+  /// shared rng_ consumption order. `salt` separates multiple updates of the
+  /// same slot within one step (the conflict retry).
+  uint64_t SlotStreamSeed(uint32_t slot, uint64_t salt) const;
+
   /// Propagates, weights and (if needed) resamples one processed object.
+  /// Draws only from the slot's private RNG stream and writes only the
+  /// slot's state plus `scratch`, so processed slots update in parallel.
   /// Returns false on likelihood conflict: the object was observed but every
   /// particle sat at the probability floor (the belief contradicts the
   /// reading — the object has been "detected in a new location", §IV-A).
-  bool UpdateObject(ObjectState* state, bool observed);
+  bool UpdateObject(ObjectState* state, bool observed, uint32_t slot,
+                    uint64_t salt, UpdateScratch* scratch);
 
   /// Resamples reader particles, scoring each by its own weight times the
   /// support it receives from the processed objects' particles (§IV-B).
@@ -183,9 +220,22 @@ class FactoredParticleFilter final : public InferenceFilter {
   SensingRegionIndex index_;
   int64_t step_ = 0;
 
+  /// Worker pool for per-object fan-out (width config.num_threads; no
+  /// workers are spawned when it is 1).
+  ThreadPool pool_;
+  std::vector<UpdateScratch> lane_scratch_;  ///< One per pool lane.
+
+  /// Per-epoch reader frames (parallel to readers_).
+  std::vector<ReaderFrame> reader_frames_;
+
+  std::atomic<uint64_t> particle_updates_{0};
+
   // Scratch buffers reused across epochs to avoid per-epoch allocation.
   std::vector<double> scratch_weights_;
   std::vector<double> scratch_log_weights_;
+  std::vector<double> scratch_support_;
+  std::vector<uint32_t> scratch_ancestors_;
+  std::vector<uint32_t> scratch_case2_updates_;
 };
 
 }  // namespace rfid

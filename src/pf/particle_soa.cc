@@ -1,0 +1,72 @@
+#include "pf/particle_soa.h"
+
+namespace rfid {
+
+void ParticleSoa::clear() {
+  x_.clear();
+  y_.clear();
+  z_.clear();
+  reader_idx_.clear();
+  weight_.clear();
+}
+
+void ParticleSoa::reserve(size_t n) {
+  x_.reserve(n);
+  y_.reserve(n);
+  z_.reserve(n);
+  reader_idx_.reserve(n);
+  weight_.reserve(n);
+}
+
+void ParticleSoa::ShrinkToFit() {
+  x_.shrink_to_fit();
+  y_.shrink_to_fit();
+  z_.shrink_to_fit();
+  reader_idx_.shrink_to_fit();
+  weight_.shrink_to_fit();
+}
+
+void ParticleSoa::PushBack(const Vec3& position, uint32_t reader_idx,
+                           double weight) {
+  x_.push_back(position.x);
+  y_.push_back(position.y);
+  z_.push_back(position.z);
+  reader_idx_.push_back(reader_idx);
+  weight_.push_back(weight);
+}
+
+void ParticleSoa::SetUniformWeights() {
+  if (weight_.empty()) return;
+  const double uniform = 1.0 / static_cast<double>(weight_.size());
+  for (double& w : weight_) w = uniform;
+}
+
+Aabb ParticleSoa::ComputeBounds() const {
+  Aabb box = Aabb::Empty();
+  for (size_t k = 0; k < x_.size(); ++k) {
+    box.Extend({x_[k], y_[k], z_[k]});
+  }
+  return box;
+}
+
+void ParticleSoa::GatherFrom(const ParticleSoa& src,
+                             const std::vector<uint32_t>& ancestors,
+                             double uniform_weight) {
+  clear();
+  reserve(ancestors.size());
+  for (uint32_t a : ancestors) {
+    x_.push_back(src.x_[a]);
+    y_.push_back(src.y_[a]);
+    z_.push_back(src.z_[a]);
+    reader_idx_.push_back(src.reader_idx_[a]);
+    weight_.push_back(uniform_weight);
+  }
+}
+
+size_t ParticleSoa::ApproxMemoryBytes() const {
+  return (x_.capacity() + y_.capacity() + z_.capacity() + weight_.capacity()) *
+             sizeof(double) +
+         reader_idx_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace rfid

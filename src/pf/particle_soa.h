@@ -1,0 +1,113 @@
+// Structure-of-arrays particle storage for the factored filter's per-object
+// particle lists.
+//
+// The per-object hot loop (batched likelihood evaluation, weight scaling,
+// bounds maintenance) streams over positions and weights; keeping each
+// component in its own contiguous array lets those loops run out of three
+// cache-resident streams instead of striding over 40-byte
+// array-of-structs records, and hands the sensor batch kernels raw
+// x/y/z pointers with no gather step.
+//
+// Compatibility: tests, the EM E-step and the snapshot code historically
+// iterated `std::vector<ObjectParticle>` reading `.position`, `.reader_idx`
+// and `.weight`. `ParticleSoa` preserves that shape through a value-type
+// `View` plus const iteration, so `for (const auto& p : state.particles)`
+// keeps working unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/aabb.h"
+#include "geometry/vec.h"
+
+namespace rfid {
+
+class ParticleSoa {
+ public:
+  /// Value view of one particle, shaped like the old ObjectParticle struct.
+  struct View {
+    Vec3 position;
+    uint32_t reader_idx = 0;  ///< Pointer to the conditioning reader particle.
+    double weight = 0.0;      ///< Normalized within the object.
+  };
+
+  class ConstIterator {
+   public:
+    ConstIterator(const ParticleSoa* soa, size_t i) : soa_(soa), i_(i) {}
+    View operator*() const { return (*soa_)[i_]; }
+    ConstIterator& operator++() {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const ConstIterator& o) const { return i_ != o.i_; }
+    bool operator==(const ConstIterator& o) const { return i_ == o.i_; }
+
+   private:
+    const ParticleSoa* soa_;
+    size_t i_;
+  };
+
+  size_t size() const { return x_.size(); }
+  bool empty() const { return x_.empty(); }
+
+  void clear();
+  void reserve(size_t n);
+  /// Releases all storage (used when a compressed object drops its particles).
+  void ShrinkToFit();
+
+  void PushBack(const Vec3& position, uint32_t reader_idx, double weight);
+
+  Vec3 PositionAt(size_t k) const { return {x_[k], y_[k], z_[k]}; }
+  void SetPosition(size_t k, const Vec3& p) {
+    x_[k] = p.x;
+    y_[k] = p.y;
+    z_[k] = p.z;
+  }
+  uint32_t ReaderIdxAt(size_t k) const { return reader_idx_[k]; }
+  void SetReaderIdx(size_t k, uint32_t idx) { reader_idx_[k] = idx; }
+  double WeightAt(size_t k) const { return weight_[k]; }
+  void SetWeight(size_t k, double w) { weight_[k] = w; }
+
+  View operator[](size_t k) const {
+    return {PositionAt(k), reader_idx_[k], weight_[k]};
+  }
+  ConstIterator begin() const { return ConstIterator(this, 0); }
+  ConstIterator end() const { return ConstIterator(this, size()); }
+
+  // Raw component arrays for the batch kernels.
+  const double* xs() const { return x_.data(); }
+  const double* ys() const { return y_.data(); }
+  const double* zs() const { return z_.data(); }
+  const uint32_t* reader_indices() const { return reader_idx_.data(); }
+  const double* weights() const { return weight_.data(); }
+  double* mutable_weights() { return weight_.data(); }
+  uint32_t* mutable_reader_indices() { return reader_idx_.data(); }
+
+  /// Sets every weight to 1/size().
+  void SetUniformWeights();
+
+  /// Axis-aligned bounding box of all particle positions.
+  Aabb ComputeBounds() const;
+
+  /// Replaces this set with `src`'s particles at the given ancestor indices,
+  /// all at weight `uniform_weight` (the resampling gather). `src` may not
+  /// alias `this`.
+  void GatherFrom(const ParticleSoa& src,
+                  const std::vector<uint32_t>& ancestors,
+                  double uniform_weight);
+
+  /// Bytes held by the component arrays (capacity-based, like
+  /// vector<ObjectParticle> accounting did).
+  size_t ApproxMemoryBytes() const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> z_;
+  std::vector<uint32_t> reader_idx_;
+  std::vector<double> weight_;
+};
+
+}  // namespace rfid

@@ -6,11 +6,15 @@
 
 namespace rfid {
 
-double EffectiveSampleSize(const std::vector<double>& weights) {
+double EffectiveSampleSize(const double* weights, size_t n) {
   double sum_sq = 0.0;
-  for (double w : weights) sum_sq += w * w;
+  for (size_t i = 0; i < n; ++i) sum_sq += weights[i] * weights[i];
   if (sum_sq <= 0.0) return 0.0;
   return 1.0 / sum_sq;
+}
+
+double EffectiveSampleSize(const std::vector<double>& weights) {
+  return EffectiveSampleSize(weights.data(), weights.size());
 }
 
 bool NormalizeWeights(std::vector<double>* weights) {
@@ -46,8 +50,8 @@ bool NormalizeLogWeights(const std::vector<double>& log_weights,
 
 namespace {
 
-std::vector<uint32_t> MultinomialAncestors(const std::vector<double>& weights,
-                                           size_t count, Rng& rng) {
+void MultinomialAncestors(const double* weights, size_t n, size_t count,
+                          Rng& rng, std::vector<uint32_t>* out) {
   // Sample `count` sorted uniforms in one sweep using the exponential-spacing
   // trick, then merge against the CDF: O(n + count).
   std::vector<double> sorted_u(count);
@@ -59,48 +63,48 @@ std::vector<uint32_t> MultinomialAncestors(const std::vector<double>& weights,
   acc += -std::log(1.0 - rng.NextDouble());
   for (double& u : sorted_u) u /= acc;
 
-  std::vector<uint32_t> out(count);
-  double cdf = weights.empty() ? 0.0 : weights[0];
+  out->resize(count);
+  double cdf = n == 0 ? 0.0 : weights[0];
   size_t i = 0;
   for (size_t k = 0; k < count; ++k) {
-    while (sorted_u[k] > cdf && i + 1 < weights.size()) {
+    while (sorted_u[k] > cdf && i + 1 < n) {
       ++i;
       cdf += weights[i];
     }
-    out[k] = static_cast<uint32_t>(i);
+    (*out)[k] = static_cast<uint32_t>(i);
   }
-  return out;
 }
 
-std::vector<uint32_t> SystematicAncestors(const std::vector<double>& weights,
-                                          size_t count, Rng& rng) {
-  std::vector<uint32_t> out(count);
+void SystematicAncestors(const double* weights, size_t n, size_t count,
+                         Rng& rng, std::vector<uint32_t>* out) {
+  out->resize(count);
   const double step = 1.0 / static_cast<double>(count);
   double u = rng.NextDouble() * step;
-  double cdf = weights.empty() ? 0.0 : weights[0];
+  double cdf = n == 0 ? 0.0 : weights[0];
   size_t i = 0;
   for (size_t k = 0; k < count; ++k) {
-    while (u > cdf && i + 1 < weights.size()) {
+    while (u > cdf && i + 1 < n) {
       ++i;
       cdf += weights[i];
     }
-    out[k] = static_cast<uint32_t>(i);
+    (*out)[k] = static_cast<uint32_t>(i);
     u += step;
   }
-  return out;
 }
 
-std::vector<uint32_t> ResidualAncestors(const std::vector<double>& weights,
-                                        size_t count, Rng& rng) {
-  std::vector<uint32_t> out;
-  out.reserve(count);
-  std::vector<double> residual(weights.size());
+void ResidualAncestors(const double* weights, size_t n, size_t count, Rng& rng,
+                       std::vector<uint32_t>* out) {
+  out->clear();
+  out->reserve(count);
+  std::vector<double> residual(n);
   size_t deterministic = 0;
-  for (size_t i = 0; i < weights.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     const double scaled = weights[i] * static_cast<double>(count);
     const auto copies = static_cast<size_t>(std::floor(scaled));
     residual[i] = scaled - static_cast<double>(copies);
-    for (size_t c = 0; c < copies; ++c) out.push_back(static_cast<uint32_t>(i));
+    for (size_t c = 0; c < copies; ++c) {
+      out->push_back(static_cast<uint32_t>(i));
+    }
     deterministic += copies;
   }
   const size_t remainder = count - deterministic;
@@ -108,31 +112,43 @@ std::vector<uint32_t> ResidualAncestors(const std::vector<double>& weights,
     if (!NormalizeWeights(&residual)) {
       // All residual mass vanished; top up uniformly.
       for (size_t k = 0; k < remainder; ++k) {
-        out.push_back(static_cast<uint32_t>(rng.UniformInt(weights.size())));
+        out->push_back(static_cast<uint32_t>(rng.UniformInt(n)));
       }
-      return out;
+      return;
     }
-    auto extra = MultinomialAncestors(residual, remainder, rng);
-    out.insert(out.end(), extra.begin(), extra.end());
+    std::vector<uint32_t> extra;
+    MultinomialAncestors(residual.data(), residual.size(), remainder, rng,
+                         &extra);
+    out->insert(out->end(), extra.begin(), extra.end());
   }
-  return out;
 }
 
 }  // namespace
 
+void ResampleAncestors(const double* weights, size_t n, size_t count,
+                       ResampleScheme scheme, Rng& rng,
+                       std::vector<uint32_t>* out) {
+  assert(n > 0);
+  switch (scheme) {
+    case ResampleScheme::kMultinomial:
+      MultinomialAncestors(weights, n, count, rng, out);
+      return;
+    case ResampleScheme::kSystematic:
+      SystematicAncestors(weights, n, count, rng, out);
+      return;
+    case ResampleScheme::kResidual:
+      ResidualAncestors(weights, n, count, rng, out);
+      return;
+  }
+  SystematicAncestors(weights, n, count, rng, out);
+}
+
 std::vector<uint32_t> ResampleAncestors(const std::vector<double>& weights,
                                         size_t count, ResampleScheme scheme,
                                         Rng& rng) {
-  assert(!weights.empty());
-  switch (scheme) {
-    case ResampleScheme::kMultinomial:
-      return MultinomialAncestors(weights, count, rng);
-    case ResampleScheme::kSystematic:
-      return SystematicAncestors(weights, count, rng);
-    case ResampleScheme::kResidual:
-      return ResidualAncestors(weights, count, rng);
-  }
-  return SystematicAncestors(weights, count, rng);
+  std::vector<uint32_t> out;
+  ResampleAncestors(weights.data(), weights.size(), count, scheme, rng, &out);
+  return out;
 }
 
 }  // namespace rfid

@@ -21,6 +21,9 @@ enum class ResampleScheme {
 /// (degenerate) to weights.size() (uniform).
 double EffectiveSampleSize(const std::vector<double>& weights);
 
+/// Same, over a raw contiguous weight array (the SoA hot path).
+double EffectiveSampleSize(const double* weights, size_t n);
+
 /// Normalizes `weights` in place to sum to 1. Returns false (and resets to
 /// uniform) when the total mass is zero or non-finite.
 bool NormalizeWeights(std::vector<double>* weights);
@@ -34,5 +37,11 @@ bool NormalizeLogWeights(const std::vector<double>& log_weights,
 std::vector<uint32_t> ResampleAncestors(const std::vector<double>& weights,
                                         size_t count, ResampleScheme scheme,
                                         Rng& rng);
+
+/// Allocation-free variant: writes the ancestors into `out` (capacity is
+/// reused across epochs) and reads weights from a raw array.
+void ResampleAncestors(const double* weights, size_t n, size_t count,
+                       ResampleScheme scheme, Rng& rng,
+                       std::vector<uint32_t>* out);
 
 }  // namespace rfid

@@ -147,15 +147,19 @@ Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
     if (!ReadPod(is, &particle_count) || particle_count > kMaxCount) {
       return Truncated();
     }
-    state.particles.resize(particle_count);
-    for (auto& p : state.particles) {
-      if (!ReadVec3(is, &p.position) || !ReadPod(is, &p.reader_idx) ||
-          !ReadPod(is, &p.weight)) {
+    state.particles.reserve(particle_count);
+    for (uint64_t k = 0; k < particle_count; ++k) {
+      Vec3 position;
+      uint32_t reader_idx = 0;
+      double weight = 0.0;
+      if (!ReadVec3(is, &position) || !ReadPod(is, &reader_idx) ||
+          !ReadPod(is, &weight)) {
         return Truncated();
       }
-      if (p.reader_idx >= reader_count) {
+      if (reader_idx >= reader_count) {
         return Status::Invalid("snapshot particle references invalid reader");
       }
+      state.particles.PushBack(position, reader_idx, weight);
     }
   }
 

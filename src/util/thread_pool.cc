@@ -1,0 +1,74 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_lanes_(std::max(1, num_threads)) {
+  workers_.reserve(num_lanes_ - 1);
+  for (int lane = 1; lane < num_lanes_; ++lane) {
+    workers_.emplace_back([this, lane] { WorkerLoop(lane); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::RunLane(int lane) {
+  const size_t begin = job_n_ * lane / num_lanes_;
+  const size_t end = job_n_ * (lane + 1) / num_lanes_;
+  for (size_t i = begin; i < end; ++i) {
+    (*job_)(i, lane);
+  }
+}
+
+void ThreadPool::WorkerLoop(int lane) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    RunLane(lane);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--lanes_remaining_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, int)>& fn) {
+  if (n == 0) return;
+  if (num_lanes_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    job_n_ = n;
+    lanes_remaining_ = num_lanes_ - 1;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunLane(0);  // The caller is lane 0.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return lanes_remaining_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+}  // namespace rfid

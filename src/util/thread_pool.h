@@ -1,0 +1,59 @@
+// Fixed-size worker pool for fanning conditionally-independent per-object
+// updates across cores.
+//
+// Design constraints, in order:
+//  1. Determinism: ParallelFor partitions the index range into one static
+//     block per lane, so which lane runs which index is a pure function of
+//     (n, num_threads). Callers keep results bit-identical across thread
+//     counts by deriving all randomness from the *index* (per-slot RNG
+//     streams), never from the lane.
+//  2. No per-epoch thread churn: workers are created once and parked on a
+//     condition variable between epochs.
+//  3. Zero overhead at num_threads == 1: ParallelFor degenerates to a plain
+//     inline loop without touching any synchronization primitive.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rfid {
+
+class ThreadPool {
+ public:
+  /// `num_threads` is the total parallelism including the calling thread, so
+  /// the pool spawns num_threads - 1 workers. Values <= 1 spawn none.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_lanes_; }
+
+  /// Calls fn(i, lane) for every i in [0, n), partitioned into contiguous
+  /// blocks: lane t handles [t*n/L, (t+1)*n/L). The caller runs lane 0;
+  /// blocks until every index is done. Not reentrant.
+  void ParallelFor(size_t n, const std::function<void(size_t, int)>& fn);
+
+ private:
+  void WorkerLoop(int lane);
+  void RunLane(int lane);
+
+  int num_lanes_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(size_t, int)>* job_ = nullptr;
+  size_t job_n_ = 0;
+  uint64_t generation_ = 0;  ///< Bumped per ParallelFor to wake workers.
+  int lanes_remaining_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace rfid

@@ -1,0 +1,93 @@
+// Unit tests for the structure-of-arrays particle store.
+#include <gtest/gtest.h>
+
+#include "pf/particle_soa.h"
+
+namespace rfid {
+namespace {
+
+TEST(ParticleSoaTest, PushBackAndAccessors) {
+  ParticleSoa soa;
+  EXPECT_TRUE(soa.empty());
+  soa.PushBack({1.0, 2.0, 3.0}, 7, 0.5);
+  soa.PushBack({-1.0, 0.0, 4.0}, 2, 0.25);
+  ASSERT_EQ(soa.size(), 2u);
+  EXPECT_EQ(soa.PositionAt(0), Vec3(1.0, 2.0, 3.0));
+  EXPECT_EQ(soa.ReaderIdxAt(1), 2u);
+  EXPECT_DOUBLE_EQ(soa.WeightAt(1), 0.25);
+  EXPECT_DOUBLE_EQ(soa.xs()[1], -1.0);
+  EXPECT_DOUBLE_EQ(soa.ys()[0], 2.0);
+  EXPECT_DOUBLE_EQ(soa.zs()[1], 4.0);
+}
+
+TEST(ParticleSoaTest, ViewIterationMatchesStorage) {
+  ParticleSoa soa;
+  soa.PushBack({1, 2, 3}, 5, 0.75);
+  soa.PushBack({4, 5, 6}, 9, 0.25);
+  size_t k = 0;
+  double weight_sum = 0.0;
+  for (const auto& p : soa) {  // The tests' historical access pattern.
+    EXPECT_EQ(p.position, soa.PositionAt(k));
+    EXPECT_EQ(p.reader_idx, soa.ReaderIdxAt(k));
+    weight_sum += p.weight;
+    ++k;
+  }
+  EXPECT_EQ(k, 2u);
+  EXPECT_DOUBLE_EQ(weight_sum, 1.0);
+}
+
+TEST(ParticleSoaTest, MutatorsWriteThrough) {
+  ParticleSoa soa;
+  soa.PushBack({0, 0, 0}, 0, 1.0);
+  soa.SetPosition(0, {7, 8, 9});
+  soa.SetReaderIdx(0, 3);
+  soa.SetWeight(0, 0.125);
+  const ParticleSoa::View p = soa[0];
+  EXPECT_EQ(p.position, Vec3(7, 8, 9));
+  EXPECT_EQ(p.reader_idx, 3u);
+  EXPECT_DOUBLE_EQ(p.weight, 0.125);
+}
+
+TEST(ParticleSoaTest, SetUniformWeights) {
+  ParticleSoa soa;
+  for (int i = 0; i < 4; ++i) soa.PushBack({0, 0, 0}, 0, 0.0);
+  soa.SetUniformWeights();
+  for (const auto& p : soa) EXPECT_DOUBLE_EQ(p.weight, 0.25);
+}
+
+TEST(ParticleSoaTest, ComputeBounds) {
+  ParticleSoa soa;
+  soa.PushBack({-1, 5, 0}, 0, 0.5);
+  soa.PushBack({3, -2, 1}, 0, 0.5);
+  const Aabb box = soa.ComputeBounds();
+  EXPECT_EQ(box.min, Vec3(-1, -2, 0));
+  EXPECT_EQ(box.max, Vec3(3, 5, 1));
+}
+
+TEST(ParticleSoaTest, GatherFromPreservesReaderPointers) {
+  ParticleSoa src;
+  src.PushBack({0, 0, 0}, 10, 0.1);
+  src.PushBack({1, 1, 1}, 11, 0.2);
+  src.PushBack({2, 2, 2}, 12, 0.7);
+  ParticleSoa dst;
+  dst.GatherFrom(src, {2, 2, 0, 1}, 0.25);
+  ASSERT_EQ(dst.size(), 4u);
+  EXPECT_EQ(dst.PositionAt(0), Vec3(2, 2, 2));
+  EXPECT_EQ(dst.ReaderIdxAt(0), 12u);
+  EXPECT_EQ(dst.ReaderIdxAt(2), 10u);
+  EXPECT_EQ(dst.ReaderIdxAt(3), 11u);
+  for (const auto& p : dst) EXPECT_DOUBLE_EQ(p.weight, 0.25);
+}
+
+TEST(ParticleSoaTest, ClearAndShrinkReleaseMemory) {
+  ParticleSoa soa;
+  for (int i = 0; i < 1000; ++i) soa.PushBack({0, 0, 0}, 0, 0.001);
+  EXPECT_GT(soa.ApproxMemoryBytes(), 0u);
+  soa.clear();
+  EXPECT_TRUE(soa.empty());
+  soa.ShrinkToFit();
+  EXPECT_EQ(soa.ApproxMemoryBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace rfid
