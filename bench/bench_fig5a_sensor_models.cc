@@ -96,5 +96,9 @@ int main() {
                        3);
   }
   bench::PrintTable(table);
+
+  bench::BenchJson json("fig5a");
+  bench::AddTableRows(table, "read_rate_profile", &json);
+  bench::WriteBenchJson(json, "fig5a");
   return 0;
 }

@@ -105,5 +105,9 @@ int main() {
     std::printf("shelf_tags=%2d done\n", shelf_tags);
   }
   bench::PrintTable(table);
+
+  bench::BenchJson json("fig5e");
+  bench::AddTableRows(table, "error_xy_ft", &json);
+  bench::WriteBenchJson(json, "fig5e");
   return 0;
 }

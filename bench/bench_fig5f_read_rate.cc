@@ -44,5 +44,9 @@ int main() {
                        3);
   }
   bench::PrintTable(table);
+
+  bench::BenchJson json("fig5f");
+  bench::AddTableRows(table, "error_xy_ft", &json);
+  bench::WriteBenchJson(json, "fig5f");
   return 0;
 }

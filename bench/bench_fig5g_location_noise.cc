@@ -110,5 +110,9 @@ int main() {
     std::printf("mu_y=%.2f done\n", mu_y);
   }
   bench::PrintTable(table);
+
+  bench::BenchJson json("fig5g");
+  bench::AddTableRows(table, "error_xy_ft", &json);
+  bench::WriteBenchJson(json, "fig5g");
   return 0;
 }

@@ -95,5 +95,9 @@ int main() {
     std::printf("distance=%.1f done\n", distance);
   }
   bench::PrintTable(table);
+
+  bench::BenchJson json("fig5h");
+  bench::AddTableRows(table, "error_xy_ft", &json);
+  bench::WriteBenchJson(json, "fig5h");
   return 0;
 }

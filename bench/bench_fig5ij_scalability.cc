@@ -131,5 +131,10 @@ int main() {
   std::printf("\nFig 5(j) — milliseconds per processed reading; -1 = variant "
               "not run at this scale\n");
   bench::PrintTable(time_table);
+
+  bench::BenchJson json("fig5ij");
+  bench::AddTableRows(err_table, "error_xy_ft", &json);
+  bench::AddTableRows(time_table, "ms_per_reading", &json);
+  bench::WriteBenchJson(json, "fig5ij");
   return 0;
 }

@@ -112,5 +112,12 @@ int main() {
   std::printf("average XY error reduction of our system over SMURF: %.0f%% "
               "(paper reports 49%%)\n",
               100.0 * (1.0 - ours_sum / smurf_sum));
+
+  bench::BenchJson json("fig6b");
+  bench::AddTableRows(table, "lab_error_ft", &json);
+  json.BeginRow();
+  json.Add("series", "summary");
+  json.Add("xy_error_reduction_vs_smurf", 1.0 - ours_sum / smurf_sum);
+  bench::WriteBenchJson(json, "fig6b");
   return 0;
 }

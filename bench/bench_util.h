@@ -6,6 +6,7 @@
 // comparison is the *shape* of each result (see EXPERIMENTS.md).
 #pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -116,6 +117,24 @@ class BenchJson {
     return os.good();
   }
 
+  /// Adds a preformatted table cell, emitted as a bare number when the
+  /// whole cell is a valid *JSON* number (TableWriter cells are already
+  /// formatted strings). strtod alone is not enough: it also accepts
+  /// "nan"/"inf" and hex floats, which would corrupt the JSON document.
+  void AddCell(const std::string& key, const std::string& cell) {
+    char* end = nullptr;
+    const double value = std::strtod(cell.c_str(), &end);
+    const bool fully_parsed = !cell.empty() && end != nullptr && *end == '\0';
+    const bool json_shaped =
+        fully_parsed && std::isfinite(value) && cell[0] != '+' &&
+        cell.find_first_not_of("0123456789+-.eE") == std::string::npos;
+    if (json_shaped) {
+      AddRaw(key, cell);
+    } else {
+      Add(key, cell);
+    }
+  }
+
  private:
   void AddRaw(const std::string& key, std::string rendered) {
     if (rows_.empty()) BeginRow();
@@ -135,6 +154,32 @@ class BenchJson {
   std::string name_;
   std::vector<std::vector<std::pair<std::string, std::string>>> rows_;
 };
+
+/// Appends every row of `table` to `json`, one JSON row per table row with
+/// the column headers as keys, tagged with a `series` field. This is how the
+/// figure benches mirror their printed tables into BENCH_<name>.json so the
+/// perf/accuracy trajectory is machine-diffable across PRs.
+inline void AddTableRows(const TableWriter& table, const std::string& series,
+                         BenchJson* json) {
+  for (const auto& row : table.rows()) {
+    json->BeginRow();
+    json->Add("series", series);
+    for (size_t c = 0; c < table.header().size() && c < row.size(); ++c) {
+      json->AddCell(table.header()[c], row[c]);
+    }
+  }
+}
+
+/// Writes BENCH_<name>.json next to the working directory, with a printed
+/// confirmation matching the other bench outputs.
+inline void WriteBenchJson(const BenchJson& json, const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  if (!json.WriteFile(path)) {
+    std::fprintf(stderr, "warning: failed writing %s\n", path.c_str());
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
 
 }  // namespace bench
 }  // namespace rfid

@@ -49,16 +49,33 @@ void SensingRegionIndex::ForEachEntry(
   for (const Entry& e : entries_) fn(e.box, e.object_slots);
 }
 
+void SensingRegionIndex::Probe(const Aabb& box, ProbeScratch* scratch,
+                               std::vector<uint32_t>* out) const {
+  scratch->hits.clear();
+  tree_.Query(box, &scratch->hits);
+  if (++scratch->probe_id == 0) {
+    // Stamp wrap-around: old stamps could alias the new id; reset them.
+    std::fill(scratch->stamp.begin(), scratch->stamp.end(), 0u);
+    scratch->probe_id = 1;
+  }
+  const size_t first = out->size();
+  for (uint64_t h : scratch->hits) {
+    for (uint32_t slot : entries_[h].object_slots) {
+      if (slot >= scratch->stamp.size()) scratch->stamp.resize(slot + 1, 0u);
+      if (scratch->stamp[slot] == scratch->probe_id) continue;
+      scratch->stamp[slot] = scratch->probe_id;
+      out->push_back(slot);
+    }
+  }
+  // Keep the historical sorted-output contract (stable downstream
+  // processing order).
+  std::sort(out->begin() + first, out->end());
+}
+
 void SensingRegionIndex::Probe(const Aabb& box,
                                std::vector<uint32_t>* out) const {
-  std::vector<uint64_t> hits;
-  tree_.Query(box, &hits);
-  for (uint64_t h : hits) {
-    const Entry& e = entries_[h];
-    out->insert(out->end(), e.object_slots.begin(), e.object_slots.end());
-  }
-  std::sort(out->begin(), out->end());
-  out->erase(std::unique(out->begin(), out->end()), out->end());
+  ProbeScratch scratch;
+  Probe(box, &scratch, out);
 }
 
 }  // namespace rfid

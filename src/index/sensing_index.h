@@ -36,8 +36,22 @@ class SensingRegionIndex {
   /// sensing region covered `box`.
   void Insert(const Aabb& box, const std::vector<uint32_t>& object_slots);
 
-  /// Collects the deduplicated union of object slots recorded in boxes
-  /// overlapping `box` (the Case-2 candidate set).
+  /// Caller-provided probe buffers: the R*-tree hit list plus a per-slot
+  /// stamp array used as an O(1) "seen this probe" mask (stamps survive
+  /// across probes; a probe id bump invalidates them all at once). Owning
+  /// this in the caller makes Probe allocation-free per epoch.
+  struct ProbeScratch {
+    std::vector<uint64_t> hits;
+    std::vector<uint32_t> stamp;
+    uint32_t probe_id = 0;
+  };
+
+  /// Collects the deduplicated, sorted union of object slots recorded in
+  /// boxes overlapping `box` (the Case-2 candidate set). Appends to `out`.
+  void Probe(const Aabb& box, ProbeScratch* scratch,
+             std::vector<uint32_t>* out) const;
+
+  /// Convenience overload with local scratch (tests, one-off probes).
   void Probe(const Aabb& box, std::vector<uint32_t>* out) const;
 
   size_t num_entries() const { return entries_.size(); }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "model/simd_kernels.h"
+
 namespace rfid {
 
 Aabb ConeSensorModel::SensingBounds(const Pose& reader) const {
@@ -69,6 +71,60 @@ void ConeSensorModel::ProbReadBatchGather(const ReaderFrame* frames,
                                           double* out) const {
   batch_detail::BatchGather(*this, frames, frame_idx, xs, ys, zs, n, out,
                             MaxRange());
+}
+
+namespace {
+
+simd_kernel::ConeEval MakeConeEval(const ConeSensorParams& params,
+                                   double max_range) {
+  simd_kernel::ConeEval::Params p;
+  p.major_read_rate = params.major_read_rate;
+  p.major_half_angle = params.major_half_angle;
+  p.theta_max = params.major_half_angle + params.minor_extra_angle;
+  p.major_range = params.major_range;
+  p.r_max = max_range;
+  p.inv_minor_angle = 1.0 / params.minor_extra_angle;
+  p.inv_minor_range = 1.0 / params.minor_extra_range;
+  return simd_kernel::ConeEval(p);
+}
+
+}  // namespace
+
+void ConeSensorModel::ProbReadBatchRuns(const ReaderFrame* frames,
+                                        const uint32_t* offsets,
+                                        size_t num_frames, const double* xs,
+                                        const double* ys, const double* zs,
+                                        double* out) const {
+  batch_detail::BatchRuns(*this, frames, offsets, num_frames, xs, ys, zs, out,
+                          MaxRange());
+}
+
+void ConeSensorModel::ProbReadBatchSimd(const ReaderFrame& frame,
+                                        const double* xs, const double* ys,
+                                        const double* zs, size_t n,
+                                        double* out) const {
+  simd_kernel::BatchSimd(MakeConeEval(params_, MaxRange()), frame, xs, ys, zs,
+                         n, out);
+}
+
+void ConeSensorModel::ProbReadBatchRunsSimd(const ReaderFrame* frames,
+                                            const uint32_t* offsets,
+                                            size_t num_frames,
+                                            const double* xs, const double* ys,
+                                            const double* zs,
+                                            double* out) const {
+  simd_kernel::BatchRunsSimd(MakeConeEval(params_, MaxRange()), frames,
+                             offsets, num_frames, xs, ys, zs, out);
+}
+
+void ConeSensorModel::ProbReadBatchGatherSimd(const ReaderFrame* frames,
+                                              const uint32_t* frame_idx,
+                                              const double* xs,
+                                              const double* ys,
+                                              const double* zs, size_t n,
+                                              double* out) const {
+  simd_kernel::BatchGatherSimd(MakeConeEval(params_, MaxRange()), frames,
+                               frame_idx, xs, ys, zs, n, out);
 }
 
 }  // namespace rfid

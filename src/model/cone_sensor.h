@@ -32,6 +32,8 @@ class ConeSensorModel final : public SensorModel {
   double MaxRange() const override {
     return params_.major_range + params_.minor_extra_range;
   }
+  /// The cone is exactly zero past MaxRange, so batch kernels zero there.
+  double BatchZeroRadius() const override { return MaxRange(); }
   /// Tight bounding box of the cone (apex at the reader, opening along the
   /// heading, total half-angle major + minor).
   Aabb SensingBounds(const Pose& reader) const override;
@@ -50,6 +52,20 @@ class ConeSensorModel final : public SensorModel {
                            const double* xs, const double* ys,
                            const double* zs, size_t n,
                            double* out) const override;
+  void ProbReadBatchRuns(const ReaderFrame* frames, const uint32_t* offsets,
+                         size_t num_frames, const double* xs, const double* ys,
+                         const double* zs, double* out) const override;
+  void ProbReadBatchSimd(const ReaderFrame& frame, const double* xs,
+                         const double* ys, const double* zs, size_t n,
+                         double* out) const override;
+  void ProbReadBatchRunsSimd(const ReaderFrame* frames,
+                             const uint32_t* offsets, size_t num_frames,
+                             const double* xs, const double* ys,
+                             const double* zs, double* out) const override;
+  void ProbReadBatchGatherSimd(const ReaderFrame* frames,
+                               const uint32_t* frame_idx, const double* xs,
+                               const double* ys, const double* zs, size_t n,
+                               double* out) const override;
 
   const ConeSensorParams& params() const { return params_; }
 

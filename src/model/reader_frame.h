@@ -41,16 +41,21 @@ struct ReaderFrame {
 namespace batch_detail {
 
 /// Range/bearing of one offset against one frame, then the model's ProbRead.
-/// `zero_beyond` lets models whose probability is exactly 0 past a cutoff
-/// distance (the cone) skip the acos; pass +inf otherwise.
+/// `zero_beyond_sq` is the *squared* cutoff distance past which the model's
+/// probability is (exactly or negligibly) zero — the squared comparison
+/// lets far-field elements skip the sqrt as well as the acos; pass +inf for
+/// no cutoff. Comparing squares can disagree with comparing distances by
+/// one ulp exactly at the cutoff, where every model's probability is below
+/// the 1e-12 parity tolerance by construction.
 template <typename ModelT>
 inline double EvalOne(const ModelT& model, const ReaderFrame& f, double tx,
-                      double ty, double tz, double zero_beyond) {
+                      double ty, double tz, double zero_beyond_sq) {
   const double dx = tx - f.origin.x;
   const double dy = ty - f.origin.y;
   const double dz = tz - f.origin.z;
-  const double dist = std::sqrt(dx * dx + dy * dy + dz * dz);
-  if (dist >= zero_beyond) return 0.0;
+  const double dist_sq = dx * dx + dy * dy + dz * dz;
+  if (dist_sq >= zero_beyond_sq) return 0.0;
+  const double dist = std::sqrt(dist_sq);
   double angle = 0.0;
   if (dist > 1e-12) {
     const double cos_theta = (dx * f.cos_heading + dy * f.sin_heading) / dist;
@@ -59,13 +64,19 @@ inline double EvalOne(const ModelT& model, const ReaderFrame& f, double tx,
   return model.ProbRead(dist, angle);
 }
 
+/// Squares a cutoff for EvalOne (inf stays inf).
+inline double SquaredCutoff(double zero_beyond) {
+  return zero_beyond * zero_beyond;
+}
+
 /// One frame, SoA positions.
 template <typename ModelT>
 inline void BatchSoa(const ModelT& model, const ReaderFrame& frame,
                      const double* xs, const double* ys, const double* zs,
                      size_t n, double* out, double zero_beyond) {
+  const double zb2 = SquaredCutoff(zero_beyond);
   for (size_t k = 0; k < n; ++k) {
-    out[k] = EvalOne(model, frame, xs[k], ys[k], zs[k], zero_beyond);
+    out[k] = EvalOne(model, frame, xs[k], ys[k], zs[k], zb2);
   }
 }
 
@@ -74,9 +85,10 @@ template <typename ModelT>
 inline void BatchAos(const ModelT& model, const ReaderFrame& frame,
                      const Vec3* positions, size_t n, double* out,
                      double zero_beyond) {
+  const double zb2 = SquaredCutoff(zero_beyond);
   for (size_t k = 0; k < n; ++k) {
     out[k] = EvalOne(model, frame, positions[k].x, positions[k].y,
-                     positions[k].z, zero_beyond);
+                     positions[k].z, zb2);
   }
 }
 
@@ -87,14 +99,43 @@ inline void BatchGather(const ModelT& model, const ReaderFrame* frames,
                         const uint32_t* frame_idx, const double* xs,
                         const double* ys, const double* zs, size_t n,
                         double* out, double zero_beyond) {
+  const double zb2 = SquaredCutoff(zero_beyond);
   for (size_t k = 0; k < n; ++k) {
-    out[k] = EvalOne(model, frames[frame_idx[k]], xs[k], ys[k], zs[k],
-                     zero_beyond);
+    out[k] = EvalOne(model, frames[frame_idx[k]], xs[k], ys[k], zs[k], zb2);
+  }
+}
+
+/// Contiguous per-frame runs (the factored filter's reader-run bucketing):
+/// elements [offsets[j], offsets[j+1]) evaluate against frames[j]. One
+/// devirtualized call covers the whole particle set — the frame is hoisted
+/// per run instead of gathered per element.
+template <typename ModelT>
+inline void BatchRuns(const ModelT& model, const ReaderFrame* frames,
+                      const uint32_t* offsets, size_t num_frames,
+                      const double* xs, const double* ys, const double* zs,
+                      double* out, double zero_beyond) {
+  const double zb2 = SquaredCutoff(zero_beyond);
+  for (size_t j = 0; j < num_frames; ++j) {
+    const ReaderFrame& frame = frames[j];
+    for (uint32_t k = offsets[j]; k < offsets[j + 1]; ++k) {
+      out[k] = EvalOne(model, frame, xs[k], ys[k], zs[k], zb2);
+    }
   }
 }
 
 inline constexpr double kNoCutoff = std::numeric_limits<double>::infinity();
 
 }  // namespace batch_detail
+
+/// Probability below which the batch kernels may round a read probability to
+/// exactly 0 (the paper's Case-4 "negligible probability" rounding, applied
+/// at kernel level). The threshold sits far below 2^-54 ≈ 5.6e-17, which
+/// makes the rounding provably invisible to every consumer of batched
+/// likelihoods: `max(p, 1e-9)` is unchanged, and `1.0 - p` rounds to exactly
+/// 1.0 for any p < 2^-54 — so filter estimates stay bit-identical while
+/// far-field lanes skip their transcendentals. The spherical and logistic
+/// models precompute the radius beyond which their probability provably
+/// stays under this bound (NegligibleRange()) and pass it as `zero_beyond`.
+inline constexpr double kBatchNegligibleProb = 1e-18;
 
 }  // namespace rfid

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "model/simd_kernels.h"
+
 namespace rfid {
 
 namespace {
@@ -40,26 +42,88 @@ void SensorModel::ProbReadBatchGather(const ReaderFrame* frames,
                             batch_detail::kNoCutoff);
 }
 
+void SensorModel::ProbReadBatchRuns(const ReaderFrame* frames,
+                                    const uint32_t* offsets, size_t num_frames,
+                                    const double* xs, const double* ys,
+                                    const double* zs, double* out) const {
+  batch_detail::BatchRuns(*this, frames, offsets, num_frames, xs, ys, zs, out,
+                          batch_detail::kNoCutoff);
+}
+
+void SensorModel::ProbReadBatchSimd(const ReaderFrame& frame, const double* xs,
+                                    const double* ys, const double* zs,
+                                    size_t n, double* out) const {
+  ProbReadBatch(frame, xs, ys, zs, n, out);
+}
+
+void SensorModel::ProbReadBatchRunsSimd(const ReaderFrame* frames,
+                                        const uint32_t* offsets,
+                                        size_t num_frames, const double* xs,
+                                        const double* ys, const double* zs,
+                                        double* out) const {
+  ProbReadBatchRuns(frames, offsets, num_frames, xs, ys, zs, out);
+}
+
+void SensorModel::ProbReadBatchGatherSimd(const ReaderFrame* frames,
+                                          const uint32_t* frame_idx,
+                                          const double* xs, const double* ys,
+                                          const double* zs, size_t n,
+                                          double* out) const {
+  ProbReadBatchGather(frames, frame_idx, xs, ys, zs, n, out);
+}
+
 void LogisticSensorModel::ProbReadBatch(const ReaderFrame& frame,
                                         const double* xs, const double* ys,
                                         const double* zs, size_t n,
                                         double* out) const {
-  batch_detail::BatchSoa(*this, frame, xs, ys, zs, n, out,
-                         batch_detail::kNoCutoff);
+  batch_detail::BatchSoa(*this, frame, xs, ys, zs, n, out, negligible_range_);
 }
 
 void LogisticSensorModel::ProbReadBatchPositions(const ReaderFrame& frame,
                                                  const Vec3* positions,
                                                  size_t n, double* out) const {
-  batch_detail::BatchAos(*this, frame, positions, n, out,
-                         batch_detail::kNoCutoff);
+  batch_detail::BatchAos(*this, frame, positions, n, out, negligible_range_);
 }
 
 void LogisticSensorModel::ProbReadBatchGather(
     const ReaderFrame* frames, const uint32_t* frame_idx, const double* xs,
     const double* ys, const double* zs, size_t n, double* out) const {
   batch_detail::BatchGather(*this, frames, frame_idx, xs, ys, zs, n, out,
-                            batch_detail::kNoCutoff);
+                            negligible_range_);
+}
+
+void LogisticSensorModel::ProbReadBatchRuns(const ReaderFrame* frames,
+                                            const uint32_t* offsets,
+                                            size_t num_frames,
+                                            const double* xs, const double* ys,
+                                            const double* zs,
+                                            double* out) const {
+  batch_detail::BatchRuns(*this, frames, offsets, num_frames, xs, ys, zs, out,
+                          negligible_range_);
+}
+
+void LogisticSensorModel::ProbReadBatchSimd(const ReaderFrame& frame,
+                                            const double* xs, const double* ys,
+                                            const double* zs, size_t n,
+                                            double* out) const {
+  simd_kernel::BatchSimd(simd_kernel::LogisticEval(a_, b_, negligible_range_),
+                         frame, xs, ys, zs, n, out);
+}
+
+void LogisticSensorModel::ProbReadBatchRunsSimd(
+    const ReaderFrame* frames, const uint32_t* offsets, size_t num_frames,
+    const double* xs, const double* ys, const double* zs, double* out) const {
+  simd_kernel::BatchRunsSimd(
+      simd_kernel::LogisticEval(a_, b_, negligible_range_), frames, offsets,
+      num_frames, xs, ys, zs, out);
+}
+
+void LogisticSensorModel::ProbReadBatchGatherSimd(
+    const ReaderFrame* frames, const uint32_t* frame_idx, const double* xs,
+    const double* ys, const double* zs, size_t n, double* out) const {
+  simd_kernel::BatchGatherSimd(
+      simd_kernel::LogisticEval(a_, b_, negligible_range_), frames, frame_idx,
+      xs, ys, zs, n, out);
 }
 
 LogisticSensorModel::LogisticSensorModel()
@@ -114,6 +178,40 @@ void LogisticSensorModel::RecomputeMaxRange() {
     }
   }
   max_range_ = std::max(max_range, kStep);
+  RecomputeNegligibleRange();
+}
+
+void LogisticSensorModel::RecomputeNegligibleRange() {
+  // Smallest D such that for all d >= D and every angle in [0, pi]:
+  //   sigmoid(a0 + a1 d + a2 d^2 + b1 t + b2 t^2) <= kBatchNegligibleProb.
+  // Using sigmoid(g) <= exp(g), it suffices that the exponent stays below
+  // L = log(kBatchNegligibleProb). The angle terms are bounded by their
+  // maximum over [0, pi] (attained at an endpoint or the vertex), leaving a
+  // one-dimensional quadratic condition in d.
+  const double L = std::log(kBatchNegligibleProb);
+  double bmax = std::max(0.0, b_[1] * M_PI + b_[2] * M_PI * M_PI);
+  if (b_[2] != 0.0) {
+    const double v = -b_[1] / (2.0 * b_[2]);
+    if (v > 0.0 && v < M_PI) bmax = std::max(bmax, b_[1] * v + b_[2] * v * v);
+  }
+  // Want a2 d^2 + a1 d + c <= 0 beyond the cutoff, with c = a0 + bmax - L.
+  const double c = a_[0] + bmax - L;
+  if (a_[2] < 0.0) {
+    const double disc = a_[1] * a_[1] - 4.0 * a_[2] * c;
+    if (disc <= 0.0) {
+      negligible_range_ = 0.0;  // Negligible everywhere.
+      return;
+    }
+    // Larger root of the concave quadratic; beyond it the exponent only
+    // falls further.
+    negligible_range_ =
+        std::max(0.0, (-a_[1] - std::sqrt(disc)) / (2.0 * a_[2]));
+  } else if (a_[2] == 0.0 && a_[1] < 0.0) {
+    negligible_range_ = std::max(0.0, -c / a_[1]);
+  } else {
+    // Non-decaying tail (extrapolation upturn): never short-circuit.
+    negligible_range_ = batch_detail::kNoCutoff;
+  }
 }
 
 }  // namespace rfid

@@ -39,6 +39,17 @@ class SensorModel {
   /// build sensing-region bounding boxes (§IV-C) and the initialization cone.
   virtual double MaxRange() const = 0;
 
+  /// Distance beyond which the *batch kernels* report exactly 0 (the cone's
+  /// hard MaxRange cutoff; the spherical/logistic negligible-probability
+  /// radius). The filter uses it to skip whole far-field objects: if every
+  /// particle is farther than this from every reader, the batched
+  /// likelihoods are all exactly 0 and the update is a pure reweighting by
+  /// 1.0. +infinity (the default) disables the skip for models whose batch
+  /// kernels never round to zero.
+  virtual double BatchZeroRadius() const {
+    return std::numeric_limits<double>::infinity();
+  }
+
   virtual std::unique_ptr<SensorModel> Clone() const = 0;
 
   /// Axis-aligned bounding box of the sensing region at `reader` (paper
@@ -80,6 +91,39 @@ class SensorModel {
                                    const uint32_t* frame_idx, const double* xs,
                                    const double* ys, const double* zs,
                                    size_t n, double* out) const;
+
+  /// Contiguous per-frame runs in one call: elements [offsets[j],
+  /// offsets[j+1]) evaluate against frames[j]; `offsets` has num_frames + 1
+  /// entries covering the whole batch. This is the reader-run bucketed
+  /// weighting of the factored filter — one devirtualized call per object
+  /// with the frame hoisted per run (versus one call per run, whose
+  /// dispatch + constant setup dominates short runs).
+  virtual void ProbReadBatchRuns(const ReaderFrame* frames,
+                                 const uint32_t* offsets, size_t num_frames,
+                                 const double* xs, const double* ys,
+                                 const double* zs, double* out) const;
+
+  /// SIMD variants (4-wide lanes, util/simd.h). Results carry the
+  /// polynomial exp/acos error bound of <= 1e-9 relative per element
+  /// instead of the 1e-12 scalar-parity contract, so callers opt in
+  /// explicitly (FactoredFilterConfig::use_simd_kernels). The base
+  /// implementations fall back to the scalar kernels, so models without a
+  /// vector kernel stay correct.
+  virtual void ProbReadBatchSimd(const ReaderFrame& frame, const double* xs,
+                                 const double* ys, const double* zs, size_t n,
+                                 double* out) const;
+  virtual void ProbReadBatchRunsSimd(const ReaderFrame* frames,
+                                     const uint32_t* offsets,
+                                     size_t num_frames, const double* xs,
+                                     const double* ys, const double* zs,
+                                     double* out) const;
+  /// Per-element frames in original particle order, vectorized with index
+  /// gathers from the frame table (no bucketing pass needed).
+  virtual void ProbReadBatchGatherSimd(const ReaderFrame* frames,
+                                       const uint32_t* frame_idx,
+                                       const double* xs, const double* ys,
+                                       const double* zs, size_t n,
+                                       double* out) const;
 };
 
 /// Learnable parametric sensor model, paper Eq. (1).
@@ -96,6 +140,7 @@ class LogisticSensorModel final : public SensorModel {
 
   double ProbRead(double distance, double angle) const override;
   double MaxRange() const override { return max_range_; }
+  double BatchZeroRadius() const override { return negligible_range_; }
   std::unique_ptr<SensorModel> Clone() const override {
     return std::make_unique<LogisticSensorModel>(*this);
   }
@@ -109,9 +154,29 @@ class LogisticSensorModel final : public SensorModel {
                            const double* xs, const double* ys,
                            const double* zs, size_t n,
                            double* out) const override;
+  void ProbReadBatchRuns(const ReaderFrame* frames, const uint32_t* offsets,
+                         size_t num_frames, const double* xs, const double* ys,
+                         const double* zs, double* out) const override;
+  void ProbReadBatchSimd(const ReaderFrame& frame, const double* xs,
+                         const double* ys, const double* zs, size_t n,
+                         double* out) const override;
+  void ProbReadBatchRunsSimd(const ReaderFrame* frames,
+                             const uint32_t* offsets, size_t num_frames,
+                             const double* xs, const double* ys,
+                             const double* zs, double* out) const override;
+  void ProbReadBatchGatherSimd(const ReaderFrame* frames,
+                               const uint32_t* frame_idx, const double* xs,
+                               const double* ys, const double* zs, size_t n,
+                               double* out) const override;
 
   const std::array<double, 3>& a() const { return a_; }
   const std::array<double, 3>& b() const { return b_; }
+
+  /// Distance beyond which ProbRead provably stays under
+  /// kBatchNegligibleProb for every angle; the batch kernels zero such
+  /// elements without evaluating the exp. +infinity when the learned
+  /// quadratic has no decaying tail (e.g. a[2] > 0 extrapolation upturn).
+  double NegligibleRange() const { return negligible_range_; }
 
   /// Sets coefficients and recomputes the cached max range.
   void SetCoefficients(const std::array<double, 3>& a,
@@ -124,10 +189,12 @@ class LogisticSensorModel final : public SensorModel {
 
  private:
   void RecomputeMaxRange();
+  void RecomputeNegligibleRange();
 
   std::array<double, 3> a_;
   std::array<double, 3> b_;
   double max_range_ = 0.0;
+  double negligible_range_ = 0.0;
 };
 
 }  // namespace rfid

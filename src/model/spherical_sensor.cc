@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "model/simd_kernels.h"
+
 namespace rfid {
 
 SphericalSensorModel SphericalSensorModel::ForTimeoutMs(double timeout_ms) {
@@ -30,27 +32,86 @@ double SphericalSensorModel::MaxRange() const {
   return 1.9 * params_.range;
 }
 
+void SphericalSensorModel::RecomputeNegligibleRange() {
+  // peak * exp(-2 (d/range)^2) * af <= kBatchNegligibleProb for all
+  // d >= cutoff, with the angle factor bounded by max(1, 1 - falloff).
+  const double bound =
+      params_.peak_read_rate * std::max(1.0, 1.0 - params_.angle_falloff);
+  if (bound <= kBatchNegligibleProb || params_.range <= 0.0) {
+    negligible_range_ = 0.0;  // Negligible everywhere.
+    return;
+  }
+  negligible_range_ =
+      params_.range * std::sqrt(0.5 * std::log(bound / kBatchNegligibleProb));
+}
+
 void SphericalSensorModel::ProbReadBatch(const ReaderFrame& frame,
                                          const double* xs, const double* ys,
                                          const double* zs, size_t n,
                                          double* out) const {
-  batch_detail::BatchSoa(*this, frame, xs, ys, zs, n, out,
-                         batch_detail::kNoCutoff);
+  batch_detail::BatchSoa(*this, frame, xs, ys, zs, n, out, negligible_range_);
 }
 
 void SphericalSensorModel::ProbReadBatchPositions(const ReaderFrame& frame,
                                                   const Vec3* positions,
                                                   size_t n,
                                                   double* out) const {
-  batch_detail::BatchAos(*this, frame, positions, n, out,
-                         batch_detail::kNoCutoff);
+  batch_detail::BatchAos(*this, frame, positions, n, out, negligible_range_);
 }
 
 void SphericalSensorModel::ProbReadBatchGather(
     const ReaderFrame* frames, const uint32_t* frame_idx, const double* xs,
     const double* ys, const double* zs, size_t n, double* out) const {
   batch_detail::BatchGather(*this, frames, frame_idx, xs, ys, zs, n, out,
-                            batch_detail::kNoCutoff);
+                            negligible_range_);
+}
+
+namespace {
+
+simd_kernel::SphericalEval MakeSphericalEval(
+    const SphericalSensorParams& params, double zero_beyond) {
+  simd_kernel::SphericalEval::Params p;
+  p.peak_read_rate = params.peak_read_rate;
+  p.inv_range = 1.0 / params.range;
+  p.angle_falloff = params.angle_falloff;
+  p.zero_beyond = zero_beyond;
+  return simd_kernel::SphericalEval(p);
+}
+
+}  // namespace
+
+void SphericalSensorModel::ProbReadBatchRuns(const ReaderFrame* frames,
+                                             const uint32_t* offsets,
+                                             size_t num_frames,
+                                             const double* xs,
+                                             const double* ys,
+                                             const double* zs,
+                                             double* out) const {
+  batch_detail::BatchRuns(*this, frames, offsets, num_frames, xs, ys, zs, out,
+                          negligible_range_);
+}
+
+void SphericalSensorModel::ProbReadBatchSimd(const ReaderFrame& frame,
+                                             const double* xs,
+                                             const double* ys,
+                                             const double* zs, size_t n,
+                                             double* out) const {
+  simd_kernel::BatchSimd(MakeSphericalEval(params_, negligible_range_), frame,
+                         xs, ys, zs, n, out);
+}
+
+void SphericalSensorModel::ProbReadBatchRunsSimd(
+    const ReaderFrame* frames, const uint32_t* offsets, size_t num_frames,
+    const double* xs, const double* ys, const double* zs, double* out) const {
+  simd_kernel::BatchRunsSimd(MakeSphericalEval(params_, negligible_range_),
+                             frames, offsets, num_frames, xs, ys, zs, out);
+}
+
+void SphericalSensorModel::ProbReadBatchGatherSimd(
+    const ReaderFrame* frames, const uint32_t* frame_idx, const double* xs,
+    const double* ys, const double* zs, size_t n, double* out) const {
+  simd_kernel::BatchGatherSimd(MakeSphericalEval(params_, negligible_range_),
+                               frames, frame_idx, xs, ys, zs, n, out);
 }
 
 }  // namespace rfid

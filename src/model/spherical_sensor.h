@@ -25,9 +25,11 @@ struct SphericalSensorParams {
 /// linear angular falloff (reads happen even behind the antenna, faintly).
 class SphericalSensorModel final : public SensorModel {
  public:
-  SphericalSensorModel() = default;
+  SphericalSensorModel() { RecomputeNegligibleRange(); }
   explicit SphericalSensorModel(const SphericalSensorParams& params)
-      : params_(params) {}
+      : params_(params) {
+    RecomputeNegligibleRange();
+  }
 
   /// Builds the emulated lab antenna for a given reader timeout in
   /// milliseconds (paper uses 250, 500, 750 ms).
@@ -35,12 +37,15 @@ class SphericalSensorModel final : public SensorModel {
 
   double ProbRead(double distance, double angle) const override;
   double MaxRange() const override;
+  double BatchZeroRadius() const override { return negligible_range_; }
   std::unique_ptr<SensorModel> Clone() const override {
     return std::make_unique<SphericalSensorModel>(*this);
   }
 
-  // Devirtualized batch kernels (no distance cutoff: the Gaussian decay
-  // never reaches exactly zero).
+  // Devirtualized batch kernels. The Gaussian decay never reaches exactly
+  // zero, but past NegligibleRange() it provably stays under
+  // kBatchNegligibleProb, so the kernels zero those elements and skip the
+  // exp (invisible to the filters — see reader_frame.h).
   void ProbReadBatch(const ReaderFrame& frame, const double* xs,
                      const double* ys, const double* zs, size_t n,
                      double* out) const override;
@@ -50,11 +55,32 @@ class SphericalSensorModel final : public SensorModel {
                            const double* xs, const double* ys,
                            const double* zs, size_t n,
                            double* out) const override;
+  void ProbReadBatchRuns(const ReaderFrame* frames, const uint32_t* offsets,
+                         size_t num_frames, const double* xs, const double* ys,
+                         const double* zs, double* out) const override;
+  void ProbReadBatchSimd(const ReaderFrame& frame, const double* xs,
+                         const double* ys, const double* zs, size_t n,
+                         double* out) const override;
+  void ProbReadBatchRunsSimd(const ReaderFrame* frames,
+                             const uint32_t* offsets, size_t num_frames,
+                             const double* xs, const double* ys,
+                             const double* zs, double* out) const override;
+  void ProbReadBatchGatherSimd(const ReaderFrame* frames,
+                               const uint32_t* frame_idx, const double* xs,
+                               const double* ys, const double* zs, size_t n,
+                               double* out) const override;
 
   const SphericalSensorParams& params() const { return params_; }
 
+  /// Distance beyond which ProbRead provably stays under
+  /// kBatchNegligibleProb for every angle (≈ 4.6x the decay scale).
+  double NegligibleRange() const { return negligible_range_; }
+
  private:
+  void RecomputeNegligibleRange();
+
   SphericalSensorParams params_;
+  double negligible_range_ = 0.0;
 };
 
 }  // namespace rfid

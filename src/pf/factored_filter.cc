@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <unordered_set>
 
 namespace rfid {
@@ -173,8 +174,29 @@ void FactoredParticleFilter::WeightReaders(
 
 void FactoredParticleFilter::BuildReaderFrames() {
   reader_frames_.resize(readers_.size());
+  Aabb cloud = Aabb::Empty();
   for (size_t j = 0; j < readers_.size(); ++j) {
     reader_frames_[j] = ReaderFrame::From(readers_[j].pose);
+    cloud.Extend(readers_[j].pose.position);
+  }
+  // Expanding per axis is conservative: a particle outside the expanded box
+  // is farther than the zero radius from every reader on at least one axis,
+  // hence in Euclidean distance too. The 1e-9 relative margin dwarfs every
+  // rounding error in this box arithmetic and the kernels' distance
+  // computation (~1e-15 relative), so a particle passing the outside test
+  // is strictly beyond the radius in the kernels' own arithmetic — the
+  // far-field fast path is exactly equivalent, not just approximately.
+  const double reach = model_.sensor().BatchZeroRadius() * (1.0 + 1e-9);
+  if (std::isfinite(reach) && !readers_.empty()) {
+    reader_reach_ = Aabb(cloud.min - Vec3{reach, reach, reach},
+                         cloud.max + Vec3{reach, reach, reach});
+  } else {
+    reader_reach_ = Aabb({-std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()},
+                         {std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::infinity()});
   }
 }
 
@@ -302,6 +324,35 @@ bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
   // run on any lane in any order and still produce identical results.
   Rng rng(SlotStreamSeed(slot, salt));
 
+  // Far-field fast path (negative evidence only): when every particle is
+  // beyond the sensor's batch-zero radius from every reader, the batched
+  // likelihoods are all exactly 0, so each weight is multiplied by exactly
+  // 1.0 — bit-identical to the full update with the kernel, the likelihood
+  // loop and (absent a resample) the bounds recomputation skipped.
+  // Positions are untouched here (unread objects do not propagate), so the
+  // cached particle_bounds this test relies on stays valid.
+  if (!observed && !state->particle_bounds.Intersects(reader_reach_)) {
+    double* weights = particles.mutable_weights();
+    double total = 0.0;
+    for (size_t k = 0; k < n; ++k) total += weights[k];
+    if (total <= 0.0 || !std::isfinite(total)) {
+      particles.SetUniformWeights();
+    } else {
+      for (size_t k = 0; k < n; ++k) weights[k] /= total;
+    }
+    if (EffectiveSampleSize(particles.weights(), n) <
+        config_.object_resample_threshold * static_cast<double>(n)) {
+      ResampleAncestors(particles.weights(), n, n, config_.resample_scheme,
+                        rng, &scratch->ancestors);
+      scratch->gathered.GatherFrom(particles, scratch->ancestors,
+                                   1.0 / static_cast<double>(n));
+      std::swap(particles, scratch->gathered);
+      state->particle_bounds = particles.ComputeBounds();
+    }
+    particle_updates_.fetch_add(n, std::memory_order_relaxed);
+    return true;
+  }
+
   // Proposal: object dynamics (stationary w.p. 1 - alpha, jump otherwise).
   // The jump branch is sampled only while the object is being *read*: a
   // jumped particle is then immediately confirmed or killed by the read
@@ -319,13 +370,41 @@ bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
   }
 
   // Factored weighting, Eq. (5): each particle is weighted against the
-  // current pose of the reader particle it is conditioned on. The whole
-  // batch goes through the sensor model's devirtualized kernel against the
-  // precomputed reader frames.
+  // current pose of the reader particle it is conditioned on, through the
+  // sensor's devirtualized kernels. Four interchangeable paths: per-element
+  // frame gather (default) or reader-run bucketing (counting-sort into
+  // contiguous single-frame runs, scatter back in original order), each in
+  // scalar or SIMD. Gather and bucketed scalar paths are bit-identical —
+  // same arithmetic per element, order restored before any accumulation.
   scratch->probs.resize(n);
-  model_.sensor().ProbReadBatchGather(
-      reader_frames_.data(), particles.reader_indices(), particles.xs(),
-      particles.ys(), particles.zs(), n, scratch->probs.data());
+  if (config_.bucket_by_reader) {
+    const SensorModel& sensor = model_.sensor();
+    ParticleSoa::ReaderRunScratch& runs = scratch->runs;
+    particles.BucketByReader(reader_frames_.size(), &runs);
+    scratch->run_probs.resize(n);
+    if (config_.use_simd_kernels) {
+      sensor.ProbReadBatchRunsSimd(reader_frames_.data(), runs.offsets.data(),
+                                   reader_frames_.size(), runs.xs.data(),
+                                   runs.ys.data(), runs.zs.data(),
+                                   scratch->run_probs.data());
+    } else {
+      sensor.ProbReadBatchRuns(reader_frames_.data(), runs.offsets.data(),
+                               reader_frames_.size(), runs.xs.data(),
+                               runs.ys.data(), runs.zs.data(),
+                               scratch->run_probs.data());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      scratch->probs[runs.order[i]] = scratch->run_probs[i];
+    }
+  } else if (config_.use_simd_kernels) {
+    model_.sensor().ProbReadBatchGatherSimd(
+        reader_frames_.data(), particles.reader_indices(), particles.xs(),
+        particles.ys(), particles.zs(), n, scratch->probs.data());
+  } else {
+    model_.sensor().ProbReadBatchGather(
+        reader_frames_.data(), particles.reader_indices(), particles.xs(),
+        particles.ys(), particles.zs(), n, scratch->probs.data());
+  }
 
   double* weights = particles.mutable_weights();
   double total = 0.0;
@@ -348,6 +427,7 @@ bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
     for (size_t k = 0; k < n; ++k) weights[k] /= total;
   }
 
+  bool resampled = false;
   if (EffectiveSampleSize(particles.weights(), n) <
       config_.object_resample_threshold * static_cast<double>(n)) {
     ResampleAncestors(particles.weights(), n, n, config_.resample_scheme, rng,
@@ -357,9 +437,15 @@ bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
     scratch->gathered.GatherFrom(particles, scratch->ancestors,
                                  1.0 / static_cast<double>(n));
     std::swap(particles, scratch->gathered);
+    resampled = true;
   }
 
-  state->particle_bounds = particles.ComputeBounds();
+  // Positions change only through the dynamics proposal (observed) or a
+  // resample gather; otherwise the cached bounds are already exactly what
+  // ComputeBounds would return.
+  if (observed || resampled) {
+    state->particle_bounds = particles.ComputeBounds();
+  }
   particle_updates_.fetch_add(n, std::memory_order_relaxed);
   return !conflict;
 }
@@ -531,9 +617,12 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
   }
 
   // Case 2: objects not read now but recorded near the current location.
-  std::vector<uint32_t> case2;
+  // Probed through the filter-owned scratch (epoch-stamped seen mask + hit
+  // buffer) so the per-epoch probe allocates nothing.
+  std::vector<uint32_t>& case2 = scratch_case2_;
+  case2.clear();
   if (config_.use_spatial_index) {
-    index_.Probe(sensing_box, &case2);
+    index_.Probe(sensing_box, &probe_scratch_, &case2);
   } else {
     // Without the index the filter must touch every tracked object.
     case2.reserve(states_.size());

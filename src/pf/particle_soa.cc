@@ -1,6 +1,46 @@
 #include "pf/particle_soa.h"
 
+#include <algorithm>
+#include <limits>
+
+#include "util/simd.h"
+
 namespace rfid {
+
+namespace {
+
+/// Vectorized min/max over one component array. Min/max are associative and
+/// exact, so lane order cannot change the result — this stays bit-identical
+/// to the sequential Extend loop on every backend.
+void MinMax(const std::vector<double>& v, double* out_min, double* out_max) {
+  using simd::Vec4d;
+  const size_t n = v.size();
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  size_t k = 0;
+  if (n >= static_cast<size_t>(simd::kLanes)) {
+    Vec4d vlo = simd::Set1(lo);
+    Vec4d vhi = simd::Set1(hi);
+    for (; k + simd::kLanes <= n; k += simd::kLanes) {
+      const Vec4d x = simd::Load(v.data() + k);
+      vlo = simd::Min(vlo, x);
+      vhi = simd::Max(vhi, x);
+    }
+    double tmp[simd::kLanes];
+    simd::Store(tmp, vlo);
+    for (double t : tmp) lo = std::min(lo, t);
+    simd::Store(tmp, vhi);
+    for (double t : tmp) hi = std::max(hi, t);
+  }
+  for (; k < n; ++k) {
+    lo = std::min(lo, v[k]);
+    hi = std::max(hi, v[k]);
+  }
+  *out_min = lo;
+  *out_max = hi;
+}
+
+}  // namespace
 
 void ParticleSoa::clear() {
   x_.clear();
@@ -43,9 +83,10 @@ void ParticleSoa::SetUniformWeights() {
 
 Aabb ParticleSoa::ComputeBounds() const {
   Aabb box = Aabb::Empty();
-  for (size_t k = 0; k < x_.size(); ++k) {
-    box.Extend({x_[k], y_[k], z_[k]});
-  }
+  if (empty()) return box;
+  MinMax(x_, &box.min.x, &box.max.x);
+  MinMax(y_, &box.min.y, &box.max.y);
+  MinMax(z_, &box.min.z, &box.max.z);
   return box;
 }
 
@@ -60,6 +101,26 @@ void ParticleSoa::GatherFrom(const ParticleSoa& src,
     z_.push_back(src.z_[a]);
     reader_idx_.push_back(src.reader_idx_[a]);
     weight_.push_back(uniform_weight);
+  }
+}
+
+void ParticleSoa::BucketByReader(size_t num_readers,
+                                 ReaderRunScratch* s) const {
+  const size_t n = size();
+  s->offsets.assign(num_readers + 1, 0);
+  for (size_t k = 0; k < n; ++k) ++s->offsets[reader_idx_[k] + 1];
+  for (size_t j = 0; j < num_readers; ++j) s->offsets[j + 1] += s->offsets[j];
+  s->cursor.assign(s->offsets.begin(), s->offsets.end() - 1);
+  s->order.resize(n);
+  s->xs.resize(n);
+  s->ys.resize(n);
+  s->zs.resize(n);
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t pos = s->cursor[reader_idx_[k]]++;
+    s->order[pos] = static_cast<uint32_t>(k);
+    s->xs[pos] = x_[k];
+    s->ys[pos] = y_[k];
+    s->zs[pos] = z_[k];
   }
 }
 

@@ -33,21 +33,43 @@ std::vector<LocationEvent> EventEmitter::OnEpoch(const SyncedEpoch& epoch,
       // New scope period: reset so this visit can produce its own event.
       scope.first_read_time = epoch.time;
       scope.emitted = false;
+      // Only the after-delay policy drains the work list; other policies
+      // must not grow it.
+      if (config_.policy == EmitPolicy::kAfterDelay && !scope.pending) {
+        scope.pending = true;
+        pending_.push_back(tag);
+      }
     }
     scope.last_read_epoch = now;
   }
 
   switch (config_.policy) {
     case EmitPolicy::kAfterDelay:
-      for (auto& [tag, scope] : scopes_) {
-        if (scope.emitted) continue;
+      // Only scopes in a fresh (un-emitted) period are on the work list;
+      // emitted ones drop off via swap-pop, keeping the per-epoch scan
+      // proportional to tags currently awaiting their event.
+      for (size_t i = 0; i < pending_.size();) {
+        const TagId tag = pending_[i];
+        TagScope& scope = scopes_[tag];
+        if (scope.emitted) {
+          scope.pending = false;
+          pending_[i] = pending_.back();
+          pending_.pop_back();
+          continue;
+        }
         if (epoch.time - scope.first_read_time < config_.delay_seconds) {
+          ++i;
           continue;
         }
         if (auto est = estimate(tag)) {
           events.push_back(MakeEvent(epoch.time, tag, *est));
           scope.emitted = true;
+          scope.pending = false;
+          pending_[i] = pending_.back();
+          pending_.pop_back();
+          continue;
         }
+        ++i;
       }
       break;
     case EmitPolicy::kEveryEpoch:

@@ -54,6 +54,7 @@ class EventEmitter {
     double first_read_time = 0.0;
     int64_t last_read_epoch = 0;
     bool emitted = false;
+    bool pending = false;  ///< In pending_ (kAfterDelay work list).
   };
 
   LocationEvent MakeEvent(double time, TagId tag,
@@ -61,6 +62,10 @@ class EventEmitter {
 
   EmitterConfig config_;
   std::unordered_map<TagId, TagScope> scopes_;
+  /// kAfterDelay scans only scopes awaiting their delayed event instead of
+  /// every tag ever seen — at warehouse scale the full walk per epoch
+  /// costs more than the inference it reports on.
+  std::vector<TagId> pending_;
   int64_t epoch_counter_ = 0;
 };
 

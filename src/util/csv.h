@@ -26,6 +26,8 @@ class TableWriter {
   void WriteAligned(std::ostream& os) const;
 
   size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
  private:
   std::vector<std::string> header_;

@@ -24,7 +24,10 @@ using testing_util::MakeLineWorld;
 /// trace at the given thread count and returns it for inspection.
 std::unique_ptr<FactoredParticleFilter> RunLabTrace(
     const LabDeployment& lab, int num_threads, bool compression,
-    size_t max_epochs) {
+    size_t max_epochs, bool bucket_by_reader = false) {
+  // The default mirrors FactoredFilterConfig's production default (gather
+  // path), so the pre-existing thread-determinism tests keep covering the
+  // configuration users actually run; bucketing is an explicit opt-in.
   ExperimentModelOptions options;
   options.motion.delta = {};
   options.motion.sigma = {0.05, 0.15, 0.0};
@@ -35,6 +38,7 @@ std::unique_ptr<FactoredParticleFilter> RunLabTrace(
   config.num_object_particles = 200;
   config.seed = 77;
   config.num_threads = num_threads;
+  config.bucket_by_reader = bucket_by_reader;
   config.init.half_angle = M_PI;
   if (compression) {
     config.compression.mode = CompressionMode::kUnseenEpochs;
@@ -105,6 +109,31 @@ TEST(ParallelDeterminismTest, LabTraceWithCompressionThreads1Vs4) {
   const auto parallel = RunLabTrace(lab.value(), 4, /*compression=*/true, 200);
   EXPECT_EQ(serial->NumCompressedObjects(), parallel->NumCompressedObjects());
   ExpectIdenticalEstimates(*serial, *parallel, lab.value().objects);
+}
+
+TEST(ParallelDeterminismTest, BucketedWeightingBitIdenticalToGatherPath) {
+  // Reader-run bucketing reorders the Eq. (5) evaluations into contiguous
+  // single-frame runs, but every element goes through the same arithmetic
+  // and weights are scattered back in original particle order before any
+  // accumulation — so 200 lab-trace epochs must be bit-identical to the
+  // per-element gather path, at one thread and at four.
+  LabConfig lc;
+  lc.seed = 902;
+  const auto lab = BuildLabDeployment(lc);
+  ASSERT_TRUE(lab.ok());
+  ASSERT_GE(lab.value().trace.epochs.size(), 200u);
+
+  const auto gather = RunLabTrace(lab.value(), 1, /*compression=*/false, 200,
+                                  /*bucket_by_reader=*/false);
+  const auto bucketed = RunLabTrace(lab.value(), 1, /*compression=*/false, 200,
+                                    /*bucket_by_reader=*/true);
+  EXPECT_EQ(gather->current_step(), 200);
+  ExpectIdenticalEstimates(*gather, *bucketed, lab.value().objects);
+  EXPECT_EQ(gather->particle_updates(), bucketed->particle_updates());
+
+  const auto bucketed_mt = RunLabTrace(lab.value(), 4, /*compression=*/false,
+                                       200, /*bucket_by_reader=*/true);
+  ExpectIdenticalEstimates(*gather, *bucketed_mt, lab.value().objects);
 }
 
 TEST(ParallelDeterminismTest, ThreadCountsTwoAndEightAgreeOnLineWorld) {

@@ -1,0 +1,113 @@
+// Accuracy and semantics tests for the 4-wide SIMD layer (util/simd.h).
+//
+// The transcendental contract the sensor kernels rely on (documented in
+// simd.h and PERF.md):
+//   |Exp(x)  - exp(x)|  <= 1e-9 * exp(x)            for x in [-700, 700]
+//   |Acos(x) - acos(x)| <= 1e-9 * max(acos(x), 1e-12) for x in [-1, 1]
+// These hold for every backend (AVX2, NEON, scalar fallback) because the
+// polynomial algorithms are shared; only the lane arithmetic differs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/simd.h"
+
+namespace rfid {
+namespace {
+
+constexpr double kRelTol = 1e-9;
+
+/// Applies a Vec4d->Vec4d function to one scalar through lane 0.
+template <typename Fn>
+double ApplyLane(const Fn& fn, double x) {
+  double in[4] = {x, x, x, x};
+  double out[4];
+  simd::Store(out, fn(simd::Load(in)));
+  return out[0];
+}
+
+TEST(SimdTest, ExpMatchesLibmOverDomain) {
+  Rng rng(11);
+  std::vector<double> xs = {0.0,   1.0,   -1.0,  0.5,    -0.5,  700.0,
+                            -700.0, 709.0, -745.0, 1e-300, -1e-9, 41.4};
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.Uniform(-700.0, 700.0));
+  // The kernels' actual operating range: exponents of read probabilities.
+  for (int i = 0; i < 5000; ++i) xs.push_back(rng.Uniform(-50.0, 5.0));
+  for (double x : xs) {
+    const double got = ApplyLane([](simd::Vec4d v) { return simd::Exp(v); }, x);
+    const double want = std::exp(std::clamp(x, -700.0, 700.0));
+    EXPECT_NEAR(got, want, kRelTol * want) << "x = " << x;
+  }
+}
+
+TEST(SimdTest, ExpSaturatesOutsideClampRange) {
+  const double hi = ApplyLane([](simd::Vec4d v) { return simd::Exp(v); }, 1e6);
+  const double lo = ApplyLane([](simd::Vec4d v) { return simd::Exp(v); }, -1e6);
+  EXPECT_DOUBLE_EQ(hi, std::exp(700.0));
+  EXPECT_DOUBLE_EQ(lo, std::exp(-700.0));
+}
+
+TEST(SimdTest, AcosMatchesLibmOverDomain) {
+  Rng rng(13);
+  std::vector<double> xs = {-1.0, 1.0, 0.0, 0.5, -0.5, 0.499999999,
+                            0.500000001, -0.499999999, -0.500000001,
+                            0.999999999, -0.999999999, 1e-300};
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.Uniform(-1.0, 1.0));
+  // Dense near the endpoints, where acos -> 0 keeps relative error honest.
+  for (int i = 0; i < 5000; ++i) xs.push_back(1.0 - std::pow(10.0, rng.Uniform(-15.0, 0.0)));
+  for (double x : xs) {
+    const double got =
+        ApplyLane([](simd::Vec4d v) { return simd::Acos(v); }, x);
+    const double want = std::acos(x);
+    EXPECT_NEAR(got, want, kRelTol * std::max(want, 1e-12)) << "x = " << x;
+  }
+}
+
+TEST(SimdTest, LaneOpsAndMasks) {
+  const double a[4] = {1.0, -2.0, 3.0, 0.0};
+  const double b[4] = {0.5, -2.0, 4.0, -1.0};
+  double out[4];
+
+  simd::Store(out, simd::Load(a) + simd::Load(b));
+  EXPECT_DOUBLE_EQ(out[0], 1.5);
+  EXPECT_DOUBLE_EQ(out[3], -1.0);
+
+  simd::Store(out, simd::MulAdd(simd::Load(a), simd::Load(b),
+                                simd::Set1(10.0)));
+  EXPECT_DOUBLE_EQ(out[2], 22.0);
+
+  // mask = a < b -> only lane 2; Select keeps b there, a elsewhere.
+  const simd::Vec4d mask = simd::CmpLt(simd::Load(a), simd::Load(b));
+  EXPECT_TRUE(simd::AnyTrue(mask));
+  simd::Store(out, simd::Select(mask, simd::Load(b), simd::Load(a)));
+  EXPECT_DOUBLE_EQ(out[0], 1.0);
+  EXPECT_DOUBLE_EQ(out[1], -2.0);
+  EXPECT_DOUBLE_EQ(out[2], 4.0);
+  EXPECT_DOUBLE_EQ(out[3], 0.0);
+
+  // And with an all-zero mask hard-zeroes any payload, including non-finite.
+  const double weird[4] = {std::nan(""), INFINITY, -INFINITY, 5.0};
+  simd::Store(out, simd::And(simd::Load(weird),
+                             simd::CmpLt(simd::Set1(2.0), simd::Set1(1.0))));
+  for (double v : out) EXPECT_EQ(v, 0.0);
+
+  EXPECT_FALSE(
+      simd::AnyTrue(simd::CmpGe(simd::Set1(0.0), simd::Set1(1.0))));
+}
+
+TEST(SimdTest, ScaleByPow2CoversExponentRange) {
+  for (int k : {-1022, -100, -1, 0, 1, 52, 100, 1023}) {
+    const double got = ApplyLane(
+        [&](simd::Vec4d v) {
+          return simd::ScaleByPow2(v, simd::Set1(static_cast<double>(k)));
+        },
+        1.5);
+    EXPECT_DOUBLE_EQ(got, std::ldexp(1.5, k)) << "k = " << k;
+  }
+}
+
+}  // namespace
+}  // namespace rfid
