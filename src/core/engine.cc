@@ -1,6 +1,21 @@
 #include "core/engine.h"
 
+#include <cstdio>
+#include <iterator>
+
 namespace rfid {
+
+std::string EngineStats::ToJson() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"epochs_processed\": %zu, \"readings_processed\": %zu, "
+      "\"events_emitted\": %zu, \"processing_seconds\": %.17g, "
+      "\"readings_per_sec\": %.17g, \"epochs_per_sec\": %.17g}",
+      epochs_processed, readings_processed, events_emitted,
+      processing_seconds, ReadingsPerSecond(), EpochsPerSecond());
+  return buf;
+}
 
 namespace {
 Status ValidateConfig(const EngineConfig& config) {
@@ -70,13 +85,24 @@ void RfidInferenceEngine::ProcessEpoch(const SyncedEpoch& epoch) {
   auto events = emitter_.OnEpoch(
       epoch, [this](TagId tag) { return filter_->EstimateObject(tag); });
   stats_.events_emitted += events.size();
-  pending_events_.insert(pending_events_.end(), events.begin(), events.end());
+  if (pending_events_.empty()) {
+    pending_events_ = std::move(events);
+  } else {
+    pending_events_.insert(pending_events_.end(),
+                           std::make_move_iterator(events.begin()),
+                           std::make_move_iterator(events.end()));
+  }
 }
 
 std::vector<LocationEvent> RfidInferenceEngine::TakeEvents() {
   std::vector<LocationEvent> out;
   out.swap(pending_events_);
   return out;
+}
+
+void RfidInferenceEngine::TakeEvents(std::vector<LocationEvent>* out) {
+  out->clear();
+  out->swap(pending_events_);
 }
 
 std::vector<LocationEvent> RfidInferenceEngine::NotifyScanComplete(

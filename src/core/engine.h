@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "model/world_model.h"
@@ -60,6 +61,10 @@ struct EngineStats {
                      static_cast<double>(readings_processed)
                : 0.0;
   }
+
+  /// Flat JSON object of the counters plus derived rates, for per-shard
+  /// stats export by the serving layer.
+  std::string ToJson() const;
 };
 
 class RfidInferenceEngine {
@@ -75,6 +80,12 @@ class RfidInferenceEngine {
   /// Drains the pending output events.
   std::vector<LocationEvent> TakeEvents();
 
+  /// Swap-based drain: `out` is cleared and receives the pending events, and
+  /// its old capacity becomes the engine's next accumulation buffer. Lets a
+  /// per-epoch caller (the serving runtime's shard loop) hand events off
+  /// with zero allocation in steady state.
+  void TakeEvents(std::vector<LocationEvent>* out);
+
   /// kOnScanComplete emitter policy: flush events for all seen tags.
   std::vector<LocationEvent> NotifyScanComplete(double time);
 
@@ -86,6 +97,16 @@ class RfidInferenceEngine {
   const InferenceFilter& filter() const { return *filter_; }
   const EngineStats& stats() const { return stats_; }
   const EngineConfig& config() const { return config_; }
+
+  // --- Checkpoint hooks (src/serve/checkpoint.cc) ---
+  /// Mutable filter access for snapshot restore into a live engine.
+  InferenceFilter& mutable_filter() { return *filter_; }
+  /// Emitter access so its scope / work-list state rides along in a
+  /// checkpoint (required for bit-identical event replay after restore).
+  EventEmitter& emitter() { return emitter_; }
+  const EventEmitter& emitter() const { return emitter_; }
+  /// Reinstates counters captured at checkpoint time.
+  void RestoreStats(const EngineStats& stats) { stats_ = stats; }
 
  private:
   RfidInferenceEngine(std::unique_ptr<InferenceFilter> filter,

@@ -4,27 +4,21 @@
 #include <istream>
 #include <ostream>
 
+#include "util/serialize.h"
+
 namespace rfid {
 
 namespace {
 
+using serialize::kMaxCount;
+using serialize::ReadPod;
+using serialize::WritePod;
+
 constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kVersion = 1;
-// Sanity caps: a snapshot claiming more than these is corrupt, not big.
-constexpr uint64_t kMaxCount = 100'000'000;
-
-template <typename T>
-void WritePod(std::ostream& os, const T& value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <typename T>
-bool ReadPod(std::istream& is, T* value) {
-  static_assert(std::is_trivially_copyable_v<T>);
-  is.read(reinterpret_cast<char*>(value), sizeof(T));
-  return is.good();
-}
+// v2 appends the RNG state and the particle-updates counter after the index
+// section, making post-restore replay bit-identical to the uninterrupted
+// run (v1 reseeded from the config instead).
+constexpr uint32_t kVersion = 2;
 
 void WriteVec3(std::ostream& os, const Vec3& v) {
   WritePod(os, v.x);
@@ -83,6 +77,12 @@ Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
         WritePod(os, static_cast<uint64_t>(slots.size()));
         for (uint32_t s : slots) WritePod(os, s);
       });
+
+  const RngState rng_state = filter.rng_.SaveState();
+  for (uint64_t word : rng_state.s) WritePod(os, word);
+  WritePod(os, rng_state.cached_gaussian);
+  WritePod(os, static_cast<uint8_t>(rng_state.cached_gaussian_valid ? 1 : 0));
+  WritePod(os, filter.particle_updates_.load(std::memory_order_relaxed));
 
   if (!os.good()) return Status::IOError("failed writing snapshot");
   return Status::OK();
@@ -185,7 +185,22 @@ Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
     index.Insert(box, slots);
   }
 
+  RngState rng_state;
+  uint8_t cached_valid = 0;
+  uint64_t particle_updates = 0;
+  for (uint64_t& word : rng_state.s) {
+    if (!ReadPod(is, &word)) return Truncated();
+  }
+  if (!ReadPod(is, &rng_state.cached_gaussian) ||
+      !ReadPod(is, &cached_valid) || !ReadPod(is, &particle_updates)) {
+    return Truncated();
+  }
+  rng_state.cached_gaussian_valid = cached_valid != 0;
+
   // Commit only after the whole snapshot parsed.
+  filter->rng_.RestoreState(rng_state);
+  filter->particle_updates_.store(particle_updates,
+                                  std::memory_order_relaxed);
   filter->step_ = step;
   filter->readers_initialized_ = readers_initialized != 0;
   filter->readers_ = std::move(readers);

@@ -2,11 +2,13 @@
 //
 // A long-running deployment must survive process restarts without rescanning
 // the warehouse: the snapshot captures reader particles, every object's
-// belief (particles or compressed Gaussian plus bookkeeping) and the epoch
-// counter. The sensing-region index is rebuilt from recorded entries on
-// load. The RNG is reseeded from the filter config on restore, so replaying
-// the same tail of a stream after a restore is deterministic for the
-// restored process (but not bit-identical to the uninterrupted run).
+// belief (particles or compressed Gaussian plus bookkeeping), the epoch
+// counter, and (since v2) the filter's RNG state. The sensing-region index
+// is rebuilt from recorded entries on load. Because per-object updates
+// already draw from streams keyed by (seed, slot, step) and the shared RNG
+// state round-trips exactly, replaying the same tail of a stream after a
+// restore is **bit-identical** to the uninterrupted run — the property the
+// serving layer's checkpoint/restore (src/serve/checkpoint.h) is built on.
 //
 // Format: same-architecture binary (magic + version header). Not intended
 // as a cross-platform interchange format.

@@ -1,0 +1,48 @@
+#include "serve/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace rfid {
+
+std::string SiteCheckpointPath(const std::string& dir, SiteId site) {
+  return dir + "/site_" + std::to_string(site) + ".ckpt";
+}
+
+Status SaveSiteCheckpoint(const SitePipeline& pipeline,
+                          const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) return Status::IOError("cannot open " + tmp + " for writing");
+    const Status status = pipeline.SaveCheckpoint(os);
+    if (!status.ok()) {
+      os.close();
+      std::remove(tmp.c_str());
+      return status;
+    }
+    os.flush();
+    if (!os.good()) {
+      os.close();
+      std::remove(tmp.c_str());
+      return Status::IOError("failed writing " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+Status LoadSiteCheckpoint(const std::string& path, SitePipeline* pipeline) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IOError("cannot open checkpoint " + path);
+  return pipeline->LoadCheckpoint(is);
+}
+
+}  // namespace rfid

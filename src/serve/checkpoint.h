@@ -1,0 +1,24 @@
+// File-level checkpoint helpers for the serving runtime.
+//
+// A server checkpoint is a directory with one file per site,
+// `site_<id>.ckpt`, each holding the site pipeline's complete resume state
+// (see site_pipeline.h). Files are written through a temporary name and
+// renamed into place, so a crash mid-checkpoint leaves the previous
+// checkpoint intact rather than a truncated file.
+#pragma once
+
+#include <string>
+
+#include "serve/site_pipeline.h"
+#include "util/status.h"
+
+namespace rfid {
+
+/// `<dir>/site_<id>.ckpt`.
+std::string SiteCheckpointPath(const std::string& dir, SiteId site);
+
+Status SaveSiteCheckpoint(const SitePipeline& pipeline,
+                          const std::string& path);
+Status LoadSiteCheckpoint(const std::string& path, SitePipeline* pipeline);
+
+}  // namespace rfid

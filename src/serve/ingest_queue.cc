@@ -1,0 +1,71 @@
+#include "serve/ingest_queue.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+IngestQueue::IngestQueue(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)) {}
+
+bool IngestQueue::Push(const ServeRecord& record) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (items_.size() >= capacity_ && !closed_) {
+    ++stats_.blocked_pushes;
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+  }
+  if (closed_) return false;
+  items_.push_back(record);
+  ++stats_.pushed;
+  stats_.high_water = std::max<uint64_t>(stats_.high_water, items_.size());
+  return true;
+}
+
+bool IngestQueue::TryPush(const ServeRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_ || items_.size() >= capacity_) {
+    if (!closed_) ++stats_.rejected_full;
+    return false;
+  }
+  items_.push_back(record);
+  ++stats_.pushed;
+  stats_.high_water = std::max<uint64_t>(stats_.high_water, items_.size());
+  return true;
+}
+
+size_t IngestQueue::PopBatch(std::vector<ServeRecord>* out,
+                             size_t max_records) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = std::min(max_records, items_.size());
+  for (size_t i = 0; i < n; ++i) {
+    out->push_back(items_.front());
+    items_.pop_front();
+  }
+  stats_.popped += n;
+  if (n > 0) not_full_.notify_all();
+  return n;
+}
+
+void IngestQueue::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  not_full_.notify_all();
+}
+
+void IngestQueue::Reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = false;
+}
+
+size_t IngestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return items_.size();
+}
+
+IngestQueueStats IngestQueue::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace rfid

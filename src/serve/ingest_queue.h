@@ -1,0 +1,66 @@
+// Bounded multi-producer ingest queue, one per shard.
+//
+// Producers are network receivers / client threads calling
+// StreamingServer::Ingest from anywhere; the single consumer is the shard's
+// pump lane. Capacity is bounded so a shard that falls behind pushes back on
+// its producers instead of growing without limit; the stats record how often
+// that backpressure actually engaged (blocked pushes / rejected records and
+// the occupancy high-water mark), which is the first thing to look at when
+// sizing shards.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/record.h"
+
+namespace rfid {
+
+struct IngestQueueStats {
+  uint64_t pushed = 0;
+  uint64_t popped = 0;
+  /// Times a blocking Push found the queue full and had to wait.
+  uint64_t blocked_pushes = 0;
+  /// TryPush calls rejected because the queue was full.
+  uint64_t rejected_full = 0;
+  /// Maximum occupancy ever observed.
+  uint64_t high_water = 0;
+};
+
+class IngestQueue {
+ public:
+  explicit IngestQueue(size_t capacity);
+
+  /// Blocks while the queue is full (backpressure). Returns false only when
+  /// the queue was closed.
+  bool Push(const ServeRecord& record);
+
+  /// Non-blocking variant: returns false (and counts the rejection) when the
+  /// queue is full or closed.
+  bool TryPush(const ServeRecord& record);
+
+  /// Moves up to `max_records` into `out` (cleared first). Non-blocking.
+  size_t PopBatch(std::vector<ServeRecord>* out, size_t max_records);
+
+  /// Wakes blocked producers; subsequent pushes fail.
+  void Close();
+  /// Reverses Close() (server restart: Stop() closes, Start() reopens).
+  void Reopen();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  IngestQueueStats Stats() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::deque<ServeRecord> items_;
+  IngestQueueStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace rfid

@@ -1,0 +1,50 @@
+// Input unit of the serving runtime: one raw record from one site.
+//
+// A deployment runs many independent physical sites (warehouses, or reader
+// zones within one warehouse), each producing the paper's two raw streams
+// (§II-A): RFID readings and reader-location reports. The serving layer
+// multiplexes all of them through one process; every record carries the
+// site it belongs to so the ShardRouter can land it on the right shard.
+#pragma once
+
+#include <cstdint>
+
+#include "stream/readings.h"
+
+namespace rfid {
+
+/// Identifier of one independent deployment site / reader zone. Each site
+/// owns its own stream pair, its own inference pipeline and its own clean
+/// event stream.
+using SiteId = uint32_t;
+
+struct ServeRecord {
+  enum class Kind : uint8_t { kReading, kLocation };
+
+  SiteId site = 0;
+  Kind kind = Kind::kReading;
+  TagReading reading;              ///< Valid when kind == kReading.
+  ReaderLocationReport location;   ///< Valid when kind == kLocation.
+
+  double Time() const {
+    return kind == Kind::kReading ? reading.time : location.time;
+  }
+
+  static ServeRecord Reading(SiteId site, const TagReading& reading) {
+    ServeRecord r;
+    r.site = site;
+    r.kind = Kind::kReading;
+    r.reading = reading;
+    return r;
+  }
+  static ServeRecord Location(SiteId site,
+                              const ReaderLocationReport& report) {
+    ServeRecord r;
+    r.site = site;
+    r.kind = Kind::kLocation;
+    r.location = report;
+    return r;
+  }
+};
+
+}  // namespace rfid

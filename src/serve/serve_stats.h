@@ -1,0 +1,106 @@
+// Aggregated counters of the serving runtime, exportable as JSON.
+//
+// Snapshots are plain values assembled under the server's pump lock, so a
+// monitoring thread can poll StatsJson() while shards keep processing.
+#pragma once
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "serve/ingest_queue.h"
+#include "serve/site_pipeline.h"
+
+namespace rfid {
+
+struct ShardStatsSnapshot {
+  int shard = 0;
+  IngestQueueStats queue;
+  std::vector<SitePipelineStats> sites;
+};
+
+struct ServerStatsSnapshot {
+  std::vector<ShardStatsSnapshot> shards;
+  uint64_t subscription_dispatches = 0;
+
+  uint64_t TotalRecordsProcessed() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards) {
+      for (const auto& site : shard.sites) total += site.records_processed;
+    }
+    return total;
+  }
+  uint64_t TotalDroppedLate() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards) {
+      for (const auto& site : shard.sites) {
+        total += site.records_dropped_late;
+      }
+    }
+    return total;
+  }
+  uint64_t TotalEventsDispatched() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards) {
+      for (const auto& site : shard.sites) total += site.events_dispatched;
+    }
+    return total;
+  }
+  double TotalReadingsProcessed() const {
+    double total = 0;
+    for (const auto& shard : shards) {
+      for (const auto& site : shard.sites) {
+        total += static_cast<double>(site.engine.readings_processed);
+      }
+    }
+    return total;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"shards\": [";
+    for (size_t s = 0; s < shards.size(); ++s) {
+      const ShardStatsSnapshot& shard = shards[s];
+      if (s > 0) out += ", ";
+      out += "{\"shard\": " + std::to_string(shard.shard);
+      out += ", \"queue\": {\"pushed\": " + std::to_string(shard.queue.pushed);
+      out += ", \"popped\": " + std::to_string(shard.queue.popped);
+      out += ", \"blocked_pushes\": " +
+             std::to_string(shard.queue.blocked_pushes);
+      out += ", \"rejected_full\": " +
+             std::to_string(shard.queue.rejected_full);
+      out += ", \"high_water\": " + std::to_string(shard.queue.high_water);
+      out += "}, \"sites\": [";
+      for (size_t i = 0; i < shard.sites.size(); ++i) {
+        const SitePipelineStats& site = shard.sites[i];
+        if (i > 0) out += ", ";
+        out += "{\"site\": " + std::to_string(site.site);
+        out += ", \"records_processed\": " +
+               std::to_string(site.records_processed);
+        out += ", \"records_dropped_late\": " +
+               std::to_string(site.records_dropped_late);
+        out += ", \"events_dispatched\": " +
+               std::to_string(site.events_dispatched);
+        // Before a site's first record the watermark is -infinity, which is
+        // not a JSON number.
+        out += ", \"watermark\": " +
+               (std::isfinite(site.watermark)
+                    ? std::to_string(site.watermark)
+                    : std::string("null"));
+        out += ", \"engine\": " + site.engine.ToJson();
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "], \"subscription_dispatches\": " +
+           std::to_string(subscription_dispatches);
+    out += ", \"total_records_processed\": " +
+           std::to_string(TotalRecordsProcessed());
+    out += ", \"total_dropped_late\": " + std::to_string(TotalDroppedLate());
+    out += ", \"total_events_dispatched\": " +
+           std::to_string(TotalEventsDispatched());
+    out += "}";
+    return out;
+  }
+};
+
+}  // namespace rfid

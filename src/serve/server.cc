@@ -1,0 +1,271 @@
+#include "serve/server.h"
+
+#include <filesystem>
+
+#include "serve/checkpoint.h"
+#include "util/rng.h"
+
+namespace rfid {
+
+namespace {
+
+Status ValidateConfig(const ServeConfig& config, size_t num_sites) {
+  if (num_sites == 0) return Status::Invalid("server needs at least one site");
+  if (config.num_shards < 1) {
+    return Status::Invalid("num_shards must be >= 1");
+  }
+  if (config.num_threads < 1) {
+    return Status::Invalid("num_threads must be >= 1");
+  }
+  if (config.queue_capacity == 0) {
+    return Status::Invalid("queue_capacity must be positive");
+  }
+  if (config.pump_batch == 0) {
+    return Status::Invalid("pump_batch must be positive");
+  }
+  if (config.epoch_seconds <= 0) {
+    return Status::Invalid("epoch_seconds must be positive");
+  }
+  if (config.max_lateness_seconds < 0) {
+    return Status::Invalid("max_lateness_seconds must be non-negative");
+  }
+  if (config.engine.filter != EngineConfig::FilterKind::kFactored) {
+    return Status::Invalid(
+        "serving requires the factored filter (checkpointing serializes "
+        "factored belief state)");
+  }
+  for (const auto& pin : config.shard_pins) {
+    if (pin.shard < 0 || pin.shard >= config.num_shards) {
+      return Status::Invalid("shard pin for site " +
+                             std::to_string(pin.site) +
+                             " targets out-of-range shard " +
+                             std::to_string(pin.shard));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StreamingServer::StreamingServer(
+    std::vector<std::unique_ptr<SitePipeline>> pipelines,
+    const ServeConfig& config)
+    : config_(config),
+      router_(config.num_shards),
+      pipelines_(std::move(pipelines)),
+      pool_(config.num_threads) {
+  // Pins must land before pipelines are bucketed into shards: routing is
+  // resolved exactly once, here.
+  for (const auto& pin : config_.shard_pins) router_.Pin(pin.site, pin.shard);
+  shards_.resize(static_cast<size_t>(config_.num_shards));
+  for (auto& shard : shards_) {
+    shard.queue = std::make_unique<IngestQueue>(config_.queue_capacity);
+  }
+  for (auto& pipeline : pipelines_) {
+    Shard& shard =
+        shards_[static_cast<size_t>(router_.ShardOf(pipeline->site()))];
+    shard.sites.push_back(pipeline.get());
+    shard.site_lookup[pipeline->site()] = pipeline.get();
+  }
+}
+
+Result<std::unique_ptr<StreamingServer>> StreamingServer::Create(
+    std::vector<SiteSpec> sites, const ServeConfig& config) {
+  RFID_RETURN_NOT_OK(ValidateConfig(config, sites.size()));
+
+  SitePipelineConfig pipeline_config;
+  pipeline_config.epoch_seconds = config.epoch_seconds;
+  pipeline_config.max_lateness_seconds = config.max_lateness_seconds;
+  pipeline_config.engine = config.engine;
+
+  std::vector<std::unique_ptr<SitePipeline>> pipelines;
+  pipelines.reserve(sites.size());
+  for (auto& spec : sites) {
+    for (const auto& existing : pipelines) {
+      if (existing->site() == spec.site) {
+        return Status::Invalid("duplicate site id " +
+                               std::to_string(spec.site));
+      }
+    }
+    // Decorrelate the per-site filter seeds so shards do not replay the
+    // same particle noise; the mix is a pure function of (seed, site), so
+    // a rebuilt server restores onto identical streams.
+    SitePipelineConfig site_config = pipeline_config;
+    uint64_t mix = spec.site;
+    site_config.engine.factored.seed =
+        config.engine.factored.seed ^ SplitMix64(mix);
+    auto pipeline =
+        SitePipeline::Create(spec.site, std::move(spec.model), site_config);
+    if (!pipeline.ok()) return pipeline.status();
+    pipelines.push_back(std::move(pipeline).value());
+  }
+  return std::unique_ptr<StreamingServer>(
+      new StreamingServer(std::move(pipelines), config));
+}
+
+StreamingServer::~StreamingServer() { Stop(); }
+
+bool StreamingServer::Ingest(const ServeRecord& record) {
+  Shard& shard = shards_[static_cast<size_t>(router_.ShardOf(record.site))];
+  if (shard.site_lookup.find(record.site) == shard.site_lookup.end()) {
+    return false;  // Unknown site.
+  }
+  const bool accepted = config_.block_when_full
+                            ? shard.queue->Push(record)
+                            : shard.queue->TryPush(record);
+  // Only the producer that flips the hint pays the mutex+notify; everyone
+  // else rides the wakeup already in flight.
+  if (accepted && running_.load(std::memory_order_acquire) &&
+      !wake_hint_.exchange(true, std::memory_order_acq_rel)) {
+    NotifyWork();
+  }
+  return accepted;
+}
+
+void StreamingServer::NotifyWork() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    work_pending_ = true;
+  }
+  wake_cv_.notify_one();
+}
+
+size_t StreamingServer::PumpOnce() {
+  std::atomic<size_t> processed{0};
+  pool_.ParallelFor(shards_.size(), [this, &processed](size_t s, int) {
+    Shard& shard = shards_[s];
+    const size_t n = shard.queue->PopBatch(&shard.batch, config_.pump_batch);
+    for (size_t i = 0; i < n; ++i) {
+      const ServeRecord& record = shard.batch[i];
+      const auto it = shard.site_lookup.find(record.site);
+      if (it != shard.site_lookup.end()) {
+        it->second->OnRecord(record, &bus_);
+      }
+    }
+    if (n > 0) processed.fetch_add(n, std::memory_order_relaxed);
+  });
+  return processed.load(std::memory_order_relaxed);
+}
+
+size_t StreamingServer::Pump() {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  size_t total = 0;
+  while (true) {
+    const size_t n = PumpOnce();
+    if (n == 0) break;
+    total += n;
+  }
+  return total;
+}
+
+void StreamingServer::DriverLoop() {
+  while (running_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [this] {
+        return work_pending_ || !running_.load(std::memory_order_acquire);
+      });
+      work_pending_ = false;
+    }
+    // Clear the hint before draining: a record pushed after this point
+    // finds the hint false and re-notifies; one pushed before it is picked
+    // up by the drain below.
+    wake_hint_.store(false, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(pump_mu_);
+    while (PumpOnce() > 0) {
+    }
+  }
+  // Final drain: records that raced shutdown.
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  while (PumpOnce() > 0) {
+  }
+}
+
+void StreamingServer::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  // A previous Stop() closed the queues; a restarted server must accept
+  // traffic again, not silently reject every record.
+  for (auto& shard : shards_) shard.queue->Reopen();
+  driver_ = std::thread([this] { DriverLoop(); });
+  // Prime the driver: records ingested before (or racing) Start() did not
+  // notify, because Ingest only signals while running_ is set.
+  wake_hint_.store(true, std::memory_order_release);
+  NotifyWork();
+}
+
+void StreamingServer::Stop() {
+  if (running_.exchange(false)) {
+    // Signal under wake_mu_: notifying without the lock can slip between
+    // the driver's predicate check and its wait (lost wakeup -> join hangs).
+    NotifyWork();
+    if (driver_.joinable()) driver_.join();
+  }
+  // Late producers fail fast instead of refilling drained queues; blocked
+  // ones wake with failure.
+  for (auto& shard : shards_) shard.queue->Close();
+  // Catch anything ingested after the driver exited (or in inline mode).
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  while (PumpOnce() > 0) {
+  }
+}
+
+void StreamingServer::Flush() {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  while (PumpOnce() > 0) {
+  }
+  for (auto& pipeline : pipelines_) pipeline->Flush(&bus_);
+}
+
+Status StreamingServer::Checkpoint(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  while (PumpOnce() > 0) {
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir " + dir + ": " +
+                           ec.message());
+  }
+  for (const auto& pipeline : pipelines_) {
+    RFID_RETURN_NOT_OK(
+        SaveSiteCheckpoint(*pipeline, SiteCheckpointPath(dir, pipeline->site())));
+  }
+  return Status::OK();
+}
+
+Status StreamingServer::Restore(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  for (auto& pipeline : pipelines_) {
+    RFID_RETURN_NOT_OK(LoadSiteCheckpoint(
+        SiteCheckpointPath(dir, pipeline->site()), pipeline.get()));
+  }
+  return Status::OK();
+}
+
+const SitePipeline* StreamingServer::FindSite(SiteId site) const {
+  for (const auto& pipeline : pipelines_) {
+    if (pipeline->site() == site) return pipeline.get();
+  }
+  return nullptr;
+}
+
+ServerStatsSnapshot StreamingServer::Stats() const {
+  // Exclude a concurrent pump so pipeline counters are read quiescent.
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  ServerStatsSnapshot snapshot;
+  snapshot.shards.reserve(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    ShardStatsSnapshot shard_stats;
+    shard_stats.shard = static_cast<int>(s);
+    shard_stats.queue = shards_[s].queue->Stats();
+    for (const SitePipeline* pipeline : shards_[s].sites) {
+      shard_stats.sites.push_back(pipeline->Stats());
+    }
+    snapshot.shards.push_back(std::move(shard_stats));
+  }
+  snapshot.subscription_dispatches = bus_.dispatched_events();
+  return snapshot;
+}
+
+}  // namespace rfid

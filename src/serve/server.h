@@ -1,0 +1,190 @@
+// Sharded streaming server: the runtime that turns the single-stream
+// inference engine into a multi-site serving system.
+//
+//               Ingest(site, record)            [any thread]
+//                        |
+//                   ShardRouter                  site -> shard, stable
+//                        |
+//        +---------------+---------------+
+//   IngestQueue 0   IngestQueue 1   IngestQueue N-1    bounded MPSC,
+//        |               |               |             backpressure
+//        +---------------+---------------+
+//                        |
+//              pump: ThreadPool::ParallelFor over shards
+//                        |
+//        SitePipeline (per site): StreamSynchronizer (watermark
+//        admission) -> RfidInferenceEngine -> SubscriptionBus
+//
+// Threading model. Producers call Ingest() freely; records land in the
+// target shard's bounded queue (blocking on overflow by default — the
+// backpressure shows up in queue stats). Processing happens in "pumps": one
+// sweep that drains every shard's queue through its site pipelines, fanned
+// across the existing ThreadPool with one static lane per shard subset.
+// Exactly one pump runs at a time (pump_mu_), and a given site is only ever
+// touched by the lane owning its shard, so pipelines need no locks and every
+// site's event stream is deterministic regardless of thread count.
+//
+// Two driving modes:
+//  * Start()/Stop(): a driver thread pumps whenever records arrive — the
+//    serving deployment mode.
+//  * Pump() called by the owner — the deterministic inline mode used by
+//    replay tooling and the checkpoint tests.
+//
+// Checkpoint(dir) drains the queues, then writes one file per site with the
+// complete resume state (belief + RNG + emitter + synchronizer). Restore(dir)
+// into a freshly built server with the same configs and models resumes
+// bit-identically: feeding the records not yet processed at checkpoint time
+// yields exactly the events the uninterrupted run would have produced.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/ingest_queue.h"
+#include "serve/record.h"
+#include "serve/serve_stats.h"
+#include "serve/shard_router.h"
+#include "serve/site_pipeline.h"
+#include "serve/subscription_bus.h"
+#include "util/thread_pool.h"
+
+namespace rfid {
+
+struct ServeConfig {
+  int num_shards = 2;
+  /// Worker-pool width for the pump sweep (1 = everything on the pumping
+  /// thread). Shard-to-lane assignment is static, so results per site are
+  /// identical at any width.
+  int num_threads = 1;
+  size_t queue_capacity = 1024;   ///< Per-shard ingest queue bound.
+  size_t pump_batch = 256;        ///< Max records drained per shard per pump.
+  /// Full queue: true = Ingest blocks (backpressure), false = drop + count.
+  bool block_when_full = true;
+
+  double epoch_seconds = 1.0;
+  /// Out-of-order admission slack per site stream (see synchronizer.h).
+  double max_lateness_seconds = 2.0;
+
+  /// Template for every site's engine. Seeds are decorrelated per site
+  /// (seed ^ splitmix64(site)); the filter must be the factored one.
+  EngineConfig engine;
+
+  /// Explicit site-to-shard pins, applied before the hash route (e.g. to
+  /// isolate one very hot site on its own shard). Out-of-range shards fail
+  /// Create(). Pins must be part of the config — routing happens once at
+  /// construction, so a pin added later could not take effect.
+  struct SitePin {
+    SiteId site = 0;
+    int shard = 0;
+  };
+  std::vector<SitePin> shard_pins;
+};
+
+/// One site to serve: its id plus the world model its engine runs.
+struct SiteSpec {
+  SiteId site = 0;
+  WorldModel model;
+};
+
+class StreamingServer {
+ public:
+  static Result<std::unique_ptr<StreamingServer>> Create(
+      std::vector<SiteSpec> sites, const ServeConfig& config);
+  ~StreamingServer();
+
+  StreamingServer(const StreamingServer&) = delete;
+  StreamingServer& operator=(const StreamingServer&) = delete;
+
+  SubscriptionBus& bus() { return bus_; }
+  const ShardRouter& router() const { return router_; }
+  const ServeConfig& config() const { return config_; }
+
+  /// Thread-safe ingest. Returns false when the record was dropped (unknown
+  /// site, queue full in drop mode, or server shutting down).
+  bool Ingest(const ServeRecord& record);
+  bool Ingest(SiteId site, const TagReading& reading) {
+    return Ingest(ServeRecord::Reading(site, reading));
+  }
+  bool Ingest(SiteId site, const ReaderLocationReport& report) {
+    return Ingest(ServeRecord::Location(site, report));
+  }
+
+  /// Spawns the driver thread (reopening the ingest queues if a previous
+  /// Stop() closed them). Idempotent while running.
+  void Start();
+  /// Drains outstanding records, stops the driver and closes the ingest
+  /// queues so late producers fail fast instead of queueing into a server
+  /// nobody pumps. Idempotent; the destructor calls it; Start() restarts.
+  void Stop();
+
+  /// Inline mode: drains every shard queue to empty on the calling thread
+  /// (still fanning across the pool). Returns records processed. Must not
+  /// race Start()/Stop(); used when the owner drives the server directly.
+  size_t Pump();
+
+  /// End of stream: closes every site's pending epochs and dispatches the
+  /// tail events. Call after the queues are drained (Stop() or Pump()).
+  void Flush();
+
+  /// Drains the queues, then writes per-site checkpoint files into `dir`
+  /// (created if missing). For a clean cut, quiesce producers first.
+  Status Checkpoint(const std::string& dir);
+  /// Restores every site from `dir`. Call on a freshly created server
+  /// (same site specs and config) before any ingest.
+  Status Restore(const std::string& dir);
+
+  ServerStatsSnapshot Stats() const;
+  std::string StatsJson() const { return Stats().ToJson(); }
+
+  /// One site's pipeline (introspection: estimates, per-site stats);
+  /// nullptr for unknown sites. Do not call while a pump may be running.
+  const SitePipeline* FindSite(SiteId site) const;
+
+ private:
+  struct Shard {
+    std::unique_ptr<IngestQueue> queue;
+    std::vector<SitePipeline*> sites;  ///< Pipelines routed to this shard.
+    std::unordered_map<SiteId, SitePipeline*> site_lookup;
+    std::vector<ServeRecord> batch;    ///< Pop scratch, reused per pump.
+  };
+
+  StreamingServer(std::vector<std::unique_ptr<SitePipeline>> pipelines,
+                  const ServeConfig& config);
+
+  /// One sweep over all shards; caller holds pump_mu_. Returns records
+  /// processed.
+  size_t PumpOnce();
+  void DriverLoop();
+  void NotifyWork();
+
+  ServeConfig config_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<SitePipeline>> pipelines_;
+  std::vector<Shard> shards_;
+  SubscriptionBus bus_;
+  ThreadPool pool_;
+
+  /// Serializes pump sweeps vs checkpoint/flush/stats (mutable: Stats() is
+  /// logically const but must exclude a concurrent pump).
+  mutable std::mutex pump_mu_;
+
+  std::thread driver_;
+  std::atomic<bool> running_{false};
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool work_pending_ = false;  ///< Guarded by wake_mu_ (cv protocol).
+  /// Lock-free gate in front of the wakeup mutex: producers only take
+  /// wake_mu_ on the false->true transition, so the hot ingest path costs
+  /// one atomic exchange per record instead of a mutex round-trip. The
+  /// driver clears it before draining; a record pushed after the clear
+  /// re-arms the notification.
+  std::atomic<bool> wake_hint_{false};
+};
+
+}  // namespace rfid

@@ -1,0 +1,26 @@
+#include "serve/shard_router.h"
+
+#include "util/rng.h"
+
+namespace rfid {
+
+ShardRouter::ShardRouter(int num_shards)
+    : num_shards_(num_shards > 0 ? num_shards : 1) {}
+
+int ShardRouter::ShardOf(SiteId site) const {
+  const auto it = pinned_.find(site);
+  if (it != pinned_.end()) return it->second;
+  // splitmix64 gives a well-mixed stable hash even for dense small ids,
+  // which site ids typically are.
+  uint64_t state = site;
+  return static_cast<int>(SplitMix64(state) %
+                          static_cast<uint64_t>(num_shards_));
+}
+
+bool ShardRouter::Pin(SiteId site, int shard) {
+  if (shard < 0 || shard >= num_shards_) return false;
+  pinned_[site] = shard;
+  return true;
+}
+
+}  // namespace rfid

@@ -1,0 +1,35 @@
+// Site-to-shard partitioning for the serving runtime.
+//
+// Routing must be *stable*: the same site lands on the same shard across
+// processes and restarts, or a restored checkpoint would resume a site's
+// pipeline on a shard that never receives its records. The default route is
+// a pure hash of the site id (splitmix64 mod num_shards); individual sites
+// can be pinned explicitly (e.g. to isolate one very hot reader zone on its
+// own shard).
+#pragma once
+
+#include <unordered_map>
+
+#include "serve/record.h"
+
+namespace rfid {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(int num_shards);
+
+  /// Shard of `site`: its pin if set, the stable hash route otherwise.
+  int ShardOf(SiteId site) const;
+
+  /// Pins a site onto a fixed shard. Not thread-safe: configure pins before
+  /// traffic starts. Fails (returns false) on an out-of-range shard.
+  bool Pin(SiteId site, int shard);
+
+  int num_shards() const { return num_shards_; }
+
+ private:
+  int num_shards_;
+  std::unordered_map<SiteId, int> pinned_;
+};
+
+}  // namespace rfid

@@ -1,0 +1,165 @@
+#include "serve/site_pipeline.h"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "pf/snapshot.h"
+#include "util/serialize.h"
+
+namespace rfid {
+
+namespace {
+
+using serialize::ReadPod;
+using serialize::WritePod;
+
+constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'S', 'I', 'T', 'E'};
+constexpr uint32_t kVersion = 1;
+
+SynchronizerConfig MakeSyncConfig(const SitePipelineConfig& config) {
+  SynchronizerConfig sc;
+  sc.epoch_seconds = config.epoch_seconds;
+  sc.max_lateness_seconds = config.max_lateness_seconds;
+  return sc;
+}
+
+}  // namespace
+
+SitePipeline::SitePipeline(SiteId site, const SitePipelineConfig& config,
+                           std::unique_ptr<RfidInferenceEngine> engine)
+    : site_(site),
+      config_(config),
+      sync_(MakeSyncConfig(config)),
+      engine_(std::move(engine)) {}
+
+Result<std::unique_ptr<SitePipeline>> SitePipeline::Create(
+    SiteId site, WorldModel model, const SitePipelineConfig& config) {
+  if (config.epoch_seconds <= 0) {
+    return Status::Invalid("epoch_seconds must be positive");
+  }
+  if (config.max_lateness_seconds < 0) {
+    // A negative value is the synchronizer's strict-mode sentinel; coercing
+    // it would silently give zero-tolerance dropping instead.
+    return Status::Invalid("max_lateness_seconds must be non-negative");
+  }
+  if (config.engine.filter != EngineConfig::FilterKind::kFactored) {
+    return Status::Invalid(
+        "serving pipelines require the factored filter (checkpointing "
+        "serializes factored belief state)");
+  }
+  auto engine = RfidInferenceEngine::Create(std::move(model), config.engine);
+  if (!engine.ok()) return engine.status();
+  return std::unique_ptr<SitePipeline>(
+      new SitePipeline(site, config, std::move(engine).value()));
+}
+
+void SitePipeline::ProcessEpochs(std::vector<SyncedEpoch> epochs,
+                                 SubscriptionBus* bus) {
+  for (const SyncedEpoch& epoch : epochs) {
+    engine_->ProcessEpoch(epoch);
+    engine_->TakeEvents(&event_scratch_);
+    if (!event_scratch_.empty()) {
+      if (bus != nullptr) bus->Dispatch(site_, event_scratch_);
+      events_dispatched_ += event_scratch_.size();
+    }
+  }
+}
+
+void SitePipeline::OnRecord(const ServeRecord& record, SubscriptionBus* bus) {
+  bool admitted;
+  if (record.kind == ServeRecord::Kind::kReading) {
+    admitted = sync_.Push(record.reading);
+  } else {
+    admitted = sync_.Push(record.location);
+  }
+  if (!admitted) return;  // Dropped-late; counted by the synchronizer.
+  ++records_processed_;
+  ProcessEpochs(sync_.PollWatermark(), bus);
+}
+
+void SitePipeline::Flush(SubscriptionBus* bus) {
+  ProcessEpochs(sync_.Finish(), bus);
+}
+
+SitePipelineStats SitePipeline::Stats() const {
+  SitePipelineStats stats;
+  stats.site = site_;
+  stats.records_processed = records_processed_;
+  stats.records_dropped_late = sync_.dropped_late_records();
+  stats.events_dispatched = events_dispatched_;
+  stats.watermark = sync_.watermark();
+  stats.engine = engine_->stats();
+  return stats;
+}
+
+Status SitePipeline::SaveCheckpoint(std::ostream& os) const {
+  os.write(kMagic, sizeof(kMagic));
+  WritePod(os, kVersion);
+  WritePod(os, site_);
+  WritePod(os, records_processed_);
+  WritePod(os, events_dispatched_);
+  sync_.SaveState(os);
+  engine_->emitter().SaveState(os);
+  const EngineStats& stats = engine_->stats();
+  WritePod(os, stats.epochs_processed);
+  WritePod(os, stats.readings_processed);
+  WritePod(os, stats.events_emitted);
+  WritePod(os, stats.processing_seconds);
+  const auto* filter =
+      dynamic_cast<const FactoredParticleFilter*>(&engine_->filter());
+  if (filter == nullptr) {
+    return Status::Internal("serving pipeline filter is not factored");
+  }
+  RFID_RETURN_NOT_OK(SaveFilterSnapshot(*filter, os));
+  if (!os.good()) return Status::IOError("failed writing site checkpoint");
+  return Status::OK();
+}
+
+Status SitePipeline::LoadCheckpoint(std::istream& is) {
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Invalid("not a site checkpoint (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(is, &version)) {
+    return Status::IOError("truncated site checkpoint");
+  }
+  if (version != kVersion) {
+    return Status::Invalid("unsupported site checkpoint version " +
+                           std::to_string(version));
+  }
+  SiteId site = 0;
+  uint64_t records_processed = 0, events_dispatched = 0;
+  if (!ReadPod(is, &site) || !ReadPod(is, &records_processed) ||
+      !ReadPod(is, &events_dispatched)) {
+    return Status::IOError("truncated site checkpoint");
+  }
+  if (site != site_) {
+    return Status::Invalid("site checkpoint is for site " +
+                           std::to_string(site) + ", pipeline is site " +
+                           std::to_string(site_));
+  }
+  RFID_RETURN_NOT_OK(sync_.LoadState(is));
+  RFID_RETURN_NOT_OK(engine_->emitter().LoadState(is));
+  EngineStats stats;
+  if (!ReadPod(is, &stats.epochs_processed) ||
+      !ReadPod(is, &stats.readings_processed) ||
+      !ReadPod(is, &stats.events_emitted) ||
+      !ReadPod(is, &stats.processing_seconds)) {
+    return Status::IOError("truncated site checkpoint");
+  }
+  auto* filter =
+      dynamic_cast<FactoredParticleFilter*>(&engine_->mutable_filter());
+  if (filter == nullptr) {
+    return Status::Internal("serving pipeline filter is not factored");
+  }
+  RFID_RETURN_NOT_OK(LoadFilterSnapshot(is, filter));
+  records_processed_ = records_processed;
+  events_dispatched_ = events_dispatched;
+  engine_->RestoreStats(stats);
+  return Status::OK();
+}
+
+}  // namespace rfid

@@ -1,0 +1,90 @@
+// One site's end-to-end inference pipeline inside the serving runtime:
+// bounded-lateness StreamSynchronizer -> RfidInferenceEngine -> bus.
+//
+// A pipeline is single-consumer: exactly one shard lane feeds it (the
+// ShardRouter guarantees a site's records always land on the same shard, and
+// a shard is pumped by one lane at a time), so the pipeline itself needs no
+// locking. Epoch completion is watermark-driven: a record only advances the
+// engine once the site's watermark (newest record time minus the lateness
+// bound) passes the end of an epoch, and epochs close contiguously — quiet
+// gaps synthesize empty epochs so the filter keeps aging beliefs through
+// them, exactly as the offline Synchronize path does.
+//
+// Checkpointing captures the complete resume state: synchronizer pending
+// epochs and watermark bookkeeping, the filter belief + RNG (snapshot v2),
+// the emitter's scope/work-list state, and the engine counters. Restoring
+// into a freshly built pipeline with the same config and feeding the same
+// remaining records reproduces the uninterrupted run's events bit for bit.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+
+#include "core/engine.h"
+#include "serve/record.h"
+#include "serve/subscription_bus.h"
+#include "stream/synchronizer.h"
+#include "util/status.h"
+
+namespace rfid {
+
+struct SitePipelineConfig {
+  double epoch_seconds = 1.0;
+  /// Out-of-order admission slack; records older than the site's newest
+  /// record by more than this are dropped and counted, never processed.
+  /// Must be non-negative (serving always runs the synchronizer's bounded
+  /// mode; negative is its strict-mode sentinel and is rejected here).
+  double max_lateness_seconds = 2.0;
+  EngineConfig engine;
+};
+
+/// Counters exported per site (see serve_stats.h for the aggregate form).
+struct SitePipelineStats {
+  SiteId site = 0;
+  uint64_t records_processed = 0;
+  uint64_t records_dropped_late = 0;
+  uint64_t events_dispatched = 0;
+  double watermark = 0.0;
+  EngineStats engine;
+};
+
+class SitePipeline {
+ public:
+  /// Requires a factored-filter engine config (checkpointing serializes the
+  /// factored filter's belief state).
+  static Result<std::unique_ptr<SitePipeline>> Create(
+      SiteId site, WorldModel model, const SitePipelineConfig& config);
+
+  SiteId site() const { return site_; }
+
+  /// Feeds one record; runs the engine over every epoch the watermark
+  /// closed and dispatches fresh events to `bus`.
+  void OnRecord(const ServeRecord& record, SubscriptionBus* bus);
+
+  /// End of stream: closes all pending epochs and processes them.
+  void Flush(SubscriptionBus* bus);
+
+  SitePipelineStats Stats() const;
+  const RfidInferenceEngine& engine() const { return *engine_; }
+
+  /// Serializes full resume state. The config and world model are NOT
+  /// serialized — rebuild the pipeline with the same ones, then load.
+  Status SaveCheckpoint(std::ostream& os) const;
+  Status LoadCheckpoint(std::istream& is);
+
+ private:
+  SitePipeline(SiteId site, const SitePipelineConfig& config,
+               std::unique_ptr<RfidInferenceEngine> engine);
+
+  void ProcessEpochs(std::vector<SyncedEpoch> epochs, SubscriptionBus* bus);
+
+  SiteId site_;
+  SitePipelineConfig config_;
+  StreamSynchronizer sync_;
+  std::unique_ptr<RfidInferenceEngine> engine_;
+  std::vector<LocationEvent> event_scratch_;
+  uint64_t records_processed_ = 0;
+  uint64_t events_dispatched_ = 0;
+};
+
+}  // namespace rfid

@@ -1,0 +1,149 @@
+#include "serve/subscription_bus.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+SubscriptionBus::SubscriptionId SubscriptionBus::Add(Subscription sub) {
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  sub.id = next_id_++;
+  subs_.push_back(std::move(sub));
+  return subs_.back().id;
+}
+
+SubscriptionBus::SubscriptionId SubscriptionBus::SubscribeEvents(
+    EventCallback cb, std::optional<SiteId> site) {
+  Subscription sub;
+  sub.kind = Kind::kRaw;
+  sub.site_filter = site;
+  sub.event_cb = std::move(cb);
+  return Add(std::move(sub));
+}
+
+SubscriptionBus::SubscriptionId SubscriptionBus::SubscribeLocationUpdates(
+    double min_change_feet, EventCallback cb, std::optional<SiteId> site) {
+  Subscription sub;
+  sub.kind = Kind::kLocationUpdate;
+  sub.site_filter = site;
+  sub.event_cb = std::move(cb);
+  sub.min_change_feet = min_change_feet;
+  return Add(std::move(sub));
+}
+
+SubscriptionBus::SubscriptionId SubscriptionBus::SubscribeFireCode(
+    double window_seconds, double weight_limit,
+    FireCodeQuery::WeightFn weight_fn, double cell_size_feet,
+    AlertCallback cb, std::optional<SiteId> site) {
+  Subscription sub;
+  sub.kind = Kind::kFireCode;
+  sub.site_filter = site;
+  sub.alert_cb = std::move(cb);
+  sub.window_seconds = window_seconds;
+  sub.weight_limit = weight_limit;
+  sub.weight_fn = std::move(weight_fn);
+  sub.cell_size_feet = cell_size_feet;
+  return Add(std::move(sub));
+}
+
+SubscriptionBus::SubscriptionId SubscriptionBus::SubscribeColocation(
+    const ColocationConfig& config, std::optional<SiteId> site) {
+  Subscription sub;
+  sub.kind = Kind::kColocation;
+  sub.site_filter = site;
+  sub.coloc_config = config;
+  return Add(std::move(sub));
+}
+
+bool SubscriptionBus::Unsubscribe(SubscriptionId id) {
+  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  const auto it = std::find_if(
+      subs_.begin(), subs_.end(),
+      [id](const Subscription& sub) { return sub.id == id; });
+  if (it == subs_.end()) return false;
+  subs_.erase(it);
+  return true;
+}
+
+size_t SubscriptionBus::num_subscriptions() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  return subs_.size();
+}
+
+uint64_t SubscriptionBus::dispatched_events() const {
+  return dispatched_.load(std::memory_order_relaxed);
+}
+
+SubscriptionBus::SiteState& SubscriptionBus::StateFor(Subscription& sub,
+                                                      SiteId site) const {
+  SiteState& state = sub.states[site];
+  switch (sub.kind) {
+    case Kind::kLocationUpdate:
+      if (!state.update) {
+        state.update =
+            std::make_unique<LocationUpdateQuery>(sub.min_change_feet);
+      }
+      break;
+    case Kind::kFireCode:
+      if (!state.fire) {
+        state.fire = std::make_unique<FireCodeQuery>(
+            sub.window_seconds, sub.weight_limit, sub.weight_fn,
+            sub.cell_size_feet);
+      }
+      break;
+    case Kind::kColocation:
+      if (!state.coloc) {
+        state.coloc = std::make_unique<ColocationTracker>(sub.coloc_config);
+      }
+      break;
+    case Kind::kRaw:
+      break;
+  }
+  return state;
+}
+
+void SubscriptionBus::Dispatch(SiteId site,
+                               const std::vector<LocationEvent>& events) {
+  if (events.empty()) return;
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  for (auto& sub : subs_) {
+    if (sub.site_filter && *sub.site_filter != site) continue;
+    std::lock_guard<std::mutex> sub_lock(*sub.mu);
+    SiteState& state = StateFor(sub, site);
+    for (const LocationEvent& event : events) {
+      switch (sub.kind) {
+        case Kind::kRaw:
+          if (sub.event_cb) sub.event_cb(site, event);
+          break;
+        case Kind::kLocationUpdate:
+          if (auto update = state.update->Process(event)) {
+            if (sub.event_cb) sub.event_cb(site, *update);
+          }
+          break;
+        case Kind::kFireCode:
+          for (const FireCodeAlert& alert : state.fire->Process(event)) {
+            if (sub.alert_cb) sub.alert_cb(site, alert);
+          }
+          break;
+        case Kind::kColocation:
+          state.coloc->Process(event);
+          break;
+      }
+    }
+    dispatched_.fetch_add(events.size(), std::memory_order_relaxed);
+  }
+}
+
+std::vector<ColocationCandidate> SubscriptionBus::ColocationCandidates(
+    SubscriptionId id, SiteId site) const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  for (const auto& sub : subs_) {
+    if (sub.id != id || sub.kind != Kind::kColocation) continue;
+    std::lock_guard<std::mutex> sub_lock(*sub.mu);
+    const auto it = sub.states.find(site);
+    if (it == sub.states.end() || !it->second.coloc) return {};
+    return it->second.coloc->Candidates();
+  }
+  return {};
+}
+
+}  // namespace rfid

@@ -1,0 +1,120 @@
+// Fan-out of clean location events to registered continuous queries.
+//
+// The paper's §II-B CQL operators (LocationUpdateQuery, FireCodeQuery) and
+// the colocation tracker exist as free-standing stream operators; the bus is
+// the runtime they live in. A subscription names an operator kind, an
+// optional site filter, and a callback; the bus keeps one operator instance
+// *per site* inside each subscription, so
+//   * sites never share operator state (a fire-code window in site A cannot
+//     be polluted by site B's events), and
+//   * dispatch from different shards never contends on the same operator
+//     beyond a per-subscription mutex, and the event order each operator
+//     sees is exactly the (deterministic) per-site event order.
+//
+// Callbacks run on the dispatching shard's lane. They must be fast and must
+// NOT call Subscribe/Unsubscribe (the registry lock is held across
+// dispatch).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/record.h"
+#include "stream/colocation.h"
+#include "stream/events.h"
+#include "stream/query.h"
+
+namespace rfid {
+
+class SubscriptionBus {
+ public:
+  using SubscriptionId = int;
+  /// cb(site, event) for raw events and location updates.
+  using EventCallback = std::function<void(SiteId, const LocationEvent&)>;
+  /// cb(site, alert) for fire-code alerts.
+  using AlertCallback = std::function<void(SiteId, const FireCodeAlert&)>;
+
+  SubscriptionBus() = default;
+
+  /// Every clean event, unfiltered (site-filtered when `site` is set).
+  SubscriptionId SubscribeEvents(EventCallback cb,
+                                 std::optional<SiteId> site = std::nullopt);
+
+  /// Query 1: per-tag location updates with jitter suppression.
+  SubscriptionId SubscribeLocationUpdates(
+      double min_change_feet, EventCallback cb,
+      std::optional<SiteId> site = std::nullopt);
+
+  /// Query 2: sliding-window fire-code monitoring.
+  SubscriptionId SubscribeFireCode(double window_seconds, double weight_limit,
+                                   FireCodeQuery::WeightFn weight_fn,
+                                   double cell_size_feet, AlertCallback cb,
+                                   std::optional<SiteId> site = std::nullopt);
+
+  /// Containment candidates; no callback — poll ColocationCandidates().
+  SubscriptionId SubscribeColocation(
+      const ColocationConfig& config,
+      std::optional<SiteId> site = std::nullopt);
+
+  /// Current candidates of a colocation subscription for one site.
+  std::vector<ColocationCandidate> ColocationCandidates(SubscriptionId id,
+                                                        SiteId site) const;
+
+  bool Unsubscribe(SubscriptionId id);
+  size_t num_subscriptions() const;
+
+  /// Feeds one site's freshly produced events to every matching
+  /// subscription, in subscription order, preserving event order. Called
+  /// from shard lanes; safe to call concurrently for different sites.
+  void Dispatch(SiteId site, const std::vector<LocationEvent>& events);
+
+  /// Total events fanned out (events × matching subscriptions).
+  uint64_t dispatched_events() const;
+
+ private:
+  enum class Kind { kRaw, kLocationUpdate, kFireCode, kColocation };
+
+  /// Per-site operator state, created lazily on the site's first event.
+  struct SiteState {
+    std::unique_ptr<LocationUpdateQuery> update;
+    std::unique_ptr<FireCodeQuery> fire;
+    std::unique_ptr<ColocationTracker> coloc;
+  };
+
+  struct Subscription {
+    SubscriptionId id = 0;
+    Kind kind = Kind::kRaw;
+    std::optional<SiteId> site_filter;
+    EventCallback event_cb;
+    AlertCallback alert_cb;
+
+    // Operator factory parameters (one instance materialized per site).
+    double min_change_feet = 0.0;
+    double window_seconds = 0.0;
+    double weight_limit = 0.0;
+    FireCodeQuery::WeightFn weight_fn;
+    double cell_size_feet = 1.0;
+    ColocationConfig coloc_config;
+
+    /// Guards `states` and the operator instances inside (two shards may
+    /// dispatch different sites through the same subscription).
+    std::unique_ptr<std::mutex> mu = std::make_unique<std::mutex>();
+    std::unordered_map<SiteId, SiteState> states;
+  };
+
+  SubscriptionId Add(Subscription sub);
+  SiteState& StateFor(Subscription& sub, SiteId site) const;
+
+  mutable std::shared_mutex registry_mu_;
+  std::vector<Subscription> subs_;
+  SubscriptionId next_id_ = 1;
+  std::atomic<uint64_t> dispatched_{0};
+};
+
+}  // namespace rfid

@@ -1,8 +1,15 @@
 #include "stream/emitter.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "util/serialize.h"
+
 namespace rfid {
+
+using serialize::kMaxCount;
+using serialize::ReadPod;
+using serialize::WritePod;
 
 LocationEvent EventEmitter::MakeEvent(double time, TagId tag,
                                       const LocationEstimate& est) const {
@@ -95,6 +102,68 @@ std::vector<LocationEvent> EventEmitter::NotifyScanComplete(
     }
   }
   return events;
+}
+
+void EventEmitter::SaveState(std::ostream& os) const {
+  WritePod(os, epoch_counter_);
+  // Scopes sorted by tag so the serialized bytes are deterministic (the map
+  // itself has no stable iteration order).
+  std::vector<TagId> tags;
+  tags.reserve(scopes_.size());
+  for (const auto& [tag, scope] : scopes_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  WritePod(os, static_cast<uint64_t>(tags.size()));
+  for (TagId tag : tags) {
+    const TagScope& scope = scopes_.at(tag);
+    WritePod(os, tag);
+    WritePod(os, scope.first_read_time);
+    WritePod(os, scope.last_read_epoch);
+    WritePod(os, static_cast<uint8_t>(scope.emitted ? 1 : 0));
+    WritePod(os, static_cast<uint8_t>(scope.pending ? 1 : 0));
+  }
+  // The work list keeps its exact order: it decides the order of events
+  // emitted within one epoch.
+  WritePod(os, static_cast<uint64_t>(pending_.size()));
+  for (TagId tag : pending_) WritePod(os, tag);
+}
+
+Status EventEmitter::LoadState(std::istream& is) {
+  int64_t epoch_counter = 0;
+  uint64_t scope_count = 0;
+  if (!ReadPod(is, &epoch_counter) || !ReadPod(is, &scope_count) ||
+      scope_count > kMaxCount) {
+    return Status::IOError("truncated emitter state");
+  }
+  std::unordered_map<TagId, TagScope> scopes;
+  scopes.reserve(scope_count);
+  for (uint64_t i = 0; i < scope_count; ++i) {
+    TagId tag = 0;
+    TagScope scope;
+    uint8_t emitted = 0, pending = 0;
+    if (!ReadPod(is, &tag) || !ReadPod(is, &scope.first_read_time) ||
+        !ReadPod(is, &scope.last_read_epoch) || !ReadPod(is, &emitted) ||
+        !ReadPod(is, &pending)) {
+      return Status::IOError("truncated emitter state");
+    }
+    scope.emitted = emitted != 0;
+    scope.pending = pending != 0;
+    scopes[tag] = scope;
+  }
+  uint64_t pending_count = 0;
+  if (!ReadPod(is, &pending_count) || pending_count > kMaxCount) {
+    return Status::IOError("truncated emitter state");
+  }
+  std::vector<TagId> pending(pending_count);
+  for (auto& tag : pending) {
+    if (!ReadPod(is, &tag)) return Status::IOError("truncated emitter state");
+    if (scopes.find(tag) == scopes.end()) {
+      return Status::Invalid("emitter work list references unknown tag");
+    }
+  }
+  epoch_counter_ = epoch_counter;
+  scopes_ = std::move(scopes);
+  pending_ = std::move(pending);
+  return Status::OK();
 }
 
 }  // namespace rfid

@@ -6,12 +6,14 @@
 #pragma once
 
 #include <functional>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
 #include "pf/estimate.h"
 #include "stream/events.h"
 #include "stream/readings.h"
+#include "util/status.h"
 
 namespace rfid {
 
@@ -48,6 +50,13 @@ class EventEmitter {
   /// kOnScanComplete: emits an event for every tag seen since the last scan.
   std::vector<LocationEvent> NotifyScanComplete(double time,
                                                 const EstimateFn& estimate);
+
+  // --- Checkpointing (serving runtime) ---
+  /// Serializes scope tracking, the kAfterDelay work list (in order — its
+  /// order decides event order within an epoch) and the epoch counter. The
+  /// config is NOT serialized: reconstruct with the same config, then load.
+  void SaveState(std::ostream& os) const;
+  Status LoadState(std::istream& is);
 
  private:
   struct TagScope {

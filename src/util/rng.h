@@ -22,6 +22,14 @@ inline uint64_t SplitMix64(uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+/// Full generator state, exposed so checkpoints can resume a stochastic
+/// component mid-stream bit-identically (see pf/snapshot.h).
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  double cached_gaussian = 0.0;
+  bool cached_gaussian_valid = false;
+};
+
 /// xoshiro256++ PRNG with distribution helpers.
 ///
 /// Not thread-safe; give each thread / component its own instance.
@@ -114,6 +122,22 @@ class Rng {
       if (u < acc) return i;
     }
     return weights.size() - 1;  // Guard against floating-point round-off.
+  }
+
+  /// Captures the exact generator state (including the Marsaglia cache, so a
+  /// restored generator replays the same Gaussian sequence).
+  RngState SaveState() const {
+    RngState state;
+    for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+    state.cached_gaussian = cached_gaussian_;
+    state.cached_gaussian_valid = cached_gaussian_valid_;
+    return state;
+  }
+
+  void RestoreState(const RngState& state) {
+    for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+    cached_gaussian_ = state.cached_gaussian;
+    cached_gaussian_valid_ = state.cached_gaussian_valid;
   }
 
  private:

@@ -1,0 +1,34 @@
+// POD stream-serialization helpers shared by every binary state format in
+// the tree (filter snapshots, emitter/synchronizer state, site
+// checkpoints). Same-architecture binary IO: fixed-width fields, native
+// endianness, no interchange ambitions — see pf/snapshot.h.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+
+namespace rfid {
+namespace serialize {
+
+template <typename T>
+inline void WritePod(std::ostream& os, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+inline bool ReadPod(std::istream& is, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(value), sizeof(T));
+  return is.good();
+}
+
+/// Sanity cap for serialized element counts: a state blob claiming more
+/// than this is corrupt, not big.
+constexpr uint64_t kMaxCount = 100'000'000;
+
+}  // namespace serialize
+}  // namespace rfid

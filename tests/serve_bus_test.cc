@@ -1,0 +1,125 @@
+// Subscription bus: dispatch ordering, per-site operator isolation, and the
+// §II-B query operators running as live subscriptions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/subscription_bus.h"
+
+namespace rfid {
+namespace {
+
+LocationEvent Event(double time, TagId tag, Vec3 location) {
+  LocationEvent e;
+  e.time = time;
+  e.tag = tag;
+  e.location = location;
+  return e;
+}
+
+TEST(SubscriptionBusTest, PreservesEventOrderAndSubscriptionOrder) {
+  SubscriptionBus bus;
+  // Two raw subscriptions interleave deterministically: per event batch,
+  // subscription 1 sees everything before subscription 2 sees anything of
+  // the next batch, and within one subscription events keep stream order.
+  std::vector<std::string> log;
+  bus.SubscribeEvents([&log](SiteId site, const LocationEvent& e) {
+    log.push_back("a:" + std::to_string(site) + ":" + std::to_string(e.tag));
+  });
+  bus.SubscribeEvents([&log](SiteId site, const LocationEvent& e) {
+    log.push_back("b:" + std::to_string(site) + ":" + std::to_string(e.tag));
+  });
+
+  bus.Dispatch(1, {Event(0.0, 10, {0, 0, 0}), Event(0.0, 11, {1, 0, 0})});
+  bus.Dispatch(1, {Event(1.0, 12, {2, 0, 0})});
+
+  const std::vector<std::string> expected = {"a:1:10", "a:1:11", "b:1:10",
+                                             "b:1:11", "a:1:12", "b:1:12"};
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(bus.dispatched_events(), 6u);
+}
+
+TEST(SubscriptionBusTest, SiteFilterDropsOtherSites) {
+  SubscriptionBus bus;
+  std::vector<SiteId> seen;
+  bus.SubscribeEvents(
+      [&seen](SiteId site, const LocationEvent&) { seen.push_back(site); },
+      /*site=*/SiteId{2});
+  bus.Dispatch(1, {Event(0.0, 10, {0, 0, 0})});
+  bus.Dispatch(2, {Event(0.0, 11, {0, 0, 0})});
+  bus.Dispatch(3, {Event(0.0, 12, {0, 0, 0})});
+  EXPECT_EQ(seen, std::vector<SiteId>{2});
+}
+
+TEST(SubscriptionBusTest, LocationUpdateStateIsPerSite) {
+  SubscriptionBus bus;
+  std::vector<std::pair<SiteId, TagId>> updates;
+  bus.SubscribeLocationUpdates(
+      0.5, [&updates](SiteId site, const LocationEvent& e) {
+        updates.emplace_back(site, e.tag);
+      });
+  // Same tag id in two sites: each site's partition row is independent, so
+  // both first events emit, and unmoved repeats are suppressed per site.
+  bus.Dispatch(1, {Event(0.0, 10, {0, 0, 0})});
+  bus.Dispatch(2, {Event(0.0, 10, {9, 9, 0})});
+  bus.Dispatch(1, {Event(1.0, 10, {0.1, 0, 0})});   // < 0.5 ft: suppressed.
+  bus.Dispatch(2, {Event(1.0, 10, {12, 9, 0})});    // 3 ft: emits.
+  const std::vector<std::pair<SiteId, TagId>> expected = {
+      {1, 10}, {2, 10}, {2, 10}};
+  EXPECT_EQ(updates, expected);
+}
+
+TEST(SubscriptionBusTest, FireCodeQueryAlertsThroughBus) {
+  SubscriptionBus bus;
+  std::vector<FireCodeAlert> alerts;
+  bus.SubscribeFireCode(
+      /*window_seconds=*/5.0, /*weight_limit=*/100.0,
+      [](TagId) { return 60.0; }, /*cell_size_feet=*/1.0,
+      [&alerts](SiteId, const FireCodeAlert& alert) {
+        alerts.push_back(alert);
+      });
+  bus.Dispatch(1, {Event(0.0, 10, {0.5, 0.5, 0})});
+  EXPECT_TRUE(alerts.empty());  // 60 <= 100.
+  bus.Dispatch(1, {Event(1.0, 11, {0.5, 0.5, 0})});
+  ASSERT_EQ(alerts.size(), 1u);  // 120 > 100.
+  EXPECT_DOUBLE_EQ(alerts[0].total_weight, 120.0);
+  // Other site, same cell: independent window, no alert from one event.
+  bus.Dispatch(2, {Event(1.0, 12, {0.5, 0.5, 0})});
+  EXPECT_EQ(alerts.size(), 1u);
+}
+
+TEST(SubscriptionBusTest, ColocationCandidatesPerSite) {
+  SubscriptionBus bus;
+  ColocationConfig config;
+  config.min_joint_observations = 2;
+  const auto id = bus.SubscribeColocation(config);
+  for (int i = 0; i < 3; ++i) {
+    const double t = static_cast<double>(i);
+    bus.Dispatch(1, {Event(t, 10, {0, 0, 0}), Event(t, 11, {0.2, 0, 0})});
+    bus.Dispatch(2, {Event(t, 20, {0, 0, 0}), Event(t, 21, {50, 0, 0})});
+  }
+  const auto site1 = bus.ColocationCandidates(id, 1);
+  ASSERT_EQ(site1.size(), 1u);
+  EXPECT_EQ(site1[0].a, 10u);
+  EXPECT_EQ(site1[0].b, 11u);
+  EXPECT_TRUE(bus.ColocationCandidates(id, 2).empty());
+  EXPECT_TRUE(bus.ColocationCandidates(id, 99).empty());
+}
+
+TEST(SubscriptionBusTest, UnsubscribeStopsDelivery) {
+  SubscriptionBus bus;
+  int count = 0;
+  const auto id = bus.SubscribeEvents(
+      [&count](SiteId, const LocationEvent&) { ++count; });
+  bus.Dispatch(1, {Event(0.0, 10, {0, 0, 0})});
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(bus.Unsubscribe(id));
+  EXPECT_FALSE(bus.Unsubscribe(id));
+  bus.Dispatch(1, {Event(1.0, 11, {0, 0, 0})});
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.num_subscriptions(), 0u);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,270 @@
+// Kill-and-restore determinism of the serving layer's checkpoints.
+//
+// The load-bearing property: a server killed after a checkpoint and rebuilt
+// from it produces, on the remaining records of a 200-epoch lab trace,
+// exactly the events the uninterrupted run produced — bit-identical times,
+// tags and coordinates. This requires the full resume state to round-trip:
+// factored-filter belief + RNG (snapshot v2), emitter scopes/work list,
+// synchronizer pending epochs and watermark.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "model/spherical_sensor.h"
+#include "serve/checkpoint.h"
+#include "serve/server.h"
+#include "sim/lab.h"
+
+namespace rfid {
+namespace {
+
+constexpr SiteId kSite = 7;
+
+/// The first `max_epochs` lab epochs flattened to raw serve records.
+std::vector<ServeRecord> LabRecords(const LabDeployment& lab,
+                                    size_t max_epochs) {
+  std::vector<ServeRecord> records;
+  size_t fed = 0;
+  for (const SimEpoch& epoch : lab.trace.epochs) {
+    if (fed++ >= max_epochs) break;
+    const SyncedEpoch& obs = epoch.observations;
+    if (obs.has_location) {
+      ReaderLocationReport report;
+      report.time = obs.time;
+      report.location = obs.reported_location;
+      report.has_heading = obs.has_heading;
+      report.heading = obs.reported_heading;
+      records.push_back(ServeRecord::Location(kSite, report));
+    }
+    for (TagId tag : obs.tags) {
+      records.push_back(ServeRecord::Reading(kSite, {obs.time, tag}));
+    }
+  }
+  return records;
+}
+
+ServeConfig LabServeConfig() {
+  ServeConfig config;
+  config.num_shards = 1;
+  config.num_threads = 1;
+  config.epoch_seconds = 1.0;
+  config.max_lateness_seconds = 2.0;
+  config.engine.factored.num_reader_particles = 30;
+  config.engine.factored.num_object_particles = 120;
+  config.engine.factored.seed = 97;
+  config.engine.emitter.delay_seconds = 8.0;
+  return config;
+}
+
+WorldModel LabModel(const LabDeployment& lab) {
+  ExperimentModelOptions options;
+  options.motion.delta = {};
+  options.motion.sigma = {0.05, 0.15, 0.0};
+  options.sensing.sigma = {0.3, 0.3, 0.0};
+  return MakeWorldModel(lab.shelf_boxes, lab.shelf_tags,
+                        std::make_unique<SphericalSensorModel>(lab.sensor),
+                        options);
+}
+
+Result<std::unique_ptr<StreamingServer>> MakeLabServer(
+    const LabDeployment& lab) {
+  std::vector<SiteSpec> specs;
+  specs.push_back({kSite, LabModel(lab)});
+  return StreamingServer::Create(std::move(specs), LabServeConfig());
+}
+
+struct CollectedEvents {
+  std::vector<LocationEvent> events;
+  SubscriptionBus::EventCallback Callback() {
+    return [this](SiteId, const LocationEvent& event) {
+      events.push_back(event);
+    };
+  }
+};
+
+void ExpectBitIdentical(const std::vector<LocationEvent>& a,
+                        const std::vector<LocationEvent>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time) << "event " << i;
+    EXPECT_EQ(a[i].tag, b[i].tag) << "event " << i;
+    EXPECT_EQ(a[i].location, b[i].location) << "event " << i;
+    ASSERT_EQ(a[i].stats.has_value(), b[i].stats.has_value()) << "event " << i;
+    if (a[i].stats) {
+      EXPECT_EQ(a[i].stats->variance, b[i].stats->variance) << "event " << i;
+      EXPECT_EQ(a[i].stats->rmse_radius, b[i].stats->rmse_radius);
+      EXPECT_EQ(a[i].stats->support, b[i].stats->support);
+    }
+  }
+}
+
+class ServeCheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("serve_ckpt_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Dir() const { return dir_.string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ServeCheckpointTest, KillAndRestoreIsBitIdenticalOn200EpochLabTrace) {
+  LabConfig lc;
+  lc.seed = 501;
+  const auto lab = BuildLabDeployment(lc);
+  ASSERT_TRUE(lab.ok());
+  ASSERT_GE(lab.value().trace.epochs.size(), 200u);
+  const std::vector<ServeRecord> records = LabRecords(lab.value(), 200);
+  // Cut roughly mid-trace, at a record boundary.
+  const size_t cut = records.size() / 2;
+
+  // Uninterrupted run, with a checkpoint taken mid-stream (the checkpoint
+  // itself must not perturb the survivor's subsequent output).
+  CollectedEvents full;
+  size_t events_at_cut = 0;
+  {
+    auto server = MakeLabServer(lab.value());
+    ASSERT_TRUE(server.ok());
+    server.value()->bus().SubscribeEvents(full.Callback());
+    for (size_t i = 0; i < cut; ++i) {
+      ASSERT_TRUE(server.value()->Ingest(records[i]));
+    }
+    server.value()->Pump();
+    ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
+    events_at_cut = full.events.size();
+    for (size_t i = cut; i < records.size(); ++i) {
+      ASSERT_TRUE(server.value()->Ingest(records[i]));
+    }
+    server.value()->Pump();
+    server.value()->Flush();
+  }
+  ASSERT_GT(full.events.size(), events_at_cut);
+
+  // "Kill": a brand-new server restores the checkpoint and replays only the
+  // remaining records.
+  CollectedEvents resumed;
+  {
+    auto server = MakeLabServer(lab.value());
+    ASSERT_TRUE(server.ok());
+    ASSERT_TRUE(server.value()->Restore(Dir()).ok());
+    server.value()->bus().SubscribeEvents(resumed.Callback());
+    for (size_t i = cut; i < records.size(); ++i) {
+      ASSERT_TRUE(server.value()->Ingest(records[i]));
+    }
+    server.value()->Pump();
+    server.value()->Flush();
+
+    const std::vector<LocationEvent> tail(full.events.begin() +
+                                              static_cast<long>(events_at_cut),
+                                          full.events.end());
+    ExpectBitIdentical(tail, resumed.events);
+
+    const SitePipeline* restored_site = server.value()->FindSite(kSite);
+    ASSERT_NE(restored_site, nullptr);
+    EXPECT_GT(restored_site->Stats().engine.epochs_processed, 0u);
+  }
+}
+
+TEST_F(ServeCheckpointTest, RestoreRejectsWrongSiteAndMissingFiles) {
+  LabConfig lc;
+  lc.seed = 502;
+  lc.tags_per_row = 10;
+  const auto lab = BuildLabDeployment(lc);
+  ASSERT_TRUE(lab.ok());
+
+  auto server = MakeLabServer(lab.value());
+  ASSERT_TRUE(server.ok());
+  // No checkpoint written yet: restore must fail cleanly.
+  EXPECT_FALSE(server.value()->Restore(Dir()).ok());
+
+  const std::vector<ServeRecord> records = LabRecords(lab.value(), 40);
+  for (const ServeRecord& record : records) {
+    ASSERT_TRUE(server.value()->Ingest(record));
+  }
+  server.value()->Pump();
+  ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
+
+  // A truncated checkpoint file is rejected, not crashed on.
+  const std::string path = SiteCheckpointPath(Dir(), kSite);
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const std::string bytes = buffer.str();
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<long>(bytes.size() / 2));
+  }
+  auto fresh = MakeLabServer(lab.value());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_FALSE(fresh.value()->Restore(Dir()).ok());
+}
+
+TEST_F(ServeCheckpointTest, CheckpointSurvivesContinuedServing) {
+  // Checkpoint, keep serving, checkpoint again into a second dir, restore
+  // the *second* checkpoint: the tail after it must match as well (the
+  // checkpoint machinery composes over a server's lifetime).
+  LabConfig lc;
+  lc.seed = 503;
+  lc.tags_per_row = 12;
+  const auto lab = BuildLabDeployment(lc);
+  ASSERT_TRUE(lab.ok());
+  const std::vector<ServeRecord> records = LabRecords(lab.value(), 120);
+  const size_t cut1 = records.size() / 3;
+  const size_t cut2 = 2 * records.size() / 3;
+  const std::string dir2 = Dir() + "_second";
+
+  CollectedEvents full;
+  size_t events_at_cut2 = 0;
+  {
+    auto server = MakeLabServer(lab.value());
+    ASSERT_TRUE(server.ok());
+    server.value()->bus().SubscribeEvents(full.Callback());
+    for (size_t i = 0; i < cut1; ++i) {
+      ASSERT_TRUE(server.value()->Ingest(records[i]));
+    }
+    server.value()->Pump();
+    ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
+    for (size_t i = cut1; i < cut2; ++i) {
+      ASSERT_TRUE(server.value()->Ingest(records[i]));
+    }
+    server.value()->Pump();
+    ASSERT_TRUE(server.value()->Checkpoint(dir2).ok());
+    events_at_cut2 = full.events.size();
+    for (size_t i = cut2; i < records.size(); ++i) {
+      ASSERT_TRUE(server.value()->Ingest(records[i]));
+    }
+    server.value()->Pump();
+    server.value()->Flush();
+  }
+
+  CollectedEvents resumed;
+  {
+    auto server = MakeLabServer(lab.value());
+    ASSERT_TRUE(server.ok());
+    ASSERT_TRUE(server.value()->Restore(dir2).ok());
+    server.value()->bus().SubscribeEvents(resumed.Callback());
+    for (size_t i = cut2; i < records.size(); ++i) {
+      ASSERT_TRUE(server.value()->Ingest(records[i]));
+    }
+    server.value()->Pump();
+    server.value()->Flush();
+  }
+  const std::vector<LocationEvent> tail(
+      full.events.begin() + static_cast<long>(events_at_cut2),
+      full.events.end());
+  ExpectBitIdentical(tail, resumed.events);
+  std::filesystem::remove_all(dir2);
+}
+
+}  // namespace
+}  // namespace rfid

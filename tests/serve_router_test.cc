@@ -1,0 +1,86 @@
+// Shard routing stability and the bounded ingest queue's accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "serve/ingest_queue.h"
+#include "serve/shard_router.h"
+
+namespace rfid {
+namespace {
+
+TEST(ShardRouterTest, StableAcrossInstancesAndProcessLifetimes) {
+  // Routing is a pure function of (site, num_shards): two independently
+  // constructed routers must agree, which is what lets a restored checkpoint
+  // resume every site on the shard that receives its records.
+  ShardRouter a(8);
+  ShardRouter b(8);
+  for (SiteId site = 0; site < 1000; ++site) {
+    EXPECT_EQ(a.ShardOf(site), b.ShardOf(site));
+  }
+}
+
+TEST(ShardRouterTest, RoutesInRangeAndUsesAllShards) {
+  ShardRouter router(4);
+  std::set<int> used;
+  for (SiteId site = 0; site < 256; ++site) {
+    const int shard = router.ShardOf(site);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    used.insert(shard);
+  }
+  // splitmix64 over 256 dense ids must hit every one of 4 shards.
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ShardRouterTest, PinOverridesHashRoute) {
+  ShardRouter router(4);
+  const SiteId site = 7;
+  const int hashed = router.ShardOf(site);
+  const int target = (hashed + 1) % 4;
+  ASSERT_TRUE(router.Pin(site, target));
+  EXPECT_EQ(router.ShardOf(site), target);
+  EXPECT_FALSE(router.Pin(site, 4));
+  EXPECT_FALSE(router.Pin(site, -1));
+}
+
+TEST(IngestQueueTest, FifoAndCounters) {
+  IngestQueue queue(8);
+  for (uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(queue.Push(ServeRecord::Reading(1, {double(i), i})));
+  }
+  EXPECT_EQ(queue.size(), 5u);
+  std::vector<ServeRecord> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 3), 3u);
+  ASSERT_EQ(batch.size(), 3u);
+  for (uint32_t i = 0; i < 3; ++i) EXPECT_EQ(batch[i].reading.tag, i);
+  const IngestQueueStats stats = queue.Stats();
+  EXPECT_EQ(stats.pushed, 5u);
+  EXPECT_EQ(stats.popped, 3u);
+  EXPECT_EQ(stats.high_water, 5u);
+}
+
+TEST(IngestQueueTest, TryPushRejectsWhenFullAndCounts) {
+  IngestQueue queue(2);
+  EXPECT_TRUE(queue.TryPush(ServeRecord::Reading(1, {0.0, 1})));
+  EXPECT_TRUE(queue.TryPush(ServeRecord::Reading(1, {0.1, 2})));
+  EXPECT_FALSE(queue.TryPush(ServeRecord::Reading(1, {0.2, 3})));
+  EXPECT_EQ(queue.Stats().rejected_full, 1u);
+  std::vector<ServeRecord> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 10), 2u);
+  EXPECT_TRUE(queue.TryPush(ServeRecord::Reading(1, {0.3, 4})));
+}
+
+TEST(IngestQueueTest, CloseUnblocksAndRejects) {
+  IngestQueue queue(1);
+  ASSERT_TRUE(queue.Push(ServeRecord::Reading(1, {0.0, 1})));
+  queue.Close();
+  EXPECT_FALSE(queue.Push(ServeRecord::Reading(1, {0.1, 2})));
+  EXPECT_FALSE(queue.TryPush(ServeRecord::Reading(1, {0.2, 3})));
+  // Draining still works after close.
+  std::vector<ServeRecord> batch;
+  EXPECT_EQ(queue.PopBatch(&batch, 10), 1u);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,367 @@
+// StreamingServer: end-to-end multi-site serving, determinism of per-site
+// event streams across threading modes, backpressure accounting, and a
+// concurrency stress aimed at the ThreadSanitizer CI job.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/experiment.h"
+#include "model/cone_sensor.h"
+#include "serve/server.h"
+#include "sim/trace.h"
+
+namespace rfid {
+namespace {
+
+struct SiteTraffic {
+  WarehouseLayout layout;
+  std::vector<ServeRecord> records;
+  TagId first_object_tag = 0;
+};
+
+/// A small warehouse site flattened to raw serve records (one location
+/// report plus the epoch's readings per simulated epoch, in time order).
+SiteTraffic MakeSiteTraffic(SiteId site, uint64_t seed) {
+  WarehouseConfig wc;
+  wc.num_shelves = 2;
+  wc.shelf_length = 6.0;
+  wc.objects_per_shelf = 4;
+  wc.shelf_tags_per_shelf = 2;
+  auto layout = BuildWarehouse(wc);
+  EXPECT_TRUE(layout.ok());
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, seed);
+  const SimulatedTrace trace = gen.Generate();
+
+  SiteTraffic traffic;
+  traffic.layout = layout.value();
+  traffic.first_object_tag = wc.first_object_tag;
+  for (const SimEpoch& epoch : trace.epochs) {
+    const SyncedEpoch& obs = epoch.observations;
+    if (obs.has_location) {
+      ReaderLocationReport report;
+      report.time = obs.time;
+      report.location = obs.reported_location;
+      report.has_heading = obs.has_heading;
+      report.heading = obs.reported_heading;
+      traffic.records.push_back(ServeRecord::Location(site, report));
+    }
+    for (TagId tag : obs.tags) {
+      traffic.records.push_back(ServeRecord::Reading(site, {obs.time, tag}));
+    }
+  }
+  return traffic;
+}
+
+ServeConfig SmallServeConfig(int num_shards, int num_threads) {
+  ServeConfig config;
+  config.num_shards = num_shards;
+  config.num_threads = num_threads;
+  config.epoch_seconds = 1.0;
+  config.max_lateness_seconds = 2.0;
+  config.engine.factored.num_reader_particles = 30;
+  config.engine.factored.num_object_particles = 100;
+  config.engine.factored.seed = 41;
+  config.engine.emitter.delay_seconds = 5.0;
+  return config;
+}
+
+WorldModel SiteModel(const SiteTraffic& traffic) {
+  return MakeWorldModel(traffic.layout, std::make_unique<ConeSensorModel>());
+}
+
+/// Thread-safe per-site event log (callbacks fire on shard lanes).
+struct EventLog {
+  std::mutex mu;
+  std::map<SiteId, std::vector<LocationEvent>> events;
+
+  SubscriptionBus::EventCallback Callback() {
+    return [this](SiteId site, const LocationEvent& event) {
+      std::lock_guard<std::mutex> lock(mu);
+      events[site].push_back(event);
+    };
+  }
+};
+
+void ExpectIdenticalEventStreams(
+    const std::map<SiteId, std::vector<LocationEvent>>& a,
+    const std::map<SiteId, std::vector<LocationEvent>>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (const auto& [site, events_a] : a) {
+    const auto it = b.find(site);
+    ASSERT_NE(it, b.end()) << "site " << site;
+    const auto& events_b = it->second;
+    ASSERT_EQ(events_a.size(), events_b.size()) << "site " << site;
+    for (size_t i = 0; i < events_a.size(); ++i) {
+      // Bit-identical, not approximately equal.
+      EXPECT_EQ(events_a[i].time, events_b[i].time);
+      EXPECT_EQ(events_a[i].tag, events_b[i].tag);
+      EXPECT_EQ(events_a[i].location, events_b[i].location);
+    }
+  }
+}
+
+TEST(StreamingServerTest, InlineTwoSitesServeEventsAndStats) {
+  const SiteTraffic site1 = MakeSiteTraffic(1, 301);
+  const SiteTraffic site2 = MakeSiteTraffic(2, 302);
+  std::vector<SiteSpec> specs;
+  specs.push_back({1, SiteModel(site1)});
+  specs.push_back({2, SiteModel(site2)});
+  auto server = StreamingServer::Create(std::move(specs),
+                                        SmallServeConfig(2, 1));
+  ASSERT_TRUE(server.ok());
+
+  EventLog log;
+  server.value()->bus().SubscribeEvents(log.Callback());
+
+  size_t pushed = 0;
+  for (const auto* traffic : {&site1, &site2}) {
+    for (const ServeRecord& record : traffic->records) {
+      ASSERT_TRUE(server.value()->Ingest(record));
+      ++pushed;
+    }
+  }
+  server.value()->Pump();
+  server.value()->Flush();
+
+  EXPECT_GT(log.events[1].size(), 0u);
+  EXPECT_GT(log.events[2].size(), 0u);
+
+  const ServerStatsSnapshot stats = server.value()->Stats();
+  EXPECT_EQ(stats.TotalRecordsProcessed(), pushed);
+  EXPECT_EQ(stats.TotalDroppedLate(), 0u);
+  EXPECT_EQ(stats.TotalEventsDispatched(),
+            log.events[1].size() + log.events[2].size());
+  const std::string json = server.value()->StatsJson();
+  EXPECT_NE(json.find("\"shards\""), std::string::npos);
+  EXPECT_NE(json.find("\"engine\""), std::string::npos);
+
+  // Estimates are reachable through the site pipeline.
+  const SitePipeline* pipeline = server.value()->FindSite(1);
+  ASSERT_NE(pipeline, nullptr);
+  EXPECT_TRUE(pipeline->engine()
+                  .EstimateObject(site1.first_object_tag)
+                  .has_value());
+  EXPECT_EQ(server.value()->FindSite(99), nullptr);
+}
+
+TEST(StreamingServerTest, ThreadedRunMatchesInlineRunBitwise) {
+  const SiteTraffic site1 = MakeSiteTraffic(1, 311);
+  const SiteTraffic site2 = MakeSiteTraffic(2, 312);
+
+  // Inline reference run: single thread, pump after every ingest to get the
+  // earliest possible processing schedule.
+  EventLog inline_log;
+  {
+    std::vector<SiteSpec> specs;
+    specs.push_back({1, SiteModel(site1)});
+    specs.push_back({2, SiteModel(site2)});
+    auto server = StreamingServer::Create(std::move(specs),
+                                          SmallServeConfig(2, 1));
+    ASSERT_TRUE(server.ok());
+    server.value()->bus().SubscribeEvents(inline_log.Callback());
+    for (const auto* traffic : {&site1, &site2}) {
+      for (const ServeRecord& record : traffic->records) {
+        ASSERT_TRUE(server.value()->Ingest(record));
+      }
+      server.value()->Pump();
+    }
+    server.value()->Flush();
+  }
+
+  // Threaded run: driver thread + pool lanes + two concurrent producers.
+  // Each site's records keep their relative order (one producer per site),
+  // so every site's event stream must be bit-identical to the inline run
+  // no matter how the shards interleave.
+  EventLog threaded_log;
+  {
+    std::vector<SiteSpec> specs;
+    specs.push_back({1, SiteModel(site1)});
+    specs.push_back({2, SiteModel(site2)});
+    auto server = StreamingServer::Create(std::move(specs),
+                                          SmallServeConfig(2, 3));
+    ASSERT_TRUE(server.ok());
+    server.value()->bus().SubscribeEvents(threaded_log.Callback());
+    server.value()->Start();
+    std::vector<std::thread> producers;
+    for (const auto* traffic : {&site1, &site2}) {
+      producers.emplace_back([&server, traffic] {
+        for (const ServeRecord& record : traffic->records) {
+          ASSERT_TRUE(server.value()->Ingest(record));
+        }
+      });
+    }
+    for (auto& producer : producers) producer.join();
+    server.value()->Stop();
+    server.value()->Flush();
+  }
+
+  ExpectIdenticalEventStreams(inline_log.events, threaded_log.events);
+}
+
+TEST(StreamingServerTest, UnknownSiteAndBadConfigRejected) {
+  const SiteTraffic site1 = MakeSiteTraffic(1, 321);
+  std::vector<SiteSpec> specs;
+  specs.push_back({1, SiteModel(site1)});
+  auto server =
+      StreamingServer::Create(std::move(specs), SmallServeConfig(2, 1));
+  ASSERT_TRUE(server.ok());
+  EXPECT_FALSE(server.value()->Ingest(ServeRecord::Reading(99, {0.0, 1})));
+
+  ServeConfig bad = SmallServeConfig(0, 1);
+  std::vector<SiteSpec> specs2;
+  specs2.push_back({1, SiteModel(site1)});
+  EXPECT_FALSE(StreamingServer::Create(std::move(specs2), bad).ok());
+
+  ServeConfig basic = SmallServeConfig(1, 1);
+  basic.engine.filter = EngineConfig::FilterKind::kBasic;
+  std::vector<SiteSpec> specs3;
+  specs3.push_back({1, SiteModel(site1)});
+  EXPECT_FALSE(StreamingServer::Create(std::move(specs3), basic).ok());
+
+  std::vector<SiteSpec> dup;
+  dup.push_back({1, SiteModel(site1)});
+  dup.push_back({1, SiteModel(site1)});
+  EXPECT_FALSE(
+      StreamingServer::Create(std::move(dup), SmallServeConfig(2, 1)).ok());
+}
+
+TEST(StreamingServerTest, DropModeCountsRejections) {
+  const SiteTraffic site1 = MakeSiteTraffic(1, 331);
+  ServeConfig config = SmallServeConfig(1, 1);
+  config.queue_capacity = 4;
+  config.block_when_full = false;
+  std::vector<SiteSpec> specs;
+  specs.push_back({1, SiteModel(site1)});
+  auto server = StreamingServer::Create(std::move(specs), config);
+  ASSERT_TRUE(server.ok());
+
+  size_t accepted = 0, rejected = 0;
+  for (size_t i = 0; i < 10 && i < site1.records.size(); ++i) {
+    server.value()->Ingest(site1.records[i]) ? ++accepted : ++rejected;
+  }
+  EXPECT_EQ(accepted, 4u);
+  EXPECT_EQ(rejected, 6u);
+  server.value()->Pump();
+  const ServerStatsSnapshot stats = server.value()->Stats();
+  ASSERT_EQ(stats.shards.size(), 1u);
+  EXPECT_EQ(stats.shards[0].queue.rejected_full, 6u);
+  EXPECT_EQ(stats.shards[0].queue.high_water, 4u);
+}
+
+TEST(StreamingServerTest, RecordsIngestedBeforeStartAreProcessed) {
+  // Ingest() does not signal the driver until running_ is set, so Start()
+  // must prime the wakeup itself or pre-staged records would sit unpumped.
+  const SiteTraffic site1 = MakeSiteTraffic(1, 341);
+  std::vector<SiteSpec> specs;
+  specs.push_back({1, SiteModel(site1)});
+  auto server =
+      StreamingServer::Create(std::move(specs), SmallServeConfig(1, 2));
+  ASSERT_TRUE(server.ok());
+  for (const ServeRecord& record : site1.records) {
+    ASSERT_TRUE(server.value()->Ingest(record));
+  }
+  server.value()->Start();
+  // No further ingests: the primed driver alone must drain the queue.
+  for (int i = 0; i < 200; ++i) {
+    if (server.value()->Stats().TotalRecordsProcessed() ==
+        site1.records.size()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  server.value()->Stop();
+  EXPECT_EQ(server.value()->Stats().TotalRecordsProcessed(),
+            site1.records.size());
+}
+
+TEST(StreamingServerTest, StopClosesQueuesAndShardPinsRoute) {
+  const SiteTraffic site1 = MakeSiteTraffic(1, 351);
+  ServeConfig config = SmallServeConfig(4, 1);
+  // Pin the site away from its hash route.
+  const int hashed = ShardRouter(4).ShardOf(1);
+  const int pinned = (hashed + 1) % 4;
+  config.shard_pins.push_back({1, pinned});
+  std::vector<SiteSpec> specs;
+  specs.push_back({1, SiteModel(site1)});
+  auto server = StreamingServer::Create(std::move(specs), config);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(server.value()->router().ShardOf(1), pinned);
+
+  ASSERT_TRUE(server.value()->Ingest(site1.records[0]));
+  server.value()->Pump();
+  const ServerStatsSnapshot stats = server.value()->Stats();
+  ASSERT_EQ(stats.shards.size(), 4u);
+  EXPECT_EQ(stats.shards[static_cast<size_t>(pinned)].queue.pushed, 1u);
+
+  // After Stop the ingest path fails fast instead of queueing into a
+  // server nobody will pump.
+  server.value()->Stop();
+  EXPECT_FALSE(server.value()->Ingest(site1.records[1]));
+
+  // Restart reopens the queues: the server serves again.
+  server.value()->Start();
+  EXPECT_TRUE(server.value()->Ingest(site1.records[1]));
+  server.value()->Stop();
+  EXPECT_EQ(server.value()->Stats().TotalRecordsProcessed(), 2u);
+
+  // An out-of-range pin is a config error.
+  ServeConfig bad = SmallServeConfig(2, 1);
+  bad.shard_pins.push_back({1, 2});
+  std::vector<SiteSpec> specs2;
+  specs2.push_back({1, SiteModel(site1)});
+  EXPECT_FALSE(StreamingServer::Create(std::move(specs2), bad).ok());
+}
+
+TEST(StreamingServerTest, ConcurrentIngestStressWithStatsPolling) {
+  // Aimed at the TSan CI job: concurrent producers, a running driver, the
+  // pool fanning shards, stats polled mid-flight, subscriptions firing.
+  const int kSites = 4;
+  std::vector<SiteTraffic> traffic;
+  std::vector<SiteSpec> specs;
+  for (int s = 0; s < kSites; ++s) {
+    traffic.push_back(MakeSiteTraffic(static_cast<SiteId>(s + 1),
+                                      400 + static_cast<uint64_t>(s)));
+    specs.push_back({static_cast<SiteId>(s + 1), SiteModel(traffic.back())});
+  }
+  ServeConfig config = SmallServeConfig(3, 2);
+  config.queue_capacity = 64;  // Small enough to exercise backpressure.
+  auto server = StreamingServer::Create(std::move(specs), config);
+  ASSERT_TRUE(server.ok());
+
+  EventLog log;
+  server.value()->bus().SubscribeEvents(log.Callback());
+  server.value()->Start();
+
+  std::vector<std::thread> producers;
+  for (int s = 0; s < kSites; ++s) {
+    producers.emplace_back([&server, &traffic, s] {
+      for (const ServeRecord& record : traffic[static_cast<size_t>(s)].records) {
+        ASSERT_TRUE(server.value()->Ingest(record));
+      }
+    });
+  }
+  for (int i = 0; i < 5; ++i) {
+    (void)server.value()->StatsJson();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  for (auto& producer : producers) producer.join();
+  server.value()->Stop();
+  server.value()->Flush();
+
+  size_t total_records = 0;
+  for (const auto& t : traffic) total_records += t.records.size();
+  const ServerStatsSnapshot stats = server.value()->Stats();
+  EXPECT_EQ(stats.TotalRecordsProcessed(), total_records);
+  for (int s = 0; s < kSites; ++s) {
+    EXPECT_GT(log.events[static_cast<SiteId>(s + 1)].size(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace rfid

@@ -1,0 +1,200 @@
+// Tests for the synchronizer's bounded-lateness admission: out-of-order
+// records within the bound are admitted, older ones are dropped and counted
+// (never failing the stream), and the watermark closes contiguous epochs.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <sstream>
+
+#include "stream/synchronizer.h"
+
+namespace rfid {
+namespace {
+
+SynchronizerConfig Bounded(double lateness, double epoch_seconds = 1.0) {
+  SynchronizerConfig config;
+  config.epoch_seconds = epoch_seconds;
+  config.max_lateness_seconds = lateness;
+  return config;
+}
+
+TEST(SynchronizerLatenessTest, StrictModeStillFailsOnUnorderedInput) {
+  StreamSynchronizer sync(1.0);
+  EXPECT_TRUE(sync.strict());
+  EXPECT_FALSE(sync.Synchronize({{2.0, 1}, {1.0, 2}}, {}).ok());
+  EXPECT_FALSE(
+      sync.Synchronize({}, {{2.0, {0, 0, 0}}, {1.0, {0, 0, 0}}}).ok());
+}
+
+TEST(SynchronizerLatenessTest, OfflineAdmitsOutOfOrderWithinBound) {
+  StreamSynchronizer sync(Bounded(2.0));
+  // 1.5 arrives after 2.2 but is only 0.7 s behind: admitted.
+  const auto epochs = sync.Synchronize({{0.5, 1}, {2.2, 2}, {1.5, 3}}, {});
+  ASSERT_TRUE(epochs.ok());
+  ASSERT_EQ(epochs.value().size(), 3u);
+  EXPECT_EQ(epochs.value()[1].tags, std::vector<TagId>{3});
+  EXPECT_EQ(sync.dropped_late_records(), 0u);
+}
+
+TEST(SynchronizerLatenessTest, OfflineDropsBeyondBoundAndCounts) {
+  StreamSynchronizer sync(Bounded(1.0));
+  // 0.2 is 4.8 s behind the newest record at its arrival: dropped.
+  const auto epochs = sync.Synchronize({{1.0, 1}, {5.0, 2}, {0.2, 3}}, {});
+  ASSERT_TRUE(epochs.ok());
+  EXPECT_EQ(sync.dropped_late_records(), 1u);
+  for (const auto& e : epochs.value()) {
+    for (TagId tag : e.tags) EXPECT_NE(tag, 3u);
+  }
+}
+
+TEST(SynchronizerLatenessTest, OfflineMatchesStrictOnOrderedInput) {
+  std::vector<TagReading> readings = {{0.1, 1}, {1.4, 2}, {1.6, 2}, {3.9, 4}};
+  std::vector<ReaderLocationReport> reports = {{0.5, {1, 2, 0}},
+                                               {2.5, {3, 4, 0}}};
+  StreamSynchronizer strict(1.0);
+  StreamSynchronizer bounded(Bounded(5.0));
+  const auto a = strict.Synchronize(readings, reports);
+  const auto b = bounded.Synchronize(readings, reports);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a.value().size(), b.value().size());
+  for (size_t i = 0; i < a.value().size(); ++i) {
+    EXPECT_EQ(a.value()[i].step, b.value()[i].step);
+    EXPECT_EQ(a.value()[i].tags, b.value()[i].tags);
+    EXPECT_EQ(a.value()[i].has_location, b.value()[i].has_location);
+  }
+}
+
+TEST(SynchronizerLatenessTest, WatermarkClosesOnlyCompletedEpochs) {
+  StreamSynchronizer sync(Bounded(2.0));
+  sync.Push(TagReading{0.5, 1});
+  // Watermark = 0.5 - 2.0 = -1.5: nothing closeable.
+  EXPECT_TRUE(sync.PollWatermark().empty());
+  sync.Push(TagReading{3.2, 2});
+  // Watermark = 1.2: epoch 0 (ends at 1.0) closes, epoch 1 does not.
+  const auto closed = sync.PollWatermark();
+  ASSERT_EQ(closed.size(), 1u);
+  EXPECT_EQ(closed[0].step, 0);
+  EXPECT_EQ(closed[0].tags, std::vector<TagId>{1});
+}
+
+TEST(SynchronizerLatenessTest, PushIntoClosedEpochIsDroppedAndCounted) {
+  StreamSynchronizer sync(Bounded(1.0));
+  EXPECT_TRUE(sync.Push(TagReading{0.5, 1}));
+  EXPECT_TRUE(sync.Push(TagReading{4.0, 2}));
+  ASSERT_FALSE(sync.PollWatermark().empty());  // Closes through epoch 2.
+  // Epoch 0 was already emitted: the record must not resurrect it.
+  EXPECT_FALSE(sync.Push(TagReading{0.7, 3}));
+  EXPECT_EQ(sync.dropped_late_records(), 1u);
+  // The stream keeps working afterwards.
+  EXPECT_TRUE(sync.Push(TagReading{4.5, 4}));
+}
+
+TEST(SynchronizerLatenessTest, PollWatermarkSynthesizesGapEpochs) {
+  StreamSynchronizer sync(Bounded(1.0));
+  sync.Push(TagReading{0.5, 1});
+  sync.Push(TagReading{6.5, 2});
+  const auto closed = sync.PollWatermark();  // Watermark 5.5: epochs 0..4.
+  ASSERT_EQ(closed.size(), 5u);
+  for (size_t i = 0; i < closed.size(); ++i) {
+    EXPECT_EQ(closed[i].step, static_cast<int64_t>(i));
+  }
+  EXPECT_EQ(closed[0].tags, std::vector<TagId>{1});
+  for (size_t i = 1; i < closed.size(); ++i) {
+    EXPECT_TRUE(closed[i].tags.empty());
+    EXPECT_FALSE(closed[i].has_location);
+  }
+}
+
+TEST(SynchronizerLatenessTest, FinishFillsGapsAfterLastClose) {
+  StreamSynchronizer sync(Bounded(1.0));
+  sync.Push(TagReading{0.5, 1});
+  sync.Push(TagReading{4.2, 2});
+  const auto first = sync.PollWatermark();  // Epochs 0..2.
+  ASSERT_EQ(first.size(), 3u);
+  const auto tail = sync.Finish();  // Epoch 4 pending: 3 must be filled in.
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].step, 3);
+  EXPECT_TRUE(tail[0].tags.empty());
+  EXPECT_EQ(tail[1].step, 4);
+  EXPECT_EQ(tail[1].tags, std::vector<TagId>{2});
+}
+
+TEST(SynchronizerLatenessTest, FarFutureRecordIsBoundedByGapCap) {
+  // One corrupt far-future clock must not make the synchronizer (and the
+  // filter behind it) materialize billions of quiet epochs.
+  SynchronizerConfig config = Bounded(1.0);
+  config.max_gap_epochs = 10;
+  StreamSynchronizer sync(config);
+  sync.Push(TagReading{0.5, 1});
+  sync.Push(TagReading{1e9, 2});  // Plausible absolute-unix-time bug.
+  const auto closed = sync.PollWatermark();
+  // Trailing window only: 10 synthesized epochs; the data epoch at index 0
+  // still emits (non-empty epochs always do).
+  ASSERT_EQ(closed.size(), 11u);
+  EXPECT_EQ(closed.front().step, 0);
+  EXPECT_EQ(closed.front().tags, std::vector<TagId>{1});
+  for (size_t i = 2; i < closed.size(); ++i) {
+    EXPECT_EQ(closed[i].step, closed[i - 1].step + 1);
+  }
+  EXPECT_GT(sync.skipped_gap_epochs(), 900'000'000u);
+  // The stream continues normally at the new time base.
+  EXPECT_TRUE(sync.Push(TagReading{1e9 + 0.5, 3}));
+  // Truly insane timestamps are rejected outright.
+  EXPECT_FALSE(
+      sync.Push(TagReading{std::numeric_limits<double>::infinity(), 4}));
+  EXPECT_FALSE(
+      sync.Push(TagReading{std::numeric_limits<double>::quiet_NaN(), 5}));
+  EXPECT_FALSE(sync.Push(TagReading{1e200, 6}));
+}
+
+TEST(SynchronizerLatenessTest, StateRoundTripContinuesIdentically) {
+  const SynchronizerConfig config = Bounded(2.0);
+  StreamSynchronizer original(config);
+  original.Push(TagReading{0.3, 1});
+  original.Push(TagReading{1.7, 2});
+  original.Push(TagReading{5.0, 3});
+  (void)original.PollWatermark();
+  original.Push(TagReading{0.1, 9});  // Late: dropped.
+
+  std::stringstream ss;
+  original.SaveState(ss);
+  StreamSynchronizer restored(config);
+  ASSERT_TRUE(restored.LoadState(ss).ok());
+  EXPECT_EQ(restored.dropped_late_records(),
+            original.dropped_late_records());
+  EXPECT_EQ(restored.watermark(), original.watermark());
+
+  // Identical continuations produce identical epochs.
+  for (StreamSynchronizer* sync : {&original, &restored}) {
+    sync->Push(TagReading{6.5, 4});
+  }
+  const auto a = original.PollWatermark();
+  const auto b = restored.PollWatermark();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].step, b[i].step);
+    EXPECT_EQ(a[i].tags, b[i].tags);
+  }
+  const auto ta = original.Finish();
+  const auto tb = restored.Finish();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].step, tb[i].step);
+    EXPECT_EQ(ta[i].tags, tb[i].tags);
+  }
+}
+
+TEST(SynchronizerLatenessTest, LoadStateRejectsTruncation) {
+  StreamSynchronizer sync(Bounded(1.0));
+  sync.Push(TagReading{0.5, 1});
+  std::stringstream ss;
+  sync.SaveState(ss);
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  StreamSynchronizer target(Bounded(1.0));
+  EXPECT_FALSE(target.LoadState(truncated).ok());
+}
+
+}  // namespace
+}  // namespace rfid
