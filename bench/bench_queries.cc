@@ -1,0 +1,333 @@
+// Query-operator layer: grid-bucketed colocation vs the seed's O(tags)
+// scan, swept over tag-universe size x event count on churny streams, plus
+// the windowed fire-code and location-update operator throughputs.
+//
+// Two claims are measured:
+//  1. Speed — the tracker's freshness eviction + implicit joint counters +
+//     uniform grid make Process O(local density) instead of O(tags ever
+//     seen); at 10k tags the sweep shows the gap (>=10x).
+//  2. Identity — on the paper's lab deployment trace run through the full
+//     inference engine, old and new produce bit-identical Candidates()
+//     (same pairs, same counts, bitwise-equal ratios).
+//
+// Results land in BENCH_queries.json.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/spherical_sensor.h"
+#include "sim/lab.h"
+#include "stream/colocation.h"
+#include "stream/query.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+
+namespace rfid {
+namespace {
+
+/// The seed implementation, kept verbatim as the baseline: per event, scan
+/// every tag ever seen; per-pair stats in an ordered map; no eviction.
+class LegacyColocationScan {
+ public:
+  explicit LegacyColocationScan(const ColocationConfig& config)
+      : config_(config) {}
+
+  void Process(const LocationEvent& event) {
+    for (const auto& [other, report] : last_) {
+      if (other == event.tag) continue;
+      if (event.time - report.time > config_.time_slack_seconds) continue;
+      const PairKey key = other < event.tag ? PairKey{other, event.tag}
+                                            : PairKey{event.tag, other};
+      PairStatsEntry& stats = pairs_[key];
+      ++stats.joint;
+      if (event.location.DistanceXYTo(report.location) <=
+          config_.colocation_radius_feet) {
+        ++stats.colocated;
+      }
+    }
+    last_[event.tag] = {event.time, event.location};
+  }
+
+  std::vector<ColocationCandidate> Candidates() const {
+    std::vector<ColocationCandidate> out;
+    for (const auto& [key, stats] : pairs_) {
+      if (stats.joint < config_.min_joint_observations) continue;
+      const double ratio = static_cast<double>(stats.colocated) /
+                           static_cast<double>(stats.joint);
+      if (ratio < config_.min_colocation_ratio) continue;
+      out.push_back({key.a, key.b, stats.joint, stats.colocated, ratio});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ColocationCandidate& x, const ColocationCandidate& y) {
+                if (x.ratio != y.ratio) return x.ratio > y.ratio;
+                if (x.joint_observations != y.joint_observations) {
+                  return x.joint_observations > y.joint_observations;
+                }
+                return x.a != y.a ? x.a < y.a : x.b < y.b;
+              });
+    return out;
+  }
+
+ private:
+  struct PairKey {
+    TagId a, b;
+    bool operator<(const PairKey& o) const {
+      return a != o.a ? a < o.a : b < o.b;
+    }
+  };
+  struct PairStatsEntry {
+    int joint = 0;
+    int colocated = 0;
+  };
+  struct LastReport {
+    double time = 0.0;
+    Vec3 location;
+  };
+
+  ColocationConfig config_;
+  std::unordered_map<TagId, LastReport> last_;
+  std::map<PairKey, PairStatsEntry> pairs_;
+};
+
+/// Churny warehouse-shaped stream: `universe` tags total, ~`active`
+/// concurrently reporting (the rest have departed — exactly the population
+/// the legacy scan keeps visiting), clustered positions.
+std::vector<LocationEvent> MakeChurnStream(int universe, int events,
+                                           int active, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<LocationEvent> out;
+  out.reserve(static_cast<size_t>(events));
+  double time = 0.0;
+  const int span = universe > active ? universe - active : 1;
+  for (int i = 0; i < events; ++i) {
+    time += 0.02;
+    // The active window slides over the universe so every tag eventually
+    // reports and departs; a small fraction of events are returning tags.
+    const int base = static_cast<int>(
+        (static_cast<int64_t>(i) * span) / (events > 0 ? events : 1));
+    int tag_index = base + static_cast<int>(rng.NextDouble() * active);
+    if (rng.NextDouble() < 0.02) {
+      tag_index = static_cast<int>(rng.NextDouble() * universe);
+    }
+    const int cluster = tag_index % 16;
+    LocationEvent e;
+    e.time = time;
+    e.tag = static_cast<TagId>(tag_index + 1);
+    e.location = {(cluster % 4) * 12.0 + rng.Gaussian() * 0.5,
+                  (cluster / 4) * 12.0 + rng.Gaussian() * 0.5, 0.0};
+    out.push_back(e);
+  }
+  return out;
+}
+
+bool SameCandidates(const std::vector<ColocationCandidate>& a,
+                    const std::vector<ColocationCandidate>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].a != b[i].a || a[i].b != b[i].b ||
+        a[i].joint_observations != b[i].joint_observations ||
+        a[i].colocated_observations != b[i].colocated_observations ||
+        a[i].ratio != b[i].ratio) {  // Bitwise: same division, same inputs.
+      return false;
+    }
+  }
+  return true;
+}
+
+ColocationConfig SweepConfig() {
+  ColocationConfig config;
+  config.time_slack_seconds = 5.0;
+  config.colocation_radius_feet = 1.0;
+  config.min_joint_observations = 3;
+  config.min_colocation_ratio = 0.6;
+  config.max_pairs = 0;  // Identity comparison needs full history.
+  return config;
+}
+
+/// Lab-deployment events through the full engine, the acceptance surface
+/// for the identity claim.
+std::vector<LocationEvent> LabTraceEvents() {
+  LabConfig lc;
+  lc.seed = 4311;
+  auto lab = BuildLabDeployment(lc);
+  if (!lab.ok()) {
+    std::fprintf(stderr, "lab build failed: %s\n",
+                 lab.status().ToString().c_str());
+    return {};
+  }
+  ExperimentModelOptions options;
+  options.motion.delta = {};
+  options.motion.sigma = {0.05, 0.15, 0.0};
+  options.motion.heading_sigma = 0.2;
+  options.sensing.sigma = {0.3, 0.3, 0.0};
+  options.sensing.heading_sigma = 0.1;
+  EngineConfig config = bench::DefaultEngineConfig(4242);
+  config.factored.num_object_particles = 400;
+  config.factored.init.half_angle = M_PI;
+  config.factored.reader_support_weight = 0.1;
+  config.emitter.policy = EmitPolicy::kEveryEpoch;
+  auto engine = RfidInferenceEngine::Create(
+      MakeWorldModel(lab.value().shelf_boxes, lab.value().shelf_tags,
+                     std::make_unique<SphericalSensorModel>(
+                         lab.value().sensor),
+                     options),
+      config);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine create failed: %s\n",
+                 engine.status().ToString().c_str());
+    return {};
+  }
+  std::vector<LocationEvent> events;
+  for (const SimEpoch& e : lab.value().trace.epochs) {
+    engine.value()->ProcessEpoch(e.observations);
+    for (const LocationEvent& ev : engine.value()->TakeEvents()) {
+      events.push_back(ev);
+    }
+  }
+  return events;
+}
+
+}  // namespace
+}  // namespace rfid
+
+int main() {
+  using namespace rfid;
+  bench::PrintHeader(
+      "Query operators: grid-bucketed colocation vs O(tags) scan",
+      "ISSUE 4 / ROADMAP north star (bounded-state streaming queries)");
+
+  bench::BenchJson json("queries");
+
+  // ---- Colocation: old vs new across tag-universe sizes ------------------
+  TableWriter table({"tags", "events", "legacy_ev_per_s", "grid_ev_per_s",
+                     "speedup", "identical", "tracked_tags", "pairs"});
+  const std::vector<int> universes =
+      bench::FullScale() ? std::vector<int>{1000, 3000, 10000, 30000}
+                         : std::vector<int>{1000, 3000, 10000};
+  for (const int universe : universes) {
+    const int events = universe * 4;
+    const auto stream = MakeChurnStream(universe, events, /*active=*/100,
+                                        /*seed=*/900 + universe);
+    const ColocationConfig config = SweepConfig();
+
+    LegacyColocationScan legacy(config);
+    Stopwatch legacy_watch;
+    for (const auto& e : stream) legacy.Process(e);
+    const double legacy_seconds = legacy_watch.ElapsedSeconds();
+
+    ColocationTracker tracker(config);
+    Stopwatch grid_watch;
+    for (const auto& e : stream) tracker.Process(e);
+    const double grid_seconds = grid_watch.ElapsedSeconds();
+
+    const bool identical =
+        SameCandidates(legacy.Candidates(), tracker.Candidates());
+    const double legacy_rate = events / (legacy_seconds > 0 ? legacy_seconds
+                                                            : 1e-9);
+    const double grid_rate =
+        events / (grid_seconds > 0 ? grid_seconds : 1e-9);
+    const double speedup = legacy_seconds / (grid_seconds > 0 ? grid_seconds
+                                                              : 1e-9);
+    (void)table.AddRow({std::to_string(universe), std::to_string(events),
+                        FormatDouble(legacy_rate, 0),
+                        FormatDouble(grid_rate, 0), FormatDouble(speedup, 1),
+                        identical ? "yes" : "NO",
+                        std::to_string(tracker.num_tracked_tags()),
+                        std::to_string(tracker.num_pairs())});
+    json.BeginRow();
+    json.Add("series", "colocation_sweep");
+    json.Add("tags", universe);
+    json.Add("events", events);
+    json.Add("legacy_events_per_sec", legacy_rate);
+    json.Add("grid_events_per_sec", grid_rate);
+    json.Add("speedup", speedup);
+    json.Add("identical_candidates", identical ? 1 : 0);
+    json.Add("tracked_tags", tracker.num_tracked_tags());
+    json.Add("pairs", tracker.num_pairs());
+    std::printf("tags=%d done (speedup %.1fx, identical=%s)\n", universe,
+                speedup, identical ? "yes" : "NO");
+  }
+  bench::PrintTable(table);
+
+  // ---- Identity on the lab trace (acceptance surface) --------------------
+  const auto lab_events = LabTraceEvents();
+  {
+    const ColocationConfig config = SweepConfig();
+    LegacyColocationScan legacy(config);
+    ColocationTracker tracker(config);
+    for (const auto& e : lab_events) {
+      legacy.Process(e);
+      tracker.Process(e);
+    }
+    const auto want = legacy.Candidates();
+    const auto got = tracker.Candidates();
+    const bool identical = SameCandidates(want, got);
+    std::printf(
+        "lab trace: %zu events, %zu candidates, bit-identical ratios: %s\n",
+        lab_events.size(), got.size(), identical ? "yes" : "NO");
+    json.BeginRow();
+    json.Add("series", "lab_trace_identity");
+    json.Add("events", lab_events.size());
+    json.Add("candidates", got.size());
+    json.Add("identical_candidates", identical ? 1 : 0);
+    if (!identical) {
+      bench::WriteBenchJson(json, "queries");
+      return 1;  // The acceptance criterion is identity; fail loudly.
+    }
+  }
+
+  // ---- Fire-code + location-update throughput ----------------------------
+  {
+    const auto stream =
+        MakeChurnStream(/*universe=*/5000, /*events=*/400000, /*active=*/200,
+                        /*seed=*/7);
+    FireCodeConfig fire_config;
+    fire_config.window_seconds = 5.0;
+    fire_config.weight_limit = 200.0;
+    fire_config.disarm_limit = 150.0;
+    FireCodeQuery fire(fire_config,
+                       [](TagId tag) { return 10.0 + tag % 13; });
+    Stopwatch fire_watch;
+    size_t alerts = 0;
+    for (const auto& e : stream) alerts += fire.Process(e).size();
+    const double fire_seconds = fire_watch.ElapsedSeconds();
+
+    LocationUpdateQuery update(/*min_change_feet=*/0.1,
+                               /*ttl_seconds=*/30.0);
+    Stopwatch update_watch;
+    size_t updates = 0;
+    for (const auto& e : stream) updates += update.Process(e).has_value();
+    const double update_seconds = update_watch.ElapsedSeconds();
+
+    const double fire_rate = stream.size() / (fire_seconds > 0 ? fire_seconds
+                                                               : 1e-9);
+    const double update_rate =
+        stream.size() / (update_seconds > 0 ? update_seconds : 1e-9);
+    std::printf("fire-code: %.0f events/s (%zu alerts, %zu live cells)\n",
+                fire_rate, alerts, fire.num_cells());
+    std::printf("location-update: %.0f events/s (%zu updates, %zu rows)\n",
+                update_rate, updates, update.num_partitions());
+    json.BeginRow();
+    json.Add("series", "fire_code");
+    json.Add("events", stream.size());
+    json.Add("events_per_sec", fire_rate);
+    json.Add("alerts", alerts);
+    json.Add("live_cells", fire.num_cells());
+    json.Add("window_entries", fire.window_entries());
+    json.BeginRow();
+    json.Add("series", "location_update");
+    json.Add("events", stream.size());
+    json.Add("events_per_sec", update_rate);
+    json.Add("updates", updates);
+    json.Add("live_rows", update.num_partitions());
+  }
+
+  bench::WriteBenchJson(json, "queries");
+  std::printf(
+      "note: legacy = seed O(tags-ever-seen) scan; grid = bounded-state "
+      "tracker. Run with RFID_FULL_SCALE=1 for the 30k-tag point.\n");
+  return 0;
+}

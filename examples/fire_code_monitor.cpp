@@ -54,12 +54,17 @@ int main() {
   }
 
   // Query 2 of the paper: [Range 5 seconds] window, group by square-foot
-  // area, having sum(weight) > 200 pounds.
-  FireCodeQuery query(/*window_seconds=*/5.0, /*weight_limit=*/200.0,
-                      [&](TagId tag) {
-                        auto it = weights.find(tag);
-                        return it == weights.end() ? 0.0 : it->second;
-                      });
+  // area, having sum(weight) > 200 pounds. The disarm threshold below the
+  // limit keeps a cell hovering around 200 lbs from flapping between
+  // alerting and re-arming on every report.
+  FireCodeConfig query_config;
+  query_config.window_seconds = 5.0;
+  query_config.weight_limit = 200.0;
+  query_config.disarm_limit = 150.0;
+  FireCodeQuery query(query_config, [&](TagId tag) {
+    auto it = weights.find(tag);
+    return it == weights.end() ? 0.0 : it->second;
+  });
 
   int alerts = 0;
   for (const SimEpoch& epoch : trace.epochs) {
@@ -81,5 +86,10 @@ int main() {
               alerts);
   std::printf("(events processed through the engine: %zu)\n",
               engine.value()->stats().events_emitted);
+  const OperatorStats op = query.Stats();
+  std::printf(
+      "(query state: %zu entries, ~%zu bytes, %llu window entries evicted)\n",
+      op.entries, op.bytes_estimate,
+      static_cast<unsigned long long>(op.evicted));
   return alerts > 0 ? 0 : 2;  // The dense shelf must trip the code.
 }

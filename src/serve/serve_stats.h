@@ -10,6 +10,7 @@
 
 #include "serve/ingest_queue.h"
 #include "serve/site_pipeline.h"
+#include "serve/subscription_bus.h"
 
 namespace rfid {
 
@@ -22,6 +23,15 @@ struct ShardStatsSnapshot {
 struct ServerStatsSnapshot {
   std::vector<ShardStatsSnapshot> shards;
   uint64_t subscription_dispatches = 0;
+  /// One row per materialized (subscription, site) query operator: how much
+  /// state it holds and how much its lifecycle policies have evicted.
+  std::vector<BusOperatorStats> operators;
+
+  size_t TotalOperatorBytes() const {
+    size_t total = 0;
+    for (const auto& op : operators) total += op.stats.bytes_estimate;
+    return total;
+  }
 
   uint64_t TotalRecordsProcessed() const {
     uint64_t total = 0;
@@ -91,7 +101,22 @@ struct ServerStatsSnapshot {
       }
       out += "]}";
     }
-    out += "], \"subscription_dispatches\": " +
+    out += "], \"operators\": [";
+    for (size_t i = 0; i < operators.size(); ++i) {
+      const BusOperatorStats& op = operators[i];
+      if (i > 0) out += ", ";
+      out += "{\"subscription\": " + std::to_string(op.subscription);
+      out += ", \"kind\": \"" + std::string(op.kind) + "\"";
+      out += ", \"site\": " + std::to_string(op.site);
+      out += ", \"entries\": " + std::to_string(op.stats.entries);
+      out += ", \"bytes_estimate\": " +
+             std::to_string(op.stats.bytes_estimate);
+      out += ", \"evicted\": " + std::to_string(op.stats.evicted);
+      out += "}";
+    }
+    out += "], \"total_operator_bytes\": " +
+           std::to_string(TotalOperatorBytes());
+    out += ", \"subscription_dispatches\": " +
            std::to_string(subscription_dispatches);
     out += ", \"total_records_processed\": " +
            std::to_string(TotalRecordsProcessed());

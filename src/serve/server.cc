@@ -265,6 +265,7 @@ ServerStatsSnapshot StreamingServer::Stats() const {
     snapshot.shards.push_back(std::move(shard_stats));
   }
   snapshot.subscription_dispatches = bus_.dispatched_events();
+  snapshot.operators = bus_.OperatorStatsSnapshot();
   return snapshot;
 }
 

@@ -21,12 +21,14 @@ SubscriptionBus::SubscriptionId SubscriptionBus::SubscribeEvents(
 }
 
 SubscriptionBus::SubscriptionId SubscriptionBus::SubscribeLocationUpdates(
-    double min_change_feet, EventCallback cb, std::optional<SiteId> site) {
+    double min_change_feet, EventCallback cb, std::optional<SiteId> site,
+    double ttl_seconds) {
   Subscription sub;
   sub.kind = Kind::kLocationUpdate;
   sub.site_filter = site;
   sub.event_cb = std::move(cb);
   sub.min_change_feet = min_change_feet;
+  sub.ttl_seconds = ttl_seconds;
   return Add(std::move(sub));
 }
 
@@ -34,14 +36,22 @@ SubscriptionBus::SubscriptionId SubscriptionBus::SubscribeFireCode(
     double window_seconds, double weight_limit,
     FireCodeQuery::WeightFn weight_fn, double cell_size_feet,
     AlertCallback cb, std::optional<SiteId> site) {
+  FireCodeConfig config;
+  config.window_seconds = window_seconds;
+  config.weight_limit = weight_limit;
+  config.cell_size_feet = cell_size_feet;
+  return SubscribeFireCode(config, std::move(weight_fn), std::move(cb), site);
+}
+
+SubscriptionBus::SubscriptionId SubscriptionBus::SubscribeFireCode(
+    const FireCodeConfig& config, FireCodeQuery::WeightFn weight_fn,
+    AlertCallback cb, std::optional<SiteId> site) {
   Subscription sub;
   sub.kind = Kind::kFireCode;
   sub.site_filter = site;
   sub.alert_cb = std::move(cb);
-  sub.window_seconds = window_seconds;
-  sub.weight_limit = weight_limit;
+  sub.fire_config = config;
   sub.weight_fn = std::move(weight_fn);
-  sub.cell_size_feet = cell_size_feet;
   return Add(std::move(sub));
 }
 
@@ -79,15 +89,14 @@ SubscriptionBus::SiteState& SubscriptionBus::StateFor(Subscription& sub,
   switch (sub.kind) {
     case Kind::kLocationUpdate:
       if (!state.update) {
-        state.update =
-            std::make_unique<LocationUpdateQuery>(sub.min_change_feet);
+        state.update = std::make_unique<LocationUpdateQuery>(
+            sub.min_change_feet, sub.ttl_seconds);
       }
       break;
     case Kind::kFireCode:
       if (!state.fire) {
-        state.fire = std::make_unique<FireCodeQuery>(
-            sub.window_seconds, sub.weight_limit, sub.weight_fn,
-            sub.cell_size_feet);
+        state.fire =
+            std::make_unique<FireCodeQuery>(sub.fire_config, sub.weight_fn);
       }
       break;
     case Kind::kColocation:
@@ -131,6 +140,49 @@ void SubscriptionBus::Dispatch(SiteId site,
     }
     dispatched_.fetch_add(events.size(), std::memory_order_relaxed);
   }
+}
+
+std::vector<BusOperatorStats> SubscriptionBus::OperatorStatsSnapshot() const {
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  std::vector<BusOperatorStats> out;
+  for (const auto& sub : subs_) {
+    if (sub.kind == Kind::kRaw) continue;
+    std::lock_guard<std::mutex> sub_lock(*sub.mu);
+    std::vector<BusOperatorStats> rows;
+    rows.reserve(sub.states.size());
+    for (const auto& [site, state] : sub.states) {
+      BusOperatorStats row;
+      row.subscription = sub.id;
+      row.site = site;
+      switch (sub.kind) {
+        case Kind::kLocationUpdate:
+          if (!state.update) continue;
+          row.kind = "location_update";
+          row.stats = state.update->Stats();
+          break;
+        case Kind::kFireCode:
+          if (!state.fire) continue;
+          row.kind = "fire_code";
+          row.stats = state.fire->Stats();
+          break;
+        case Kind::kColocation:
+          if (!state.coloc) continue;
+          row.kind = "colocation";
+          row.stats = state.coloc->Stats();
+          break;
+        case Kind::kRaw:
+          continue;
+      }
+      rows.push_back(row);
+    }
+    // sub.states is unordered; emit sites in a stable order.
+    std::sort(rows.begin(), rows.end(),
+              [](const BusOperatorStats& x, const BusOperatorStats& y) {
+                return x.site < y.site;
+              });
+    out.insert(out.end(), rows.begin(), rows.end());
+  }
+  return out;
 }
 
 std::vector<ColocationCandidate> SubscriptionBus::ColocationCandidates(

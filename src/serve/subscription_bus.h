@@ -28,9 +28,19 @@
 #include "serve/record.h"
 #include "stream/colocation.h"
 #include "stream/events.h"
+#include "stream/operator_stats.h"
 #include "stream/query.h"
 
 namespace rfid {
+
+/// One operator instance's state-size snapshot, tagged with the
+/// subscription and site it belongs to (see stream/operator_stats.h).
+struct BusOperatorStats {
+  int subscription = 0;
+  const char* kind = "";  ///< "location_update" | "fire_code" | "colocation".
+  SiteId site = 0;
+  OperatorStats stats;
+};
 
 class SubscriptionBus {
  public:
@@ -47,14 +57,22 @@ class SubscriptionBus {
                                  std::optional<SiteId> site = std::nullopt);
 
   /// Query 1: per-tag location updates with jitter suppression.
+  /// `ttl_seconds` > 0 drops partition rows of tags that stop reporting
+  /// (see LocationUpdateQuery).
   SubscriptionId SubscribeLocationUpdates(
       double min_change_feet, EventCallback cb,
-      std::optional<SiteId> site = std::nullopt);
+      std::optional<SiteId> site = std::nullopt, double ttl_seconds = 0.0);
 
   /// Query 2: sliding-window fire-code monitoring.
   SubscriptionId SubscribeFireCode(double window_seconds, double weight_limit,
                                    FireCodeQuery::WeightFn weight_fn,
                                    double cell_size_feet, AlertCallback cb,
+                                   std::optional<SiteId> site = std::nullopt);
+
+  /// Query 2 with the full config (alert hysteresis, cell size).
+  SubscriptionId SubscribeFireCode(const FireCodeConfig& config,
+                                   FireCodeQuery::WeightFn weight_fn,
+                                   AlertCallback cb,
                                    std::optional<SiteId> site = std::nullopt);
 
   /// Containment candidates; no callback — poll ColocationCandidates().
@@ -77,6 +95,11 @@ class SubscriptionBus {
   /// Total events fanned out (events × matching subscriptions).
   uint64_t dispatched_events() const;
 
+  /// State-size snapshots of every materialized operator instance, one row
+  /// per (subscription, site), ordered by subscription then site id. Raw
+  /// subscriptions hold no state and report nothing.
+  std::vector<BusOperatorStats> OperatorStatsSnapshot() const;
+
  private:
   enum class Kind { kRaw, kLocationUpdate, kFireCode, kColocation };
 
@@ -96,10 +119,9 @@ class SubscriptionBus {
 
     // Operator factory parameters (one instance materialized per site).
     double min_change_feet = 0.0;
-    double window_seconds = 0.0;
-    double weight_limit = 0.0;
+    double ttl_seconds = 0.0;
+    FireCodeConfig fire_config;
     FireCodeQuery::WeightFn weight_fn;
-    double cell_size_feet = 1.0;
     ColocationConfig coloc_config;
 
     /// Guards `states` and the operator instances inside (two shards may

@@ -1,56 +1,286 @@
 #include "stream/colocation.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace rfid {
 
-void ColocationTracker::Process(const LocationEvent& event) {
-  for (const auto& [other, report] : last_) {
-    if (other == event.tag) continue;
-    if (event.time - report.time > config_.time_slack_seconds) continue;
-    const PairKey key = other < event.tag ? PairKey{other, event.tag}
-                                          : PairKey{event.tag, other};
-    PairStatsEntry& stats = pairs_[key];
-    ++stats.joint;
-    if (event.location.DistanceXYTo(report.location) <=
-        config_.colocation_radius_feet) {
-      ++stats.colocated;
+namespace {
+
+int64_t PackXY(int64_t cx, int64_t cy) {
+  // 32 bits per axis (shifted in unsigned space: negative cells are
+  // well-defined): cells are >= the co-location radius, so any plausible
+  // coordinate range fits with room to spare.
+  return static_cast<int64_t>((static_cast<uint64_t>(cx) << 32) ^
+                              (static_cast<uint64_t>(cy) & 0xffffffffULL));
+}
+
+}  // namespace
+
+ColocationTracker::ColocationTracker(const ColocationConfig& config)
+    : config_(config) {
+  cell_size_ = config_.grid_cell_feet > 0
+                   ? config_.grid_cell_feet
+                   : (config_.colocation_radius_feet > 0
+                          ? config_.colocation_radius_feet
+                          : 1.0);
+  // One ring more than the exact ceil(radius / cell): an entry whose
+  // distance sits exactly on the radius cannot be lost to floating-point
+  // rounding of the cell coordinates (int truncation alone would leave the
+  // exact bound, with zero margin, whenever radius/cell is non-integral).
+  reach_ = static_cast<int>(
+               std::ceil(config_.colocation_radius_feet / cell_size_)) +
+           1;
+}
+
+int64_t ColocationTracker::PackCell(const Vec3& p) const {
+  return PackXY(static_cast<int64_t>(std::floor(p.x / cell_size_)),
+                static_cast<int64_t>(std::floor(p.y / cell_size_)));
+}
+
+void ColocationTracker::GridInsert(int64_t cell, TagId tag) {
+  grid_[cell].push_back(tag);
+}
+
+void ColocationTracker::GridRemove(int64_t cell, TagId tag) {
+  auto it = grid_.find(cell);
+  if (it == grid_.end()) return;
+  auto& tags = it->second;
+  for (size_t i = 0; i < tags.size(); ++i) {
+    if (tags[i] == tag) {
+      tags[i] = tags.back();
+      tags.pop_back();
+      break;
     }
   }
-  last_[event.tag] = {event.time, event.location};
+  if (tags.empty()) grid_.erase(it);
+}
+
+int ColocationTracker::JointOf(const PairKey& key,
+                               const PairEntry& entry) const {
+  if (!entry.active) return entry.joint_frozen;
+  int joint = entry.joint_frozen;
+  const auto a = last_.find(key.a);
+  if (a != last_.end()) joint += a->second.events - entry.base_a;
+  const auto b = last_.find(key.b);
+  if (b != last_.end()) joint += b->second.events - entry.base_b;
+  return joint;
+}
+
+void ColocationTracker::FoldPairsOf(TagId tag, const TagState& state) {
+  // Partner lists mirror the active-pair graph exactly (both sides updated
+  // at activation and at fold), so every listed pair is active here.
+  for (TagId partner : state.partners) {
+    auto pit = pairs_.find(MakeKey(tag, partner));
+    if (pit == pairs_.end() || !pit->second.active) continue;
+    pit->second.joint_frozen = JointOf(pit->first, pit->second);
+    pit->second.active = false;
+    pit->second.base_a = 0;
+    pit->second.base_b = 0;
+    auto oit = last_.find(partner);
+    if (oit == last_.end()) continue;
+    auto& back_refs = oit->second.partners;
+    for (size_t i = 0; i < back_refs.size(); ++i) {
+      if (back_refs[i] == tag) {
+        back_refs[i] = back_refs.back();
+        back_refs.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void ColocationTracker::EvictStale(double now) {
+  while (!expiry_.empty() &&
+         now - expiry_.front().first > config_.time_slack_seconds) {
+    const auto [time, tag] = expiry_.front();
+    expiry_.pop_front();
+    auto it = last_.find(tag);
+    if (it == last_.end() || it->second.time != time) continue;  // Superseded.
+    FoldPairsOf(tag, it->second);
+    GridRemove(it->second.cell, tag);
+    last_.erase(it);
+    ++evicted_tags_;
+  }
+}
+
+void ColocationTracker::DecayPairs(double now) {
+  // Trim to ~7/8 of the cap so sweeps stay rare; only inactive pairs are
+  // candidates (statistics of live pairs must stay exact). TTL-expired
+  // pairs are dropped unconditionally during the scan; if that is not
+  // enough, the worst of the rest — never-co-located oldest first, then the
+  // stalest — are selected with nth_element rather than a full sort (this
+  // runs in the event path, under the bus's per-subscription mutex).
+  const size_t target = config_.max_pairs - config_.max_pairs / 8;
+  struct Victim {
+    bool has_colocated = false;
+    double last_update = 0.0;
+    PairKey key{0, 0};
+  };
+  std::vector<Victim> victims;
+  victims.reserve(pairs_.size());
+  for (auto it = pairs_.begin(); it != pairs_.end();) {
+    const PairEntry& entry = it->second;
+    if (entry.active) {
+      ++it;
+      continue;
+    }
+    if (config_.pair_ttl_seconds > 0 &&
+        now - entry.last_update > config_.pair_ttl_seconds) {
+      it = pairs_.erase(it);
+      ++evicted_pairs_;
+      continue;
+    }
+    victims.push_back({entry.colocated > 0, entry.last_update, it->first});
+    ++it;
+  }
+  if (pairs_.size() <= target) return;
+  const size_t excess =
+      std::min(pairs_.size() - target, victims.size());
+  if (excess == 0) return;  // Everything over target is active: exempt.
+  const auto worse = [](const Victim& x, const Victim& y) {
+    if (x.has_colocated != y.has_colocated) return !x.has_colocated;
+    if (x.last_update != y.last_update) return x.last_update < y.last_update;
+    return x.key.a != y.key.a ? x.key.a < y.key.a : x.key.b < y.key.b;
+  };
+  std::nth_element(victims.begin(), victims.begin() + (excess - 1),
+                   victims.end(), worse);
+  for (size_t i = 0; i < excess; ++i) {
+    pairs_.erase(victims[i].key);
+    ++evicted_pairs_;
+  }
+}
+
+void ColocationTracker::Process(const LocationEvent& event) {
+  const double now = event.time;
+  EvictStale(now);
+
+  auto self = last_.find(event.tag);
+  if (self == last_.end()) {
+    // The tag (re)joins the fresh set: activate a pair with every fresh tag.
+    // This event itself counts as one joint observation with each of them —
+    // the zero self-baseline plus the session-counter increment below make
+    // the implicit joint arithmetic land on exactly that.
+    TagState state;
+    state.time = now;
+    state.location = event.location;
+    for (auto& [other, other_state] : last_) {
+      const PairKey key = MakeKey(other, event.tag);
+      PairEntry& entry = pairs_[key];
+      entry.active = true;  // Cannot already be active: this tag was stale.
+      entry.base_a = key.a == event.tag ? 0 : other_state.events;
+      entry.base_b = key.b == event.tag ? 0 : other_state.events;
+      entry.last_update = now;
+      other_state.partners.push_back(event.tag);
+      state.partners.push_back(other);
+    }
+    self = last_.emplace(event.tag, std::move(state)).first;
+    if (config_.max_pairs > 0 && pairs_.size() > config_.max_pairs) {
+      DecayPairs(now);
+    }
+  }
+
+  // Co-location pass: only tags in neighboring grid cells can be within the
+  // radius. Joint counts need no per-pair work here — they grow implicitly
+  // with the session counters of the (already activated) fresh pairs.
+  const int64_t cx =
+      static_cast<int64_t>(std::floor(event.location.x / cell_size_));
+  const int64_t cy =
+      static_cast<int64_t>(std::floor(event.location.y / cell_size_));
+  for (int64_t dy = -reach_; dy <= reach_; ++dy) {
+    for (int64_t dx = -reach_; dx <= reach_; ++dx) {
+      const auto cell_it = grid_.find(PackXY(cx + dx, cy + dy));
+      if (cell_it == grid_.end()) continue;
+      for (TagId other : cell_it->second) {
+        if (other == event.tag) continue;
+        const TagState& other_state = last_.find(other)->second;
+        if (event.location.DistanceXYTo(other_state.location) >
+            config_.colocation_radius_feet) {
+          continue;
+        }
+        const auto pit = pairs_.find(MakeKey(other, event.tag));
+        if (pit == pairs_.end()) continue;  // Unreachable; defensive.
+        pit->second.colocated += 1;
+        pit->second.last_update = now;
+      }
+    }
+  }
+
+  TagState& state = self->second;
+  const int64_t cell = PackXY(cx, cy);
+  if (state.events == 0) {
+    state.cell = cell;
+    GridInsert(cell, event.tag);
+  } else {
+    if (state.cell != cell) {
+      GridRemove(state.cell, event.tag);
+      GridInsert(cell, event.tag);
+      state.cell = cell;
+    }
+    state.time = now;
+    state.location = event.location;
+  }
+  state.events += 1;
+  expiry_.emplace_back(now, event.tag);
 }
 
 std::vector<ColocationCandidate> ColocationTracker::Candidates() const {
   std::vector<ColocationCandidate> out;
-  for (const auto& [key, stats] : pairs_) {
-    if (stats.joint < config_.min_joint_observations) continue;
+  for (const auto& [key, entry] : pairs_) {
+    const int joint = JointOf(key, entry);
+    if (joint < config_.min_joint_observations || joint <= 0) continue;
     const double ratio =
-        static_cast<double>(stats.colocated) / static_cast<double>(stats.joint);
+        static_cast<double>(entry.colocated) / static_cast<double>(joint);
     if (ratio < config_.min_colocation_ratio) continue;
-    out.push_back({key.a, key.b, stats.joint, stats.colocated, ratio});
+    out.push_back({key.a, key.b, joint, entry.colocated, ratio});
   }
   std::sort(out.begin(), out.end(),
             [](const ColocationCandidate& x, const ColocationCandidate& y) {
               if (x.ratio != y.ratio) return x.ratio > y.ratio;
-              return x.joint_observations > y.joint_observations;
+              if (x.joint_observations != y.joint_observations) {
+                return x.joint_observations > y.joint_observations;
+              }
+              return x.a != y.a ? x.a < y.a : x.b < y.b;
             });
   return out;
 }
 
 std::optional<ColocationCandidate> ColocationTracker::PairStats(
     TagId a, TagId b) const {
-  const PairKey key = a < b ? PairKey{a, b} : PairKey{b, a};
-  auto it = pairs_.find(key);
+  const PairKey key = MakeKey(a, b);
+  const auto it = pairs_.find(key);
   if (it == pairs_.end()) return std::nullopt;
   ColocationCandidate c;
   c.a = key.a;
   c.b = key.b;
-  c.joint_observations = it->second.joint;
+  c.joint_observations = JointOf(key, it->second);
   c.colocated_observations = it->second.colocated;
-  c.ratio = it->second.joint > 0
-                ? static_cast<double>(it->second.colocated) / it->second.joint
+  c.ratio = c.joint_observations > 0
+                ? static_cast<double>(c.colocated_observations) /
+                      c.joint_observations
                 : 0.0;
   return c;
+}
+
+OperatorStats ColocationTracker::Stats() const {
+  OperatorStats stats;
+  stats.entries = last_.size() + pairs_.size();
+  size_t bytes =
+      last_.size() * (sizeof(TagId) + sizeof(TagState) + 2 * sizeof(void*)) +
+      pairs_.size() * (sizeof(PairKey) + sizeof(PairEntry) +
+                       2 * sizeof(void*)) +
+      grid_.size() * (sizeof(int64_t) + sizeof(std::vector<TagId>) +
+                      2 * sizeof(void*)) +
+      expiry_.size() * sizeof(std::pair<double, TagId>);
+  for (const auto& [tag, state] : last_) {
+    bytes += state.partners.capacity() * sizeof(TagId);
+  }
+  for (const auto& [cell, tags] : grid_) {
+    bytes += tags.capacity() * sizeof(TagId);
+  }
+  stats.bytes_estimate = bytes;
+  stats.evicted = evicted_tags_ + evicted_pairs_;
+  return stats;
 }
 
 }  // namespace rfid

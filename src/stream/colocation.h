@@ -6,9 +6,35 @@
 // in the clean event stream as persistent co-location: two tags whose
 // inferred locations stay within a small radius across many reports. This
 // operator consumes location events and maintains, per tag pair, a count of
-// co-located and separated observations within sliding time proximity; pairs
-// whose co-location ratio passes a threshold after enough joint observations
-// are reported as containment candidates.
+// joint observations (the other tag reported within time slack) and how many
+// of those were co-located (within the radius); pairs whose co-location
+// ratio passes a threshold after enough joint observations are reported as
+// containment candidates.
+//
+// The implementation is built for unbounded streams with many tags:
+//
+//  * `last_` holds only *fresh* tags. A global expiry queue in report-time
+//    order evicts a tag the moment the stream's clock passes its last report
+//    by more than the time slack, so departed tags stop costing anything —
+//    the seed implementation scanned every tag ever seen on every event.
+//  * Co-location tests go through a uniform grid over each fresh tag's last
+//    report, so an event only visits tags in neighboring cells (O(local
+//    density), not O(tags)).
+//  * Joint counts are not maintained by touching every fresh pair per event.
+//    A pair is *activated* when its two tags first become simultaneously
+//    fresh; while active, "joint" grows implicitly with the two tags'
+//    per-session event counters, and the pairwise baselines are folded into
+//    a frozen count when either tag is evicted. Per event this is O(1) plus
+//    the grid neighborhood, with an O(fresh) scan only when a tag (re)joins
+//    the fresh set. The counts are exactly those of the naive per-event
+//    pairwise scan (see tests/colocation_equiv_test.cc).
+//  * `pairs_` can be soft-capped: when it outgrows `max_pairs`, inactive
+//    pairs are decayed — TTL-expired ones first, then never-co-located ones
+//    oldest first, then the stalest of the rest. Pairs between currently
+//    fresh tags are never decayed, so live statistics stay exact.
+//
+// Event times must be non-decreasing (the serving pipeline guarantees
+// per-site event order).
 //
 // This is deliberately a statistics-level prototype — full containment
 // inference belongs in the probabilistic model (and is future work in the
@@ -16,12 +42,14 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "stream/events.h"
+#include "stream/operator_stats.h"
+#include "util/hash.h"
 
 namespace rfid {
 
@@ -34,6 +62,17 @@ struct ColocationConfig {
   int min_joint_observations = 3;
   /// Minimum fraction of joint observations that were co-located.
   double min_colocation_ratio = 0.8;
+
+  /// Edge length of the spatial index cells; <= 0 uses the co-location
+  /// radius (a 3x3 neighborhood then covers every candidate).
+  double grid_cell_feet = 0.0;
+  /// Soft cap on pair statistics entries: when exceeded, inactive pairs are
+  /// decayed until the map is back under ~7/8 of the cap (pairs of currently
+  /// fresh tags are exempt). 0 disables the cap.
+  size_t max_pairs = 1u << 20;
+  /// During a decay sweep, inactive pairs untouched for longer than this are
+  /// always dropped, regardless of rank. 0 disables the TTL.
+  double pair_ttl_seconds = 0.0;
 };
 
 /// A candidate containment / co-packing relation between two tags.
@@ -47,38 +86,81 @@ struct ColocationCandidate {
 
 class ColocationTracker {
  public:
-  explicit ColocationTracker(const ColocationConfig& config = {})
-      : config_(config) {}
+  explicit ColocationTracker(const ColocationConfig& config = {});
 
   /// Feeds one clean location event.
   void Process(const LocationEvent& event);
 
   /// All pairs currently satisfying the candidate criteria, sorted by ratio
-  /// (descending), ties by joint observations.
+  /// (descending), ties by joint observations then by pair id.
   std::vector<ColocationCandidate> Candidates() const;
 
   /// Pair statistics for testing / inspection; nullopt if never joint.
   std::optional<ColocationCandidate> PairStats(TagId a, TagId b) const;
 
+  /// Tags currently fresh (reported within the time slack of the stream's
+  /// clock at the last processed event).
+  size_t num_tracked_tags() const { return last_.size(); }
+  size_t num_pairs() const { return pairs_.size(); }
+
+  OperatorStats Stats() const;
+
  private:
   struct PairKey {
     TagId a, b;
-    bool operator<(const PairKey& o) const {
-      return a != o.a ? a < o.a : b < o.b;
+    bool operator==(const PairKey& o) const { return a == o.a && b == o.b; }
+  };
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      return HashCombine64(k.a, k.b);
     }
   };
-  struct PairStatsEntry {
-    int joint = 0;
+  struct PairEntry {
+    /// Joint observations folded in from completed freshness sessions.
+    int joint_frozen = 0;
     int colocated = 0;
+    /// While active, joint = joint_frozen + (events of key.a since base_a)
+    /// + (events of key.b since base_b); bases snapshot the tags' session
+    /// event counters at (re)activation.
+    int base_a = 0;
+    int base_b = 0;
+    bool active = false;
+    double last_update = 0.0;
   };
-  struct LastReport {
-    double time = 0.0;
-    Vec3 location;
+  struct TagState {
+    double time = 0.0;  ///< Last report time.
+    Vec3 location;      ///< Last report location.
+    int64_t cell = 0;   ///< Packed grid cell of `location`.
+    int events = 0;     ///< Events this freshness session.
+    /// Tags this one activated pairs with; may hold entries whose pair has
+    /// since deactivated (skipped and dropped when this tag is evicted).
+    std::vector<TagId> partners;
   };
 
+  static PairKey MakeKey(TagId x, TagId y) {
+    return x < y ? PairKey{x, y} : PairKey{y, x};
+  }
+
+  int64_t PackCell(const Vec3& p) const;
+  void GridInsert(int64_t cell, TagId tag);
+  void GridRemove(int64_t cell, TagId tag);
+  void EvictStale(double now);
+  void FoldPairsOf(TagId tag, const TagState& state);
+  void DecayPairs(double now);
+  int JointOf(const PairKey& key, const PairEntry& entry) const;
+
   ColocationConfig config_;
-  std::unordered_map<TagId, LastReport> last_;
-  std::map<PairKey, PairStatsEntry> pairs_;
+  double cell_size_ = 1.0;
+  int reach_ = 1;  ///< Neighborhood radius in cells for the radius query.
+
+  std::unordered_map<TagId, TagState> last_;
+  std::unordered_map<PairKey, PairEntry, PairKeyHash> pairs_;
+  std::unordered_map<int64_t, std::vector<TagId>> grid_;
+  /// Report times in arrival order; superseded entries skipped on expiry.
+  std::deque<std::pair<double, TagId>> expiry_;
+
+  uint64_t evicted_tags_ = 0;
+  uint64_t evicted_pairs_ = 0;
 };
 
 }  // namespace rfid

@@ -1,0 +1,34 @@
+// Common state-size snapshot exposed by every stream query operator.
+//
+// The serving layer keeps one operator instance per (subscription, site) and
+// runs them against unbounded event streams, so "how much state is this
+// operator holding right now" is an operational question, not a debugging
+// one. Each operator answers it with an OperatorStats snapshot:
+//
+//   entries        — live container entries (partition rows, window entries,
+//                    tracked tags, pair statistics, ...),
+//   bytes_estimate — rough resident size of that state; an estimate from
+//                    entry counts and element sizes, not an allocator
+//                    measurement, intended for dashboards and leak alarms,
+//   evicted        — cumulative entries dropped by the operator's lifecycle
+//                    policies (window expiry, TTL eviction, pair decay)
+//                    since construction. A growing `evicted` with a flat
+//                    `entries` is the signature of bounded state.
+//
+// Snapshots are plain values; taking one never mutates operator state. The
+// SubscriptionBus aggregates them per site into ServeStats (see
+// serve/serve_stats.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rfid {
+
+struct OperatorStats {
+  size_t entries = 0;
+  size_t bytes_estimate = 0;
+  uint64_t evicted = 0;
+};
+
+}  // namespace rfid

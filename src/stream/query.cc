@@ -4,64 +4,125 @@
 
 namespace rfid {
 
+void LocationUpdateQuery::Evict(double now) {
+  while (!expiry_.empty() && now - expiry_.front().first > ttl_) {
+    const auto [time, tag] = expiry_.front();
+    expiry_.pop_front();
+    auto it = last_.find(tag);
+    if (it == last_.end() || it->second.time != time) continue;  // Superseded.
+    last_.erase(it);
+    ++evicted_;
+  }
+}
+
 std::optional<LocationEvent> LocationUpdateQuery::Process(
     const LocationEvent& event) {
+  if (ttl_ > 0.0) Evict(event.time);
   auto it = last_.find(event.tag);
-  if (it != last_.end() &&
-      it->second.DistanceTo(event.location) <= min_change_) {
-    return std::nullopt;
+  const bool suppressed =
+      it != last_.end() &&
+      it->second.location.DistanceTo(event.location) <= min_change_;
+  if (suppressed) {
+    // A stationary tag that keeps reporting is present, not departed: its
+    // row time must track the latest report or the TTL would evict it.
+    it->second.time = event.time;
+  } else {
+    last_[event.tag] = {event.location, event.time};
   }
-  last_[event.tag] = event.location;
+  if (ttl_ > 0.0) expiry_.emplace_back(event.time, event.tag);
+  if (suppressed) return std::nullopt;
   return event;
+}
+
+OperatorStats LocationUpdateQuery::Stats() const {
+  OperatorStats stats;
+  stats.entries = last_.size();
+  stats.bytes_estimate =
+      last_.size() * (sizeof(TagId) + sizeof(Row) + 2 * sizeof(void*)) +
+      expiry_.size() * sizeof(std::pair<double, TagId>);
+  stats.evicted = evicted_;
+  return stats;
+}
+
+FireCodeQuery::FireCodeQuery(FireCodeConfig config, WeightFn weight_fn)
+    : config_(config), weight_fn_(std::move(weight_fn)) {
+  if (config_.cell_size_feet <= 0) config_.cell_size_feet = 1.0;
+  disarm_ = config_.disarm_limit < 0
+                ? config_.weight_limit
+                : std::min(config_.disarm_limit, config_.weight_limit);
 }
 
 FireCodeQuery::FireCodeQuery(double window_seconds, double weight_limit,
                              WeightFn weight_fn, double cell_size_feet)
-    : window_seconds_(window_seconds),
-      weight_limit_(weight_limit),
-      weight_fn_(std::move(weight_fn)),
-      cell_size_(cell_size_feet > 0 ? cell_size_feet : 1.0) {}
+    : FireCodeQuery(
+          FireCodeConfig{window_seconds, weight_limit, -1.0, cell_size_feet},
+          std::move(weight_fn)) {}
 
 AreaCell FireCodeQuery::CellOf(const Vec3& p) const {
-  return {static_cast<int64_t>(std::floor(p.x / cell_size_)),
-          static_cast<int64_t>(std::floor(p.y / cell_size_))};
+  return {static_cast<int64_t>(std::floor(p.x / config_.cell_size_feet)),
+          static_cast<int64_t>(std::floor(p.y / config_.cell_size_feet))};
 }
 
 void FireCodeQuery::Evict(double now) {
-  while (!window_.empty() && window_.front().time <= now - window_seconds_) {
-    const WindowEntry& e = window_.front();
-    auto it = area_weight_.find(e.cell);
-    if (it != area_weight_.end()) {
-      it->second -= e.weight;
-      if (it->second <= weight_limit_) alerted_[e.cell] = false;
-      if (it->second <= 1e-12) area_weight_.erase(it);
+  while (!expiry_.empty() &&
+         expiry_.front().first <= now - config_.window_seconds) {
+    const AreaCell cell = expiry_.front().second;
+    expiry_.pop_front();
+    auto it = cells_.find(cell);
+    if (it == cells_.end()) continue;  // Unreachable; defensive.
+    CellWindow& w = it->second;
+    if (!w.entries.empty()) {
+      w.total -= w.entries.front().second;
+      w.entries.pop_front();
+      ++evicted_;
     }
-    window_.pop_front();
+    // Clamp floating-point residue: repeated `total -= weight` can land a
+    // hair below zero even though every entry was non-negative, and an empty
+    // window must weigh exactly zero.
+    if (w.entries.empty() || w.total < 0.0) w.total = 0.0;
+    if (w.armed && w.total <= disarm_) w.armed = false;
+    if (w.entries.empty()) cells_.erase(it);
   }
 }
 
 std::vector<FireCodeAlert> FireCodeQuery::Process(const LocationEvent& event) {
   Evict(event.time);
 
-  WindowEntry entry;
-  entry.time = event.time;
-  entry.cell = CellOf(event.location);
-  entry.weight = weight_fn_ ? weight_fn_(event.tag) : 0.0;
-  window_.push_back(entry);
-  area_weight_[entry.cell] += entry.weight;
+  const AreaCell cell = CellOf(event.location);
+  const double weight = weight_fn_ ? weight_fn_(event.tag) : 0.0;
+  CellWindow& w = cells_[cell];
+  w.entries.emplace_back(event.time, weight);
+  expiry_.emplace_back(event.time, cell);
+  w.total += weight;
 
   std::vector<FireCodeAlert> alerts;
-  const double total = area_weight_[entry.cell];
-  if (total > weight_limit_ && !alerted_[entry.cell]) {
-    alerted_[entry.cell] = true;
-    alerts.push_back({event.time, entry.cell, total});
+  if (!w.armed && w.total > config_.weight_limit) {
+    w.armed = true;
+    alerts.push_back({event.time, cell, w.total});
   }
   return alerts;
 }
 
 double FireCodeQuery::AreaWeight(const AreaCell& cell) const {
-  auto it = area_weight_.find(cell);
-  return it == area_weight_.end() ? 0.0 : it->second;
+  auto it = cells_.find(cell);
+  return it == cells_.end() ? 0.0 : it->second.total;
+}
+
+bool FireCodeQuery::IsArmed(const AreaCell& cell) const {
+  auto it = cells_.find(cell);
+  return it != cells_.end() && it->second.armed;
+}
+
+OperatorStats FireCodeQuery::Stats() const {
+  OperatorStats stats;
+  stats.entries = cells_.size() + expiry_.size();
+  stats.bytes_estimate =
+      cells_.size() * (sizeof(AreaCell) + sizeof(CellWindow) +
+                       2 * sizeof(void*)) +
+      expiry_.size() * (sizeof(std::pair<double, AreaCell>) +
+                        sizeof(std::pair<double, double>));
+  stats.evicted = evicted_;
+  return stats;
 }
 
 }  // namespace rfid

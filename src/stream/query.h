@@ -15,16 +15,25 @@
 //    Group By E2.area  Having sum(E2.weight) > 200 pounds
 //  groups events of the last 5 seconds by square-foot shelf area and alerts
 //  on groups whose total weight exceeds the threshold.
+//
+// Both operators hold bounded state on unbounded streams: partition rows can
+// be given a TTL so departed tags are dropped, and the fire-code query keeps
+// per-cell ring-buffered windows that are erased the moment their last entry
+// expires — a cell that saw traffic once does not cost memory forever. Event
+// times must be non-decreasing (the serving pipeline guarantees per-site
+// event order); state sizes are observable through OperatorStats.
 #pragma once
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "stream/events.h"
+#include "stream/operator_stats.h"
+#include "util/hash.h"
 
 namespace rfid {
 
@@ -33,17 +42,36 @@ namespace rfid {
 class LocationUpdateQuery {
  public:
   /// `min_change_feet` suppresses jitter below the given distance.
-  explicit LocationUpdateQuery(double min_change_feet = 1e-6)
-      : min_change_(min_change_feet) {}
+  /// `ttl_seconds` > 0 drops a tag's partition row once the tag has not
+  /// reported for that long (measured against event time, refreshed by every
+  /// report including suppressed ones); the tag's next report is then
+  /// treated as a first report and always emitted. 0 disables eviction.
+  explicit LocationUpdateQuery(double min_change_feet = 1e-6,
+                               double ttl_seconds = 0.0)
+      : min_change_(min_change_feet), ttl_(ttl_seconds) {}
 
   /// Returns the update to emit (if any) for one input event.
   std::optional<LocationEvent> Process(const LocationEvent& event);
 
   size_t num_partitions() const { return last_.size(); }
 
+  OperatorStats Stats() const;
+
  private:
+  struct Row {
+    Vec3 location;
+    double time = 0.0;  ///< Last report time (drives TTL eviction).
+  };
+
+  void Evict(double now);
+
   double min_change_;
-  std::unordered_map<TagId, Vec3> last_;
+  double ttl_;
+  std::unordered_map<TagId, Row> last_;
+  /// Report times in arrival order; entries superseded by a newer report of
+  /// the same tag are skipped on expiry (lazy deletion).
+  std::deque<std::pair<double, TagId>> expiry_;
+  uint64_t evicted_ = 0;
 };
 
 /// Identifier of a 1 sq-ft (or cell_size^2) shelf area cell.
@@ -56,6 +84,13 @@ struct AreaCell {
   }
 };
 
+struct AreaCellHash {
+  size_t operator()(const AreaCell& c) const {
+    return HashCombine64(static_cast<uint64_t>(c.x),
+                         static_cast<uint64_t>(c.y));
+  }
+};
+
 /// An alert from the fire-code query.
 struct FireCodeAlert {
   double time = 0.0;
@@ -63,40 +98,71 @@ struct FireCodeAlert {
   double total_weight = 0.0;
 };
 
+struct FireCodeConfig {
+  double window_seconds = 5.0;
+  /// Arm threshold: a cell alerts when its windowed weight exceeds this.
+  double weight_limit = 200.0;
+  /// Hysteresis: an armed cell re-arms (becomes eligible to alert again)
+  /// only once its weight falls to or below this. Negative (default) means
+  /// "same as weight_limit", i.e. the pre-hysteresis behavior. Values above
+  /// weight_limit are clamped down to it.
+  double disarm_limit = -1.0;
+  double cell_size_feet = 1.0;
+};
+
 /// Query 2. Sliding [Range window] group-by-area having sum(weight) > limit.
+///
+/// State is one ring-buffered window per *active* cell plus a global expiry
+/// queue in event-time order; a cell is erased — weight total and armed flag
+/// together — as soon as its window empties, so state is bounded by the
+/// traffic inside one window, not by every cell ever touched. Evicted
+/// weights are clamped at zero so floating-point residue from repeated
+/// subtraction can neither go negative nor keep a dead cell alive.
 class FireCodeQuery {
  public:
   using WeightFn = std::function<double(TagId)>;
 
+  FireCodeQuery(FireCodeConfig config, WeightFn weight_fn);
   FireCodeQuery(double window_seconds, double weight_limit, WeightFn weight_fn,
                 double cell_size_feet = 1.0);
 
   /// Feeds one event; returns alerts for areas that newly exceed the limit
-  /// (an area alerts once per excursion above the threshold).
+  /// (an area alerts once per excursion above the arm threshold, and cannot
+  /// re-alert until its weight falls to the disarm threshold).
   std::vector<FireCodeAlert> Process(const LocationEvent& event);
 
   /// Current total weight in an area cell (testing hook).
   double AreaWeight(const AreaCell& cell) const;
+  /// Whether the cell is in the armed (alerted, not yet disarmed) state.
+  bool IsArmed(const AreaCell& cell) const;
 
   AreaCell CellOf(const Vec3& p) const;
 
+  size_t num_cells() const { return cells_.size(); }
+  size_t window_entries() const { return expiry_.size(); }
+
+  OperatorStats Stats() const;
+
  private:
-  struct WindowEntry {
-    double time = 0.0;
-    AreaCell cell;
-    double weight = 0.0;
+  struct CellWindow {
+    /// (time, weight) ring in arrival order; fronts expire first.
+    std::deque<std::pair<double, double>> entries;
+    double total = 0.0;
+    bool armed = false;
   };
 
   void Evict(double now);
 
-  double window_seconds_;
-  double weight_limit_;
+  FireCodeConfig config_;
+  double disarm_;  ///< Resolved disarm threshold (see FireCodeConfig).
   WeightFn weight_fn_;
-  double cell_size_;
 
-  std::deque<WindowEntry> window_;
-  std::map<AreaCell, double> area_weight_;
-  std::map<AreaCell, bool> alerted_;  ///< Suppress duplicate alerts.
+  std::unordered_map<AreaCell, CellWindow, AreaCellHash> cells_;
+  /// Global expiry order across cells. Every window entry has exactly one
+  /// expiry entry; both are FIFO per cell, so expiring the queue front pops
+  /// the matching cell's window front.
+  std::deque<std::pair<double, AreaCell>> expiry_;
+  uint64_t evicted_ = 0;
 };
 
 }  // namespace rfid

@@ -1,0 +1,18 @@
+// Shared hash combiner for small composite keys (cell coordinates, tag
+// pairs). One definition so the stream operators' hash quality is tuned in
+// exactly one place.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rfid {
+
+/// Boost-style combine of two 64-bit values, golden-ratio seeded.
+inline size_t HashCombine64(uint64_t a, uint64_t b) {
+  uint64_t h = a * 0x9e3779b97f4a7c15ULL;
+  h ^= b + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return static_cast<size_t>(h);
+}
+
+}  // namespace rfid

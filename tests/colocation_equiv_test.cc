@@ -1,0 +1,237 @@
+// Exact-equivalence tests: the grid-bucketed, lazily-counted
+// ColocationTracker must produce bit-identical statistics to the naive
+// per-event pairwise scan it replaced, on adversarial randomized streams
+// with tag churn (sessions, departures, returns) and spatial clustering.
+//
+// The reference below is the seed implementation verbatim: per event, scan
+// every tag ever seen, skip stale ones, count joint/colocated. The tracker
+// replaces the scan with freshness eviction + implicit joint counters + a
+// uniform grid, and this test is the proof that the replacement changes the
+// complexity, not the answers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/colocation.h"
+#include "util/rng.h"
+
+namespace rfid {
+namespace {
+
+/// Seed-fidelity reference: O(tags ever seen) per event, unbounded state.
+class ReferenceColocationScan {
+ public:
+  explicit ReferenceColocationScan(const ColocationConfig& config)
+      : config_(config) {}
+
+  void Process(const LocationEvent& event) {
+    for (const auto& [other, report] : last_) {
+      if (other == event.tag) continue;
+      if (event.time - report.time > config_.time_slack_seconds) continue;
+      const PairKey key = other < event.tag ? PairKey{other, event.tag}
+                                            : PairKey{event.tag, other};
+      PairStatsEntry& stats = pairs_[key];
+      ++stats.joint;
+      if (event.location.DistanceXYTo(report.location) <=
+          config_.colocation_radius_feet) {
+        ++stats.colocated;
+      }
+    }
+    last_[event.tag] = {event.time, event.location};
+  }
+
+  std::vector<ColocationCandidate> Candidates() const {
+    std::vector<ColocationCandidate> out;
+    for (const auto& [key, stats] : pairs_) {
+      if (stats.joint < config_.min_joint_observations) continue;
+      const double ratio = static_cast<double>(stats.colocated) /
+                           static_cast<double>(stats.joint);
+      if (ratio < config_.min_colocation_ratio) continue;
+      out.push_back({key.a, key.b, stats.joint, stats.colocated, ratio});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const ColocationCandidate& x, const ColocationCandidate& y) {
+                if (x.ratio != y.ratio) return x.ratio > y.ratio;
+                if (x.joint_observations != y.joint_observations) {
+                  return x.joint_observations > y.joint_observations;
+                }
+                return x.a != y.a ? x.a < y.a : x.b < y.b;
+              });
+    return out;
+  }
+
+  struct PairKey {
+    TagId a, b;
+    bool operator<(const PairKey& o) const {
+      return a != o.a ? a < o.a : b < o.b;
+    }
+  };
+  struct PairStatsEntry {
+    int joint = 0;
+    int colocated = 0;
+  };
+  struct LastReport {
+    double time = 0.0;
+    Vec3 location;
+  };
+
+  const std::map<PairKey, PairStatsEntry>& pairs() const { return pairs_; }
+
+ private:
+  ColocationConfig config_;
+  std::unordered_map<TagId, LastReport> last_;
+  std::map<PairKey, PairStatsEntry> pairs_;
+};
+
+void ExpectSameStats(const ReferenceColocationScan& ref,
+                     const ColocationTracker& tracker, int checkpoint) {
+  // Every pair the reference knows must exist in the tracker with identical
+  // counts, and the tracker must not have invented extra pairs.
+  EXPECT_EQ(ref.pairs().size(), tracker.num_pairs())
+      << "pair universe diverged at checkpoint " << checkpoint;
+  for (const auto& [key, stats] : ref.pairs()) {
+    const auto got = tracker.PairStats(key.a, key.b);
+    ASSERT_TRUE(got.has_value())
+        << "missing pair (" << key.a << "," << key.b << ") at checkpoint "
+        << checkpoint;
+    EXPECT_EQ(got->joint_observations, stats.joint)
+        << "joint mismatch for (" << key.a << "," << key.b
+        << ") at checkpoint " << checkpoint;
+    EXPECT_EQ(got->colocated_observations, stats.colocated)
+        << "colocated mismatch for (" << key.a << "," << key.b
+        << ") at checkpoint " << checkpoint;
+  }
+  // Candidates must match exactly, ratios bitwise.
+  const auto want = ref.Candidates();
+  const auto got = tracker.Candidates();
+  ASSERT_EQ(want.size(), got.size()) << "at checkpoint " << checkpoint;
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].a, got[i].a);
+    EXPECT_EQ(want[i].b, got[i].b);
+    EXPECT_EQ(want[i].joint_observations, got[i].joint_observations);
+    EXPECT_EQ(want[i].colocated_observations, got[i].colocated_observations);
+    EXPECT_EQ(want[i].ratio, got[i].ratio);  // Bit-identical division.
+  }
+}
+
+struct StreamParams {
+  int events = 4000;
+  int universe = 60;         ///< Total distinct tags over the stream.
+  int active_window = 12;    ///< Concurrently reporting tags.
+  double cohort_shift = 200; ///< Events between active-window slides.
+  int clusters = 4;          ///< Spatial clusters; co-located tags share one.
+  double mean_dt = 0.4;      ///< Mean inter-event time.
+  uint64_t seed = 1;
+};
+
+/// Random churn stream: the active tag window slides across the universe, so
+/// tags appear, report for a while, go stale, and occasionally return; tags
+/// of the same cluster hover near a shared center.
+std::vector<LocationEvent> MakeChurnStream(const StreamParams& p) {
+  Rng rng(p.seed);
+  std::vector<LocationEvent> events;
+  events.reserve(static_cast<size_t>(p.events));
+  double time = 0.0;
+  for (int i = 0; i < p.events; ++i) {
+    time += rng.NextDouble() * 2.0 * p.mean_dt;
+    const int base =
+        static_cast<int>(i / p.cohort_shift) % (p.universe - p.active_window);
+    int tag_index = base + static_cast<int>(rng.NextDouble() * p.active_window);
+    if (rng.NextDouble() < 0.03) {
+      // Occasionally a blast from the past: a departed tag reports again.
+      tag_index = static_cast<int>(rng.NextDouble() * p.universe);
+    }
+    const int cluster = tag_index % p.clusters;
+    LocationEvent e;
+    e.time = time;
+    e.tag = static_cast<TagId>(tag_index + 1);
+    e.location = {cluster * 10.0 + rng.Gaussian() * 0.4,
+                  cluster * 3.0 + rng.Gaussian() * 0.4, 0.0};
+    events.push_back(e);
+  }
+  return events;
+}
+
+TEST(ColocationEquivalenceTest, ChurnStreamsMatchReferenceExactly) {
+  for (const uint64_t seed : {11ULL, 23ULL, 47ULL}) {
+    StreamParams p;
+    p.seed = seed;
+    const auto events = MakeChurnStream(p);
+
+    ColocationConfig config;
+    config.time_slack_seconds = 3.0;
+    config.colocation_radius_feet = 1.0;
+    config.min_joint_observations = 3;
+    config.min_colocation_ratio = 0.6;
+    config.max_pairs = 0;  // Equivalence requires the full pair history.
+
+    ReferenceColocationScan ref(config);
+    ColocationTracker tracker(config);
+    int checkpoint = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+      ref.Process(events[i]);
+      tracker.Process(events[i]);
+      if ((i + 1) % 500 == 0) ExpectSameStats(ref, tracker, ++checkpoint);
+    }
+    ExpectSameStats(ref, tracker, ++checkpoint);
+  }
+}
+
+TEST(ColocationEquivalenceTest, DenseSameTimeBatchesMatchReference) {
+  // All tags report at the same timestamps (the serving layer's per-epoch
+  // dispatch shape), including ties in time and position.
+  ColocationConfig config;
+  config.time_slack_seconds = 2.0;
+  config.colocation_radius_feet = 1.5;
+  config.min_joint_observations = 2;
+  config.min_colocation_ratio = 0.5;
+  config.max_pairs = 0;
+
+  ReferenceColocationScan ref(config);
+  ColocationTracker tracker(config);
+  Rng rng(99);
+  double time = 0.0;
+  int checkpoint = 0;
+  for (int round = 0; round < 120; ++round) {
+    time += (round % 7 == 6) ? 10.0 : 1.0;  // Periodic gaps: everyone stale.
+    for (TagId tag = 1; tag <= 10; ++tag) {
+      LocationEvent e;
+      e.time = time;
+      e.tag = tag;
+      const int cluster = static_cast<int>(tag) % 3;
+      e.location = {cluster * 4.0 + rng.Gaussian() * 0.5,
+                    rng.Gaussian() * 0.5, 0.0};
+      ref.Process(e);
+      tracker.Process(e);
+    }
+    if (round % 20 == 19) ExpectSameStats(ref, tracker, ++checkpoint);
+  }
+  ExpectSameStats(ref, tracker, ++checkpoint);
+}
+
+TEST(ColocationEquivalenceTest, TrackerStateStaysBoundedWhereReferenceGrows) {
+  // Same stream, radically different state: the reference keeps every tag
+  // ever seen; the tracker keeps only the fresh ones.
+  StreamParams p;
+  p.events = 6000;
+  p.universe = 300;
+  p.active_window = 10;
+  p.cohort_shift = 60;
+  const auto events = MakeChurnStream(p);
+
+  ColocationConfig config;
+  config.time_slack_seconds = 3.0;
+  ColocationTracker tracker(config);
+  for (const auto& e : events) tracker.Process(e);
+
+  EXPECT_LE(tracker.num_tracked_tags(), 64u)
+      << "departed tags were not evicted";
+  EXPECT_GT(tracker.Stats().evicted, 100u);
+}
+
+}  // namespace
+}  // namespace rfid

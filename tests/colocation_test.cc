@@ -118,5 +118,94 @@ TEST(ColocationTest, ManyTagsOnlyAdjacentPairsQualify) {
   EXPECT_FALSE(tracker.Candidates().empty());
 }
 
+TEST(ColocationTest, DepartedTagsAreEvictedFromTracking) {
+  // Regression: the seed skipped stale `last_` entries on every event but
+  // never removed them, so a departed tag cost a map visit per event
+  // forever. Fresh-set eviction must drop it instead.
+  ColocationConfig config;
+  config.time_slack_seconds = 5.0;
+  ColocationTracker tracker(config);
+  tracker.Process(Ev(0.0, 1, 2.0, 3.0));
+  tracker.Process(Ev(1.0, 2, 2.1, 3.0));
+  EXPECT_EQ(tracker.num_tracked_tags(), 2u);
+  // Tag 2 keeps reporting; tag 1 goes silent and must be evicted once the
+  // stream clock passes its last report by more than the slack.
+  tracker.Process(Ev(4.0, 2, 2.1, 3.0));
+  EXPECT_EQ(tracker.num_tracked_tags(), 2u);  // 4 - 0 <= 5: still fresh.
+  tracker.Process(Ev(6.0, 2, 2.1, 3.0));
+  EXPECT_EQ(tracker.num_tracked_tags(), 1u);  // 6 - 0 > 5: evicted.
+  EXPECT_EQ(tracker.Stats().evicted, 1u);
+  // The pair's history survives eviction (frozen counts).
+  const auto stats = tracker.PairStats(1, 2);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->joint_observations, 2);  // t=1 and t=4.
+  EXPECT_EQ(stats->colocated_observations, 2);
+}
+
+TEST(ColocationTest, ReturningTagResumesPairHistory) {
+  ColocationConfig config;
+  config.time_slack_seconds = 5.0;
+  config.min_joint_observations = 3;
+  ColocationTracker tracker(config);
+  // Round 1: two joint observations, then both depart.
+  tracker.Process(Ev(0.0, 1, 2.0, 3.0));
+  tracker.Process(Ev(1.0, 2, 2.1, 3.0));
+  tracker.Process(Ev(2.0, 1, 2.0, 3.0));
+  // Round 2, 100 s later: the pair reunites; counts continue from 2.
+  tracker.Process(Ev(100.0, 1, 2.0, 3.0));
+  tracker.Process(Ev(101.0, 2, 2.1, 3.0));
+  const auto stats = tracker.PairStats(1, 2);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->joint_observations, 3);
+  EXPECT_EQ(stats->colocated_observations, 3);
+  EXPECT_EQ(tracker.Candidates().size(), 1u);
+}
+
+TEST(ColocationTest, PairCapDecaysInactivePairs) {
+  ColocationConfig config;
+  config.time_slack_seconds = 1.0;
+  config.max_pairs = 20;
+  ColocationTracker tracker(config);
+  // Cohorts of 6 tags appear together (15 pairs each), then all depart
+  // before the next cohort: without decay, pairs would grow by 15 per
+  // cohort; the cap must hold the map at <= 20 (the 15 pairs of the live
+  // cohort are exempt, departed cohorts' pairs are decayed).
+  for (int cohort = 0; cohort < 60; ++cohort) {
+    const double t = cohort * 10.0;
+    for (int k = 0; k < 6; ++k) {
+      tracker.Process(
+          Ev(t + 0.01 * k, 1000 * cohort + k, k * 3.0, 0.0));
+    }
+  }
+  EXPECT_LE(tracker.num_pairs(), 20u);
+  EXPECT_GT(tracker.Stats().evicted, 500u);  // Tags + pairs decayed.
+}
+
+TEST(ColocationTest, DecayPrefersNeverColocatedPairs) {
+  ColocationConfig config;
+  config.time_slack_seconds = 1.0;
+  config.colocation_radius_feet = 1.0;
+  config.min_joint_observations = 2;
+  // Big enough that decay never has to dip past the never-co-located
+  // victims into real signal (the live cohort's 15 pairs are exempt).
+  config.max_pairs = 40;
+  ColocationTracker tracker(config);
+  // One genuinely co-located pair, observed early...
+  tracker.Process(Ev(0.0, 500, 0.0, 0.0));
+  tracker.Process(Ev(0.5, 501, 0.2, 0.0));
+  tracker.Process(Ev(0.9, 500, 0.0, 0.0));
+  // ...then waves of far-apart cohorts blow past the pair cap.
+  for (int cohort = 1; cohort <= 20; ++cohort) {
+    const double t = cohort * 10.0;
+    for (int k = 0; k < 6; ++k) {
+      tracker.Process(Ev(t + 0.01 * k, 1000 * cohort + k, k * 50.0, 0.0));
+    }
+  }
+  // The co-located pair's statistics survived the decay sweeps.
+  const auto stats = tracker.PairStats(500, 501);
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_EQ(stats->colocated_observations, 2);
+}
+
 }  // namespace
 }  // namespace rfid

@@ -1,0 +1,149 @@
+// Operator-state bounds under sustained load: ≥200k synthetic events with
+// tag churn and a drifting spatial hotspot stream through all three query
+// operators, and every operator's entry count must plateau — unbounded
+// streams, bounded state. The seed implementations failed all three ways
+// (fire-code kept every cell ever alerted, location-update kept every tag
+// ever seen, colocation scanned and kept every tag ever seen).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "stream/colocation.h"
+#include "stream/query.h"
+#include "util/rng.h"
+
+namespace rfid {
+namespace {
+
+constexpr int kEvents = 200000;
+
+/// Churny soak stream: ~200 concurrently active tags out of a universe of
+/// thousands (so most tags the operators have seen are gone), positions in a
+/// hotspot that drifts across thousands of distinct area cells over time.
+std::vector<LocationEvent> MakeSoakStream() {
+  Rng rng(4242);
+  std::vector<LocationEvent> events;
+  events.reserve(kEvents);
+  double time = 0.0;
+  const int universe = 4000;
+  const int active = 100;
+  for (int i = 0; i < kEvents; ++i) {
+    time += 0.05;
+    const int base = (i / 2000 * 100) % (universe - active);
+    const int tag_index = base + static_cast<int>(rng.NextDouble() * active);
+    LocationEvent e;
+    e.time = time;
+    e.tag = static_cast<TagId>(tag_index + 1);
+    // Hotspot center drifts one foot per 40 events: thousands of distinct
+    // square-foot cells are touched across the run, a few dozen per window.
+    const double cx = i / 40.0;
+    e.location = {cx + rng.Gaussian() * 2.0, rng.Gaussian() * 2.0, 0.0};
+    events.push_back(e);
+  }
+  return events;
+}
+
+struct Plateau {
+  size_t first_half_max = 0;
+  size_t second_half_max = 0;
+  size_t final = 0;
+};
+
+void ExpectPlateaued(const Plateau& p, const char* op) {
+  // After warmup the state high-water mark must stop growing: the second
+  // half of the stream may not push entries meaningfully past the first
+  // half's maximum (10% slop for churn jitter).
+  EXPECT_GT(p.first_half_max, 0u) << op;
+  EXPECT_LE(p.second_half_max,
+            p.first_half_max + p.first_half_max / 10 + 16)
+      << op << " state kept growing: " << p.first_half_max << " -> "
+      << p.second_half_max;
+}
+
+TEST(QuerySoakTest, AllThreeOperatorsHoldBoundedState) {
+  const auto events = MakeSoakStream();
+
+  LocationUpdateQuery update(/*min_change_feet=*/0.05, /*ttl_seconds=*/30.0);
+  FireCodeConfig fire_config;
+  fire_config.window_seconds = 5.0;
+  fire_config.weight_limit = 40.0;
+  fire_config.disarm_limit = 25.0;
+  FireCodeQuery fire(fire_config, [](TagId tag) {
+    return 10.0 + static_cast<double>(tag % 7);
+  });
+  ColocationConfig coloc_config;
+  coloc_config.time_slack_seconds = 20.0;
+  coloc_config.colocation_radius_feet = 1.0;
+  coloc_config.max_pairs = 20000;
+  coloc_config.pair_ttl_seconds = 300.0;
+  ColocationTracker coloc(coloc_config);
+
+  Plateau update_p, fire_p, coloc_p;
+  size_t alerts = 0;
+  for (size_t i = 0; i < events.size(); ++i) {
+    update.Process(events[i]);
+    alerts += fire.Process(events[i]).size();
+    coloc.Process(events[i]);
+    if ((i + 1) % 5000 == 0) {
+      const bool first_half = i < events.size() / 2;
+      auto track = [first_half](Plateau* p, size_t entries) {
+        auto& high = first_half ? p->first_half_max : p->second_half_max;
+        high = std::max(high, entries);
+        p->final = entries;
+      };
+      track(&update_p, update.Stats().entries);
+      track(&fire_p, fire.Stats().entries);
+      track(&coloc_p, coloc.Stats().entries);
+    }
+  }
+
+  ExpectPlateaued(update_p, "LocationUpdateQuery");
+  ExpectPlateaued(fire_p, "FireCodeQuery");
+  ExpectPlateaued(coloc_p, "ColocationTracker");
+
+  // The workload genuinely exercised the operators...
+  EXPECT_GT(alerts, 10u);
+  EXPECT_GT(update.Stats().evicted, 1000u);
+  EXPECT_GT(fire.Stats().evicted, 100000u);
+  EXPECT_GT(coloc.Stats().evicted, 1000u);
+
+  // ...and absolute bounds hold: far fewer entries than the ~4000-tag
+  // universe / ~5000 cells touched over the run.
+  EXPECT_LE(update.num_partitions(), 1200u);
+  EXPECT_LE(fire.num_cells(), 200u);
+  EXPECT_LE(fire.window_entries(), 200u);
+  EXPECT_LE(coloc.num_tracked_tags(), 1200u);
+  EXPECT_LE(coloc.num_pairs(), coloc_config.max_pairs + 1);
+
+  // Memory estimates are wired and plausible (single-digit MB, not GB).
+  EXPECT_GT(update.Stats().bytes_estimate, 0u);
+  EXPECT_LT(coloc.Stats().bytes_estimate, 64u * 1024 * 1024);
+}
+
+TEST(QuerySoakTest, FireCodeAloneOverManyCellsStaysBounded) {
+  // Regression for the seed's `alerted_` leak: every cell that ever crossed
+  // the threshold stayed in the map forever (and `area_weight_` kept
+  // FP-residue corpses). Stream a hotspot across 5000 distinct cells; live
+  // state must stay around one window's worth.
+  FireCodeQuery fire(/*window_seconds=*/5.0, /*weight_limit=*/30.0,
+                     [](TagId) { return 20.0; });
+  double time = 0.0;
+  size_t alerts = 0, max_entries = 0;
+  for (int i = 0; i < 100000; ++i) {
+    time += 0.1;
+    LocationEvent e;
+    e.time = time;
+    e.tag = static_cast<TagId>(i % 16);
+    e.location = {i / 20.0, 0.0, 0.0};  // New cell every 20 events.
+    alerts += fire.Process(e).size();
+    max_entries = std::max(max_entries, fire.Stats().entries);
+  }
+  EXPECT_GT(alerts, 1000u);  // Nearly every cell crossed the threshold...
+  EXPECT_LE(fire.num_cells(), 8u);       // ...but only the window survives.
+  EXPECT_LE(fire.window_entries(), 64u);
+  EXPECT_LE(max_entries, 128u);
+}
+
+}  // namespace
+}  // namespace rfid

@@ -2,7 +2,9 @@
 // §II-B query operators running as live subscriptions.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/subscription_bus.h"
@@ -105,6 +107,93 @@ TEST(SubscriptionBusTest, ColocationCandidatesPerSite) {
   EXPECT_EQ(site1[0].b, 11u);
   EXPECT_TRUE(bus.ColocationCandidates(id, 2).empty());
   EXPECT_TRUE(bus.ColocationCandidates(id, 99).empty());
+}
+
+TEST(SubscriptionBusTest, OperatorStatsSnapshotCoversEveryInstance) {
+  SubscriptionBus bus;
+  bus.SubscribeEvents([](SiteId, const LocationEvent&) {});  // No state.
+  const auto update_id =
+      bus.SubscribeLocationUpdates(0.1, [](SiteId, const LocationEvent&) {});
+  const auto fire_id = bus.SubscribeFireCode(
+      5.0, 100.0, [](TagId) { return 10.0; }, 1.0,
+      [](SiteId, const FireCodeAlert&) {});
+  const auto coloc_id = bus.SubscribeColocation({});
+
+  bus.Dispatch(1, {Event(0.0, 10, {0, 0, 0}), Event(0.0, 11, {0.2, 0, 0})});
+  bus.Dispatch(2, {Event(0.0, 10, {5, 5, 0})});
+
+  const auto rows = bus.OperatorStatsSnapshot();
+  // Raw subscriptions report nothing; the three operators report one row
+  // per site they saw, sites in ascending order within a subscription.
+  ASSERT_EQ(rows.size(), 6u);
+  EXPECT_EQ(rows[0].subscription, update_id);
+  EXPECT_EQ(std::string(rows[0].kind), "location_update");
+  EXPECT_EQ(rows[0].site, 1);
+  EXPECT_EQ(rows[0].stats.entries, 2u);  // Two tags partitioned at site 1.
+  EXPECT_EQ(rows[1].site, 2);
+  EXPECT_EQ(rows[1].stats.entries, 1u);
+  EXPECT_EQ(std::string(rows[2].kind), "fire_code");
+  EXPECT_EQ(rows[2].subscription, fire_id);
+  EXPECT_GT(rows[2].stats.entries, 0u);
+  EXPECT_EQ(std::string(rows[4].kind), "colocation");
+  EXPECT_EQ(rows[4].subscription, coloc_id);
+  EXPECT_GT(rows[4].stats.entries, 0u);
+  for (const auto& row : rows) EXPECT_GT(row.stats.bytes_estimate, 0u);
+}
+
+TEST(SubscriptionBusTest, ConcurrentDispatchAndStatsSnapshots) {
+  // TSan coverage for the operator state paths: two shards dispatch
+  // different sites through the same subscriptions (per-subscription mutex)
+  // while a monitor thread polls OperatorStatsSnapshot.
+  SubscriptionBus bus;
+  std::atomic<uint64_t> updates{0}, alerts{0};
+  bus.SubscribeLocationUpdates(
+      0.01,
+      [&updates](SiteId, const LocationEvent&) {
+        updates.fetch_add(1, std::memory_order_relaxed);
+      },
+      std::nullopt, /*ttl_seconds=*/5.0);
+  FireCodeConfig fire_config;
+  fire_config.window_seconds = 5.0;
+  fire_config.weight_limit = 50.0;
+  fire_config.disarm_limit = 30.0;
+  bus.SubscribeFireCode(
+      fire_config, [](TagId) { return 20.0; },
+      [&alerts](SiteId, const FireCodeAlert&) {
+        alerts.fetch_add(1, std::memory_order_relaxed);
+      });
+  const auto coloc_id = bus.SubscribeColocation({});
+
+  constexpr int kEventsPerSite = 400;
+  auto producer = [&bus](SiteId site) {
+    for (int i = 0; i < kEventsPerSite; ++i) {
+      const double t = i * 0.5;
+      const double x = (i % 13) * 0.4;
+      bus.Dispatch(site, {Event(t, 10 + site, {x, 0, 0}),
+                          Event(t, 20 + site, {x + 0.1, 0, 0})});
+    }
+  };
+  std::thread site1([&] { producer(1); });
+  std::thread site2([&] { producer(2); });
+  std::thread monitor([&bus] {
+    for (int i = 0; i < 50; ++i) {
+      const auto rows = bus.OperatorStatsSnapshot();
+      for (const auto& row : rows) {
+        EXPECT_LE(row.stats.entries, 100000u);  // Touch every field.
+      }
+      std::this_thread::yield();
+    }
+  });
+  site1.join();
+  site2.join();
+  monitor.join();
+
+  EXPECT_GT(updates.load(), 0u);
+  EXPECT_GT(alerts.load(), 0u);
+  EXPECT_EQ(bus.ColocationCandidates(coloc_id, 1).size(), 1u);
+  EXPECT_EQ(bus.ColocationCandidates(coloc_id, 2).size(), 1u);
+  const auto rows = bus.OperatorStatsSnapshot();
+  ASSERT_EQ(rows.size(), 6u);  // Three operator subs x two sites.
 }
 
 TEST(SubscriptionBusTest, UnsubscribeStopsDelivery) {

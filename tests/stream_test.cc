@@ -293,12 +293,135 @@ TEST(FireCodeQueryTest, ReAlertsAfterDroppingBelowLimit) {
   EXPECT_EQ(q.Process(Event(11.0, 4, {0.5, 0.5, 0})).size(), 1u);
 }
 
+TEST(LocationUpdateQueryTest, TtlEvictsDepartedTags) {
+  LocationUpdateQuery q(/*min_change_feet=*/0.05, /*ttl_seconds=*/10.0);
+  EXPECT_TRUE(q.Process(Event(0, 1, {1, 1, 0})).has_value());
+  EXPECT_TRUE(q.Process(Event(0, 2, {5, 5, 0})).has_value());
+  // Tag 2 keeps reporting (suppressed, but present); tag 1 goes silent.
+  EXPECT_FALSE(q.Process(Event(5, 2, {5, 5, 0})).has_value());
+  EXPECT_FALSE(q.Process(Event(12, 2, {5, 5, 0})).has_value());
+  EXPECT_EQ(q.num_partitions(), 1u);  // Tag 1 evicted at t=12.
+  EXPECT_EQ(q.Stats().evicted, 1u);
+  // Regression: the first post-eviction report always emits, even from the
+  // exact same location as before the eviction.
+  EXPECT_TRUE(q.Process(Event(13, 1, {1, 1, 0})).has_value());
+}
+
+TEST(LocationUpdateQueryTest, SuppressedReportsRefreshTtl) {
+  LocationUpdateQuery q(0.05, /*ttl_seconds=*/10.0);
+  EXPECT_TRUE(q.Process(Event(0, 1, {1, 1, 0})).has_value());
+  // A stationary tag reporting every 4 s must never be evicted.
+  for (int t = 4; t <= 40; t += 4) {
+    EXPECT_FALSE(q.Process(Event(t, 1, {1, 1, 0})).has_value()) << t;
+  }
+  EXPECT_EQ(q.num_partitions(), 1u);
+  EXPECT_EQ(q.Stats().evicted, 0u);
+}
+
+TEST(LocationUpdateQueryTest, ZeroTtlNeverEvicts) {
+  LocationUpdateQuery q(0.05);  // Default: eviction disabled.
+  EXPECT_TRUE(q.Process(Event(0, 1, {1, 1, 0})).has_value());
+  EXPECT_FALSE(q.Process(Event(1e9, 1, {1, 1, 0})).has_value());
+  EXPECT_EQ(q.num_partitions(), 1u);
+}
+
 TEST(FireCodeQueryTest, WeightFunctionPerTag) {
   FireCodeQuery q(5.0, 200.0,
                   [](TagId tag) { return tag == 1 ? 500.0 : 1.0; });
   const auto alerts = q.Process(Event(0.0, 1, {0.5, 0.5, 0}));
   ASSERT_EQ(alerts.size(), 1u);  // Single heavy object trips the code.
   EXPECT_TRUE(q.Process(Event(1.0, 2, {8.5, 0.5, 0})).empty());
+}
+
+TEST(FireCodeQueryTest, EvictionErasesAlertStateWithTheCell) {
+  // Regression for the seed leak: evicting a cell set `alerted_[cell] =
+  // false` — inserting an entry per evicted cell that nothing ever erased.
+  FireCodeQuery q(5.0, 100.0, [](TagId) { return 150.0; });
+  for (int i = 0; i < 1000; ++i) {
+    // Each event lands in a fresh cell, alerts, and expires 10 s later.
+    q.Process(Event(i * 10.0, 1, {i * 3.0 + 0.5, 0.5, 0}));
+  }
+  // Only the newest event's cell is live; every alerted cell before it is
+  // fully erased (weight, window, and armed flag alike).
+  EXPECT_EQ(q.num_cells(), 1u);
+  EXPECT_EQ(q.window_entries(), 1u);
+  EXPECT_EQ(q.Stats().evicted, 999u);
+}
+
+TEST(FireCodeQueryTest, EvictedWeightResidueIsClampedToZero) {
+  // 1e16 + 1.0 is absorbed in double precision, so evicting both entries
+  // naively leaves total = -1.0: negative area weight and (in the seed) a
+  // cell that survives the `<= 1e-12` erase check's intent.
+  FireCodeQuery q(5.0, 1e17, [](TagId tag) { return tag == 1 ? 1e16 : 1.0; });
+  q.Process(Event(0.0, 1, {0.5, 0.5, 0}));
+  q.Process(Event(0.5, 2, {0.5, 0.5, 0}));
+  q.Process(Event(6.0, 3, {50.5, 0.5, 0}));  // Evicts both entries.
+  EXPECT_GE(q.AreaWeight({0, 0}), 0.0);
+  EXPECT_EQ(q.num_cells(), 1u);  // Only the t=6 cell remains.
+}
+
+TEST(FireCodeQueryTest, HysteresisArmDisarmBoundaries) {
+  FireCodeConfig config;
+  config.window_seconds = 10.0;
+  config.weight_limit = 200.0;
+  config.disarm_limit = 100.0;
+  FireCodeQuery q(config, [](TagId) { return 60.0; });
+
+  // 60, 120, 180: at or below the arm threshold — no alert (strictly
+  // greater arms, exactly-equal does not... 180 < 200 anyway).
+  EXPECT_TRUE(q.Process(Event(0.0, 1, {0.5, 0.5, 0})).empty());
+  EXPECT_TRUE(q.Process(Event(1.0, 2, {0.5, 0.5, 0})).empty());
+  EXPECT_TRUE(q.Process(Event(2.0, 3, {0.5, 0.5, 0})).empty());
+  EXPECT_FALSE(q.IsArmed(q.CellOf({0.5, 0.5, 0})));
+  // 240 > 200: arms and alerts once.
+  EXPECT_EQ(q.Process(Event(3.0, 4, {0.5, 0.5, 0})).size(), 1u);
+  EXPECT_TRUE(q.IsArmed(q.CellOf({0.5, 0.5, 0})));
+
+  // Window slides: eviction drops the weight to 180, then the new report
+  // brings it back over 200. 180 is above the disarm threshold (100), so
+  // the cell stays armed and re-crossing 200 does NOT re-alert — this is
+  // exactly the boundary flapping the hysteresis exists to suppress.
+  EXPECT_TRUE(q.Process(Event(10.5, 5, {0.5, 0.5, 0})).empty());
+  EXPECT_TRUE(q.Process(Event(11.5, 6, {0.5, 0.5, 0})).empty());
+  EXPECT_DOUBLE_EQ(q.AreaWeight({0, 0}), 240.0);  // t=2, 3, 10.5, 11.5.
+  EXPECT_TRUE(q.IsArmed(q.CellOf({0.5, 0.5, 0})));
+
+  // Let everything but the t=11.5 event expire: 60 <= 100 disarms.
+  EXPECT_TRUE(q.Process(Event(21.0, 7, {0.5, 0.5, 0})).empty());
+  EXPECT_DOUBLE_EQ(q.AreaWeight({0, 0}), 120.0);  // t=11.5 and t=21.
+  EXPECT_FALSE(q.IsArmed(q.CellOf({0.5, 0.5, 0})));
+
+  // Re-arm: crossing 200 alerts again after a genuine disarm.
+  EXPECT_TRUE(q.Process(Event(22.0, 8, {0.5, 0.5, 0})).empty());   // 120.
+  EXPECT_TRUE(q.Process(Event(23.0, 9, {0.5, 0.5, 0})).empty());   // 180.
+  EXPECT_EQ(q.Process(Event(23.5, 10, {0.5, 0.5, 0})).size(), 1u);  // 240.
+}
+
+TEST(FireCodeQueryTest, DisarmExactlyAtThresholdDisarms) {
+  FireCodeConfig config;
+  config.window_seconds = 5.0;
+  config.weight_limit = 100.0;
+  config.disarm_limit = 60.0;
+  FireCodeQuery q(config, [](TagId) { return 60.0; });
+  q.Process(Event(0.0, 1, {0.5, 0.5, 0}));
+  EXPECT_EQ(q.Process(Event(1.0, 2, {0.5, 0.5, 0})).size(), 1u);  // 120.
+  // t=6: the t=0 entry expires, weight drops to exactly 60 == disarm_limit;
+  // "falls to or below" must disarm.
+  q.Process(Event(6.0, 3, {50.5, 0.5, 0}));
+  EXPECT_FALSE(q.IsArmed(q.CellOf({0.5, 0.5, 0})));
+}
+
+TEST(FireCodeQueryTest, DisarmLimitAboveArmIsClampedDown) {
+  FireCodeConfig config;
+  config.window_seconds = 5.0;
+  config.weight_limit = 100.0;
+  config.disarm_limit = 500.0;  // Nonsense; behaves like no hysteresis.
+  FireCodeQuery q(config, [](TagId) { return 80.0; });
+  q.Process(Event(0.0, 1, {0.5, 0.5, 0}));
+  EXPECT_EQ(q.Process(Event(1.0, 2, {0.5, 0.5, 0})).size(), 1u);  // 160.
+  q.Process(Event(7.0, 3, {0.5, 0.5, 0}));   // Both expired; 80 <= 100.
+  EXPECT_FALSE(q.IsArmed(q.CellOf({0.5, 0.5, 0})));
+  EXPECT_EQ(q.Process(Event(7.5, 4, {0.5, 0.5, 0})).size(), 1u);  // 160.
 }
 
 }  // namespace
