@@ -40,6 +40,21 @@ Status ValidateConfig(const EngineConfig& config) {
           "the index reprocesses every object each epoch and would "
           "immediately decompress everything)");
     }
+    if (f.min_object_particles < 0 ||
+        f.min_object_particles > f.num_object_particles) {
+      return Status::Invalid(
+          "min_object_particles must be in [0, num_object_particles]");
+    }
+    if (f.elastic_resize_tolerance < 0) {
+      return Status::Invalid("elastic_resize_tolerance must be non-negative");
+    }
+    if (f.compression.hibernate_after_epochs < 0) {
+      return Status::Invalid("hibernate_after_epochs must be non-negative");
+    }
+    if (f.hibernate_neg_evidence_prob < 0 || f.hibernate_neg_evidence_prob > 1) {
+      return Status::Invalid(
+          "hibernate_neg_evidence_prob must be a probability");
+    }
     if (f.reinit_keep_fraction < 0 ||
         f.reinit_full_fraction < f.reinit_keep_fraction) {
       return Status::Invalid(

@@ -35,4 +35,16 @@ std::vector<uint32_t> CompressionPolicy::SelectForCompression(
   return out;
 }
 
+std::vector<uint32_t> CompressionPolicy::SelectForHibernation(
+    int64_t now, const std::vector<HibernationCandidate>& candidates,
+    int64_t after_epochs) const {
+  std::vector<uint32_t> out;
+  if (!hibernation_enabled()) return out;
+  for (const auto& c : candidates) {
+    if (c.last_observed_step < 0) continue;
+    if (now - c.last_observed_step >= after_epochs) out.push_back(c.slot);
+  }
+  return out;
+}
+
 }  // namespace rfid

@@ -28,6 +28,12 @@ FactoredParticleFilter::FactoredParticleFilter(
       rng_(config.seed),
       index_(config.index),
       pool_(config.num_threads) {
+  elastic_spread_full_ = config_.elastic_spread_full > 0.0
+                             ? config_.elastic_spread_full
+                             : model_.sensor().MaxRange();
+  if (!(elastic_spread_full_ > 0.0) || !std::isfinite(elastic_spread_full_)) {
+    elastic_spread_full_ = 1.0;  // Unbounded sensor: any finite scale works.
+  }
   readers_.resize(config_.num_reader_particles);
   reader_frames_.resize(config_.num_reader_particles);
   lane_scratch_.resize(pool_.num_threads());
@@ -233,6 +239,59 @@ void FactoredParticleFilter::InitializeObjectParticles(ObjectState* state,
   state->compressed.reset();
 }
 
+int FactoredParticleFilter::EffectiveFullBudget() const {
+  const int full = static_cast<int>(
+      std::lround(config_.num_object_particles * budget_scale_));
+  const int floor_count =
+      config_.min_object_particles > 0 ? config_.min_object_particles : 1;
+  return std::max(floor_count, full);
+}
+
+int64_t FactoredParticleFilter::EffectiveHibernateAfter() const {
+  const auto after = static_cast<int64_t>(std::llround(
+      static_cast<double>(compression_.config().hibernate_after_epochs) *
+      hibernate_scale_));
+  return std::max<int64_t>(1, after);
+}
+
+int FactoredParticleFilter::ElasticTarget(double spread) const {
+  const int full = EffectiveFullBudget();
+  const int low = std::min(config_.min_object_particles, full);
+  const double frac =
+      std::min(1.0, std::max(0.0, spread / elastic_spread_full_));
+  const int target =
+      low + static_cast<int>(std::lround(frac * static_cast<double>(full - low)));
+  return std::min(full, std::max(low, target));
+}
+
+size_t FactoredParticleFilter::ElasticTargetForParticles(
+    const ParticleSoa& particles) const {
+  const size_t n = particles.size();
+  if (config_.min_object_particles <= 0) return n;
+  const double* w = particles.weights();  // Normalized by the caller.
+  double mx = 0.0, my = 0.0, mz = 0.0;
+  double sx = 0.0, sy = 0.0, sz = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    const Vec3 p = particles.PositionAt(k);
+    mx += w[k] * p.x;
+    my += w[k] * p.y;
+    mz += w[k] * p.z;
+    sx += w[k] * p.x * p.x;
+    sy += w[k] * p.y * p.y;
+    sz += w[k] * p.z * p.z;
+  }
+  const double var = std::max(0.0, sx - mx * mx) +
+                     std::max(0.0, sy - my * my) +
+                     std::max(0.0, sz - mz * mz);
+  return static_cast<size_t>(ElasticTarget(std::sqrt(var)));
+}
+
+void FactoredParticleFilter::SetLoadShed(double budget_scale,
+                                         double hibernate_scale) {
+  budget_scale_ = std::min(1.0, std::max(1e-3, budget_scale));
+  hibernate_scale_ = std::min(1.0, std::max(1e-3, hibernate_scale));
+}
+
 void FactoredParticleFilter::DecompressObject(ObjectState* state) {
   assert(state->IsCompressed());
   const GaussianBelief belief = *state->compressed;
@@ -253,6 +312,8 @@ void FactoredParticleFilter::DecompressObject(ObjectState* state) {
     state->particles.PushBack(position, scratch_ancestors_[k], uniform);
   }
   state->compressed.reset();
+  state->hibernated = false;
+  state->last_revived_step = step_;
 }
 
 void FactoredParticleFilter::MaybeReinitialize(ObjectState* state,
@@ -264,8 +325,11 @@ void FactoredParticleFilter::MaybeReinitialize(ObjectState* state,
   }
   if (d >= config_.reinit_full_fraction * range) {
     // Far away: the object clearly moved; discard all old particles
-    // ("we create new particles ... at a location far away").
-    InitializeObjectParticles(state, config_.num_object_particles);
+    // ("we create new particles ... at a location far away"). A full
+    // re-initialization is maximal uncertainty, so it always gets the full
+    // (shed-scaled) budget; the elastic resize shrinks it back as the
+    // posterior re-concentrates.
+    InitializeObjectParticles(state, EffectiveFullBudget());
     return;
   }
   // Intermediate distance: ambiguous between local shuffling and a short
@@ -327,8 +391,15 @@ bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
   // Far-field fast path (negative evidence only): when every particle is
   // beyond the sensor's batch-zero radius from every reader, the batched
   // likelihoods are all exactly 0, so each weight is multiplied by exactly
-  // 1.0 — bit-identical to the full update with the kernel, the likelihood
-  // loop and (absent a resample) the bounds recomputation skipped.
+  // 1.0 — with elastic budgets off this is bit-identical to the full update
+  // with the kernel, the likelihood loop and (absent a resample) the bounds
+  // recomputation skipped. With elastic budgets on, the spread pass is also
+  // skipped unless a resample fires anyway: weights and positions are
+  // unchanged here, so the spread (and hence the target) is exactly what
+  // the last in-field update left it at — recomputing it every epoch would
+  // cost the O(n) sweep this path exists to avoid. A resample *does*
+  // recompute the target, so an ESS-collapsed object entering the far field
+  // snaps to the same count the full path would give it.
   // Positions are untouched here (unread objects do not propagate), so the
   // cached particle_bounds this test relies on stays valid.
   if (!observed && !state->particle_bounds.Intersects(reader_reach_)) {
@@ -342,10 +413,11 @@ bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
     }
     if (EffectiveSampleSize(particles.weights(), n) <
         config_.object_resample_threshold * static_cast<double>(n)) {
-      ResampleAncestors(particles.weights(), n, n, config_.resample_scheme,
+      const size_t count = ElasticTargetForParticles(particles);
+      ResampleAncestors(particles.weights(), n, count, config_.resample_scheme,
                         rng, &scratch->ancestors);
       scratch->gathered.GatherFrom(particles, scratch->ancestors,
-                                   1.0 / static_cast<double>(n));
+                                   1.0 / static_cast<double>(count));
       std::swap(particles, scratch->gathered);
       state->particle_bounds = particles.ComputeBounds();
     }
@@ -406,9 +478,23 @@ bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
         particles.ys(), particles.zs(), n, scratch->probs.data());
   }
 
+  // Adaptive budget (elastic scheduling): the spread of the weighted cloud
+  // sets a target particle count; the effective sample size decides when the
+  // resize happens. An ESS collapse forces a resample anyway, making the
+  // resize free (the gather just draws `target` ancestors instead of n);
+  // otherwise the count only moves once the target leaves the hysteresis
+  // band, so budgets do not thrash on spread noise. Everything here draws
+  // from the slot's private stream, so elastic runs are bit-identical at any
+  // thread count; with min_object_particles == 0 the target is always n and
+  // the resample below reduces exactly to the fixed-budget one. The weighted
+  // moments ride the likelihood loop (same pass, unnormalized weights, one
+  // divide by the total afterwards) so the spread costs no extra sweep.
+  const bool elastic = config_.min_object_particles > 0;
   double* weights = particles.mutable_weights();
   double total = 0.0;
   double best_likelihood = 0.0;
+  double mx = 0.0, my = 0.0, mz = 0.0;
+  double sx = 0.0, sy = 0.0, sz = 0.0;
   for (size_t k = 0; k < n; ++k) {
     const double pr = scratch->probs[k];
     const double like = observed ? std::max(pr, kProbFloor)
@@ -416,26 +502,56 @@ bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
     best_likelihood = std::max(best_likelihood, like);
     weights[k] *= like;
     total += weights[k];
+    if (elastic) {
+      const Vec3 p = particles.PositionAt(k);
+      mx += weights[k] * p.x;
+      my += weights[k] * p.y;
+      mz += weights[k] * p.z;
+      sx += weights[k] * p.x * p.x;
+      sy += weights[k] * p.y * p.y;
+      sz += weights[k] * p.z * p.z;
+    }
   }
   // Likelihood conflict: the tag responded but no particle could plausibly
   // have been read. The belief is stale (e.g. the object moved parallel to
   // the reader path, which the reader-distance rule cannot detect).
   const bool conflict = observed && best_likelihood <= kProbFloor * 1.01;
+  size_t target = n;
   if (total <= 0.0 || !std::isfinite(total)) {
+    // Degenerate weights: no spread to trust, so the budget holds still.
     particles.SetUniformWeights();
   } else {
     for (size_t k = 0; k < n; ++k) weights[k] /= total;
+    if (elastic) {
+      mx /= total;
+      my /= total;
+      mz /= total;
+      const double var = std::max(0.0, sx / total - mx * mx) +
+                         std::max(0.0, sy / total - my * my) +
+                         std::max(0.0, sz / total - mz * mz);
+      target = static_cast<size_t>(ElasticTarget(std::sqrt(var)));
+    }
   }
 
   bool resampled = false;
-  if (EffectiveSampleSize(particles.weights(), n) <
-      config_.object_resample_threshold * static_cast<double>(n)) {
-    ResampleAncestors(particles.weights(), n, n, config_.resample_scheme, rng,
-                      &scratch->ancestors);
+  const bool ess_collapsed =
+      EffectiveSampleSize(particles.weights(), n) <
+      config_.object_resample_threshold * static_cast<double>(n);
+  const double tol = config_.elastic_resize_tolerance;
+  const bool resize =
+      target != n &&
+      (ess_collapsed ||
+       static_cast<double>(target) <
+           static_cast<double>(n) * (1.0 - tol) ||
+       static_cast<double>(target) > static_cast<double>(n) * (1.0 + tol));
+  if (ess_collapsed || resize) {
+    const size_t count = resize ? target : n;
+    ResampleAncestors(particles.weights(), n, count, config_.resample_scheme,
+                      rng, &scratch->ancestors);
     // Gather into the lane's scratch set, then swap the storage in;
     // reader_idx pointers are preserved by the gather.
     scratch->gathered.GatherFrom(particles, scratch->ancestors,
-                                 1.0 / static_cast<double>(n));
+                                 1.0 / static_cast<double>(count));
     std::swap(particles, scratch->gathered);
     resampled = true;
   }
@@ -579,6 +695,31 @@ void FactoredParticleFilter::RunCompression() {
   }
 }
 
+void FactoredParticleFilter::RunHibernation() {
+  if (!compression_.hibernation_enabled()) return;
+  const int64_t after = EffectiveHibernateAfter();
+  std::vector<HibernationCandidate> candidates;
+  for (uint32_t slot = 0; slot < states_.size(); ++slot) {
+    const ObjectState& state = states_[slot];
+    if (state.hibernated) continue;
+    // An active object with no particles yet (created but never initialized)
+    // has nothing to summarize; it stays where it is until its first read.
+    if (!state.IsCompressed() && state.particles.empty()) continue;
+    candidates.push_back(
+        {slot, std::max(state.last_observed_step, state.last_revived_step)});
+  }
+  for (uint32_t slot :
+       compression_.SelectForHibernation(step_, candidates, after)) {
+    ObjectState& state = states_[slot];
+    if (!state.IsCompressed()) {
+      state.compressed = FitBelief(state);
+      state.particles.clear();
+      state.particles.ShrinkToFit();
+    }
+    state.hibernated = true;
+  }
+}
+
 void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
   // --- Reader update -------------------------------------------------------
   if (!readers_initialized_) {
@@ -637,7 +778,7 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
     const bool brand_new =
         state.particles.empty() && !state.IsCompressed();
     if (brand_new) {
-      InitializeObjectParticles(&state, config_.num_object_particles);
+      InitializeObjectParticles(&state, EffectiveFullBudget());
     } else if (state.IsCompressed()) {
       DecompressObject(&state);
     } else if (state.last_observed_step >= 0) {
@@ -680,9 +821,15 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
     ObjectState& state = states_[slot];
     if (state.IsCompressed()) {
       // Revive only when the miss is informative at the object's belief.
+      // Hibernated tags demand the stricter gate: stale index entries keep
+      // pointing at them, and the whole point of the tier is that a passing
+      // reader does not pull every parked tag back into the sweep.
+      const double revive_prob = state.hibernated
+                                     ? config_.hibernate_neg_evidence_prob
+                                     : config_.decompress_neg_evidence_prob;
       const double pr = model_.sensor().ProbReadAt(
           Pose(reader_ref, reader_est.heading), state.compressed->mean());
-      if (pr < config_.decompress_neg_evidence_prob) continue;
+      if (pr < revive_prob) continue;
       DecompressObject(&state);
     }
     if (state.particles.empty()) continue;
@@ -730,8 +877,11 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
     index_.Insert(sensing_box, in_box);
   }
 
-  // --- Belief compression ---------------------------------------------------
+  // --- Belief compression + hibernation -------------------------------------
+  // Compression first (it needs the particles for its KL fits), then the
+  // deeper tier collapses whatever has been unread long enough.
   RunCompression();
+  RunHibernation();
 
   ++step_;
 }
@@ -824,7 +974,15 @@ size_t FactoredParticleFilter::NumActiveObjects() const {
 size_t FactoredParticleFilter::NumCompressedObjects() const {
   size_t n = 0;
   for (const ObjectState& s : states_) {
-    if (s.IsCompressed()) ++n;
+    if (s.IsCompressed() && !s.hibernated) ++n;
+  }
+  return n;
+}
+
+size_t FactoredParticleFilter::NumHibernatedObjects() const {
+  size_t n = 0;
+  for (const ObjectState& s : states_) {
+    if (s.hibernated) ++n;
   }
   return n;
 }

@@ -12,7 +12,14 @@
 //  * spatial indexing (§IV-C): only objects read now (Case 1) or recorded
 //    near the current reader location before (Case 2) are processed;
 //  * belief compression (§IV-D): objects out of scope collapse to a Gaussian
-//    and are revived with a small particle count when read again.
+//    and are revived with a small particle count when read again;
+//  * elastic budgets (min_object_particles): per-object particle counts
+//    resize with posterior spread, so a settled tag costs a fraction of an
+//    ambiguous one;
+//  * hibernation (compression.hibernate_after_epochs): tags unread for long
+//    enough collapse to a Gaussian summary and leave the epoch sweep
+//    entirely, reviving on the next read or strong negative evidence —
+//    per-site cost tracks *active* tags, not tags ever seen.
 //
 // Performance architecture (see PERF.md): per-object particles live in a
 // structure-of-arrays store (ParticleSoa) and are weighted through the
@@ -46,7 +53,14 @@ namespace rfid {
 class FactoredParticleFilter;
 Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
                           std::ostream& os);
+Status SaveFilterSnapshotV2(const FactoredParticleFilter& filter,
+                            std::ostream& os);
 Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter);
+namespace snapshot_internal {
+/// Version-parameterized writer shared by the public save entry points.
+Status SaveSnapshotImpl(const FactoredParticleFilter& filter,
+                        std::ostream& os, uint32_t version);
+}  // namespace snapshot_internal
 
 struct FactoredFilterConfig {
   int num_reader_particles = 100;
@@ -54,6 +68,37 @@ struct FactoredFilterConfig {
   /// Particle count used when reviving a compressed object (§IV-D notes many
   /// fewer particles suffice after decompression; the paper uses 10).
   int num_decompress_particles = 10;
+
+  /// Elastic per-object budgets (adaptive inference scheduling). When set to
+  /// a positive value, each object's particle count resizes between
+  /// [min_object_particles, num_object_particles] in proportion to its
+  /// posterior spread: a tag whose belief has collapsed to a shelf slot
+  /// keeps min_object_particles, one in a fresh/ambiguous state keeps the
+  /// full budget. Resizing rides the existing resample machinery (a
+  /// systematic resample to the target count from the slot's private RNG
+  /// stream), so estimates stay deterministic at a fixed seed and at any
+  /// thread count. 0 disables elastic budgets (every object keeps
+  /// num_object_particles, the seed behavior).
+  int min_object_particles = 0;
+  /// Posterior RMS spread (feet) at or above which an object earns the full
+  /// budget; the budget scales linearly below it. <= 0 derives the scale
+  /// from the sensor's max range at construction (a belief as wide as the
+  /// read range is maximally uncertain for this sensor).
+  double elastic_spread_full = 0.0;
+  /// Hysteresis band: outside an ESS-triggered resample, an object is only
+  /// resized when the spread-implied target deviates from the current count
+  /// by more than this fraction. Resizing costs a resample, so drift within
+  /// the band is left alone; when the ESS threshold forces a resample
+  /// anyway, the resize is free and snaps straight to the target.
+  double elastic_resize_tolerance = 0.25;
+
+  /// A hibernated tag (compression.hibernate_after_epochs) revives for
+  /// negative evidence only when the read probability at its summary mean
+  /// exceeds this. Deliberately stricter than decompress_neg_evidence_prob:
+  /// hibernation means "stop paying for this tag", so only a reading or a
+  /// strong contradiction (the reader is parked where the tag supposedly
+  /// sits, yet it stays silent) may wake it.
+  double hibernate_neg_evidence_prob = 0.5;
 
   double object_resample_threshold = 0.5;
   double reader_resample_threshold = 0.5;
@@ -124,13 +169,26 @@ class FactoredParticleFilter final : public InferenceFilter {
   /// view keeps the historical field shape for iteration.
   using ObjectParticle = ParticleSoa::View;
 
-  /// Per-object belief: either a particle list or a compressed Gaussian.
+  /// Per-object belief: a particle list, a compressed Gaussian, or a
+  /// hibernated summary (the Gaussian plus an "out of the sweep" mark).
   struct ObjectState {
     TagId tag = 0;
     ParticleSoa particles;                        ///< Empty when compressed.
     std::optional<GaussianBelief> compressed;
+    /// Hibernation tier below compression (implies IsCompressed()): the
+    /// epoch sweep skips this object entirely — no negative-evidence
+    /// updates, no compression re-fits — until its tag is read again or
+    /// negative evidence at the summary mean is strong
+    /// (hibernate_neg_evidence_prob).
+    bool hibernated = false;
     int64_t last_observed_step = -1;
     int64_t last_processed_step = -1;
+    /// Step of the last decompression (read or negative-evidence revival).
+    /// Hibernation keys on max(last_observed_step, last_revived_step):
+    /// without it, a tag revived by negative evidence — whose
+    /// last_observed_step stays old — would be re-collapsed the very next
+    /// epoch, thrashing between tiers instead of absorbing the evidence.
+    int64_t last_revived_step = -1;
     Vec3 last_observed_reader_position;
     /// Bounding box of the current particle positions; consulted when
     /// recording sensing-index entries ("objects that have at least one
@@ -156,8 +214,22 @@ class FactoredParticleFilter final : public InferenceFilter {
   const std::vector<ObjectState>& object_states() const { return states_; }
   size_t NumActiveObjects() const;
   size_t NumCompressedObjects() const;
+  size_t NumHibernatedObjects() const;
   /// Bytes used by particle and belief storage (excludes index internals).
   size_t ApproxMemoryBytes() const;
+
+  /// Runtime degradation knobs for the serving layer's load-shedding
+  /// governor. `budget_scale` scales the full per-object budget (floored at
+  /// min_object_particles, or 1 when elastic budgets are off);
+  /// `hibernate_scale` scales compression.hibernate_after_epochs (floored
+  /// at one epoch), so pressured sites park idle tags sooner. Both clamp to
+  /// (0, 1]; (1.0, 1.0) — the default — restores configured behavior, and
+  /// with the governor disabled the knobs are never touched, keeping
+  /// estimates bit-identical to a filter without this interface. Values
+  /// apply from the next epoch.
+  void SetLoadShed(double budget_scale, double hibernate_scale);
+  double budget_scale() const { return budget_scale_; }
+  double hibernate_scale() const { return hibernate_scale_; }
   int64_t current_step() const { return step_; }
   const WorldModel& model() const { return model_; }
   /// Cumulative count of particle weightings performed (throughput metric).
@@ -166,8 +238,10 @@ class FactoredParticleFilter final : public InferenceFilter {
   }
 
  private:
-  friend Status SaveFilterSnapshot(const FactoredParticleFilter&,
-                                   std::ostream&);
+  friend Status snapshot_internal::SaveSnapshotImpl(
+      const FactoredParticleFilter&, std::ostream&, uint32_t);
+  friend Status SaveFilterSnapshotV2(const FactoredParticleFilter&,
+                                     std::ostream&);
   friend Status LoadFilterSnapshot(std::istream&, FactoredParticleFilter*);
 
   /// Reusable per-lane buffers for the parallel object updates; lane 0's
@@ -224,12 +298,34 @@ class FactoredParticleFilter final : public InferenceFilter {
   GaussianBelief FitBelief(const ObjectState& state) const;
 
   void RunCompression();
+  /// Collapses tags unread for EffectiveHibernateAfter() epochs into the
+  /// hibernation tier (from the active tier through a fresh Gaussian fit,
+  /// from the compressed tier by marking the existing summary).
+  void RunHibernation();
+
+  /// Full per-object budget with the governor's shed scale applied.
+  int EffectiveFullBudget() const;
+  /// Hibernation threshold with the governor's shed scale applied.
+  int64_t EffectiveHibernateAfter() const;
+  /// Spread-implied elastic particle count in
+  /// [min_object_particles, EffectiveFullBudget()].
+  int ElasticTarget(double spread) const;
+  /// Same, computed from a particle set with normalized weights (the
+  /// far-field resample path; the in-field path fuses the spread pass into
+  /// its likelihood loop instead). Returns size() when elastic is off.
+  size_t ElasticTargetForParticles(const ParticleSoa& particles) const;
 
   WorldModel model_;
   FactoredFilterConfig config_;
   ParticleInitializer initializer_;
   CompressionPolicy compression_;
   Rng rng_;
+
+  /// Resolved elastic_spread_full (config value, or the sensor max range).
+  double elastic_spread_full_ = 0.0;
+  /// Governor knobs (SetLoadShed); 1.0 = configured behavior.
+  double budget_scale_ = 1.0;
+  double hibernate_scale_ = 1.0;
 
   std::vector<ReaderParticle> readers_;
   bool readers_initialized_ = false;

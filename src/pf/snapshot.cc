@@ -18,7 +18,12 @@ constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'S', 'N', 'A', 'P'};
 // v2 appends the RNG state and the particle-updates counter after the index
 // section, making post-restore replay bit-identical to the uninterrupted
 // run (v1 reseeded from the config instead).
-constexpr uint32_t kVersion = 2;
+// v3 adds the hibernation tier per object state: a `hibernated` flag plus
+// the last-revived step (which hibernation idleness keys on). v2 snapshots
+// still load — every object simply comes back non-hibernated with no
+// revival history, exactly the state a pre-hibernation filter was in.
+constexpr uint32_t kVersion = 3;
+constexpr uint32_t kMinVersion = 2;
 
 void WriteVec3(std::ostream& os, const Vec3& v) {
   WritePod(os, v.x);
@@ -34,10 +39,12 @@ Status Truncated() { return Status::IOError("truncated snapshot"); }
 
 }  // namespace
 
-Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
-                          std::ostream& os) {
+namespace snapshot_internal {
+
+Status SaveSnapshotImpl(const FactoredParticleFilter& filter, std::ostream& os,
+                        uint32_t version) {
   os.write(kMagic, sizeof(kMagic));
-  WritePod(os, kVersion);
+  WritePod(os, version);
   WritePod(os, filter.step_);
   WritePod(os, static_cast<uint8_t>(filter.readers_initialized_ ? 1 : 0));
 
@@ -57,6 +64,10 @@ Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
     WriteVec3(os, state.particle_bounds.min);
     WriteVec3(os, state.particle_bounds.max);
     WritePod(os, static_cast<uint8_t>(state.IsCompressed() ? 1 : 0));
+    if (version >= 3) {
+      WritePod(os, static_cast<uint8_t>(state.hibernated ? 1 : 0));
+      WritePod(os, state.last_revived_step);
+    }
     if (state.IsCompressed()) {
       WriteVec3(os, state.compressed->mean());
       for (double c : state.compressed->covariance()) WritePod(os, c);
@@ -88,6 +99,29 @@ Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
   return Status::OK();
 }
 
+}  // namespace snapshot_internal
+
+Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
+                          std::ostream& os) {
+  return snapshot_internal::SaveSnapshotImpl(filter, os, kVersion);
+}
+
+Status SaveFilterSnapshotV2(const FactoredParticleFilter& filter,
+                            std::ostream& os) {
+  // The v2 layout has no hibernation tier to describe a hibernated state
+  // in; writing it as plain compressed would silently change what a
+  // restore replays, so such filters are rejected. (last_revived_step is
+  // dropped, as the old format always did — it only matters once
+  // hibernation is enabled.)
+  for (const auto& state : filter.states_) {
+    if (state.hibernated) {
+      return Status::Invalid(
+          "cannot save v2 snapshot: filter has hibernated objects");
+    }
+  }
+  return snapshot_internal::SaveSnapshotImpl(filter, os, 2);
+}
+
 Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
   char magic[8];
   is.read(magic, sizeof(magic));
@@ -96,7 +130,7 @@ Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
   }
   uint32_t version = 0;
   if (!ReadPod(is, &version)) return Truncated();
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::Invalid("unsupported snapshot version " +
                            std::to_string(version));
   }
@@ -133,6 +167,18 @@ Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
         !ReadVec3(is, &state.particle_bounds.max) ||
         !ReadPod(is, &compressed)) {
       return Truncated();
+    }
+    if (version >= 3) {
+      uint8_t hibernated = 0;
+      if (!ReadPod(is, &hibernated) ||
+          !ReadPod(is, &state.last_revived_step)) {
+        return Truncated();
+      }
+      if (hibernated != 0 && compressed == 0) {
+        return Status::Invalid(
+            "snapshot has a hibernated object without a summary");
+      }
+      state.hibernated = hibernated != 0;
     }
     if (compressed != 0) {
       Vec3 mean;

@@ -27,6 +27,12 @@ namespace rfid {
 Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
                           std::ostream& os);
 
+/// Writes the legacy v2 layout (no hibernation tier), for downgrade paths
+/// and the cross-version compatibility tests. Fails if the filter has
+/// hibernated objects — v2 cannot represent them faithfully.
+Status SaveFilterSnapshotV2(const FactoredParticleFilter& filter,
+                            std::ostream& os);
+
 /// Restores belief state into a freshly constructed filter (same model and
 /// config as the saved one). Fails on magic/version mismatch or truncation.
 Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter);

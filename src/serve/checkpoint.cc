@@ -1,10 +1,38 @@
 #include "serve/checkpoint.h"
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
 namespace rfid {
+
+namespace {
+
+/// Flushes a file (or directory) to stable storage. No-op on platforms
+/// without fsync; rename-atomicity still holds there, only crash-after-
+/// rename durability is weaker.
+Status FsyncPath(const std::string& path, bool directory) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return Status::IOError("cannot open " + path + " for fsync");
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed for " + path);
+#else
+  (void)path;
+  (void)directory;
+#endif
+  return Status::OK();
+}
+
+}  // namespace
 
 std::string SiteCheckpointPath(const std::string& dir, SiteId site) {
   return dir + "/site_" + std::to_string(site) + ".ckpt";
@@ -12,7 +40,19 @@ std::string SiteCheckpointPath(const std::string& dir, SiteId site) {
 
 Status SaveSiteCheckpoint(const SitePipeline& pipeline,
                           const std::string& path) {
-  const std::string tmp = path + ".tmp";
+  // The temp name carries the pid and a process-wide counter: a fixed
+  // `path + ".tmp"` let two concurrent checkpoints of the same site (two
+  // servers sharing a checkpoint dir, or a checkpoint racing a retry)
+  // interleave writes into one file and rename a corrupt hybrid into place.
+  static std::atomic<uint64_t> tmp_counter{0};
+  const uint64_t nonce = tmp_counter.fetch_add(1, std::memory_order_relaxed);
+#if defined(__unix__) || defined(__APPLE__)
+  const long pid = static_cast<long>(::getpid());
+#else
+  const long pid = 0;
+#endif
+  const std::string tmp = path + ".tmp." + std::to_string(pid) + "." +
+                          std::to_string(nonce);
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) return Status::IOError("cannot open " + tmp + " for writing");
@@ -29,6 +69,15 @@ Status SaveSiteCheckpoint(const SitePipeline& pipeline,
       return Status::IOError("failed writing " + tmp);
     }
   }
+  // Without the fsync before the rename, the rename can hit stable storage
+  // ahead of the data (metadata journals commit independently): a crash
+  // shortly after would leave an empty or truncated file under the *final*
+  // name — exactly the corruption the tmp+rename dance is meant to prevent.
+  Status synced = FsyncPath(tmp, /*directory=*/false);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) {
@@ -36,7 +85,10 @@ Status SaveSiteCheckpoint(const SitePipeline& pipeline,
     return Status::IOError("cannot rename " + tmp + " to " + path + ": " +
                            ec.message());
   }
-  return Status::OK();
+  // And the directory entry itself must be durable, or the rename is lost.
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  return FsyncPath(parent.string(), /*directory=*/true);
 }
 
 Status LoadSiteCheckpoint(const std::string& path, SitePipeline* pipeline) {

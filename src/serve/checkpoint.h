@@ -2,9 +2,11 @@
 //
 // A server checkpoint is a directory with one file per site,
 // `site_<id>.ckpt`, each holding the site pipeline's complete resume state
-// (see site_pipeline.h). Files are written through a temporary name and
-// renamed into place, so a crash mid-checkpoint leaves the previous
-// checkpoint intact rather than a truncated file.
+// (see site_pipeline.h). Files are written through a unique temporary name
+// (pid + counter, so concurrent checkpoints of one site cannot interleave),
+// fsynced, renamed into place, and the directory entry is fsynced too — a
+// crash at any point leaves either the previous checkpoint or the new one,
+// never a truncated or empty file under the final name.
 #pragma once
 
 #include <string>

@@ -1,0 +1,112 @@
+#include "serve/load_governor.h"
+
+#include <algorithm>
+
+namespace rfid {
+
+const char* LoadShedLevelName(LoadShedLevel level) {
+  switch (level) {
+    case LoadShedLevel::kNormal:
+      return "normal";
+    case LoadShedLevel::kShrink:
+      return "shrink";
+    case LoadShedLevel::kHibernate:
+      return "hibernate";
+    case LoadShedLevel::kShed:
+      return "shed";
+  }
+  return "unknown";
+}
+
+Status ValidateLoadShedConfig(const LoadShedConfig& c) {
+  const auto fraction = [](double v) { return v >= 0.0 && v <= 1.0; };
+  if (!fraction(c.shrink_enter) || !fraction(c.shrink_exit) ||
+      !fraction(c.hibernate_enter) || !fraction(c.hibernate_exit) ||
+      !fraction(c.shed_enter) || !fraction(c.shed_exit)) {
+    return Status::Invalid("load-shed thresholds must be fractions in [0, 1]");
+  }
+  if (c.shrink_exit > c.shrink_enter || c.hibernate_exit > c.hibernate_enter ||
+      c.shed_exit > c.shed_enter) {
+    return Status::Invalid(
+        "load-shed exit thresholds must not exceed their enter thresholds");
+  }
+  if (c.shrink_enter > c.hibernate_enter || c.hibernate_enter > c.shed_enter) {
+    return Status::Invalid(
+        "load-shed enter thresholds must be non-decreasing "
+        "(shrink <= hibernate <= shed)");
+  }
+  const auto scale = [](double v) { return v > 0.0 && v <= 1.0; };
+  if (!scale(c.shrink_budget_scale) || !scale(c.hibernate_budget_scale) ||
+      !scale(c.hibernate_after_scale)) {
+    return Status::Invalid("load-shed scales must be in (0, 1]");
+  }
+  return Status::OK();
+}
+
+double LoadShedGovernor::EnterThreshold(LoadShedLevel level) const {
+  switch (level) {
+    case LoadShedLevel::kShrink:
+      return config_.shrink_enter;
+    case LoadShedLevel::kHibernate:
+      return config_.hibernate_enter;
+    case LoadShedLevel::kShed:
+      return config_.shed_enter;
+    case LoadShedLevel::kNormal:
+      break;
+  }
+  return 0.0;
+}
+
+double LoadShedGovernor::ExitThreshold(LoadShedLevel level) const {
+  switch (level) {
+    case LoadShedLevel::kShrink:
+      return config_.shrink_exit;
+    case LoadShedLevel::kHibernate:
+      return config_.hibernate_exit;
+    case LoadShedLevel::kShed:
+      return config_.shed_exit;
+    case LoadShedLevel::kNormal:
+      break;
+  }
+  return 0.0;
+}
+
+LoadShedDecision LoadShedGovernor::Update(double occupancy) {
+  occupancy = std::min(1.0, std::max(0.0, occupancy));
+  while (level_ < LoadShedLevel::kShed &&
+         occupancy >= EnterThreshold(
+                          static_cast<LoadShedLevel>(static_cast<int>(level_) + 1))) {
+    level_ = static_cast<LoadShedLevel>(static_cast<int>(level_) + 1);
+    ++escalations_;
+  }
+  // Strictly below: with exit == enter (validation allows it) a `<=` here
+  // would undo the escalation within the same Update, so the rung could
+  // never engage at its own threshold while both counters spun.
+  while (level_ > LoadShedLevel::kNormal && occupancy < ExitThreshold(level_)) {
+    level_ = static_cast<LoadShedLevel>(static_cast<int>(level_) - 1);
+    ++deescalations_;
+  }
+  return Decision();
+}
+
+LoadShedDecision LoadShedGovernor::Decision() const {
+  LoadShedDecision d;
+  d.level = level_;
+  switch (level_) {
+    case LoadShedLevel::kNormal:
+      break;
+    case LoadShedLevel::kShrink:
+      d.budget_scale = config_.shrink_budget_scale;
+      break;
+    case LoadShedLevel::kShed:
+      d.shed_records = true;
+      [[fallthrough]];
+    case LoadShedLevel::kHibernate:
+      d.budget_scale = config_.hibernate_budget_scale;
+      d.hibernate_scale = config_.hibernate_after_scale;
+      break;
+  }
+  return d;
+}
+
+}  // namespace rfid

@@ -1,0 +1,101 @@
+// Load-shedding governor: graceful degradation under ingest pressure.
+//
+// A shard that falls behind fills its bounded ingest queue; without a
+// governor the only outcomes are blocked producers (backpressure stalls the
+// network receivers) or silently dropped records. The governor watches the
+// queue's occupancy fraction each pump sweep and walks a ladder of
+// progressively cheaper inference configurations instead:
+//
+//   kNormal    — configured budgets.
+//   kShrink    — per-object particle budgets scaled down (the elastic
+//                machinery resizes live objects on their next update).
+//   kHibernate — budgets scaled further and idle tags hibernated sooner,
+//                so the sweep sheds the long tail of parked tags.
+//   kShed      — incoming records for the shard's sites are dropped and
+//                counted (drop-and-count beats a stalled producer: the
+//                stream stays live and the loss is visible in stats).
+//
+// Each rung has an enter and a lower exit threshold (hysteresis), so
+// occupancy noise around a boundary cannot flap the configuration. The
+// state machine is a pure function of the occupancy sequence — trivially
+// unit-testable — and all transitions are counted for ServeStats export.
+// With the governor disabled (default) nothing is ever touched and serving
+// output stays bit-identical to a governor-less build.
+#pragma once
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace rfid {
+
+enum class LoadShedLevel : int {
+  kNormal = 0,
+  kShrink = 1,
+  kHibernate = 2,
+  kShed = 3,
+};
+
+const char* LoadShedLevelName(LoadShedLevel level);
+
+struct LoadShedConfig {
+  bool enabled = false;
+
+  /// Queue occupancy fractions (size / capacity) at which each rung engages
+  /// (occupancy >= `*_enter`) and disengages (occupancy strictly below
+  /// `*_exit`). Exits must sit at or below their enters, and enters must be
+  /// non-decreasing up the ladder.
+  double shrink_enter = 0.50;
+  double shrink_exit = 0.25;
+  double hibernate_enter = 0.75;
+  double hibernate_exit = 0.40;
+  double shed_enter = 0.95;
+  double shed_exit = 0.60;
+
+  /// Budget scale at kShrink and at kHibernate-and-above (fed to
+  /// FactoredParticleFilter::SetLoadShed; floored by min_object_particles).
+  double shrink_budget_scale = 0.5;
+  double hibernate_budget_scale = 0.25;
+  /// hibernate_after_epochs scale at kHibernate and above.
+  double hibernate_after_scale = 0.25;
+};
+
+/// Validates thresholds and scales; called from StreamingServer::Create.
+Status ValidateLoadShedConfig(const LoadShedConfig& config);
+
+/// What a pipeline should do right now, derived from the current level.
+struct LoadShedDecision {
+  LoadShedLevel level = LoadShedLevel::kNormal;
+  double budget_scale = 1.0;
+  double hibernate_scale = 1.0;
+  bool shed_records = false;
+};
+
+class LoadShedGovernor {
+ public:
+  explicit LoadShedGovernor(const LoadShedConfig& config) : config_(config) {}
+
+  /// Feeds one occupancy observation (clamped to [0, 1]) and returns the
+  /// decision for the sweep. Escalates through every rung whose enter
+  /// threshold the occupancy reaches, de-escalates while it sits strictly
+  /// below the current rung's exit threshold (strict, so exit == enter
+  /// cannot oscillate within one Update).
+  LoadShedDecision Update(double occupancy);
+
+  LoadShedLevel level() const { return level_; }
+  LoadShedDecision Decision() const;
+
+  uint64_t escalations() const { return escalations_; }
+  uint64_t deescalations() const { return deescalations_; }
+
+ private:
+  double EnterThreshold(LoadShedLevel level) const;
+  double ExitThreshold(LoadShedLevel level) const;
+
+  LoadShedConfig config_;
+  LoadShedLevel level_ = LoadShedLevel::kNormal;
+  uint64_t escalations_ = 0;
+  uint64_t deescalations_ = 0;
+};
+
+}  // namespace rfid

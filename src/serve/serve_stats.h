@@ -17,6 +17,10 @@ namespace rfid {
 struct ShardStatsSnapshot {
   int shard = 0;
   IngestQueueStats queue;
+  /// Load-shedding governor state for this shard (0 = normal / disabled).
+  int shed_level = 0;
+  uint64_t shed_escalations = 0;
+  uint64_t shed_deescalations = 0;
   std::vector<SitePipelineStats> sites;
 };
 
@@ -46,6 +50,20 @@ struct ServerStatsSnapshot {
       for (const auto& site : shard.sites) {
         total += site.records_dropped_late;
       }
+    }
+    return total;
+  }
+  uint64_t TotalRecordsShed() const {
+    uint64_t total = 0;
+    for (const auto& shard : shards) {
+      for (const auto& site : shard.sites) total += site.records_shed;
+    }
+    return total;
+  }
+  size_t TotalHibernatedObjects() const {
+    size_t total = 0;
+    for (const auto& shard : shards) {
+      for (const auto& site : shard.sites) total += site.hibernated_objects;
     }
     return total;
   }
@@ -79,6 +97,10 @@ struct ServerStatsSnapshot {
       out += ", \"rejected_full\": " +
              std::to_string(shard.queue.rejected_full);
       out += ", \"high_water\": " + std::to_string(shard.queue.high_water);
+      out += "}, \"shed\": {\"level\": " + std::to_string(shard.shed_level);
+      out += ", \"escalations\": " + std::to_string(shard.shed_escalations);
+      out += ", \"deescalations\": " +
+             std::to_string(shard.shed_deescalations);
       out += "}, \"sites\": [";
       for (size_t i = 0; i < shard.sites.size(); ++i) {
         const SitePipelineStats& site = shard.sites[i];
@@ -88,8 +110,17 @@ struct ServerStatsSnapshot {
                std::to_string(site.records_processed);
         out += ", \"records_dropped_late\": " +
                std::to_string(site.records_dropped_late);
+        out += ", \"records_shed\": " + std::to_string(site.records_shed);
         out += ", \"events_dispatched\": " +
                std::to_string(site.events_dispatched);
+        out += ", \"scan_completes\": " + std::to_string(site.scan_completes);
+        out += ", \"shed_level\": " + std::to_string(site.shed_level);
+        out += ", \"objects\": {\"active\": " +
+               std::to_string(site.active_objects);
+        out += ", \"compressed\": " + std::to_string(site.compressed_objects);
+        out += ", \"hibernated\": " + std::to_string(site.hibernated_objects);
+        out += ", \"memory_bytes\": " +
+               std::to_string(site.filter_memory_bytes) + "}";
         // Before a site's first record the watermark is -infinity, which is
         // not a JSON number.
         out += ", \"watermark\": " +
@@ -121,6 +152,9 @@ struct ServerStatsSnapshot {
     out += ", \"total_records_processed\": " +
            std::to_string(TotalRecordsProcessed());
     out += ", \"total_dropped_late\": " + std::to_string(TotalDroppedLate());
+    out += ", \"total_records_shed\": " + std::to_string(TotalRecordsShed());
+    out += ", \"total_hibernated_objects\": " +
+           std::to_string(TotalHibernatedObjects());
     out += ", \"total_events_dispatched\": " +
            std::to_string(TotalEventsDispatched());
     out += "}";

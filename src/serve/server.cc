@@ -42,6 +42,9 @@ Status ValidateConfig(const ServeConfig& config, size_t num_sites) {
                              std::to_string(pin.shard));
     }
   }
+  if (config.load_shed.enabled) {
+    RFID_RETURN_NOT_OK(ValidateLoadShedConfig(config.load_shed));
+  }
   return Status::OK();
 }
 
@@ -60,6 +63,9 @@ StreamingServer::StreamingServer(
   shards_.resize(static_cast<size_t>(config_.num_shards));
   for (auto& shard : shards_) {
     shard.queue = std::make_unique<IngestQueue>(config_.queue_capacity);
+    if (config_.load_shed.enabled) {
+      shard.governor = std::make_unique<LoadShedGovernor>(config_.load_shed);
+    }
   }
   for (auto& pipeline : pipelines_) {
     Shard& shard =
@@ -134,6 +140,15 @@ size_t StreamingServer::PumpOnce() {
   std::atomic<size_t> processed{0};
   pool_.ParallelFor(shards_.size(), [this, &processed](size_t s, int) {
     Shard& shard = shards_[s];
+    if (shard.governor != nullptr) {
+      // Occupancy is sampled before the drain so a sweep that empties the
+      // queue still sees the pressure that built up while it was away.
+      const double occupancy =
+          static_cast<double>(shard.queue->size()) /
+          static_cast<double>(shard.queue->capacity());
+      const LoadShedDecision decision = shard.governor->Update(occupancy);
+      for (SitePipeline* site : shard.sites) site->ApplyLoadShed(decision);
+    }
     const size_t n = shard.queue->PopBatch(&shard.batch, config_.pump_batch);
     for (size_t i = 0; i < n; ++i) {
       const ServeRecord& record = shard.batch[i];
@@ -259,6 +274,11 @@ ServerStatsSnapshot StreamingServer::Stats() const {
     ShardStatsSnapshot shard_stats;
     shard_stats.shard = static_cast<int>(s);
     shard_stats.queue = shards_[s].queue->Stats();
+    if (shards_[s].governor != nullptr) {
+      shard_stats.shed_level = static_cast<int>(shards_[s].governor->level());
+      shard_stats.shed_escalations = shards_[s].governor->escalations();
+      shard_stats.shed_deescalations = shards_[s].governor->deescalations();
+    }
     for (const SitePipeline* pipeline : shards_[s].sites) {
       shard_stats.sites.push_back(pipeline->Stats());
     }

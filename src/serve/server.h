@@ -47,6 +47,7 @@
 #include <vector>
 
 #include "serve/ingest_queue.h"
+#include "serve/load_governor.h"
 #include "serve/record.h"
 #include "serve/serve_stats.h"
 #include "serve/shard_router.h"
@@ -74,6 +75,12 @@ struct ServeConfig {
   /// Template for every site's engine. Seeds are decorrelated per site
   /// (seed ^ splitmix64(site)); the filter must be the factored one.
   EngineConfig engine;
+
+  /// Load-shedding governor (one instance per shard, watching that shard's
+  /// queue occupancy before every pump sweep; decisions apply to all of the
+  /// shard's sites). Disabled by default — when disabled, per-site output
+  /// is bit-identical to a server without the governor.
+  LoadShedConfig load_shed;
 
   /// Explicit site-to-shard pins, applied before the hash route (e.g. to
   /// isolate one very hot site on its own shard). Out-of-range shards fail
@@ -152,6 +159,8 @@ class StreamingServer {
     std::vector<SitePipeline*> sites;  ///< Pipelines routed to this shard.
     std::unordered_map<SiteId, SitePipeline*> site_lookup;
     std::vector<ServeRecord> batch;    ///< Pop scratch, reused per pump.
+    /// Degradation ladder for this shard's queue (nullptr when disabled).
+    std::unique_ptr<LoadShedGovernor> governor;
   };
 
   StreamingServer(std::vector<std::unique_ptr<SitePipeline>> pipelines,

@@ -15,7 +15,14 @@ using serialize::ReadPod;
 using serialize::WritePod;
 
 constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'S', 'I', 'T', 'E'};
-constexpr uint32_t kVersion = 1;
+// v2 adds the shed counter and the scan-boundary bookkeeping
+// (records_shed_, scan_completes_, last_epoch_time_/epochs_since_scan_) so
+// a restored pipeline stamps scan-complete events with the same time the
+// uninterrupted run would have. v1 checkpoints still load: the new fields
+// default to zero, which reproduces exactly what a v1-era pipeline did
+// (no shedding, and no scan-complete until fresh epochs arrive).
+constexpr uint32_t kVersion = 2;
+constexpr uint32_t kMinVersion = 1;
 
 SynchronizerConfig MakeSyncConfig(const SitePipelineConfig& config) {
   SynchronizerConfig sc;
@@ -58,6 +65,8 @@ void SitePipeline::ProcessEpochs(std::vector<SyncedEpoch> epochs,
                                  SubscriptionBus* bus) {
   for (const SyncedEpoch& epoch : epochs) {
     engine_->ProcessEpoch(epoch);
+    last_epoch_time_ = epoch.time;
+    epochs_since_scan_ = true;
     engine_->TakeEvents(&event_scratch_);
     if (!event_scratch_.empty()) {
       if (bus != nullptr) bus->Dispatch(site_, event_scratch_);
@@ -67,6 +76,10 @@ void SitePipeline::ProcessEpochs(std::vector<SyncedEpoch> epochs,
 }
 
 void SitePipeline::OnRecord(const ServeRecord& record, SubscriptionBus* bus) {
+  if (shed_.shed_records) {
+    ++records_shed_;
+    return;
+  }
   bool admitted;
   if (record.kind == ServeRecord::Kind::kReading) {
     admitted = sync_.Push(record.reading);
@@ -80,6 +93,30 @@ void SitePipeline::OnRecord(const ServeRecord& record, SubscriptionBus* bus) {
 
 void SitePipeline::Flush(SubscriptionBus* bus) {
   ProcessEpochs(sync_.Finish(), bus);
+  if (config_.engine.emitter.policy == EmitPolicy::kOnScanComplete &&
+      epochs_since_scan_) {
+    // The stream end is the scan boundary. Without this call the
+    // kOnScanComplete policy was dead through the serving path: nothing
+    // ever told the engine a scan finished, so subscriptions saw zero
+    // events while the offline Synchronize runs of the same trace emitted.
+    event_scratch_ = engine_->NotifyScanComplete(last_epoch_time_);
+    if (!event_scratch_.empty()) {
+      if (bus != nullptr) bus->Dispatch(site_, event_scratch_);
+      events_dispatched_ += event_scratch_.size();
+    }
+    ++scan_completes_;
+    epochs_since_scan_ = false;
+  }
+}
+
+void SitePipeline::ApplyLoadShed(const LoadShedDecision& decision) {
+  shed_ = decision;
+  // Serving pipelines are factored-filter only (enforced in Create).
+  auto* filter =
+      dynamic_cast<FactoredParticleFilter*>(&engine_->mutable_filter());
+  if (filter != nullptr) {
+    filter->SetLoadShed(decision.budget_scale, decision.hibernate_scale);
+  }
 }
 
 SitePipelineStats SitePipeline::Stats() const {
@@ -87,9 +124,20 @@ SitePipelineStats SitePipeline::Stats() const {
   stats.site = site_;
   stats.records_processed = records_processed_;
   stats.records_dropped_late = sync_.dropped_late_records();
+  stats.records_shed = records_shed_;
   stats.events_dispatched = events_dispatched_;
+  stats.scan_completes = scan_completes_;
+  stats.shed_level = static_cast<int>(shed_.level);
   stats.watermark = sync_.watermark();
   stats.engine = engine_->stats();
+  const auto* filter =
+      dynamic_cast<const FactoredParticleFilter*>(&engine_->filter());
+  if (filter != nullptr) {
+    stats.active_objects = filter->NumActiveObjects();
+    stats.compressed_objects = filter->NumCompressedObjects();
+    stats.hibernated_objects = filter->NumHibernatedObjects();
+    stats.filter_memory_bytes = filter->ApproxMemoryBytes();
+  }
   return stats;
 }
 
@@ -99,6 +147,10 @@ Status SitePipeline::SaveCheckpoint(std::ostream& os) const {
   WritePod(os, site_);
   WritePod(os, records_processed_);
   WritePod(os, events_dispatched_);
+  WritePod(os, records_shed_);
+  WritePod(os, scan_completes_);
+  WritePod(os, last_epoch_time_);
+  WritePod(os, static_cast<uint8_t>(epochs_since_scan_ ? 1 : 0));
   sync_.SaveState(os);
   engine_->emitter().SaveState(os);
   const EngineStats& stats = engine_->stats();
@@ -117,6 +169,12 @@ Status SitePipeline::SaveCheckpoint(std::ostream& os) const {
 }
 
 Status SitePipeline::LoadCheckpoint(std::istream& is) {
+  // Everything is parsed into temporaries first and committed only after
+  // the last read succeeded. The previous version restored sync_ and the
+  // emitter in place as it went, so a checkpoint that failed halfway (e.g.
+  // truncated on disk) left a half-restored pipeline: new synchronizer
+  // state under the old filter belief, which then replayed garbage. A
+  // failed load must leave the pipeline exactly as it was.
   char magic[8];
   is.read(magic, sizeof(magic));
   if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
@@ -126,14 +184,22 @@ Status SitePipeline::LoadCheckpoint(std::istream& is) {
   if (!ReadPod(is, &version)) {
     return Status::IOError("truncated site checkpoint");
   }
-  if (version != kVersion) {
+  if (version < kMinVersion || version > kVersion) {
     return Status::Invalid("unsupported site checkpoint version " +
                            std::to_string(version));
   }
   SiteId site = 0;
   uint64_t records_processed = 0, events_dispatched = 0;
+  uint64_t records_shed = 0, scan_completes = 0;
+  double last_epoch_time = 0.0;
+  uint8_t epochs_since_scan = 0;
   if (!ReadPod(is, &site) || !ReadPod(is, &records_processed) ||
       !ReadPod(is, &events_dispatched)) {
+    return Status::IOError("truncated site checkpoint");
+  }
+  if (version >= 2 &&
+      (!ReadPod(is, &records_shed) || !ReadPod(is, &scan_completes) ||
+       !ReadPod(is, &last_epoch_time) || !ReadPod(is, &epochs_since_scan))) {
     return Status::IOError("truncated site checkpoint");
   }
   if (site != site_) {
@@ -141,8 +207,10 @@ Status SitePipeline::LoadCheckpoint(std::istream& is) {
                            std::to_string(site) + ", pipeline is site " +
                            std::to_string(site_));
   }
-  RFID_RETURN_NOT_OK(sync_.LoadState(is));
-  RFID_RETURN_NOT_OK(engine_->emitter().LoadState(is));
+  StreamSynchronizer sync(MakeSyncConfig(config_));
+  RFID_RETURN_NOT_OK(sync.LoadState(is));
+  EventEmitter emitter(config_.engine.emitter);
+  RFID_RETURN_NOT_OK(emitter.LoadState(is));
   EngineStats stats;
   if (!ReadPod(is, &stats.epochs_processed) ||
       !ReadPod(is, &stats.readings_processed) ||
@@ -155,10 +223,19 @@ Status SitePipeline::LoadCheckpoint(std::istream& is) {
   if (filter == nullptr) {
     return Status::Internal("serving pipeline filter is not factored");
   }
+  // The filter snapshot is the final section; LoadFilterSnapshot itself
+  // parses fully before mutating the filter, so this is the commit point —
+  // after it succeeds, nothing below can fail.
   RFID_RETURN_NOT_OK(LoadFilterSnapshot(is, filter));
+  sync_ = std::move(sync);
+  engine_->emitter() = std::move(emitter);
+  engine_->RestoreStats(stats);
   records_processed_ = records_processed;
   events_dispatched_ = events_dispatched;
-  engine_->RestoreStats(stats);
+  records_shed_ = records_shed;
+  scan_completes_ = scan_completes;
+  last_epoch_time_ = last_epoch_time;
+  epochs_since_scan_ = epochs_since_scan != 0;
   return Status::OK();
 }
 

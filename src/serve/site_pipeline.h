@@ -21,6 +21,7 @@
 #include <memory>
 
 #include "core/engine.h"
+#include "serve/load_governor.h"
 #include "serve/record.h"
 #include "serve/subscription_bus.h"
 #include "stream/synchronizer.h"
@@ -43,9 +44,20 @@ struct SitePipelineStats {
   SiteId site = 0;
   uint64_t records_processed = 0;
   uint64_t records_dropped_late = 0;
+  /// Records dropped by the load-shedding governor (kShed rung).
+  uint64_t records_shed = 0;
   uint64_t events_dispatched = 0;
+  /// Scan-complete flushes dispatched (kOnScanComplete emitter policy).
+  uint64_t scan_completes = 0;
+  /// Current LoadShedLevel (as int, 0 = normal).
+  int shed_level = 0;
   double watermark = 0.0;
   EngineStats engine;
+  /// Factored-filter belief tiers, the signal behind adaptive scheduling.
+  size_t active_objects = 0;
+  size_t compressed_objects = 0;
+  size_t hibernated_objects = 0;
+  size_t filter_memory_bytes = 0;
 };
 
 class SitePipeline {
@@ -58,11 +70,21 @@ class SitePipeline {
   SiteId site() const { return site_; }
 
   /// Feeds one record; runs the engine over every epoch the watermark
-  /// closed and dispatches fresh events to `bus`.
+  /// closed and dispatches fresh events to `bus`. Under a kShed governor
+  /// decision the record is dropped and counted instead.
   void OnRecord(const ServeRecord& record, SubscriptionBus* bus);
 
-  /// End of stream: closes all pending epochs and processes them.
+  /// End of stream: closes all pending epochs and processes them. With the
+  /// kOnScanComplete emitter policy this is also the scan boundary — the
+  /// engine's scan-complete events are dispatched to `bus` here (timed at
+  /// the last closed epoch), which is what makes that policy observable
+  /// through the serving path at all.
   void Flush(SubscriptionBus* bus);
+
+  /// Applies a load-shedding decision (see load_governor.h): forwards the
+  /// budget/hibernation scales to the factored filter and arms/disarms
+  /// record shedding. Called by the server before each pump sweep.
+  void ApplyLoadShed(const LoadShedDecision& decision);
 
   SitePipelineStats Stats() const;
   const RfidInferenceEngine& engine() const { return *engine_; }
@@ -85,6 +107,15 @@ class SitePipeline {
   std::vector<LocationEvent> event_scratch_;
   uint64_t records_processed_ = 0;
   uint64_t events_dispatched_ = 0;
+  uint64_t records_shed_ = 0;
+  uint64_t scan_completes_ = 0;
+  LoadShedDecision shed_;  ///< Latest governor decision (default: normal).
+  /// Time of the newest closed epoch — the timestamp scan-complete events
+  /// carry. Part of the checkpoint (event times must replay identically).
+  double last_epoch_time_ = 0.0;
+  /// True once epochs closed since the last scan-complete flush, so a
+  /// repeated Flush() cannot re-emit the same scan.
+  bool epochs_since_scan_ = false;
 };
 
 }  // namespace rfid

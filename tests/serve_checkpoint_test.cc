@@ -209,6 +209,117 @@ TEST_F(ServeCheckpointTest, RestoreRejectsWrongSiteAndMissingFiles) {
   EXPECT_FALSE(fresh.value()->Restore(Dir()).ok());
 }
 
+TEST_F(ServeCheckpointTest, LoadsLegacyV1Checkpoints) {
+  // v1 site checkpoints (pre shed/scan bookkeeping) must restore into
+  // today's pipeline — upgrading the binary cannot force a cold start.
+  // A v1 file is the v2 bytes with the version patched and the four new
+  // header fields (u64 records_shed, u64 scan_completes, double
+  // last_epoch_time, u8 epochs_since_scan at offset 32) spliced out.
+  LabConfig lc;
+  lc.seed = 505;
+  lc.tags_per_row = 10;
+  const auto lab = BuildLabDeployment(lc);
+  ASSERT_TRUE(lab.ok());
+  const std::vector<ServeRecord> records = LabRecords(lab.value(), 60);
+
+  auto server = MakeLabServer(lab.value());
+  ASSERT_TRUE(server.ok());
+  for (const ServeRecord& record : records) {
+    ASSERT_TRUE(server.value()->Ingest(record));
+  }
+  server.value()->Pump();
+  ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
+
+  const std::string path = SiteCheckpointPath(Dir(), kSite);
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  std::string bytes = buffer.str();
+  const uint32_t v1 = 1;
+  bytes.replace(8, sizeof(v1), reinterpret_cast<const char*>(&v1),
+                sizeof(v1));
+  bytes.erase(32, 8 + 8 + 8 + 1);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<long>(bytes.size()));
+  }
+
+  auto fresh = MakeLabServer(lab.value());
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(fresh.value()->Restore(Dir()).ok());
+  const SitePipeline* restored = fresh.value()->FindSite(kSite);
+  ASSERT_NE(restored, nullptr);
+  const SitePipelineStats stats = restored->Stats();
+  EXPECT_GT(stats.engine.epochs_processed, 0u);
+  EXPECT_EQ(stats.records_shed, 0u);
+  EXPECT_EQ(stats.scan_completes, 0u);
+}
+
+TEST_F(ServeCheckpointTest, FailedRestoreLeavesPipelineReplayable) {
+  // Regression: LoadCheckpoint used to mutate the synchronizer and emitter
+  // in place before later reads could still fail, so a truncated checkpoint
+  // left a half-restored pipeline behind. After a failed Restore the server
+  // must behave exactly like a fresh one — replaying the full stream on it
+  // has to reproduce the clean run's events bit for bit.
+  LabConfig lc;
+  lc.seed = 504;
+  lc.tags_per_row = 12;
+  const auto lab = BuildLabDeployment(lc);
+  ASSERT_TRUE(lab.ok());
+  const std::vector<ServeRecord> records = LabRecords(lab.value(), 120);
+
+  // Write a checkpoint mid-stream, then truncate it on disk. The cut lands
+  // past the synchronizer/emitter sections (they sit near the front), so
+  // the load fails only at the filter snapshot — the deepest point.
+  {
+    auto server = MakeLabServer(lab.value());
+    ASSERT_TRUE(server.ok());
+    for (size_t i = 0; i < records.size() / 2; ++i) {
+      ASSERT_TRUE(server.value()->Ingest(records[i]));
+    }
+    server.value()->Pump();
+    ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
+  }
+  const std::string path = SiteCheckpointPath(Dir(), kSite);
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  const std::string bytes = buffer.str();
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<long>(bytes.size() - 16));
+  }
+
+  // Clean reference run over the full stream.
+  CollectedEvents clean;
+  {
+    auto server = MakeLabServer(lab.value());
+    ASSERT_TRUE(server.ok());
+    server.value()->bus().SubscribeEvents(clean.Callback());
+    for (const ServeRecord& record : records) {
+      ASSERT_TRUE(server.value()->Ingest(record));
+    }
+    server.value()->Pump();
+    server.value()->Flush();
+  }
+  ASSERT_GT(clean.events.size(), 0u);
+
+  // Failed restore, then the same full stream on the same server.
+  CollectedEvents after_failure;
+  {
+    auto server = MakeLabServer(lab.value());
+    ASSERT_TRUE(server.ok());
+    ASSERT_FALSE(server.value()->Restore(Dir()).ok());
+    server.value()->bus().SubscribeEvents(after_failure.Callback());
+    for (const ServeRecord& record : records) {
+      ASSERT_TRUE(server.value()->Ingest(record));
+    }
+    server.value()->Pump();
+    server.value()->Flush();
+  }
+  ExpectBitIdentical(clean.events, after_failure.events);
+}
+
 TEST_F(ServeCheckpointTest, CheckpointSurvivesContinuedServing) {
   // Checkpoint, keep serving, checkpoint again into a second dir, restore
   // the *second* checkpoint: the tail after it must match as well (the

@@ -1,0 +1,250 @@
+// Load-shedding governor: the hysteresis ladder in isolation, and the
+// degradation path end-to-end through a StreamingServer under a burst that
+// overflows its ingest queue.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/experiment.h"
+#include "model/cone_sensor.h"
+#include "serve/load_governor.h"
+#include "serve/server.h"
+#include "sim/trace.h"
+
+namespace rfid {
+namespace {
+
+LoadShedConfig TestShedConfig() {
+  LoadShedConfig c;
+  c.enabled = true;
+  return c;
+}
+
+TEST(LoadShedGovernorTest, EscalatesAndDeescalatesWithHysteresis) {
+  LoadShedGovernor governor(TestShedConfig());
+  EXPECT_EQ(governor.level(), LoadShedLevel::kNormal);
+
+  // Below every enter threshold: nothing happens.
+  EXPECT_EQ(governor.Update(0.4).level, LoadShedLevel::kNormal);
+  // Crossing shrink_enter engages the first rung.
+  EXPECT_EQ(governor.Update(0.55).level, LoadShedLevel::kShrink);
+  // Occupancy sagging into the hysteresis band holds the rung (exits are
+  // strict: sitting exactly at shrink_exit still holds)...
+  EXPECT_EQ(governor.Update(0.30).level, LoadShedLevel::kShrink);
+  EXPECT_EQ(governor.Update(0.25).level, LoadShedLevel::kShrink);
+  // ...and only dropping below shrink_exit releases it.
+  EXPECT_EQ(governor.Update(0.20).level, LoadShedLevel::kNormal);
+
+  // A saturated queue jumps straight up the ladder in one observation.
+  const LoadShedDecision full = governor.Update(1.0);
+  EXPECT_EQ(full.level, LoadShedLevel::kShed);
+  EXPECT_TRUE(full.shed_records);
+  EXPECT_LT(full.budget_scale, 1.0);
+  EXPECT_LT(full.hibernate_scale, 1.0);
+  EXPECT_EQ(governor.escalations(), 4u);  // 1 (shrink) + 3 (normal->shed).
+
+  // Draining de-escalates one rung per strictly-undercut exit threshold.
+  EXPECT_EQ(governor.Update(0.60).level, LoadShedLevel::kShed);  // == exit
+  EXPECT_EQ(governor.Update(0.55).level, LoadShedLevel::kHibernate);
+  EXPECT_EQ(governor.Update(0.40).level, LoadShedLevel::kHibernate);
+  EXPECT_EQ(governor.Update(0.0).level, LoadShedLevel::kNormal);
+  EXPECT_EQ(governor.deescalations(), 4u);
+}
+
+TEST(LoadShedGovernorTest, EqualEnterAndExitDoesNotOscillate) {
+  // exit == enter passes validation; the rung must then engage at the
+  // threshold and hold there, not flap within a single Update.
+  LoadShedConfig config = TestShedConfig();
+  config.shrink_enter = 0.5;
+  config.shrink_exit = 0.5;
+  ASSERT_TRUE(ValidateLoadShedConfig(config).ok());
+  LoadShedGovernor governor(config);
+  EXPECT_EQ(governor.Update(0.5).level, LoadShedLevel::kShrink);
+  EXPECT_EQ(governor.Update(0.5).level, LoadShedLevel::kShrink);
+  EXPECT_EQ(governor.escalations(), 1u);
+  EXPECT_EQ(governor.deescalations(), 0u);
+  EXPECT_EQ(governor.Update(0.49).level, LoadShedLevel::kNormal);
+}
+
+TEST(LoadShedGovernorTest, DecisionPerLevel) {
+  const LoadShedConfig config = TestShedConfig();
+  LoadShedGovernor governor(config);
+
+  const LoadShedDecision normal = governor.Update(0.0);
+  EXPECT_EQ(normal.budget_scale, 1.0);
+  EXPECT_EQ(normal.hibernate_scale, 1.0);
+  EXPECT_FALSE(normal.shed_records);
+
+  const LoadShedDecision shrink = governor.Update(0.6);
+  EXPECT_EQ(shrink.level, LoadShedLevel::kShrink);
+  EXPECT_EQ(shrink.budget_scale, config.shrink_budget_scale);
+  EXPECT_EQ(shrink.hibernate_scale, 1.0);
+  EXPECT_FALSE(shrink.shed_records);
+
+  const LoadShedDecision hibernate = governor.Update(0.8);
+  EXPECT_EQ(hibernate.level, LoadShedLevel::kHibernate);
+  EXPECT_EQ(hibernate.budget_scale, config.hibernate_budget_scale);
+  EXPECT_EQ(hibernate.hibernate_scale, config.hibernate_after_scale);
+  EXPECT_FALSE(hibernate.shed_records);
+}
+
+TEST(LoadShedGovernorTest, ValidatesConfig) {
+  LoadShedConfig bad = TestShedConfig();
+  bad.shrink_exit = 0.9;  // exit above enter
+  EXPECT_FALSE(ValidateLoadShedConfig(bad).ok());
+
+  bad = TestShedConfig();
+  bad.shed_enter = 0.5;  // ladder not monotone (hibernate_enter = 0.75)
+  EXPECT_FALSE(ValidateLoadShedConfig(bad).ok());
+
+  bad = TestShedConfig();
+  bad.shrink_budget_scale = 0.0;
+  EXPECT_FALSE(ValidateLoadShedConfig(bad).ok());
+
+  bad = TestShedConfig();
+  bad.hibernate_enter = 1.5;
+  EXPECT_FALSE(ValidateLoadShedConfig(bad).ok());
+
+  EXPECT_TRUE(ValidateLoadShedConfig(TestShedConfig()).ok());
+
+  // The server rejects a broken governor config up front.
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.objects_per_shelf = 2;
+  auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+  std::vector<SiteSpec> specs;
+  specs.push_back(
+      {1, MakeWorldModel(layout.value(), std::make_unique<ConeSensorModel>())});
+  ServeConfig config;
+  config.load_shed.enabled = true;
+  config.load_shed.shrink_exit = 0.9;
+  EXPECT_FALSE(StreamingServer::Create(std::move(specs), config).ok());
+}
+
+/// Records for one small site, repeated `repeats` times with shifted times
+/// so a large burst of admissible traffic exists.
+std::vector<ServeRecord> BurstRecords(SiteId site, uint64_t seed) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 6.0;
+  wc.objects_per_shelf = 4;
+  wc.shelf_tags_per_shelf = 2;
+  auto layout = BuildWarehouse(wc);
+  EXPECT_TRUE(layout.ok());
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, seed);
+  const SimulatedTrace trace = gen.Generate();
+  std::vector<ServeRecord> records;
+  for (const SimEpoch& epoch : trace.epochs) {
+    const SyncedEpoch& obs = epoch.observations;
+    if (obs.has_location) {
+      ReaderLocationReport report;
+      report.time = obs.time;
+      report.location = obs.reported_location;
+      records.push_back(ServeRecord::Location(site, report));
+    }
+    for (TagId tag : obs.tags) {
+      records.push_back(ServeRecord::Reading(site, {obs.time, tag}));
+    }
+  }
+  return records;
+}
+
+TEST(LoadShedGovernorTest, ServerShedsUnderQueuePressureAndRecovers) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 6.0;
+  wc.objects_per_shelf = 4;
+  wc.shelf_tags_per_shelf = 2;
+  auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+
+  ServeConfig config;
+  config.num_shards = 1;
+  config.num_threads = 1;
+  config.queue_capacity = 32;
+  config.block_when_full = false;  // Producers must not stall in this test.
+  config.engine.factored.num_reader_particles = 20;
+  config.engine.factored.num_object_particles = 60;
+  config.engine.factored.seed = 17;
+  config.load_shed = TestShedConfig();
+
+  std::vector<SiteSpec> specs;
+  specs.push_back(
+      {1, MakeWorldModel(layout.value(), std::make_unique<ConeSensorModel>())});
+  auto server = StreamingServer::Create(std::move(specs), config);
+  ASSERT_TRUE(server.ok());
+
+  // Fill the queue to the brim without pumping: the next sweep observes
+  // occupancy 1.0 and must run the whole batch through the kShed rung.
+  const std::vector<ServeRecord> records = BurstRecords(1, 77);
+  ASSERT_GT(records.size(), config.queue_capacity);
+  size_t accepted = 0;
+  for (const ServeRecord& record : records) {
+    if (server.value()->Ingest(record)) ++accepted;
+  }
+  EXPECT_EQ(accepted, config.queue_capacity);
+  server.value()->Pump();
+
+  ServerStatsSnapshot stats = server.value()->Stats();
+  EXPECT_GT(stats.shards[0].shed_escalations, 0u);
+  EXPECT_EQ(stats.TotalRecordsShed(), accepted);
+  EXPECT_EQ(stats.TotalRecordsProcessed(), 0u);
+
+  // Pressure gone: the governor walks back to normal and subsequent
+  // traffic is processed, not shed.
+  server.value()->Pump();  // Empty queue -> occupancy 0 -> deescalate.
+  for (size_t i = 0; i < 16 && i < records.size(); ++i) {
+    ASSERT_TRUE(server.value()->Ingest(records[i]));
+  }
+  server.value()->Pump();
+  stats = server.value()->Stats();
+  EXPECT_EQ(stats.shards[0].shed_level, 0);
+  EXPECT_GT(stats.TotalRecordsProcessed(), 0u);
+  EXPECT_EQ(stats.TotalRecordsShed(), accepted);  // No new sheds.
+
+  // The whole story is visible in the JSON export.
+  const std::string json = server.value()->StatsJson();
+  EXPECT_NE(json.find("\"shed\""), std::string::npos);
+  EXPECT_NE(json.find("\"records_shed\""), std::string::npos);
+  EXPECT_NE(json.find("\"total_records_shed\""), std::string::npos);
+  EXPECT_NE(json.find("\"hibernated\""), std::string::npos);
+}
+
+TEST(LoadShedGovernorTest, DisabledGovernorNeverSheds) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.objects_per_shelf = 4;
+  auto layout = BuildWarehouse(wc);
+  ASSERT_TRUE(layout.ok());
+
+  ServeConfig config;
+  config.num_shards = 1;
+  config.queue_capacity = 16;
+  config.block_when_full = false;
+  config.engine.factored.num_reader_particles = 20;
+  config.engine.factored.num_object_particles = 60;
+  config.engine.factored.seed = 18;
+
+  std::vector<SiteSpec> specs;
+  specs.push_back(
+      {1, MakeWorldModel(layout.value(), std::make_unique<ConeSensorModel>())});
+  auto server = StreamingServer::Create(std::move(specs), config);
+  ASSERT_TRUE(server.ok());
+
+  const std::vector<ServeRecord> records = BurstRecords(1, 78);
+  size_t accepted = 0;
+  for (const ServeRecord& record : records) {
+    if (server.value()->Ingest(record)) ++accepted;
+  }
+  server.value()->Pump();
+  const ServerStatsSnapshot stats = server.value()->Stats();
+  EXPECT_EQ(stats.TotalRecordsShed(), 0u);
+  EXPECT_EQ(stats.TotalRecordsProcessed(), accepted);
+  EXPECT_EQ(stats.shards[0].shed_escalations, 0u);
+}
+
+}  // namespace
+}  // namespace rfid

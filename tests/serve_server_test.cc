@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <cmath>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -148,6 +149,52 @@ TEST(StreamingServerTest, InlineTwoSitesServeEventsAndStats) {
                   .EstimateObject(site1.first_object_tag)
                   .has_value());
   EXPECT_EQ(server.value()->FindSite(99), nullptr);
+}
+
+TEST(StreamingServerTest, ScanCompleteSubscriptionsEmitOnFlush) {
+  // Regression: the serving path never called NotifyScanComplete, so a
+  // kOnScanComplete emitter policy produced zero events through the bus —
+  // every epoch deferred to a scan boundary that never came. Flush() is
+  // that boundary now.
+  const SiteTraffic site1 = MakeSiteTraffic(1, 321);
+  std::vector<SiteSpec> specs;
+  specs.push_back({1, SiteModel(site1)});
+  ServeConfig config = SmallServeConfig(1, 1);
+  config.engine.emitter.policy = EmitPolicy::kOnScanComplete;
+  auto server = StreamingServer::Create(std::move(specs), config);
+  ASSERT_TRUE(server.ok());
+
+  EventLog log;
+  server.value()->bus().SubscribeEvents(log.Callback());
+  for (const ServeRecord& record : site1.records) {
+    ASSERT_TRUE(server.value()->Ingest(record));
+  }
+  server.value()->Pump();
+  // Mid-stream the policy holds everything back by design.
+  EXPECT_EQ(log.events[1].size(), 0u);
+
+  server.value()->Flush();
+  EXPECT_GT(log.events[1].size(), 0u);
+
+  // A second Flush with no new epochs is a no-op, not a duplicate scan.
+  const size_t after_first_flush = log.events[1].size();
+  server.value()->Flush();
+  EXPECT_EQ(log.events[1].size(), after_first_flush);
+
+  // The dispatch is counted like any other, and the scan boundary stamps
+  // every event with the final epoch's time.
+  const ServerStatsSnapshot stats = server.value()->Stats();
+  EXPECT_EQ(stats.TotalEventsDispatched(), log.events[1].size());
+  ASSERT_EQ(stats.shards.size(), 1u);
+  ASSERT_EQ(stats.shards[0].sites.size(), 1u);
+  EXPECT_EQ(stats.shards[0].sites[0].scan_completes, 1u);
+  const double last_time = site1.records.back().kind ==
+                                   ServeRecord::Kind::kReading
+                               ? site1.records.back().reading.time
+                               : site1.records.back().location.time;
+  for (const LocationEvent& event : log.events[1]) {
+    EXPECT_GE(event.time + 1e-9, std::floor(last_time));
+  }
 }
 
 TEST(StreamingServerTest, ThreadedRunMatchesInlineRunBitwise) {

@@ -149,6 +149,79 @@ TEST(SnapshotTest, RestoredFilterReplaysBitIdentically) {
   EXPECT_EQ(uninterrupted.particle_updates(), restored.particle_updates());
 }
 
+FactoredFilterConfig HibernatingConfig() {
+  FactoredFilterConfig c = Config();
+  c.min_object_particles = 30;
+  c.compression.hibernate_after_epochs = 20;
+  return c;
+}
+
+TEST(SnapshotTest, V3RoundTripsHibernatedObjects) {
+  // Drive() walks away from object A for ~90 epochs, far past the
+  // hibernation horizon, so A ends up in the hibernated tier.
+  FactoredParticleFilter original(MakeLineWorld(), HibernatingConfig());
+  Drive(&original);
+  ASSERT_GT(original.NumHibernatedObjects(), 0u);
+
+  std::stringstream ss;
+  ASSERT_TRUE(SaveFilterSnapshot(original, ss).ok());
+  FactoredParticleFilter restored(MakeLineWorld(), HibernatingConfig());
+  ASSERT_TRUE(LoadFilterSnapshot(ss, &restored).ok());
+
+  EXPECT_EQ(restored.NumHibernatedObjects(), original.NumHibernatedObjects());
+  EXPECT_EQ(restored.NumActiveObjects(), original.NumActiveObjects());
+  EXPECT_EQ(restored.NumCompressedObjects(), original.NumCompressedObjects());
+  for (TagId tag : {1000u, 1001u}) {
+    const auto a = original.EstimateObject(tag);
+    const auto b = restored.EstimateObject(tag);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->mean, b->mean);
+    EXPECT_EQ(a->variance, b->variance);
+  }
+}
+
+TEST(SnapshotTest, LoadsLegacyV2Snapshots) {
+  // A filter state without hibernation-tier content written in the v2
+  // layout must load into today's filter exactly as the v3 bytes do —
+  // that is the upgrade path for pre-hibernation checkpoints on disk.
+  FactoredParticleFilter original(MakeLineWorld(), Config());
+  Drive(&original);
+
+  std::stringstream v2, v3;
+  ASSERT_TRUE(SaveFilterSnapshotV2(original, v2).ok());
+  ASSERT_TRUE(SaveFilterSnapshot(original, v3).ok());
+
+  FactoredParticleFilter from_v2(MakeLineWorld(), Config());
+  ASSERT_TRUE(LoadFilterSnapshot(v2, &from_v2).ok());
+  FactoredParticleFilter from_v3(MakeLineWorld(), Config());
+  ASSERT_TRUE(LoadFilterSnapshot(v3, &from_v3).ok());
+
+  EXPECT_EQ(from_v2.current_step(), original.current_step());
+  EXPECT_EQ(from_v2.NumTrackedObjects(), original.NumTrackedObjects());
+  EXPECT_EQ(from_v2.NumHibernatedObjects(), 0u);
+  for (TagId tag : {1000u, 1001u}) {
+    const auto a = from_v2.EstimateObject(tag);
+    const auto b = from_v3.EstimateObject(tag);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(a->mean, b->mean);
+    EXPECT_EQ(a->variance, b->variance);
+    EXPECT_EQ(a->support, b->support);
+  }
+  EXPECT_EQ(from_v2.EstimateReader().mean, from_v3.EstimateReader().mean);
+}
+
+TEST(SnapshotTest, V2SaveRejectsHibernatedFilters) {
+  FactoredParticleFilter filter(MakeLineWorld(), HibernatingConfig());
+  Drive(&filter);
+  ASSERT_GT(filter.NumHibernatedObjects(), 0u);
+  std::stringstream ss;
+  const Status status = SaveFilterSnapshotV2(filter, ss);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
 TEST(SnapshotTest, RejectsBadMagic) {
   std::stringstream ss("definitely not a snapshot");
   FactoredParticleFilter filter(MakeLineWorld(), Config());
