@@ -3,6 +3,7 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "util/serialize.h"
 
@@ -11,7 +12,9 @@ namespace rfid {
 namespace {
 
 using serialize::kMaxCount;
+using serialize::ReadFramedSection;
 using serialize::ReadPod;
+using serialize::WriteFramedSection;
 using serialize::WritePod;
 
 constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'S', 'N', 'A', 'P'};
@@ -19,11 +22,18 @@ constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'S', 'N', 'A', 'P'};
 // section, making post-restore replay bit-identical to the uninterrupted
 // run (v1 reseeded from the config instead).
 // v3 adds the hibernation tier per object state: a `hibernated` flag plus
-// the last-revived step (which hibernation idleness keys on). v2 snapshots
-// still load — every object simply comes back non-hibernated with no
-// revival history, exactly the state a pre-hibernation filter was in.
-constexpr uint32_t kVersion = 3;
-constexpr uint32_t kMinVersion = 2;
+// the last-revived step (which hibernation idleness keys on).
+// v4 wraps the entire belief payload in a CRC32 frame ([u64 len][u32 crc]
+// after the header): corruption anywhere in the body is detected before a
+// single field is parsed. The payload layout itself is unchanged from v3.
+//
+// Version window: one back. v3 still loads (its body is parsed directly
+// from the stream, without frame verification); v2 and older are rejected
+// with an error naming the oldest loadable version — the deprecation story
+// is "every release loads its predecessor's files, so step through
+// releases, re-saving, to migrate older state".
+constexpr uint32_t kVersion = 4;
+constexpr uint32_t kMinVersion = 3;
 
 void WriteVec3(std::ostream& os, const Vec3& v) {
   WritePod(os, v.x);
@@ -43,8 +53,10 @@ namespace snapshot_internal {
 
 Status SaveSnapshotImpl(const FactoredParticleFilter& filter, std::ostream& os,
                         uint32_t version) {
-  os.write(kMagic, sizeof(kMagic));
-  WritePod(os, version);
+  // The belief payload — everything after the magic+version header. Its
+  // layout has been stable since v3; v4 only changes how it is framed on
+  // disk. A lambda so it writes with this function's friend access.
+  const auto write_body = [&filter, version](std::ostream& os) {
   WritePod(os, filter.step_);
   WritePod(os, static_cast<uint8_t>(filter.readers_initialized_ ? 1 : 0));
 
@@ -94,7 +106,20 @@ Status SaveSnapshotImpl(const FactoredParticleFilter& filter, std::ostream& os,
   WritePod(os, rng_state.cached_gaussian);
   WritePod(os, static_cast<uint8_t>(rng_state.cached_gaussian_valid ? 1 : 0));
   WritePod(os, filter.particle_updates_.load(std::memory_order_relaxed));
+  };  // write_body
 
+  os.write(kMagic, sizeof(kMagic));
+  WritePod(os, version);
+  if (version >= 4) {
+    // CRC frame around the whole payload: the loader verifies the checksum
+    // before parsing a single field.
+    std::ostringstream body;
+    write_body(body);
+    if (!body.good()) return Status::IOError("failed serializing snapshot");
+    WriteFramedSection(os, body.str());
+  } else {
+    write_body(os);
+  }
   if (!os.good()) return Status::IOError("failed writing snapshot");
   return Status::OK();
 }
@@ -104,6 +129,11 @@ Status SaveSnapshotImpl(const FactoredParticleFilter& filter, std::ostream& os,
 Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
                           std::ostream& os) {
   return snapshot_internal::SaveSnapshotImpl(filter, os, kVersion);
+}
+
+Status SaveFilterSnapshotV3(const FactoredParticleFilter& filter,
+                            std::ostream& os) {
+  return snapshot_internal::SaveSnapshotImpl(filter, os, 3);
 }
 
 Status SaveFilterSnapshotV2(const FactoredParticleFilter& filter,
@@ -123,18 +153,10 @@ Status SaveFilterSnapshotV2(const FactoredParticleFilter& filter,
 }
 
 Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
-  char magic[8];
-  is.read(magic, sizeof(magic));
-  if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
-    return Status::Invalid("not a filter snapshot (bad magic)");
-  }
-  uint32_t version = 0;
-  if (!ReadPod(is, &version)) return Truncated();
-  if (version < kMinVersion || version > kVersion) {
-    return Status::Invalid("unsupported snapshot version " +
-                           std::to_string(version));
-  }
-
+  // Body parser (everything after the header), lambda for friend access.
+  // `version` is always within the supported window when this runs.
+  const auto load_body = [filter](std::istream& is,
+                                  uint32_t version) -> Status {
   int64_t step = 0;
   uint8_t readers_initialized = 0;
   if (!ReadPod(is, &step) || !ReadPod(is, &readers_initialized)) {
@@ -257,6 +279,30 @@ Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
     filter->slot_of_tag_[filter->states_[slot].tag] = slot;
   }
   return Status::OK();
+  };  // load_body
+
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Invalid("not a filter snapshot (bad magic)");
+  }
+  uint32_t version = 0;
+  if (!ReadPod(is, &version)) return Truncated();
+  if (version < kMinVersion || version > kVersion) {
+    return Status::Invalid(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (oldest loadable is v" + std::to_string(kMinVersion) +
+        "; load windows are one version back — migrate older snapshots by "
+        "re-saving them with the release that wrote them plus one)");
+  }
+  if (version >= 4) {
+    // Verify the payload checksum before parsing a single field.
+    std::string body;
+    RFID_RETURN_NOT_OK(ReadFramedSection(is, &body));
+    std::istringstream body_stream(body);
+    return load_body(body_stream, version);
+  }
+  return load_body(is, version);
 }
 
 }  // namespace rfid

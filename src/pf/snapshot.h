@@ -10,8 +10,14 @@
 // restore is **bit-identical** to the uninterrupted run — the property the
 // serving layer's checkpoint/restore (src/serve/checkpoint.h) is built on.
 //
-// Format: same-architecture binary (magic + version header). Not intended
+// Format: same-architecture binary (magic + version header; the v4 payload
+// is CRC32-framed so corruption is detected before parsing). Not intended
 // as a cross-platform interchange format.
+//
+// Version window: one back. The current writer emits v4; the loader accepts
+// v4 and v3 and rejects anything older with an error naming the oldest
+// loadable version. Migrating older files means stepping through releases,
+// re-saving at each one.
 #pragma once
 
 #include <iosfwd>
@@ -27,10 +33,16 @@ namespace rfid {
 Status SaveFilterSnapshot(const FactoredParticleFilter& filter,
                           std::ostream& os);
 
-/// Writes the legacy v2 layout (no hibernation tier), for downgrade paths
-/// and the cross-version compatibility tests. Fails if the filter has
-/// hibernated objects — v2 cannot represent them faithfully.
+/// Writes the legacy v2 layout (no hibernation tier), for the deprecation
+/// tests — v2 is now outside the one-back load window, so LoadFilterSnapshot
+/// rejects what this writes. Fails if the filter has hibernated objects —
+/// v2 cannot represent them faithfully.
 Status SaveFilterSnapshotV2(const FactoredParticleFilter& filter,
+                            std::ostream& os);
+
+/// Writes the legacy v3 layout (unframed payload), for downgrade paths and
+/// the cross-version compatibility tests.
+Status SaveFilterSnapshotV3(const FactoredParticleFilter& filter,
                             std::ostream& os);
 
 /// Restores belief state into a freshly constructed filter (same model and

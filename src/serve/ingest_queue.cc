@@ -1,14 +1,30 @@
 #include "serve/ingest_queue.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "util/fault.h"
 
 namespace rfid {
 
-IngestQueue::IngestQueue(size_t capacity)
-    : capacity_(std::max<size_t>(1, capacity)) {}
+IngestQueue::IngestQueue(size_t capacity, double rate_tau_seconds)
+    : capacity_(std::max<size_t>(1, capacity)),
+      arrival_rate_(rate_tau_seconds) {}
+
+double IngestQueue::NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 bool IngestQueue::Push(const ServeRecord& record) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (MaybeInjectFault(FaultPoint::kQueueEnqueue, record.site)) {
+    // An injected enqueue failure models a lost datagram at the ingest
+    // boundary: dropped and counted, never enqueued half-written.
+    ++stats_.injected_drops;
+    return false;
+  }
   if (items_.size() >= capacity_ && !closed_) {
     ++stats_.blocked_pushes;
     not_full_.wait(lock,
@@ -18,11 +34,16 @@ bool IngestQueue::Push(const ServeRecord& record) {
   items_.push_back(record);
   ++stats_.pushed;
   stats_.high_water = std::max<uint64_t>(stats_.high_water, items_.size());
+  arrival_rate_.Observe(NowSeconds(), 1);
   return true;
 }
 
 bool IngestQueue::TryPush(const ServeRecord& record) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (MaybeInjectFault(FaultPoint::kQueueEnqueue, record.site)) {
+    ++stats_.injected_drops;
+    return false;
+  }
   if (closed_ || items_.size() >= capacity_) {
     if (!closed_) ++stats_.rejected_full;
     return false;
@@ -30,6 +51,7 @@ bool IngestQueue::TryPush(const ServeRecord& record) {
   items_.push_back(record);
   ++stats_.pushed;
   stats_.high_water = std::max<uint64_t>(stats_.high_water, items_.size());
+  arrival_rate_.Observe(NowSeconds(), 1);
   return true;
 }
 
@@ -63,9 +85,16 @@ size_t IngestQueue::size() const {
   return items_.size();
 }
 
+double IngestQueue::ArrivalRatePerSec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arrival_rate_.RatePerSec(NowSeconds());
+}
+
 IngestQueueStats IngestQueue::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  IngestQueueStats stats = stats_;
+  stats.arrival_rate_per_sec = arrival_rate_.RatePerSec(NowSeconds());
+  return stats;
 }
 
 }  // namespace rfid

@@ -15,6 +15,7 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/load_governor.h"
 #include "serve/record.h"
 
 namespace rfid {
@@ -28,11 +29,16 @@ struct IngestQueueStats {
   uint64_t rejected_full = 0;
   /// Maximum occupancy ever observed.
   uint64_t high_water = 0;
+  /// Pushes dropped by the kQueueEnqueue fault point (chaos testing only;
+  /// always 0 without an installed injector).
+  uint64_t injected_drops = 0;
+  /// EWMA arrival rate at the last stats snapshot (events/sec).
+  double arrival_rate_per_sec = 0.0;
 };
 
 class IngestQueue {
  public:
-  explicit IngestQueue(size_t capacity);
+  explicit IngestQueue(size_t capacity, double rate_tau_seconds = 1.0);
 
   /// Blocks while the queue is full (backpressure). Returns false only when
   /// the queue was closed.
@@ -54,12 +60,21 @@ class IngestQueue {
   size_t capacity() const { return capacity_; }
   IngestQueueStats Stats() const;
 
+  /// EWMA arrival rate (events/sec), decayed to now. Fed by every accepted
+  /// push; the load governor folds this into its pressure signal when
+  /// rate_full_per_sec is configured.
+  double ArrivalRatePerSec() const;
+
  private:
+  /// Seconds on the steady clock (the EWMA needs monotonic time).
+  static double NowSeconds();
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::condition_variable not_full_;
   std::deque<ServeRecord> items_;
   IngestQueueStats stats_;
+  ArrivalRateEwma arrival_rate_;
   bool closed_ = false;
 };
 

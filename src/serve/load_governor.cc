@@ -40,6 +40,12 @@ Status ValidateLoadShedConfig(const LoadShedConfig& c) {
       !scale(c.hibernate_after_scale)) {
     return Status::Invalid("load-shed scales must be in (0, 1]");
   }
+  if (c.rate_full_per_sec < 0.0) {
+    return Status::Invalid("rate_full_per_sec must be non-negative");
+  }
+  if (c.rate_tau_seconds <= 0.0) {
+    return Status::Invalid("rate_tau_seconds must be positive");
+  }
   return Status::OK();
 }
 
@@ -69,6 +75,15 @@ double LoadShedGovernor::ExitThreshold(LoadShedLevel level) const {
       break;
   }
   return 0.0;
+}
+
+LoadShedDecision LoadShedGovernor::Update(double occupancy,
+                                          double rate_per_sec) {
+  double pressure = occupancy;
+  if (config_.rate_full_per_sec > 0.0 && rate_per_sec > 0.0) {
+    pressure = std::max(pressure, rate_per_sec / config_.rate_full_per_sec);
+  }
+  return Update(pressure);
 }
 
 LoadShedDecision LoadShedGovernor::Update(double occupancy) {

@@ -23,11 +23,59 @@
 // output stays bit-identical to a governor-less build.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "util/status.h"
 
 namespace rfid {
+
+/// Time-decayed exponentially weighted arrival-rate estimate (events/sec).
+///
+/// Queue occupancy alone is a lagging pressure signal: a burst that the pump
+/// keeps draining never raises occupancy, yet the per-sweep work has grown.
+/// The EWMA tracks the arrival *rate* with a continuous-time decay, so
+/// irregular batch sizes and gaps weight correctly (alpha = 1 - e^(-dt/tau)
+/// per observation instead of a fixed per-sample constant). A pure function
+/// of the (time, count) observation sequence — no clock inside.
+class ArrivalRateEwma {
+ public:
+  explicit ArrivalRateEwma(double tau_seconds)
+      : tau_(tau_seconds > 0 ? tau_seconds : 1.0) {}
+
+  /// Feeds `count` arrivals observed at `now_seconds` (monotonic).
+  void Observe(double now_seconds, uint64_t count) {
+    if (!initialized_) {
+      initialized_ = true;
+      last_time_ = now_seconds;
+      // No interval yet; seed conservatively from one tau's worth.
+      rate_ = static_cast<double>(count) / tau_;
+      return;
+    }
+    double dt = now_seconds - last_time_;
+    if (dt < kMinInterval) dt = kMinInterval;  // Clock granularity floor.
+    last_time_ = now_seconds;
+    const double inst = static_cast<double>(count) / dt;
+    const double alpha = 1.0 - std::exp(-dt / tau_);
+    rate_ += alpha * (inst - rate_);
+  }
+
+  /// Current estimate, decayed for the idle gap since the last observation
+  /// (a stream that stops must read as rate -> 0, not hold its last value).
+  double RatePerSec(double now_seconds) const {
+    if (!initialized_) return 0.0;
+    const double idle = now_seconds - last_time_;
+    if (idle <= 0) return rate_;
+    return rate_ * std::exp(-idle / tau_);
+  }
+
+ private:
+  static constexpr double kMinInterval = 1e-6;
+  double tau_;
+  double rate_ = 0.0;
+  double last_time_ = 0.0;
+  bool initialized_ = false;
+};
 
 enum class LoadShedLevel : int {
   kNormal = 0,
@@ -58,6 +106,13 @@ struct LoadShedConfig {
   double hibernate_budget_scale = 0.25;
   /// hibernate_after_epochs scale at kHibernate and above.
   double hibernate_after_scale = 0.25;
+
+  /// Arrival rate (events/sec) treated as equivalent to a 100%-full queue
+  /// for the rate pressure signal. 0 disables the signal: the governor then
+  /// reacts to occupancy alone, exactly as before the signal existed.
+  double rate_full_per_sec = 0.0;
+  /// Time constant of the arrival-rate EWMA (see ArrivalRateEwma).
+  double rate_tau_seconds = 1.0;
 };
 
 /// Validates thresholds and scales; called from StreamingServer::Create.
@@ -81,6 +136,11 @@ class LoadShedGovernor {
   /// below the current rung's exit threshold (strict, so exit == enter
   /// cannot oscillate within one Update).
   LoadShedDecision Update(double occupancy);
+
+  /// Occupancy plus the arrival-rate signal: pressure is the max of queue
+  /// occupancy and rate / rate_full_per_sec (when enabled), so a burst the
+  /// pump is still absorbing escalates the ladder before the queue fills.
+  LoadShedDecision Update(double occupancy, double rate_per_sec);
 
   LoadShedLevel level() const { return level_; }
   LoadShedDecision Decision() const;

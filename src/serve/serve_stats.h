@@ -11,8 +11,48 @@
 #include "serve/ingest_queue.h"
 #include "serve/site_pipeline.h"
 #include "serve/subscription_bus.h"
+#include "util/fault.h"
 
 namespace rfid {
+
+/// Outcomes of the generation-manifest checkpoint protocol (see
+/// serve/checkpoint.h) since server construction.
+struct CheckpointStatsSnapshot {
+  uint64_t saved = 0;           ///< Per-site saves that advanced a manifest.
+  uint64_t failures = 0;        ///< Saves that exhausted retries (last-good kept).
+  uint64_t retries = 0;         ///< Extra attempts consumed by transient faults.
+  uint64_t fallback_loads = 0;  ///< Restores that fell back a generation.
+  uint64_t skipped_parked = 0;  ///< Sites skipped because they were parked.
+};
+
+/// Minimal JSON string escaping for the few free-text fields the snapshot
+/// carries (park reasons come from exception messages).
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += static_cast<unsigned char>(c) < 0x20 ? ' ' : c;
+    }
+  }
+  return out;
+}
 
 struct ShardStatsSnapshot {
   int shard = 0;
@@ -30,6 +70,10 @@ struct ServerStatsSnapshot {
   /// One row per materialized (subscription, site) query operator: how much
   /// state it holds and how much its lifecycle policies have evicted.
   std::vector<BusOperatorStats> operators;
+  CheckpointStatsSnapshot checkpoint;
+  /// Per-point counters of the installed FaultInjector (empty outside chaos
+  /// runs). Every injected fault is observable here: if it fired, it shows.
+  std::vector<FaultPointStats> faults;
 
   size_t TotalOperatorBytes() const {
     size_t total = 0;
@@ -97,6 +141,12 @@ struct ServerStatsSnapshot {
       out += ", \"rejected_full\": " +
              std::to_string(shard.queue.rejected_full);
       out += ", \"high_water\": " + std::to_string(shard.queue.high_water);
+      out += ", \"injected_drops\": " +
+             std::to_string(shard.queue.injected_drops);
+      out += ", \"arrival_rate_per_sec\": " +
+             (std::isfinite(shard.queue.arrival_rate_per_sec)
+                  ? std::to_string(shard.queue.arrival_rate_per_sec)
+                  : std::string("null"));
       out += "}, \"shed\": {\"level\": " + std::to_string(shard.shed_level);
       out += ", \"escalations\": " + std::to_string(shard.shed_escalations);
       out += ", \"deescalations\": " +
@@ -114,6 +164,17 @@ struct ServerStatsSnapshot {
         out += ", \"events_dispatched\": " +
                std::to_string(site.events_dispatched);
         out += ", \"scan_completes\": " + std::to_string(site.scan_completes);
+        out += ", \"records_quarantined\": " +
+               std::to_string(site.records_quarantined);
+        out += ", \"dead_letter_size\": " +
+               std::to_string(site.dead_letter_size);
+        out += ", \"health\": {\"failures\": " +
+               std::to_string(site.pipeline_failures);
+        out += ", \"recoveries\": " + std::to_string(site.recoveries);
+        out += ", \"records_dropped_parked\": " +
+               std::to_string(site.records_dropped_parked);
+        out += ", \"parked\": " + std::string(site.parked ? "true" : "false");
+        out += ", \"park_reason\": \"" + JsonEscape(site.park_reason) + "\"}";
         out += ", \"shed_level\": " + std::to_string(site.shed_level);
         out += ", \"objects\": {\"active\": " +
                std::to_string(site.active_objects);
@@ -157,7 +218,21 @@ struct ServerStatsSnapshot {
            std::to_string(TotalHibernatedObjects());
     out += ", \"total_events_dispatched\": " +
            std::to_string(TotalEventsDispatched());
-    out += "}";
+    out += ", \"checkpoint\": {\"saved\": " + std::to_string(checkpoint.saved);
+    out += ", \"failures\": " + std::to_string(checkpoint.failures);
+    out += ", \"retries\": " + std::to_string(checkpoint.retries);
+    out += ", \"fallback_loads\": " + std::to_string(checkpoint.fallback_loads);
+    out += ", \"skipped_parked\": " +
+           std::to_string(checkpoint.skipped_parked) + "}";
+    out += ", \"faults\": [";
+    for (size_t i = 0; i < faults.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "{\"point\": \"" + std::string(FaultPointName(faults[i].point)) +
+             "\"";
+      out += ", \"hits\": " + std::to_string(faults[i].hits);
+      out += ", \"fires\": " + std::to_string(faults[i].fires) + "}";
+    }
+    out += "]}";
     return out;
   }
 };

@@ -3,6 +3,7 @@
 #include <filesystem>
 
 #include "serve/checkpoint.h"
+#include "util/fault.h"
 #include "util/rng.h"
 
 namespace rfid {
@@ -45,6 +46,15 @@ Status ValidateConfig(const ServeConfig& config, size_t num_sites) {
   if (config.load_shed.enabled) {
     RFID_RETURN_NOT_OK(ValidateLoadShedConfig(config.load_shed));
   }
+  if (config.recovery.max_restarts < 0) {
+    return Status::Invalid("recovery.max_restarts must be non-negative");
+  }
+  if (config.recovery.checkpoint_max_attempts < 1) {
+    return Status::Invalid("recovery.checkpoint_max_attempts must be >= 1");
+  }
+  if (config.recovery.checkpoint_backoff_ms < 0) {
+    return Status::Invalid("recovery.checkpoint_backoff_ms must be >= 0");
+  }
   return Status::OK();
 }
 
@@ -62,7 +72,8 @@ StreamingServer::StreamingServer(
   for (const auto& pin : config_.shard_pins) router_.Pin(pin.site, pin.shard);
   shards_.resize(static_cast<size_t>(config_.num_shards));
   for (auto& shard : shards_) {
-    shard.queue = std::make_unique<IngestQueue>(config_.queue_capacity);
+    shard.queue = std::make_unique<IngestQueue>(
+        config_.queue_capacity, config_.load_shed.rate_tau_seconds);
     if (config_.load_shed.enabled) {
       shard.governor = std::make_unique<LoadShedGovernor>(config_.load_shed);
     }
@@ -72,6 +83,9 @@ StreamingServer::StreamingServer(
         shards_[static_cast<size_t>(router_.ShardOf(pipeline->site()))];
     shard.sites.push_back(pipeline.get());
     shard.site_lookup[pipeline->site()] = pipeline.get();
+    // The health map's shape is fixed here; pump lanes mutate entries for
+    // their own sites only, so no further synchronization is needed.
+    health_.emplace(pipeline->site(), SiteHealth{});
   }
 }
 
@@ -82,6 +96,7 @@ Result<std::unique_ptr<StreamingServer>> StreamingServer::Create(
   SitePipelineConfig pipeline_config;
   pipeline_config.epoch_seconds = config.epoch_seconds;
   pipeline_config.max_lateness_seconds = config.max_lateness_seconds;
+  pipeline_config.dead_letter_capacity = config.recovery.dead_letter_capacity;
   pipeline_config.engine = config.engine;
 
   std::vector<std::unique_ptr<SitePipeline>> pipelines;
@@ -142,24 +157,76 @@ size_t StreamingServer::PumpOnce() {
     Shard& shard = shards_[s];
     if (shard.governor != nullptr) {
       // Occupancy is sampled before the drain so a sweep that empties the
-      // queue still sees the pressure that built up while it was away.
+      // queue still sees the pressure that built up while it was away; the
+      // arrival-rate EWMA catches bursts the pump absorbs without letting
+      // occupancy rise.
       const double occupancy =
           static_cast<double>(shard.queue->size()) /
           static_cast<double>(shard.queue->capacity());
-      const LoadShedDecision decision = shard.governor->Update(occupancy);
+      const LoadShedDecision decision =
+          shard.governor->Update(occupancy, shard.queue->ArrivalRatePerSec());
       for (SitePipeline* site : shard.sites) site->ApplyLoadShed(decision);
     }
     const size_t n = shard.queue->PopBatch(&shard.batch, config_.pump_batch);
     for (size_t i = 0; i < n; ++i) {
       const ServeRecord& record = shard.batch[i];
       const auto it = shard.site_lookup.find(record.site);
-      if (it != shard.site_lookup.end()) {
+      if (it == shard.site_lookup.end()) continue;
+      SiteHealth& health = health_.find(record.site)->second;
+      if (health.parked) {
+        ++health.records_dropped_parked;
+        continue;
+      }
+      // Blast-radius boundary: one site's pipeline throwing (engine fault,
+      // injected kPipelineStep) must not abort the sweep or touch any other
+      // site. The failed site is restored from the last-good checkpoint or
+      // parked; the loop continues with the next record either way.
+      try {
         it->second->OnRecord(record, &bus_);
+      } catch (const std::exception& e) {
+        HandleSiteFailure(it->second, e.what());
       }
     }
     if (n > 0) processed.fetch_add(n, std::memory_order_relaxed);
   });
   return processed.load(std::memory_order_relaxed);
+}
+
+void StreamingServer::HandleSiteFailure(SitePipeline* pipeline,
+                                        const char* what) {
+  const SiteId site = pipeline->site();
+  SiteHealth& health = health_.find(site)->second;
+  ++health.failures;
+  const auto park = [&health](std::string reason) {
+    health.parked = true;
+    health.park_reason = std::move(reason);
+  };
+  if (health.recoveries >=
+      static_cast<uint64_t>(config_.recovery.max_restarts)) {
+    park("restart budget exhausted (" +
+         std::to_string(config_.recovery.max_restarts) +
+         " recoveries); last failure: " + what);
+    return;
+  }
+  if (last_checkpoint_dir_.empty()) {
+    park(std::string("no checkpoint to restore from; failure: ") + what);
+    return;
+  }
+  CheckpointLoadReport report;
+  const Status restored =
+      LoadSiteCheckpoint(last_checkpoint_dir_, site, pipeline, &report);
+  if (!restored.ok()) {
+    park("restore after failure (" + std::string(what) +
+         ") failed: " + restored.message());
+    return;
+  }
+  if (report.used_fallback) {
+    checkpoint_fallback_loads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // The restored pipeline replays from the checkpoint cut; operator state
+  // accumulated past that cut must go with it (see ResetSiteState).
+  bus_.ResetSiteState(site);
+  ++health.recoveries;
 }
 
 size_t StreamingServer::Pump() {
@@ -229,7 +296,17 @@ void StreamingServer::Flush() {
   std::lock_guard<std::mutex> lock(pump_mu_);
   while (PumpOnce() > 0) {
   }
-  for (auto& pipeline : pipelines_) pipeline->Flush(&bus_);
+  for (auto& pipeline : pipelines_) {
+    SiteHealth& health = health_.find(pipeline->site())->second;
+    if (health.parked) continue;
+    // Flush closes epochs, so the kPipelineStep fault point (and real
+    // engine faults) can surface here exactly as in the pump sweep.
+    try {
+      pipeline->Flush(&bus_);
+    } catch (const std::exception& e) {
+      HandleSiteFailure(pipeline.get(), e.what());
+    }
+  }
 }
 
 Status StreamingServer::Checkpoint(const std::string& dir) {
@@ -242,19 +319,96 @@ Status StreamingServer::Checkpoint(const std::string& dir) {
     return Status::IOError("cannot create checkpoint dir " + dir + ": " +
                            ec.message());
   }
+  CheckpointWriteOptions options;
+  options.max_attempts = config_.recovery.checkpoint_max_attempts;
+  options.backoff_initial_ms = config_.recovery.checkpoint_backoff_ms;
+  // Every site is attempted even when one fails: a failed save leaves that
+  // site's manifest on its last-good generation (stale checkpoint + longer
+  // replay), and aborting the loop would deny the remaining sites a fresh
+  // generation for no reason.
+  Status first_error = Status::OK();
   for (const auto& pipeline : pipelines_) {
-    RFID_RETURN_NOT_OK(
-        SaveSiteCheckpoint(*pipeline, SiteCheckpointPath(dir, pipeline->site())));
+    const SiteHealth& health = health_.find(pipeline->site())->second;
+    if (health.parked) {
+      // A parked pipeline's in-memory state is mid-failure; checkpointing
+      // it would overwrite a good generation with a suspect one.
+      checkpoint_skipped_parked_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    CheckpointWriteReport report;
+    const Status saved = SaveSiteCheckpoint(*pipeline, dir, options, &report);
+    if (report.attempts > 1) {
+      checkpoint_retries_.fetch_add(
+          static_cast<uint64_t>(report.attempts - 1),
+          std::memory_order_relaxed);
+    }
+    if (saved.ok()) {
+      checkpoints_saved_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (first_error.ok()) first_error = saved;
+    }
   }
-  return Status::OK();
+  // Remember the directory even on partial failure: the sites that did save
+  // (and earlier generations of those that did not) are restorable here.
+  last_checkpoint_dir_ = dir;
+  return first_error;
 }
 
 Status StreamingServer::Restore(const std::string& dir) {
   std::lock_guard<std::mutex> lock(pump_mu_);
   for (auto& pipeline : pipelines_) {
-    RFID_RETURN_NOT_OK(LoadSiteCheckpoint(
-        SiteCheckpointPath(dir, pipeline->site()), pipeline.get()));
+    CheckpointLoadReport report;
+    RFID_RETURN_NOT_OK(
+        LoadSiteCheckpoint(dir, pipeline->site(), pipeline.get(), &report));
+    if (report.used_fallback) {
+      checkpoint_fallback_loads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Drop operator state the bus accumulated for this site (live
+    // subscriptions survive a restore; their per-site operators must not —
+    // they reflect events past or divergent from the checkpoint cut).
+    bus_.ResetSiteState(pipeline->site());
+    SiteHealth& health = health_.find(pipeline->site())->second;
+    health.parked = false;
+    health.park_reason.clear();
   }
+  last_checkpoint_dir_ = dir;
+  return Status::OK();
+}
+
+Status StreamingServer::ReviveSite(SiteId site) {
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  const auto health_it = health_.find(site);
+  if (health_it == health_.end()) {
+    return Status::NotFound("unknown site " + std::to_string(site));
+  }
+  SitePipeline* pipeline = nullptr;
+  for (auto& candidate : pipelines_) {
+    if (candidate->site() == site) pipeline = candidate.get();
+  }
+  // Only attempt a restore when some checkpoint artifact actually exists
+  // for this site — a site parked before its first successful save (every
+  // Checkpoint() skipped it) must still be revivable, with whatever state
+  // it has. A load that fails with data present is still an error: the
+  // operator asked for the last-good state and it is unreadable.
+  CheckpointManifest manifest;
+  const bool has_data =
+      !last_checkpoint_dir_.empty() &&
+      (ReadSiteManifest(last_checkpoint_dir_, site, &manifest).ok() ||
+       std::filesystem::exists(SiteCheckpointPath(last_checkpoint_dir_, site)));
+  if (has_data) {
+    CheckpointLoadReport report;
+    RFID_RETURN_NOT_OK(
+        LoadSiteCheckpoint(last_checkpoint_dir_, site, pipeline, &report));
+    if (report.used_fallback) {
+      checkpoint_fallback_loads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    bus_.ResetSiteState(site);
+  }
+  SiteHealth& health = health_it->second;
+  health.parked = false;
+  health.park_reason.clear();
+  health.recoveries = 0;
   return Status::OK();
 }
 
@@ -280,12 +434,32 @@ ServerStatsSnapshot StreamingServer::Stats() const {
       shard_stats.shed_deescalations = shards_[s].governor->deescalations();
     }
     for (const SitePipeline* pipeline : shards_[s].sites) {
-      shard_stats.sites.push_back(pipeline->Stats());
+      SitePipelineStats site_stats = pipeline->Stats();
+      const SiteHealth& health = health_.find(pipeline->site())->second;
+      site_stats.pipeline_failures = health.failures;
+      site_stats.recoveries = health.recoveries;
+      site_stats.records_dropped_parked = health.records_dropped_parked;
+      site_stats.parked = health.parked;
+      site_stats.park_reason = health.park_reason;
+      shard_stats.sites.push_back(std::move(site_stats));
     }
     snapshot.shards.push_back(std::move(shard_stats));
   }
   snapshot.subscription_dispatches = bus_.dispatched_events();
   snapshot.operators = bus_.OperatorStatsSnapshot();
+  snapshot.checkpoint.saved =
+      checkpoints_saved_.load(std::memory_order_relaxed);
+  snapshot.checkpoint.failures =
+      checkpoint_failures_.load(std::memory_order_relaxed);
+  snapshot.checkpoint.retries =
+      checkpoint_retries_.load(std::memory_order_relaxed);
+  snapshot.checkpoint.fallback_loads =
+      checkpoint_fallback_loads_.load(std::memory_order_relaxed);
+  snapshot.checkpoint.skipped_parked =
+      checkpoint_skipped_parked_.load(std::memory_order_relaxed);
+  if (FaultInjector* injector = FaultInjector::Installed()) {
+    snapshot.faults = injector->Snapshot();
+  }
   return snapshot;
 }
 

@@ -91,6 +91,22 @@ struct ServeConfig {
     int shard = 0;
   };
   std::vector<SitePin> shard_pins;
+
+  /// Failure isolation and recovery policy (see "Failure model & recovery"
+  /// in the README). A site pipeline that throws during a pump sweep is
+  /// marked failed and auto-restored from the last-good checkpoint; after
+  /// `max_restarts` recoveries it is parked (records dropped and counted)
+  /// instead of crash-looping the server.
+  struct RecoveryConfig {
+    int max_restarts = 3;
+    /// Checkpoint save attempts per site (transient IO failures retried
+    /// with doubling backoff; see CheckpointWriteOptions).
+    int checkpoint_max_attempts = 3;
+    double checkpoint_backoff_ms = 1.0;
+    /// Per-site dead-letter ring capacity (quarantined records retained).
+    size_t dead_letter_capacity = 32;
+  };
+  RecoveryConfig recovery;
 };
 
 /// One site to serve: its id plus the world model its engine runs.
@@ -139,11 +155,17 @@ class StreamingServer {
   /// tail events. Call after the queues are drained (Stop() or Pump()).
   void Flush();
 
-  /// Drains the queues, then writes per-site checkpoint files into `dir`
-  /// (created if missing). For a clean cut, quiesce producers first.
+  /// Drains the queues, then runs the generation-manifest save protocol
+  /// (write -> verify -> advance, see serve/checkpoint.h) for every
+  /// non-parked site into `dir` (created if missing). A site whose save
+  /// fails keeps its last-good generation; the other sites still advance.
+  /// For a clean cut, quiesce producers first.
   Status Checkpoint(const std::string& dir);
-  /// Restores every site from `dir`. Call on a freshly created server
-  /// (same site specs and config) before any ingest.
+  /// Restores every site from `dir` (current generation, falling back one).
+  /// Safe on a freshly created server (same site specs and config) before
+  /// any ingest, and on a live one: per-site operator state on the bus is
+  /// reset so live subscriptions re-register cleanly against the restored
+  /// stream.
   Status Restore(const std::string& dir);
 
   ServerStatsSnapshot Stats() const;
@@ -153,7 +175,26 @@ class StreamingServer {
   /// nullptr for unknown sites. Do not call while a pump may be running.
   const SitePipeline* FindSite(SiteId site) const;
 
+  /// Un-parks a site and, when a checkpoint directory is known and holds
+  /// data for the site, restores it from the last-good generation first (a
+  /// site parked before its first successful save revives with its current
+  /// state). Resets the restart budget — an operator reviving a site is
+  /// declaring the underlying cause fixed.
+  Status ReviveSite(SiteId site);
+
  private:
+  /// Per-site failure-handling state, owned by the server (the pipeline
+  /// itself has no notion of failure). Only the lane that owns the site's
+  /// shard mutates an entry during a pump; the map's shape is fixed at
+  /// construction.
+  struct SiteHealth {
+    uint64_t failures = 0;
+    uint64_t recoveries = 0;
+    uint64_t records_dropped_parked = 0;
+    bool parked = false;
+    std::string park_reason;
+  };
+
   struct Shard {
     std::unique_ptr<IngestQueue> queue;
     std::vector<SitePipeline*> sites;  ///< Pipelines routed to this shard.
@@ -172,12 +213,33 @@ class StreamingServer {
   void DriverLoop();
   void NotifyWork();
 
+  /// Blast-radius containment for a pipeline that threw mid-sweep: restore
+  /// it from the last-good checkpoint, or park it when the restart budget
+  /// is exhausted (or there is nothing to restore from). Runs on the lane
+  /// owning the site's shard; touches only that site's state.
+  void HandleSiteFailure(SitePipeline* pipeline, const char* what);
+
   ServeConfig config_;
   ShardRouter router_;
   std::vector<std::unique_ptr<SitePipeline>> pipelines_;
   std::vector<Shard> shards_;
   SubscriptionBus bus_;
   ThreadPool pool_;
+
+  /// One entry per site, created at construction (lanes mutate their own
+  /// sites' entries concurrently; the map itself is never reshaped).
+  std::unordered_map<SiteId, SiteHealth> health_;
+  /// Last directory a checkpoint was written to or restored from — where
+  /// auto-recovery looks for the last-good generation. Guarded by pump_mu_
+  /// (written by Checkpoint/Restore, read during pump sweeps).
+  std::string last_checkpoint_dir_;
+  /// Checkpoint protocol outcome counters (see CheckpointStatsSnapshot).
+  /// Atomic: fallback loads are counted from concurrent pump lanes.
+  std::atomic<uint64_t> checkpoints_saved_{0};
+  std::atomic<uint64_t> checkpoint_failures_{0};
+  std::atomic<uint64_t> checkpoint_retries_{0};
+  std::atomic<uint64_t> checkpoint_fallback_loads_{0};
+  std::atomic<uint64_t> checkpoint_skipped_parked_{0};
 
   /// Serializes pump sweeps vs checkpoint/flush/stats (mutable: Stats() is
   /// logically const but must exclude a concurrent pump).

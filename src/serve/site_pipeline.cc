@@ -1,28 +1,41 @@
 #include "serve/site_pipeline.h"
 
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "pf/snapshot.h"
+#include "util/fault.h"
 #include "util/serialize.h"
 
 namespace rfid {
 
 namespace {
 
+using serialize::ReadFramedSection;
 using serialize::ReadPod;
+using serialize::WriteFramedSection;
 using serialize::WritePod;
 
 constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'S', 'I', 'T', 'E'};
 // v2 adds the shed counter and the scan-boundary bookkeeping
 // (records_shed_, scan_completes_, last_epoch_time_/epochs_since_scan_) so
 // a restored pipeline stamps scan-complete events with the same time the
-// uninterrupted run would have. v1 checkpoints still load: the new fields
-// default to zero, which reproduces exactly what a v1-era pipeline did
-// (no shedding, and no scan-complete until fresh epochs arrive).
-constexpr uint32_t kVersion = 2;
-constexpr uint32_t kMinVersion = 1;
+// uninterrupted run would have.
+// v3 reframes the checkpoint as CRC32-checked sections (header,
+// synchronizer, emitter, engine stats, filter snapshot — see
+// util/serialize.h) and adds the quarantine counter to the header. Torn or
+// bit-rotted checkpoints now fail section verification before any state is
+// parsed, which is what the generation manifest's save-verify-advance
+// protocol (serve/checkpoint.cc) relies on.
+//
+// Version window: one back. v2 still loads (its unframed layout is parsed
+// directly); v1 is rejected with an error naming the oldest loadable
+// version.
+constexpr uint32_t kVersion = 3;
+constexpr uint32_t kMinVersion = 2;
 
 SynchronizerConfig MakeSyncConfig(const SitePipelineConfig& config) {
   SynchronizerConfig sc;
@@ -64,6 +77,10 @@ Result<std::unique_ptr<SitePipeline>> SitePipeline::Create(
 void SitePipeline::ProcessEpochs(std::vector<SyncedEpoch> epochs,
                                  SubscriptionBus* bus) {
   for (const SyncedEpoch& epoch : epochs) {
+    if (MaybeInjectFault(FaultPoint::kPipelineStep, site_)) {
+      throw FaultInjectedError("injected pipeline fault at site " +
+                               std::to_string(site_));
+    }
     engine_->ProcessEpoch(epoch);
     last_epoch_time_ = epoch.time;
     epochs_since_scan_ = true;
@@ -75,7 +92,35 @@ void SitePipeline::ProcessEpochs(std::vector<SyncedEpoch> epochs,
   }
 }
 
+void SitePipeline::Quarantine(const ServeRecord& record, const char* reason) {
+  DeadLetterEntry entry;
+  entry.record = record;
+  entry.reason = reason;
+  entry.sequence = records_quarantined_++;
+  dead_letters_.push_back(std::move(entry));
+  while (dead_letters_.size() > config_.dead_letter_capacity) {
+    dead_letters_.pop_front();
+  }
+}
+
 void SitePipeline::OnRecord(const ServeRecord& record, SubscriptionBus* bus) {
+  // Blast-radius rule: a malformed record is diverted, counted and kept for
+  // inspection — it must never abort the sweep or poison the synchronizer.
+  // (The synchronizer has its own non-finite guard; quarantining here keeps
+  // the record and its reason visible instead of silently dropping it.)
+  const char* reject = nullptr;
+  if (record.kind != ServeRecord::Kind::kReading &&
+      record.kind != ServeRecord::Kind::kLocation) {
+    reject = "unknown record kind";
+  } else if (!std::isfinite(record.Time())) {
+    reject = "non-finite timestamp";
+  } else if (MaybeInjectFault(FaultPoint::kRecordDecode, site_)) {
+    reject = "fault injection: record decode";
+  }
+  if (reject != nullptr) {
+    Quarantine(record, reject);
+    return;
+  }
   if (shed_.shed_records) {
     ++records_shed_;
     return;
@@ -127,6 +172,8 @@ SitePipelineStats SitePipeline::Stats() const {
   stats.records_shed = records_shed_;
   stats.events_dispatched = events_dispatched_;
   stats.scan_completes = scan_completes_;
+  stats.records_quarantined = records_quarantined_;
+  stats.dead_letter_size = dead_letters_.size();
   stats.shed_level = static_cast<int>(shed_.level);
   stats.watermark = sync_.watermark();
   stats.engine = engine_->stats();
@@ -142,28 +189,52 @@ SitePipelineStats SitePipeline::Stats() const {
 }
 
 Status SitePipeline::SaveCheckpoint(std::ostream& os) const {
+  // v3 layout: magic + version, then five CRC-framed sections in fixed
+  // order — header/counters, synchronizer, emitter, engine stats, filter
+  // snapshot. Each section is verifiable before it is parsed.
   os.write(kMagic, sizeof(kMagic));
   WritePod(os, kVersion);
-  WritePod(os, site_);
-  WritePod(os, records_processed_);
-  WritePod(os, events_dispatched_);
-  WritePod(os, records_shed_);
-  WritePod(os, scan_completes_);
-  WritePod(os, last_epoch_time_);
-  WritePod(os, static_cast<uint8_t>(epochs_since_scan_ ? 1 : 0));
-  sync_.SaveState(os);
-  engine_->emitter().SaveState(os);
-  const EngineStats& stats = engine_->stats();
-  WritePod(os, stats.epochs_processed);
-  WritePod(os, stats.readings_processed);
-  WritePod(os, stats.events_emitted);
-  WritePod(os, stats.processing_seconds);
-  const auto* filter =
-      dynamic_cast<const FactoredParticleFilter*>(&engine_->filter());
-  if (filter == nullptr) {
-    return Status::Internal("serving pipeline filter is not factored");
+  {
+    std::ostringstream header;
+    WritePod(header, site_);
+    WritePod(header, records_processed_);
+    WritePod(header, events_dispatched_);
+    WritePod(header, records_shed_);
+    WritePod(header, scan_completes_);
+    WritePod(header, records_quarantined_);
+    WritePod(header, last_epoch_time_);
+    WritePod(header, static_cast<uint8_t>(epochs_since_scan_ ? 1 : 0));
+    WriteFramedSection(os, header.str());
   }
-  RFID_RETURN_NOT_OK(SaveFilterSnapshot(*filter, os));
+  {
+    std::ostringstream sync;
+    sync_.SaveState(sync);
+    WriteFramedSection(os, sync.str());
+  }
+  {
+    std::ostringstream emitter;
+    engine_->emitter().SaveState(emitter);
+    WriteFramedSection(os, emitter.str());
+  }
+  {
+    std::ostringstream stats_section;
+    const EngineStats& stats = engine_->stats();
+    WritePod(stats_section, stats.epochs_processed);
+    WritePod(stats_section, stats.readings_processed);
+    WritePod(stats_section, stats.events_emitted);
+    WritePod(stats_section, stats.processing_seconds);
+    WriteFramedSection(os, stats_section.str());
+  }
+  {
+    const auto* filter =
+        dynamic_cast<const FactoredParticleFilter*>(&engine_->filter());
+    if (filter == nullptr) {
+      return Status::Internal("serving pipeline filter is not factored");
+    }
+    std::ostringstream snapshot;
+    RFID_RETURN_NOT_OK(SaveFilterSnapshot(*filter, snapshot));
+    WriteFramedSection(os, snapshot.str());
+  }
   if (!os.good()) return Status::IOError("failed writing site checkpoint");
   return Status::OK();
 }
@@ -185,48 +256,89 @@ Status SitePipeline::LoadCheckpoint(std::istream& is) {
     return Status::IOError("truncated site checkpoint");
   }
   if (version < kMinVersion || version > kVersion) {
-    return Status::Invalid("unsupported site checkpoint version " +
-                           std::to_string(version));
+    return Status::Invalid(
+        "unsupported site checkpoint version " + std::to_string(version) +
+        " (oldest loadable is v" + std::to_string(kMinVersion) +
+        "; load windows are one version back — migrate older checkpoints by "
+        "re-saving them with the release that wrote them plus one)");
   }
   SiteId site = 0;
   uint64_t records_processed = 0, events_dispatched = 0;
   uint64_t records_shed = 0, scan_completes = 0;
+  uint64_t records_quarantined = 0;
   double last_epoch_time = 0.0;
   uint8_t epochs_since_scan = 0;
-  if (!ReadPod(is, &site) || !ReadPod(is, &records_processed) ||
-      !ReadPod(is, &events_dispatched)) {
-    return Status::IOError("truncated site checkpoint");
-  }
-  if (version >= 2 &&
-      (!ReadPod(is, &records_shed) || !ReadPod(is, &scan_completes) ||
-       !ReadPod(is, &last_epoch_time) || !ReadPod(is, &epochs_since_scan))) {
-    return Status::IOError("truncated site checkpoint");
-  }
-  if (site != site_) {
-    return Status::Invalid("site checkpoint is for site " +
-                           std::to_string(site) + ", pipeline is site " +
-                           std::to_string(site_));
-  }
   StreamSynchronizer sync(MakeSyncConfig(config_));
-  RFID_RETURN_NOT_OK(sync.LoadState(is));
   EventEmitter emitter(config_.engine.emitter);
-  RFID_RETURN_NOT_OK(emitter.LoadState(is));
   EngineStats stats;
-  if (!ReadPod(is, &stats.epochs_processed) ||
-      !ReadPod(is, &stats.readings_processed) ||
-      !ReadPod(is, &stats.events_emitted) ||
-      !ReadPod(is, &stats.processing_seconds)) {
-    return Status::IOError("truncated site checkpoint");
-  }
+  // The filter snapshot is the final section; LoadFilterSnapshot itself
+  // parses fully before mutating the filter, so it is the commit point —
+  // after it succeeds, nothing can fail.
   auto* filter =
       dynamic_cast<FactoredParticleFilter*>(&engine_->mutable_filter());
   if (filter == nullptr) {
     return Status::Internal("serving pipeline filter is not factored");
   }
-  // The filter snapshot is the final section; LoadFilterSnapshot itself
-  // parses fully before mutating the filter, so this is the commit point —
-  // after it succeeds, nothing below can fail.
-  RFID_RETURN_NOT_OK(LoadFilterSnapshot(is, filter));
+  if (version >= 3) {
+    // Framed path: every section's checksum is verified before its bytes
+    // are parsed, so a torn or bit-rotted checkpoint fails cleanly here.
+    std::string header_bytes, sync_bytes, emitter_bytes;
+    std::string stats_bytes, snapshot_bytes;
+    RFID_RETURN_NOT_OK(ReadFramedSection(is, &header_bytes));
+    RFID_RETURN_NOT_OK(ReadFramedSection(is, &sync_bytes));
+    RFID_RETURN_NOT_OK(ReadFramedSection(is, &emitter_bytes));
+    RFID_RETURN_NOT_OK(ReadFramedSection(is, &stats_bytes));
+    RFID_RETURN_NOT_OK(ReadFramedSection(is, &snapshot_bytes));
+    std::istringstream header(header_bytes);
+    if (!ReadPod(header, &site) || !ReadPod(header, &records_processed) ||
+        !ReadPod(header, &events_dispatched) ||
+        !ReadPod(header, &records_shed) || !ReadPod(header, &scan_completes) ||
+        !ReadPod(header, &records_quarantined) ||
+        !ReadPod(header, &last_epoch_time) ||
+        !ReadPod(header, &epochs_since_scan)) {
+      return Status::IOError("truncated site checkpoint header section");
+    }
+    if (site != site_) {
+      return Status::Invalid("site checkpoint is for site " +
+                             std::to_string(site) + ", pipeline is site " +
+                             std::to_string(site_));
+    }
+    std::istringstream sync_stream(sync_bytes);
+    RFID_RETURN_NOT_OK(sync.LoadState(sync_stream));
+    std::istringstream emitter_stream(emitter_bytes);
+    RFID_RETURN_NOT_OK(emitter.LoadState(emitter_stream));
+    std::istringstream stats_stream(stats_bytes);
+    if (!ReadPod(stats_stream, &stats.epochs_processed) ||
+        !ReadPod(stats_stream, &stats.readings_processed) ||
+        !ReadPod(stats_stream, &stats.events_emitted) ||
+        !ReadPod(stats_stream, &stats.processing_seconds)) {
+      return Status::IOError("truncated site checkpoint stats section");
+    }
+    std::istringstream snapshot_stream(snapshot_bytes);
+    RFID_RETURN_NOT_OK(LoadFilterSnapshot(snapshot_stream, filter));
+  } else {
+    // Legacy v2: unframed fields parsed straight off the stream.
+    if (!ReadPod(is, &site) || !ReadPod(is, &records_processed) ||
+        !ReadPod(is, &events_dispatched) || !ReadPod(is, &records_shed) ||
+        !ReadPod(is, &scan_completes) || !ReadPod(is, &last_epoch_time) ||
+        !ReadPod(is, &epochs_since_scan)) {
+      return Status::IOError("truncated site checkpoint");
+    }
+    if (site != site_) {
+      return Status::Invalid("site checkpoint is for site " +
+                             std::to_string(site) + ", pipeline is site " +
+                             std::to_string(site_));
+    }
+    RFID_RETURN_NOT_OK(sync.LoadState(is));
+    RFID_RETURN_NOT_OK(emitter.LoadState(is));
+    if (!ReadPod(is, &stats.epochs_processed) ||
+        !ReadPod(is, &stats.readings_processed) ||
+        !ReadPod(is, &stats.events_emitted) ||
+        !ReadPod(is, &stats.processing_seconds)) {
+      return Status::IOError("truncated site checkpoint");
+    }
+    RFID_RETURN_NOT_OK(LoadFilterSnapshot(is, filter));
+  }
   sync_ = std::move(sync);
   engine_->emitter() = std::move(emitter);
   engine_->RestoreStats(stats);
@@ -234,6 +346,7 @@ Status SitePipeline::LoadCheckpoint(std::istream& is) {
   events_dispatched_ = events_dispatched;
   records_shed_ = records_shed;
   scan_completes_ = scan_completes;
+  records_quarantined_ = records_quarantined;
   last_epoch_time_ = last_epoch_time;
   epochs_since_scan_ = epochs_since_scan != 0;
   return Status::OK();

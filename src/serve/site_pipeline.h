@@ -17,6 +17,7 @@
 // remaining records reproduces the uninterrupted run's events bit for bit.
 #pragma once
 
+#include <deque>
 #include <iosfwd>
 #include <memory>
 
@@ -36,7 +37,20 @@ struct SitePipelineConfig {
   /// Must be non-negative (serving always runs the synchronizer's bounded
   /// mode; negative is its strict-mode sentinel and is rejected here).
   double max_lateness_seconds = 2.0;
+  /// Most recent quarantined records retained for inspection (the ring is
+  /// diagnostic state: counted forever, contents bounded, not checkpointed).
+  size_t dead_letter_capacity = 32;
   EngineConfig engine;
+};
+
+/// One quarantined record: kept out of the pipeline, never crashed on.
+struct DeadLetterEntry {
+  ServeRecord record;
+  /// Static string naming why the record was rejected.
+  const char* reason = "";
+  /// 0-based index among the site's quarantined records (total order even
+  /// after older entries rotate out of the ring).
+  uint64_t sequence = 0;
 };
 
 /// Counters exported per site (see serve_stats.h for the aggregate form).
@@ -49,8 +63,19 @@ struct SitePipelineStats {
   uint64_t events_dispatched = 0;
   /// Scan-complete flushes dispatched (kOnScanComplete emitter policy).
   uint64_t scan_completes = 0;
+  /// Malformed / fault-injected records diverted to the dead-letter ring.
+  uint64_t records_quarantined = 0;
+  /// Dead-letter entries currently retained (<= dead_letter_capacity).
+  size_t dead_letter_size = 0;
   /// Current LoadShedLevel (as int, 0 = normal).
   int shed_level = 0;
+  // --- Site health, filled in by the StreamingServer (the pipeline itself
+  // has no notion of failure handling; see server.h) ---
+  uint64_t pipeline_failures = 0;
+  uint64_t recoveries = 0;
+  uint64_t records_dropped_parked = 0;
+  bool parked = false;
+  std::string park_reason;
   double watermark = 0.0;
   EngineStats engine;
   /// Factored-filter belief tiers, the signal behind adaptive scheduling.
@@ -71,8 +96,17 @@ class SitePipeline {
 
   /// Feeds one record; runs the engine over every epoch the watermark
   /// closed and dispatches fresh events to `bus`. Under a kShed governor
-  /// decision the record is dropped and counted instead.
+  /// decision the record is dropped and counted instead. Malformed records
+  /// (non-finite timestamps, unknown kinds) and records hit by the
+  /// kRecordDecode fault point are quarantined to the dead-letter ring —
+  /// one bad record can never abort the pump sweep. May throw (engine
+  /// faults, kPipelineStep injection); the server isolates that.
   void OnRecord(const ServeRecord& record, SubscriptionBus* bus);
+
+  /// Most recent quarantined records, oldest first (bounded ring).
+  const std::deque<DeadLetterEntry>& DeadLetters() const {
+    return dead_letters_;
+  }
 
   /// End of stream: closes all pending epochs and processes them. With the
   /// kOnScanComplete emitter policy this is also the scan boundary — the
@@ -99,6 +133,7 @@ class SitePipeline {
                std::unique_ptr<RfidInferenceEngine> engine);
 
   void ProcessEpochs(std::vector<SyncedEpoch> epochs, SubscriptionBus* bus);
+  void Quarantine(const ServeRecord& record, const char* reason);
 
   SiteId site_;
   SitePipelineConfig config_;
@@ -109,6 +144,8 @@ class SitePipeline {
   uint64_t events_dispatched_ = 0;
   uint64_t records_shed_ = 0;
   uint64_t scan_completes_ = 0;
+  uint64_t records_quarantined_ = 0;
+  std::deque<DeadLetterEntry> dead_letters_;
   LoadShedDecision shed_;  ///< Latest governor decision (default: normal).
   /// Time of the newest closed epoch — the timestamp scan-complete events
   /// carry. Part of the checkpoint (event times must replay identically).

@@ -79,6 +79,17 @@ size_t SubscriptionBus::num_subscriptions() const {
   return subs_.size();
 }
 
+void SubscriptionBus::ResetSiteState(SiteId site) {
+  // Shared registry lock (the subscription list is only read), exclusive
+  // per-subscription lock for the state map — the same discipline Dispatch
+  // uses, so a reset is safe against concurrent dispatch of other sites.
+  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  for (auto& sub : subs_) {
+    std::lock_guard<std::mutex> state_lock(*sub.mu);
+    sub.states.erase(site);
+  }
+}
+
 uint64_t SubscriptionBus::dispatched_events() const {
   return dispatched_.load(std::memory_order_relaxed);
 }

@@ -87,6 +87,15 @@ class SubscriptionBus {
   bool Unsubscribe(SubscriptionId id);
   size_t num_subscriptions() const;
 
+  /// Discards every subscription's operator instance for `site`, keeping
+  /// the subscriptions themselves registered. Called when a site's pipeline
+  /// is restored from a checkpoint: the operators saw events the restored
+  /// pipeline will replay (or never produce again), so carrying their state
+  /// across the restore would double-count or leak entries. Fresh instances
+  /// materialize lazily on the site's next event, exactly as at subscribe
+  /// time.
+  void ResetSiteState(SiteId site);
+
   /// Feeds one site's freshly produced events to every matching
   /// subscription, in subscription order, preserving event order. Called
   /// from shard lanes; safe to call concurrently for different sites.

@@ -1,0 +1,47 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table-driven.
+//
+// Guards every framed section of the binary state formats (filter
+// snapshots, site checkpoints): a torn write, bit rot, or a truncated file
+// is detected before any bytes are parsed, so corruption surfaces as a
+// clean Status instead of garbage state or UB. Not cryptographic — it
+// protects against accidents, not adversaries.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace rfid {
+
+namespace crc32_internal {
+
+inline const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace crc32_internal
+
+/// CRC of `len` bytes at `data`; chainable by passing a previous result as
+/// `seed` (seed 0 starts a fresh checksum).
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto& table = crc32_internal::Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace rfid

@@ -1,0 +1,111 @@
+#include "util/fault.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace rfid {
+
+std::atomic<FaultInjector*> FaultInjector::installed_{nullptr};
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kCheckpointWrite:
+      return "checkpoint_write";
+    case FaultPoint::kCheckpointFsync:
+      return "checkpoint_fsync";
+    case FaultPoint::kCheckpointRename:
+      return "checkpoint_rename";
+    case FaultPoint::kManifestWrite:
+      return "manifest_write";
+    case FaultPoint::kRecordDecode:
+      return "record_decode";
+    case FaultPoint::kPipelineStep:
+      return "pipeline_step";
+    case FaultPoint::kQueueEnqueue:
+      return "queue_enqueue";
+    case FaultPoint::kNumPoints:
+      break;
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(FaultPoint point, FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[static_cast<int>(point)];
+  state.armed = true;
+  state.rule = std::move(rule);
+}
+
+void FaultInjector::Disarm(FaultPoint point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_[static_cast<int>(point)].armed = false;
+}
+
+bool FaultInjector::ShouldFire(FaultPoint point, uint64_t scope) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[static_cast<int>(point)];
+  ++state.hits_total;
+  const uint64_t hit = state.hits_by_scope[scope]++;
+  if (!state.armed) return false;
+  const FaultRule& rule = state.rule;
+  if (!rule.scopes.empty() &&
+      std::find(rule.scopes.begin(), rule.scopes.end(), scope) ==
+          rule.scopes.end()) {
+    return false;
+  }
+  if (state.fires_total >= rule.max_fires) return false;
+  bool fire = rule.fire_hit != FaultRule::kNoHit && hit == rule.fire_hit;
+  if (!fire && rule.probability > 0.0) {
+    // One splitmix chain keyed on (seed, point, scope, hit): the draw is a
+    // pure function of those four values, independent of call order from
+    // other points/scopes — the reproducibility contract.
+    uint64_t mix = seed_;
+    mix ^= SplitMix64(mix) + static_cast<uint64_t>(point);
+    mix ^= SplitMix64(mix) + scope;
+    mix ^= SplitMix64(mix) + hit;
+    const uint64_t draw = SplitMix64(mix);
+    const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+    fire = u < rule.probability;
+  }
+  if (fire) ++state.fires_total;
+  return fire;
+}
+
+uint64_t FaultInjector::hits(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_[static_cast<int>(point)].hits_total;
+}
+
+uint64_t FaultInjector::fires(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return points_[static_cast<int>(point)].fires_total;
+}
+
+uint64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const PointState& state : points_) total += state.fires_total;
+  return total;
+}
+
+std::vector<FaultPointStats> FaultInjector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultPointStats> out;
+  for (int i = 0; i < static_cast<int>(FaultPoint::kNumPoints); ++i) {
+    const PointState& state = points_[i];
+    if (state.hits_total == 0 && state.fires_total == 0) continue;
+    FaultPointStats row;
+    row.point = static_cast<FaultPoint>(i);
+    row.hits = state.hits_total;
+    row.fires = state.fires_total;
+    out.push_back(row);
+  }
+  return out;
+}
+
+void FaultInjector::Install(FaultInjector* injector) {
+  installed_.store(injector, std::memory_order_release);
+}
+
+}  // namespace rfid

@@ -1,0 +1,149 @@
+// Deterministic fault injection for chaos testing the serving runtime.
+//
+// A FaultInjector owns a set of named fault points (checkpoint write/fsync/
+// rename, record decode, pipeline step, queue enqueue, ...) and decides,
+// per hit, whether the instrumented code path should fail. Every decision
+// is a pure function of (seed, point, scope, hit index): the same seed
+// replays exactly the same fault schedule, so a chaos run that finds a bug
+// is reproducible and bisectable by seed. Scopes (the serving layer passes
+// the site id) keep per-site schedules independent of cross-site
+// interleaving — a threaded pump hits each site's counters in that site's
+// own deterministic order.
+//
+// Instrumented code asks through the free function
+//
+//   if (MaybeInjectFault(FaultPoint::kCheckpointFsync, site)) { ...fail... }
+//
+// which is engineered to cost one relaxed atomic load plus a predictable
+// branch when no injector is installed — cheap enough to leave in the
+// ingest hot path permanently (see PERF.md). Production builds simply never
+// install an injector; tests install one via ScopedFaultInjector.
+//
+// Thread safety: Arm/Disarm must not race ShouldFire; install an injector
+// and arm it before the instrumented threads run (the tests' usage).
+// ShouldFire itself is safe to call from any number of threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace rfid {
+
+/// Named instrumentation points. Keep FaultPointName in sync.
+enum class FaultPoint : int {
+  kCheckpointWrite = 0,  ///< Writing a site checkpoint's temp file.
+  kCheckpointFsync,      ///< Fsyncing the temp file before rename.
+  kCheckpointRename,     ///< Renaming the temp file into place.
+  kManifestWrite,        ///< Atomically advancing the generation manifest.
+  kRecordDecode,         ///< Validating/decoding an ingested record.
+  kPipelineStep,         ///< Advancing a site pipeline by one epoch.
+  kQueueEnqueue,         ///< Enqueueing a record into a shard ingest queue.
+  kNumPoints,
+};
+
+/// Stable lower_snake name of a point, e.g. "checkpoint_write".
+const char* FaultPointName(FaultPoint point);
+
+/// When a fault point fires. Probability and explicit hit index compose:
+/// the rule fires on `fire_hit` (when set) OR on any hit whose seeded draw
+/// lands under `probability`, up to `max_fires` total fires.
+struct FaultRule {
+  static constexpr uint64_t kNoHit = std::numeric_limits<uint64_t>::max();
+
+  /// Per-hit fire chance in [0, 1], drawn deterministically from
+  /// (seed, point, scope, hit index).
+  double probability = 0.0;
+  /// Fires exactly on this 0-based per-(point, scope) hit index.
+  uint64_t fire_hit = kNoHit;
+  /// Scopes (site ids) the rule applies to; empty = every scope.
+  std::vector<uint64_t> scopes;
+  /// Cap on total fires across all scopes of this point.
+  uint64_t max_fires = std::numeric_limits<uint64_t>::max();
+};
+
+/// Per-point observation counters (for stats export and test assertions).
+struct FaultPointStats {
+  FaultPoint point = FaultPoint::kNumPoints;
+  uint64_t hits = 0;   ///< Times the instrumented path asked.
+  uint64_t fires = 0;  ///< Times the injector said "fail".
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  void Arm(FaultPoint point, FaultRule rule);
+  void Disarm(FaultPoint point);
+
+  /// One hit at `point` for `scope`; returns true when the fault fires.
+  /// Increments the (point, scope) hit counter either way. Thread-safe.
+  bool ShouldFire(FaultPoint point, uint64_t scope = 0);
+
+  uint64_t seed() const { return seed_; }
+  uint64_t hits(FaultPoint point) const;
+  uint64_t fires(FaultPoint point) const;
+  uint64_t total_fires() const;
+  /// One row per point that was hit at least once, in enum order.
+  std::vector<FaultPointStats> Snapshot() const;
+
+  /// Process-wide installation. Pass nullptr to uninstall. The injector
+  /// must outlive its installation; prefer ScopedFaultInjector.
+  static void Install(FaultInjector* injector);
+  /// Currently installed injector (nullptr almost always): one relaxed
+  /// atomic load, the entire disabled-path cost of a fault point.
+  static FaultInjector* Installed() {
+    return installed_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct PointState {
+    bool armed = false;
+    FaultRule rule;
+    uint64_t fires_total = 0;
+    uint64_t hits_total = 0;
+    std::unordered_map<uint64_t, uint64_t> hits_by_scope;
+  };
+
+  static std::atomic<FaultInjector*> installed_;
+
+  const uint64_t seed_;
+  mutable std::mutex mu_;
+  PointState points_[static_cast<int>(FaultPoint::kNumPoints)];
+};
+
+/// Asks the installed injector (if any) whether `point` should fail now.
+inline bool MaybeInjectFault(FaultPoint point, uint64_t scope = 0) {
+  FaultInjector* injector = FaultInjector::Installed();
+  if (injector == nullptr) return false;  // The hot-path case.
+  return injector->ShouldFire(point, scope);
+}
+
+/// Thrown by fault points that model an internal pipeline crash (the
+/// kPipelineStep point); the server's pump sweep catches it, quarantines
+/// the site and recovers from the last-good checkpoint.
+class FaultInjectedError : public std::exception {
+ public:
+  explicit FaultInjectedError(std::string what) : what_(std::move(what)) {}
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  std::string what_;
+};
+
+/// RAII install/uninstall for tests.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector) {
+    FaultInjector::Install(injector);
+  }
+  ~ScopedFaultInjector() { FaultInjector::Install(nullptr); }
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+};
+
+}  // namespace rfid

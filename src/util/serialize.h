@@ -8,7 +8,11 @@
 #include <iosfwd>
 #include <istream>
 #include <ostream>
+#include <string>
 #include <type_traits>
+
+#include "util/crc32.h"
+#include "util/status.h"
 
 namespace rfid {
 namespace serialize {
@@ -29,6 +33,49 @@ inline bool ReadPod(std::istream& is, T* value) {
 /// Sanity cap for serialized element counts: a state blob claiming more
 /// than this is corrupt, not big.
 constexpr uint64_t kMaxCount = 100'000'000;
+
+/// Sanity cap for framed-section lengths (1 GiB): a section header claiming
+/// more is corrupt, and rejecting it early keeps a flipped length byte from
+/// turning into a giant allocation.
+constexpr uint64_t kMaxSectionBytes = uint64_t{1} << 30;
+
+/// Writes one CRC-framed section: [u64 length][u32 crc32][bytes]. The
+/// checksum lets the reader verify the bytes *before* parsing them, so a
+/// torn or bit-rotted checkpoint section fails with a clean Status instead
+/// of being half-applied.
+inline void WriteFramedSection(std::ostream& os, const std::string& payload) {
+  WritePod(os, static_cast<uint64_t>(payload.size()));
+  WritePod(os, Crc32(payload.data(), payload.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+/// Reads and verifies one framed section into `out`. Distinguishes
+/// truncation (IOError) from corruption (InvalidArgument, on length
+/// insanity or checksum mismatch).
+inline Status ReadFramedSection(std::istream& is, std::string* out) {
+  uint64_t length = 0;
+  uint32_t expected_crc = 0;
+  if (!ReadPod(is, &length)) {
+    return Status::IOError("truncated section header");
+  }
+  if (length > kMaxSectionBytes) {
+    return Status::Invalid("section length " + std::to_string(length) +
+                           " exceeds sanity cap (corrupt header)");
+  }
+  if (!ReadPod(is, &expected_crc)) {
+    return Status::IOError("truncated section header");
+  }
+  out->resize(length);
+  if (length > 0) {
+    is.read(out->data(), static_cast<std::streamsize>(length));
+    if (!is.good()) return Status::IOError("truncated section body");
+  }
+  const uint32_t actual_crc = Crc32(out->data(), out->size());
+  if (actual_crc != expected_crc) {
+    return Status::Invalid("section checksum mismatch (corrupt bytes)");
+  }
+  return Status::OK();
+}
 
 }  // namespace serialize
 }  // namespace rfid

@@ -1,0 +1,365 @@
+// The deterministic fault injector, and the checkpoint protocol under
+// injected faults: a save killed at ANY fault point must leave the manifest
+// on the prior generation, and that generation must load bit-identically.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "core/experiment.h"
+#include "model/cone_sensor.h"
+#include "serve/checkpoint.h"
+#include "serve/site_pipeline.h"
+#include "sim/trace.h"
+#include "util/fault.h"
+
+namespace rfid {
+namespace {
+
+constexpr SiteId kSite = 3;
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit behavior
+// ---------------------------------------------------------------------------
+
+FaultRule ProbabilityRule(double p) {
+  FaultRule rule;
+  rule.probability = p;
+  return rule;
+}
+
+std::vector<int> Schedule(uint64_t seed, uint64_t scope, int hits) {
+  FaultInjector injector(seed);
+  injector.Arm(FaultPoint::kRecordDecode, ProbabilityRule(0.3));
+  std::vector<int> fires;
+  fires.reserve(static_cast<size_t>(hits));
+  for (int i = 0; i < hits; ++i) {
+    fires.push_back(injector.ShouldFire(FaultPoint::kRecordDecode, scope) ? 1
+                                                                          : 0);
+  }
+  return fires;
+}
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  const auto a = Schedule(42, 7, 500);
+  const auto b = Schedule(42, 7, 500);
+  EXPECT_EQ(a, b);
+  // And the schedule is non-trivial: a 30% rule over 500 hits fires some
+  // but not all of the time.
+  int fires = 0;
+  for (int f : a) fires += f;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 500);
+}
+
+TEST(FaultInjectorTest, DifferentSeedDifferentSchedule) {
+  EXPECT_NE(Schedule(42, 7, 500), Schedule(43, 7, 500));
+}
+
+TEST(FaultInjectorTest, ScopeSchedulesAreInterleavingIndependent) {
+  // Scope A's per-hit decisions must not depend on how many times other
+  // scopes hit the same point in between — this is what makes per-site
+  // chaos schedules stable under different shard/thread interleavings.
+  FaultInjector alone(11);
+  alone.Arm(FaultPoint::kPipelineStep, ProbabilityRule(0.25));
+  std::vector<int> schedule_alone;
+  for (int i = 0; i < 200; ++i) {
+    schedule_alone.push_back(alone.ShouldFire(FaultPoint::kPipelineStep, 1));
+  }
+
+  FaultInjector interleaved(11);
+  interleaved.Arm(FaultPoint::kPipelineStep, ProbabilityRule(0.25));
+  std::vector<int> schedule_interleaved;
+  for (int i = 0; i < 200; ++i) {
+    // Other scopes hammer the point between scope-1 hits.
+    interleaved.ShouldFire(FaultPoint::kPipelineStep, 2);
+    schedule_interleaved.push_back(
+        interleaved.ShouldFire(FaultPoint::kPipelineStep, 1));
+    interleaved.ShouldFire(FaultPoint::kPipelineStep, 3);
+  }
+  EXPECT_EQ(schedule_alone, schedule_interleaved);
+}
+
+TEST(FaultInjectorTest, ScopeFilterRestrictsFiring) {
+  FaultInjector injector(5);
+  FaultRule rule = ProbabilityRule(1.0);
+  rule.scopes = {2};
+  injector.Arm(FaultPoint::kQueueEnqueue, rule);
+  EXPECT_FALSE(injector.ShouldFire(FaultPoint::kQueueEnqueue, 1));
+  EXPECT_TRUE(injector.ShouldFire(FaultPoint::kQueueEnqueue, 2));
+  EXPECT_FALSE(injector.ShouldFire(FaultPoint::kQueueEnqueue, 3));
+}
+
+TEST(FaultInjectorTest, FireHitFiresExactlyOnThatHit) {
+  FaultInjector injector(5);
+  FaultRule rule;
+  rule.fire_hit = 2;
+  injector.Arm(FaultPoint::kCheckpointWrite, rule);
+  EXPECT_FALSE(injector.ShouldFire(FaultPoint::kCheckpointWrite, 0));  // hit 0
+  EXPECT_FALSE(injector.ShouldFire(FaultPoint::kCheckpointWrite, 0));  // hit 1
+  EXPECT_TRUE(injector.ShouldFire(FaultPoint::kCheckpointWrite, 0));   // hit 2
+  EXPECT_FALSE(injector.ShouldFire(FaultPoint::kCheckpointWrite, 0));  // hit 3
+}
+
+TEST(FaultInjectorTest, MaxFiresCapsTotalFires) {
+  FaultInjector injector(5);
+  FaultRule rule = ProbabilityRule(1.0);
+  rule.max_fires = 3;
+  injector.Arm(FaultPoint::kRecordDecode, rule);
+  int fires = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (injector.ShouldFire(FaultPoint::kRecordDecode, 0)) ++fires;
+  }
+  EXPECT_EQ(fires, 3);
+  EXPECT_EQ(injector.fires(FaultPoint::kRecordDecode), 3u);
+  EXPECT_EQ(injector.hits(FaultPoint::kRecordDecode), 10u);
+}
+
+TEST(FaultInjectorTest, NoInjectorInstalledMeansNoFaults) {
+  ASSERT_EQ(FaultInjector::Installed(), nullptr);
+  EXPECT_FALSE(MaybeInjectFault(FaultPoint::kPipelineStep, 0));
+}
+
+TEST(FaultInjectorTest, SnapshotExportsHitAndFireCounts) {
+  FaultInjector injector(9);
+  injector.Arm(FaultPoint::kCheckpointFsync, ProbabilityRule(1.0));
+  injector.ShouldFire(FaultPoint::kCheckpointFsync, 0);
+  injector.ShouldFire(FaultPoint::kRecordDecode, 0);  // Unarmed: hit, no fire.
+  const auto rows = injector.Snapshot();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].point, FaultPoint::kCheckpointFsync);
+  EXPECT_EQ(rows[0].hits, 1u);
+  EXPECT_EQ(rows[0].fires, 1u);
+  EXPECT_EQ(rows[1].point, FaultPoint::kRecordDecode);
+  EXPECT_EQ(rows[1].fires, 0u);
+  EXPECT_EQ(injector.total_fires(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint torture: kill the save at every fault point
+// ---------------------------------------------------------------------------
+
+SitePipelineConfig PipelineConfig() {
+  SitePipelineConfig config;
+  config.engine.factored.num_reader_particles = 20;
+  config.engine.factored.num_object_particles = 60;
+  config.engine.factored.seed = 33;
+  return config;
+}
+
+WorldModel SmallModel() {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 6.0;
+  wc.objects_per_shelf = 4;
+  wc.shelf_tags_per_shelf = 2;
+  auto layout = BuildWarehouse(wc);
+  EXPECT_TRUE(layout.ok());
+  return MakeWorldModel(layout.value(), std::make_unique<ConeSensorModel>());
+}
+
+std::vector<ServeRecord> SmallTraceRecords(uint64_t seed) {
+  WarehouseConfig wc;
+  wc.num_shelves = 1;
+  wc.shelf_length = 6.0;
+  wc.objects_per_shelf = 4;
+  wc.shelf_tags_per_shelf = 2;
+  auto layout = BuildWarehouse(wc);
+  EXPECT_TRUE(layout.ok());
+  ConeSensorModel sensor;
+  TraceGenerator gen(layout.value(), RobotConfig{}, {}, sensor, seed);
+  const SimulatedTrace trace = gen.Generate();
+  std::vector<ServeRecord> records;
+  for (const SimEpoch& epoch : trace.epochs) {
+    const SyncedEpoch& obs = epoch.observations;
+    if (obs.has_location) {
+      ReaderLocationReport report;
+      report.time = obs.time;
+      report.location = obs.reported_location;
+      records.push_back(ServeRecord::Location(kSite, report));
+    }
+    for (TagId tag : obs.tags) {
+      records.push_back(ServeRecord::Reading(kSite, {obs.time, tag}));
+    }
+  }
+  return records;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+class CheckpointTortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("fault_ckpt_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Dir() const { return dir_.string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(CheckpointTortureTest, PriorGenerationSurvivesEveryFaultPoint) {
+  auto pipeline = SitePipeline::Create(kSite, SmallModel(), PipelineConfig());
+  ASSERT_TRUE(pipeline.ok());
+  const std::vector<ServeRecord> records = SmallTraceRecords(71);
+  ASSERT_GT(records.size(), 20u);
+  for (size_t i = 0; i < records.size() / 2; ++i) {
+    pipeline.value()->OnRecord(records[i], nullptr);
+  }
+
+  CheckpointWriteOptions options;
+  options.max_attempts = 3;
+  options.backoff_initial_ms = 0.0;  // No reason to sleep in tests.
+
+  // Clean save: generation 1 becomes the last-good checkpoint.
+  CheckpointWriteReport report;
+  ASSERT_TRUE(
+      SaveSiteCheckpoint(*pipeline.value(), Dir(), options, &report).ok());
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_EQ(report.attempts, 1);
+  const std::string gen1_path = SiteGenerationPath(Dir(), kSite, 1);
+  const std::string reference = Slurp(gen1_path);
+  ASSERT_FALSE(reference.empty());
+
+  // Advance the pipeline so later save attempts would write different bytes.
+  for (size_t i = records.size() / 2; i < records.size(); ++i) {
+    pipeline.value()->OnRecord(records[i], nullptr);
+  }
+
+  const FaultPoint kKillPoints[] = {
+      FaultPoint::kCheckpointWrite,
+      FaultPoint::kCheckpointFsync,
+      FaultPoint::kCheckpointRename,
+      FaultPoint::kManifestWrite,
+  };
+  for (const FaultPoint point : kKillPoints) {
+    SCOPED_TRACE(FaultPointName(point));
+    FaultInjector injector(123);
+    injector.Arm(point, ProbabilityRule(1.0));  // Every attempt dies here.
+    ScopedFaultInjector installed(&injector);
+
+    CheckpointWriteReport failed;
+    const Status status =
+        SaveSiteCheckpoint(*pipeline.value(), Dir(), options, &failed);
+    ASSERT_FALSE(status.ok());
+    EXPECT_EQ(status.code(), StatusCode::kIOError);
+    EXPECT_EQ(failed.generation, 1u);  // Manifest untouched.
+    EXPECT_GT(injector.fires(point), 0u);
+
+    // The last-good generation is still what the manifest points at and
+    // its bytes are exactly what the clean save wrote.
+    CheckpointManifest manifest;
+    ASSERT_TRUE(ReadSiteManifest(Dir(), kSite, &manifest).ok());
+    EXPECT_EQ(manifest.current, 1u);
+    EXPECT_EQ(Slurp(gen1_path), reference);
+
+    // And it restores: a fresh pipeline loads generation 1 and re-saving
+    // its checkpoint stream reproduces the reference state bit for bit.
+    auto restored = SitePipeline::Create(kSite, SmallModel(), PipelineConfig());
+    ASSERT_TRUE(restored.ok());
+    CheckpointLoadReport load_report;
+    ASSERT_TRUE(
+        LoadSiteCheckpoint(Dir(), kSite, restored.value().get(), &load_report)
+            .ok());
+    EXPECT_EQ(load_report.generation, 1u);
+    EXPECT_FALSE(load_report.used_fallback);
+    std::ostringstream resaved;
+    ASSERT_TRUE(restored.value()->SaveCheckpoint(resaved).ok());
+    EXPECT_EQ(resaved.str(), reference);
+  }
+
+  // With the injector gone the pending state saves cleanly as generation 2,
+  // retaining generation 1 as the fallback.
+  CheckpointWriteReport clean;
+  ASSERT_TRUE(
+      SaveSiteCheckpoint(*pipeline.value(), Dir(), options, &clean).ok());
+  EXPECT_EQ(clean.generation, 2u);
+  CheckpointManifest manifest;
+  ASSERT_TRUE(ReadSiteManifest(Dir(), kSite, &manifest).ok());
+  EXPECT_EQ(manifest.current, 2u);
+  EXPECT_EQ(manifest.previous, 1u);
+  EXPECT_TRUE(std::filesystem::exists(SiteGenerationPath(Dir(), kSite, 1)));
+}
+
+TEST_F(CheckpointTortureTest, TransientFaultIsRetriedTransparently) {
+  auto pipeline = SitePipeline::Create(kSite, SmallModel(), PipelineConfig());
+  ASSERT_TRUE(pipeline.ok());
+  const std::vector<ServeRecord> records = SmallTraceRecords(72);
+  for (const ServeRecord& record : records) {
+    pipeline.value()->OnRecord(record, nullptr);
+  }
+
+  FaultInjector injector(7);
+  FaultRule one_shot;
+  one_shot.fire_hit = 0;  // First write attempt fails; the retry succeeds.
+  one_shot.max_fires = 1;
+  injector.Arm(FaultPoint::kCheckpointWrite, one_shot);
+  ScopedFaultInjector installed(&injector);
+
+  CheckpointWriteOptions options;
+  options.max_attempts = 3;
+  options.backoff_initial_ms = 0.0;
+  CheckpointWriteReport report;
+  ASSERT_TRUE(
+      SaveSiteCheckpoint(*pipeline.value(), Dir(), options, &report).ok());
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_EQ(report.generation, 1u);
+  EXPECT_EQ(injector.fires(FaultPoint::kCheckpointWrite), 1u);
+
+  auto restored = SitePipeline::Create(kSite, SmallModel(), PipelineConfig());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(
+      LoadSiteCheckpoint(Dir(), kSite, restored.value().get(), nullptr).ok());
+}
+
+TEST_F(CheckpointTortureTest, CorruptCurrentGenerationFallsBackOneGeneration) {
+  auto pipeline = SitePipeline::Create(kSite, SmallModel(), PipelineConfig());
+  ASSERT_TRUE(pipeline.ok());
+  const std::vector<ServeRecord> records = SmallTraceRecords(73);
+  for (size_t i = 0; i < records.size() / 2; ++i) {
+    pipeline.value()->OnRecord(records[i], nullptr);
+  }
+  CheckpointWriteOptions options;
+  options.backoff_initial_ms = 0.0;
+  ASSERT_TRUE(
+      SaveSiteCheckpoint(*pipeline.value(), Dir(), options, nullptr).ok());
+  for (size_t i = records.size() / 2; i < records.size(); ++i) {
+    pipeline.value()->OnRecord(records[i], nullptr);
+  }
+  ASSERT_TRUE(
+      SaveSiteCheckpoint(*pipeline.value(), Dir(), options, nullptr).ok());
+
+  // Bit-rot the current generation (flip one payload byte): its section
+  // CRC check must fail and the load must fall back to generation 1.
+  const std::string gen2_path = SiteGenerationPath(Dir(), kSite, 2);
+  std::string bytes = Slurp(gen2_path);
+  ASSERT_GT(bytes.size(), 200u);
+  bytes[bytes.size() / 2] ^= 0x01;
+  {
+    std::ofstream os(gen2_path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<long>(bytes.size()));
+  }
+
+  auto restored = SitePipeline::Create(kSite, SmallModel(), PipelineConfig());
+  ASSERT_TRUE(restored.ok());
+  CheckpointLoadReport report;
+  ASSERT_TRUE(
+      LoadSiteCheckpoint(Dir(), kSite, restored.value().get(), &report).ok());
+  EXPECT_TRUE(report.used_fallback);
+  EXPECT_EQ(report.generation, 1u);
+}
+
+}  // namespace
+}  // namespace rfid

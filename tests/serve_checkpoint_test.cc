@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -194,12 +195,15 @@ TEST_F(ServeCheckpointTest, RestoreRejectsWrongSiteAndMissingFiles) {
   server.value()->Pump();
   ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
 
-  // A truncated checkpoint file is rejected, not crashed on.
-  const std::string path = SiteCheckpointPath(Dir(), kSite);
+  // A truncated checkpoint file is rejected, not crashed on. The first
+  // checkpoint into a fresh dir writes generation 1 with no previous
+  // generation to fall back to, so the restore must fail outright.
+  const std::string path = SiteGenerationPath(Dir(), kSite, 1);
   std::ifstream is(path, std::ios::binary);
   std::stringstream buffer;
   buffer << is.rdbuf();
   const std::string bytes = buffer.str();
+  ASSERT_FALSE(bytes.empty());
   {
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     os.write(bytes.data(), static_cast<long>(bytes.size() / 2));
@@ -209,12 +213,47 @@ TEST_F(ServeCheckpointTest, RestoreRejectsWrongSiteAndMissingFiles) {
   EXPECT_FALSE(fresh.value()->Restore(Dir()).ok());
 }
 
-TEST_F(ServeCheckpointTest, LoadsLegacyV1Checkpoints) {
-  // v1 site checkpoints (pre shed/scan bookkeeping) must restore into
-  // today's pipeline — upgrading the binary cannot force a cold start.
-  // A v1 file is the v2 bytes with the version patched and the four new
-  // header fields (u64 records_shed, u64 scan_completes, double
-  // last_epoch_time, u8 epochs_since_scan at offset 32) spliced out.
+/// Reads a whole file into a string.
+std::string Slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+/// Converts current-format (v3, CRC-framed) site-checkpoint bytes into the
+/// legacy v2 unframed layout: strips every [u64 len][u32 crc] frame header,
+/// removes the records_quarantined counter v3 added to the header section,
+/// and patches the version. This is what real v2 files on disk look like.
+std::string DownconvertToV2(const std::string& v3_bytes) {
+  const std::string magic = v3_bytes.substr(0, 8);
+  std::string out = magic;
+  const uint32_t version = 2;
+  out.append(reinterpret_cast<const char*>(&version), sizeof(version));
+  size_t pos = 8 + sizeof(uint32_t);
+  bool first_section = true;
+  while (pos < v3_bytes.size()) {
+    uint64_t length = 0;
+    std::memcpy(&length, v3_bytes.data() + pos, sizeof(length));
+    pos += sizeof(uint64_t) + sizeof(uint32_t);  // Skip length + crc.
+    std::string body = v3_bytes.substr(pos, length);
+    pos += length;
+    if (first_section) {
+      // Header section: drop records_quarantined (u64 after site + four
+      // u64 counters: 4 + 8 + 8 + 8 + 8 = offset 36).
+      body.erase(36, 8);
+      first_section = false;
+    }
+    out += body;
+  }
+  return out;
+}
+
+TEST_F(ServeCheckpointTest, LoadsLegacyV2Checkpoints) {
+  // v2 site checkpoints (the previous release's unframed layout) must
+  // restore into today's pipeline — upgrading the binary cannot force a
+  // cold start. The v2 file is placed as a bare legacy `site_<id>.ckpt`
+  // with no manifest, exercising the legacy discovery path too.
   LabConfig lc;
   lc.seed = 505;
   lc.tags_per_row = 10;
@@ -230,29 +269,56 @@ TEST_F(ServeCheckpointTest, LoadsLegacyV1Checkpoints) {
   server.value()->Pump();
   ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
 
-  const std::string path = SiteCheckpointPath(Dir(), kSite);
-  std::ifstream is(path, std::ios::binary);
-  std::stringstream buffer;
-  buffer << is.rdbuf();
-  std::string bytes = buffer.str();
-  const uint32_t v1 = 1;
-  bytes.replace(8, sizeof(v1), reinterpret_cast<const char*>(&v1),
-                sizeof(v1));
-  bytes.erase(32, 8 + 8 + 8 + 1);
+  const std::string v3_bytes =
+      Slurp(SiteGenerationPath(Dir(), kSite, 1));
+  ASSERT_FALSE(v3_bytes.empty());
+  const std::string legacy_dir = Dir() + "_legacy";
+  std::filesystem::create_directories(legacy_dir);
   {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    os.write(bytes.data(), static_cast<long>(bytes.size()));
+    std::ofstream os(SiteCheckpointPath(legacy_dir, kSite),
+                     std::ios::binary | std::ios::trunc);
+    const std::string v2_bytes = DownconvertToV2(v3_bytes);
+    os.write(v2_bytes.data(), static_cast<long>(v2_bytes.size()));
   }
 
   auto fresh = MakeLabServer(lab.value());
   ASSERT_TRUE(fresh.ok());
-  ASSERT_TRUE(fresh.value()->Restore(Dir()).ok());
+  ASSERT_TRUE(fresh.value()->Restore(legacy_dir).ok());
   const SitePipeline* restored = fresh.value()->FindSite(kSite);
   ASSERT_NE(restored, nullptr);
   const SitePipelineStats stats = restored->Stats();
   EXPECT_GT(stats.engine.epochs_processed, 0u);
-  EXPECT_EQ(stats.records_shed, 0u);
-  EXPECT_EQ(stats.scan_completes, 0u);
+  EXPECT_EQ(stats.records_quarantined, 0u);
+  std::filesystem::remove_all(legacy_dir);
+}
+
+TEST_F(ServeCheckpointTest, RejectsV1CheckpointsOutsideTheWindow) {
+  // v1 fell out of the one-back load window when v3 became the writer. The
+  // rejection must name the oldest loadable version — deprecation, not
+  // corruption.
+  LabConfig lc;
+  lc.seed = 506;
+  lc.tags_per_row = 10;
+  const auto lab = BuildLabDeployment(lc);
+  ASSERT_TRUE(lab.ok());
+
+  std::filesystem::create_directories(Dir());
+  {
+    std::ofstream os(SiteCheckpointPath(Dir(), kSite),
+                     std::ios::binary | std::ios::trunc);
+    os.write("RFIDSITE", 8);
+    const uint32_t version = 1;
+    os.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  }
+  auto server = MakeLabServer(lab.value());
+  ASSERT_TRUE(server.ok());
+  const Status status = server.value()->Restore(Dir());
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("unsupported site checkpoint version 1"),
+            std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("oldest loadable is v2"), std::string::npos)
+      << status.message();
 }
 
 TEST_F(ServeCheckpointTest, FailedRestoreLeavesPipelineReplayable) {
@@ -280,11 +346,9 @@ TEST_F(ServeCheckpointTest, FailedRestoreLeavesPipelineReplayable) {
     server.value()->Pump();
     ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
   }
-  const std::string path = SiteCheckpointPath(Dir(), kSite);
-  std::ifstream is(path, std::ios::binary);
-  std::stringstream buffer;
-  buffer << is.rdbuf();
-  const std::string bytes = buffer.str();
+  const std::string path = SiteGenerationPath(Dir(), kSite, 1);
+  const std::string bytes = Slurp(path);
+  ASSERT_FALSE(bytes.empty());
   {
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     os.write(bytes.data(), static_cast<long>(bytes.size() - 16));
@@ -375,6 +439,85 @@ TEST_F(ServeCheckpointTest, CheckpointSurvivesContinuedServing) {
       full.events.end());
   ExpectBitIdentical(tail, resumed.events);
   std::filesystem::remove_all(dir2);
+}
+
+TEST_F(ServeCheckpointTest, RestoreWithLiveSubscriptionsResetsOperatorState) {
+  // Restore() on a live server must re-register per-site operator state
+  // cleanly: the stale instances built from the pre-restore stream are
+  // dropped, the restored stream rebuilds exactly one instance per
+  // (subscription, site), and the rebuilt operator's output matches a
+  // server whose subscription never saw the stale stream at all.
+  LabConfig lc;
+  lc.seed = 505;
+  lc.tags_per_row = 12;
+  const auto lab = BuildLabDeployment(lc);
+  ASSERT_TRUE(lab.ok());
+  const std::vector<ServeRecord> records = LabRecords(lab.value(), 120);
+  const size_t cut = records.size() / 2;
+
+  auto server = MakeLabServer(lab.value());
+  ASSERT_TRUE(server.ok());
+  CollectedEvents live_updates;
+  const auto sub_id = server.value()->bus().SubscribeLocationUpdates(
+      0.1, live_updates.Callback());
+
+  for (size_t i = 0; i < cut; ++i) {
+    ASSERT_TRUE(server.value()->Ingest(records[i]));
+  }
+  server.value()->Pump();
+  ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
+  // Keep serving past the checkpoint so the operator accumulates state the
+  // restore must throw away.
+  for (size_t i = cut; i < records.size(); ++i) {
+    ASSERT_TRUE(server.value()->Ingest(records[i]));
+  }
+  server.value()->Pump();
+  {
+    const auto rows = server.value()->bus().OperatorStatsSnapshot();
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_EQ(rows[0].subscription, sub_id);
+    EXPECT_EQ(rows[0].site, kSite);
+  }
+
+  // Rewind the live server. The subscription survives; its operator state
+  // must not.
+  ASSERT_TRUE(server.value()->Restore(Dir()).ok());
+  EXPECT_TRUE(server.value()->bus().OperatorStatsSnapshot().empty());
+
+  // Replay the tail. Exactly one operator instance re-materializes — no
+  // duplicate rows, no leaked instance from before the restore.
+  const size_t updates_before_replay = live_updates.events.size();
+  for (size_t i = cut; i < records.size(); ++i) {
+    ASSERT_TRUE(server.value()->Ingest(records[i]));
+  }
+  server.value()->Pump();
+  server.value()->Flush();
+  const auto rows = server.value()->bus().OperatorStatsSnapshot();
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].subscription, sub_id);
+  EXPECT_EQ(rows[0].site, kSite);
+
+  // The rebuilt operator behaves as if freshly registered: a control
+  // server restored from the same checkpoint with a brand-new subscription
+  // produces the identical update stream over the tail.
+  CollectedEvents control_updates;
+  {
+    auto control = MakeLabServer(lab.value());
+    ASSERT_TRUE(control.ok());
+    ASSERT_TRUE(control.value()->Restore(Dir()).ok());
+    control.value()->bus().SubscribeLocationUpdates(
+        0.1, control_updates.Callback());
+    for (size_t i = cut; i < records.size(); ++i) {
+      ASSERT_TRUE(control.value()->Ingest(records[i]));
+    }
+    control.value()->Pump();
+    control.value()->Flush();
+  }
+  const std::vector<LocationEvent> replayed(
+      live_updates.events.begin() +
+          static_cast<long>(updates_before_replay),
+      live_updates.events.end());
+  ExpectBitIdentical(replayed, control_updates.events);
 }
 
 }  // namespace

@@ -89,6 +89,77 @@ TEST(LoadShedGovernorTest, DecisionPerLevel) {
   EXPECT_FALSE(hibernate.shed_records);
 }
 
+TEST(ArrivalRateEwmaTest, ConvergesToSteadyRate) {
+  // 10 events/sec fed one at a time: after several taus the estimate must
+  // sit at the true rate.
+  ArrivalRateEwma ewma(1.0);
+  double now = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    now += 0.1;
+    ewma.Observe(now, 1);
+  }
+  EXPECT_NEAR(ewma.RatePerSec(now), 10.0, 0.5);
+}
+
+TEST(ArrivalRateEwmaTest, DecaysWhenIdle) {
+  ArrivalRateEwma ewma(1.0);
+  double now = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    now += 0.1;
+    ewma.Observe(now, 1);
+  }
+  const double busy = ewma.RatePerSec(now);
+  ASSERT_GT(busy, 5.0);
+  // A silent stream must read as rate -> 0, not hold its last value.
+  EXPECT_LT(ewma.RatePerSec(now + 5.0), busy * 0.01);
+  EXPECT_EQ(ewma.RatePerSec(now), busy);  // No observation, no history change.
+}
+
+TEST(ArrivalRateEwmaTest, BatchObservationsWeightByInterval) {
+  // 50 events in one 5-second batch == 10/sec, same as 1-per-100ms.
+  ArrivalRateEwma ewma(1.0);
+  ewma.Observe(0.0, 1);
+  double now = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    now += 5.0;
+    ewma.Observe(now, 50);
+  }
+  EXPECT_NEAR(ewma.RatePerSec(now), 10.0, 1.0);
+}
+
+TEST(LoadShedGovernorTest, RateSignalEscalatesBeforeQueueFills) {
+  // The burst scenario the signal exists for: the pump keeps the queue
+  // nearly empty, but arrivals run at 4x the configured full-rate. The
+  // occupancy-only governor would sit at kNormal; the rate-aware one must
+  // escalate all the way to kShed (pressure = 4.0 -> clamped to 1.0).
+  LoadShedConfig config = TestShedConfig();
+  config.rate_full_per_sec = 100.0;
+  ASSERT_TRUE(ValidateLoadShedConfig(config).ok());
+  LoadShedGovernor governor(config);
+  EXPECT_EQ(governor.Update(0.05, 400.0).level, LoadShedLevel::kShed);
+  // Rate subsiding de-escalates exactly as occupancy draining does; 30% of
+  // the full rate is still inside the shrink hysteresis band.
+  EXPECT_EQ(governor.Update(0.05, 30.0).level, LoadShedLevel::kShrink);
+  EXPECT_EQ(governor.Update(0.05, 10.0).level, LoadShedLevel::kNormal);
+}
+
+TEST(LoadShedGovernorTest, RateSignalDisabledByDefault) {
+  // rate_full_per_sec = 0 disables the signal: any rate is ignored and the
+  // governor reacts to occupancy alone, preserving pre-signal behavior.
+  LoadShedGovernor governor(TestShedConfig());
+  EXPECT_EQ(governor.Update(0.1, 1e9).level, LoadShedLevel::kNormal);
+  EXPECT_EQ(governor.Update(0.6, 0.0).level, LoadShedLevel::kShrink);
+}
+
+TEST(LoadShedGovernorTest, ValidatesRateConfig) {
+  LoadShedConfig bad = TestShedConfig();
+  bad.rate_full_per_sec = -1.0;
+  EXPECT_FALSE(ValidateLoadShedConfig(bad).ok());
+  bad = TestShedConfig();
+  bad.rate_tau_seconds = 0.0;
+  EXPECT_FALSE(ValidateLoadShedConfig(bad).ok());
+}
+
 TEST(LoadShedGovernorTest, ValidatesConfig) {
   LoadShedConfig bad = TestShedConfig();
   bad.shrink_exit = 0.9;  // exit above enter

@@ -181,35 +181,57 @@ TEST(SnapshotTest, V3RoundTripsHibernatedObjects) {
   }
 }
 
-TEST(SnapshotTest, LoadsLegacyV2Snapshots) {
-  // A filter state without hibernation-tier content written in the v2
-  // layout must load into today's filter exactly as the v3 bytes do —
-  // that is the upgrade path for pre-hibernation checkpoints on disk.
+TEST(SnapshotTest, LoadsLegacyV3Snapshots) {
+  // The one-back window: unframed v3 bytes must load into today's filter
+  // exactly as the framed v4 bytes do — that is the upgrade path for
+  // snapshots on disk written by the previous release.
   FactoredParticleFilter original(MakeLineWorld(), Config());
   Drive(&original);
 
-  std::stringstream v2, v3;
-  ASSERT_TRUE(SaveFilterSnapshotV2(original, v2).ok());
-  ASSERT_TRUE(SaveFilterSnapshot(original, v3).ok());
+  std::stringstream v3, v4;
+  ASSERT_TRUE(SaveFilterSnapshotV3(original, v3).ok());
+  ASSERT_TRUE(SaveFilterSnapshot(original, v4).ok());
 
-  FactoredParticleFilter from_v2(MakeLineWorld(), Config());
-  ASSERT_TRUE(LoadFilterSnapshot(v2, &from_v2).ok());
   FactoredParticleFilter from_v3(MakeLineWorld(), Config());
   ASSERT_TRUE(LoadFilterSnapshot(v3, &from_v3).ok());
+  FactoredParticleFilter from_v4(MakeLineWorld(), Config());
+  ASSERT_TRUE(LoadFilterSnapshot(v4, &from_v4).ok());
 
-  EXPECT_EQ(from_v2.current_step(), original.current_step());
-  EXPECT_EQ(from_v2.NumTrackedObjects(), original.NumTrackedObjects());
-  EXPECT_EQ(from_v2.NumHibernatedObjects(), 0u);
+  EXPECT_EQ(from_v3.current_step(), original.current_step());
+  EXPECT_EQ(from_v3.NumTrackedObjects(), original.NumTrackedObjects());
   for (TagId tag : {1000u, 1001u}) {
-    const auto a = from_v2.EstimateObject(tag);
-    const auto b = from_v3.EstimateObject(tag);
+    const auto a = from_v3.EstimateObject(tag);
+    const auto b = from_v4.EstimateObject(tag);
     ASSERT_TRUE(a.has_value());
     ASSERT_TRUE(b.has_value());
     EXPECT_EQ(a->mean, b->mean);
     EXPECT_EQ(a->variance, b->variance);
     EXPECT_EQ(a->support, b->support);
   }
-  EXPECT_EQ(from_v2.EstimateReader().mean, from_v3.EstimateReader().mean);
+  EXPECT_EQ(from_v3.EstimateReader().mean, from_v4.EstimateReader().mean);
+}
+
+TEST(SnapshotTest, RejectsV2SnapshotsOutsideTheWindow) {
+  // v2 fell out of the one-back load window when v4 became the writer. The
+  // rejection must be explicit and name the oldest loadable version — a
+  // generic "bad file" error would read as corruption, not deprecation.
+  FactoredParticleFilter original(MakeLineWorld(), Config());
+  Drive(&original);
+
+  std::stringstream v2;
+  ASSERT_TRUE(SaveFilterSnapshotV2(original, v2).ok());
+
+  FactoredParticleFilter filter(MakeLineWorld(), Config());
+  const Status status = LoadFilterSnapshot(v2, &filter);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("unsupported snapshot version 2"),
+            std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("oldest loadable is v3"), std::string::npos)
+      << status.message();
+  // The filter must be untouched by the rejected load.
+  EXPECT_EQ(filter.current_step(), 0);
 }
 
 TEST(SnapshotTest, V2SaveRejectsHibernatedFilters) {
