@@ -15,7 +15,9 @@
 //   * loiter epochs/sec of elastic+hibernate >= 5x fixed;
 //   * mean XY error on the active tags within 5% (+0.05 ft noise floor)
 //     of the fixed-budget baseline;
-//   * the idle tail actually hibernates.
+//   * the idle tail actually hibernates;
+//   * the elastic rows hold < 0.3x the fixed row's capacity (the periodic
+//     shrink sweep must reclaim what shrunk budgets stranded).
 // Results land in BENCH_elastic.json.
 #include <algorithm>
 #include <cmath>
@@ -269,11 +271,18 @@ int main() {
           ? results[2].epochs_per_sec / results[0].epochs_per_sec
           : 0.0;
   const double accuracy_limit = results[0].mean_xy_active * 1.05 + 0.05;
+  // Elastic budgets shrink particle *counts*, but vector capacity stays at
+  // the high-water mark unless the off-hot-path reclaim sweep trims it —
+  // the elastic row used to hold ~20x its live particles in dead capacity.
+  // ApproxMemoryBytes reports capacity, so the gate asserts the sweep ran.
+  const double reclaim_limit = results[0].memory_mb * 0.3;
   json.BeginRow();
   json.Add("configuration", "gates");
   json.Add("speedup_vs_fixed", speedup);
   json.Add("accuracy_limit_ft", accuracy_limit);
   json.Add("accuracy_ft", results[2].mean_xy_active);
+  json.Add("reclaim_limit_mb", reclaim_limit);
+  json.Add("elastic_memory_mb", results[1].memory_mb);
   bench::WriteBenchJson(json, "elastic");
 
   std::printf("elastic+hibernate vs fixed: %.1fx epochs/sec "
@@ -296,6 +305,15 @@ int main() {
     std::fprintf(stderr, "GATE FAILED: nothing hibernated on an idle-heavy "
                          "site\n");
     ok = false;
+  }
+  for (int i = 1; i < 3; ++i) {
+    if (results[i].memory_mb > reclaim_limit) {
+      std::fprintf(stderr,
+                   "GATE FAILED: %s holds %.1f MB of capacity (> %.1f MB); "
+                   "the shrink sweep did not reclaim shrunk budgets\n",
+                   configs[i].name, results[i].memory_mb, reclaim_limit);
+      ok = false;
+    }
   }
   return ok ? 0 : 1;
 }

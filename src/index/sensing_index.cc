@@ -27,6 +27,7 @@ void SensingRegionIndex::Insert(const Aabb& box,
                      std::back_inserter(merged));
       merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
       last.object_slots = std::move(merged);
+      last.hib_cache_gen = 0;  // Slot set changed; cached verdict is stale.
       return;
     }
   }
@@ -41,6 +42,31 @@ void SensingRegionIndex::Insert(const Aabb& box,
   entries_.push_back(std::move(entry));
   tree_.Insert(box, id);
   last_entry_ = static_cast<int>(id);
+}
+
+void SensingRegionIndex::SetSlotHibernated(uint32_t slot, bool hibernated) {
+  if (slot >= hibernated_.size()) {
+    if (!hibernated) return;  // Never-marked slots are awake already.
+    hibernated_.resize(slot + 1, 0u);
+  }
+  const uint8_t bit = hibernated ? 1u : 0u;
+  if (hibernated_[slot] == bit) return;
+  hibernated_[slot] = bit;
+  ++hib_gen_;  // Invalidate every entry's cached verdict.
+}
+
+bool SensingRegionIndex::EntryAllHibernated(const Entry& e) const {
+  if (e.hib_cache_gen == hib_gen_) return e.hib_cache_all;
+  bool all = !e.object_slots.empty();
+  for (uint32_t slot : e.object_slots) {
+    if (!IsSlotHibernated(slot)) {
+      all = false;
+      break;  // Early exit: one awake slot keeps the entry in the sweep.
+    }
+  }
+  e.hib_cache_gen = hib_gen_;
+  e.hib_cache_all = all;
+  return all;
 }
 
 void SensingRegionIndex::ForEachEntry(
@@ -60,7 +86,14 @@ void SensingRegionIndex::Probe(const Aabb& box, ProbeScratch* scratch,
   }
   const size_t first = out->size();
   for (uint64_t h : scratch->hits) {
-    for (uint32_t slot : entries_[h].object_slots) {
+    const Entry& entry = entries_[h];
+    // An aisle of parked tags: skip the whole entry on one cached test
+    // instead of surfacing every hibernated slot to the filter's per-slot
+    // revive check.
+    if (config_.skip_all_hibernated_entries && EntryAllHibernated(entry)) {
+      continue;
+    }
+    for (uint32_t slot : entry.object_slots) {
       if (slot >= scratch->stamp.size()) scratch->stamp.resize(slot + 1, 0u);
       if (scratch->stamp[slot] == scratch->probe_id) continue;
       scratch->stamp[slot] = scratch->probe_id;

@@ -26,6 +26,12 @@ struct SensingIndexConfig {
   /// the entry count proportional to path length instead of epoch count.
   double merge_distance_fraction = 0.25;
   int rtree_max_entries = 16;
+  /// Probes skip entries whose recorded slots are all hibernated (see
+  /// SetSlotHibernated): a reader passing an aisle of parked tags pays one
+  /// cached entry test instead of one revive check per tag per epoch. Slots
+  /// behind a skipped entry get no negative-evidence revive check until
+  /// some entry holding them wakes; reads (Case 1) always revive.
+  bool skip_all_hibernated_entries = true;
 };
 
 class SensingRegionIndex {
@@ -56,6 +62,15 @@ class SensingRegionIndex {
 
   size_t num_entries() const { return entries_.size(); }
 
+  /// Tracks a slot's hibernation state for the all-hibernated entry skip.
+  /// The filter calls this when a tag enters the hibernation tier (true) and
+  /// when it revives (false); probes then skip entries whose slots are all
+  /// hibernated. Idempotent; slots never marked are awake.
+  void SetSlotHibernated(uint32_t slot, bool hibernated);
+  bool IsSlotHibernated(uint32_t slot) const {
+    return slot < hibernated_.size() && hibernated_[slot] != 0;
+  }
+
   /// Iterates recorded entries in insertion order (snapshot support).
   void ForEachEntry(
       const std::function<void(const Aabb&, const std::vector<uint32_t>&)>& fn)
@@ -65,12 +80,25 @@ class SensingRegionIndex {
   struct Entry {
     Aabb box;
     std::vector<uint32_t> object_slots;  ///< Sorted, deduplicated.
+    /// Cached "every slot hibernated" verdict, valid while hib_cache_gen
+    /// matches the index's hib_gen_ (mutable: probes are const).
+    mutable uint64_t hib_cache_gen = 0;
+    mutable bool hib_cache_all = false;
   };
+
+  /// True when every slot recorded in `e` is hibernated (cached per entry
+  /// until the next hibernation-state transition).
+  bool EntryAllHibernated(const Entry& e) const;
 
   SensingIndexConfig config_;
   RStarTree tree_;
   std::vector<Entry> entries_;
   int last_entry_ = -1;  ///< Candidate for merge with the next insert.
+
+  std::vector<uint8_t> hibernated_;  ///< Per-slot hibernation bit.
+  /// Bumped on every hibernation-state transition; entry caches keyed on it
+  /// stay exact. Starts at 1 so zero-initialized caches are invalid.
+  uint64_t hib_gen_ = 1;
 };
 
 }  // namespace rfid

@@ -15,6 +15,10 @@ constexpr double kSupportFloor = 1e-12;
 /// Salt separating the reader-repoint streams from the update streams.
 constexpr uint64_t kRepointSalt = 0x5bd1e995u;
 
+/// Most reader-resample remap records retained before slots that never get
+/// touched force a deterministic sync-all (bounds lazy-remap memory).
+constexpr size_t kMaxRemapHistory = 32;
+
 double SafeLog(double p) { return std::log(std::max(p, kProbFloor)); }
 }  // namespace
 
@@ -212,6 +216,8 @@ uint32_t FactoredParticleFilter::GetOrCreateSlot(TagId tag) {
   const auto slot = static_cast<uint32_t>(states_.size());
   states_.emplace_back();
   states_.back().tag = tag;
+  // A brand-new slot has nothing to replay from older reader resamples.
+  states_.back().reader_gen = reader_gen_;
   slot_of_tag_[tag] = slot;
   return slot;
 }
@@ -237,6 +243,8 @@ void FactoredParticleFilter::InitializeObjectParticles(ObjectState* state,
     state->particles.PushBack(position, reader_idx, uniform);
   }
   state->compressed.reset();
+  // Fresh attachments reference the *current* readers: synced by definition.
+  state->reader_gen = reader_gen_;
 }
 
 int FactoredParticleFilter::EffectiveFullBudget() const {
@@ -292,8 +300,14 @@ void FactoredParticleFilter::SetLoadShed(double budget_scale,
   hibernate_scale_ = std::min(1.0, std::max(1e-3, hibernate_scale));
 }
 
-void FactoredParticleFilter::DecompressObject(ObjectState* state) {
+void FactoredParticleFilter::DecompressObject(ObjectState* state,
+                                              uint32_t slot) {
   assert(state->IsCompressed());
+  if (state->hibernated && config_.use_spatial_index) {
+    // Revival: the slot re-enters the probe sweep, so index entries holding
+    // it can no longer be skipped as all-hibernated.
+    index_.SetSlotHibernated(slot, false);
+  }
   const GaussianBelief belief = *state->compressed;
   scratch_weights_.resize(readers_.size());
   for (size_t j = 0; j < readers_.size(); ++j) {
@@ -314,6 +328,8 @@ void FactoredParticleFilter::DecompressObject(ObjectState* state) {
   state->compressed.reset();
   state->hibernated = false;
   state->last_revived_step = step_;
+  // Fresh attachments reference the *current* readers: synced by definition.
+  state->reader_gen = reader_gen_;
 }
 
 void FactoredParticleFilter::MaybeReinitialize(ObjectState* state,
@@ -360,8 +376,8 @@ void FactoredParticleFilter::HalfReinitialize(ObjectState* state) {
   state->particle_bounds = particles.ComputeBounds();
 }
 
-uint64_t FactoredParticleFilter::SlotStreamSeed(uint32_t slot,
-                                                uint64_t salt) const {
+uint64_t FactoredParticleFilter::SlotStreamSeedAt(uint32_t slot, uint64_t salt,
+                                                  int64_t step) const {
   // splitmix64 chain over (seed, slot, step, salt): cheap, and decorrelated
   // enough that neighbouring slots / steps give independent xoshiro states
   // (which re-expand the 64-bit value through splitmix64 again).
@@ -369,11 +385,16 @@ uint64_t FactoredParticleFilter::SlotStreamSeed(uint32_t slot,
   uint64_t h = SplitMix64(state);
   state ^= slot;
   h ^= SplitMix64(state);
-  state ^= static_cast<uint64_t>(step_);
+  state ^= static_cast<uint64_t>(step);
   h ^= SplitMix64(state);
   state ^= salt;
   h ^= SplitMix64(state);
   return h;
+}
+
+uint64_t FactoredParticleFilter::SlotStreamSeed(uint32_t slot,
+                                                uint64_t salt) const {
+  return SlotStreamSeedAt(slot, salt, step_);
 }
 
 bool FactoredParticleFilter::UpdateObject(ObjectState* state, bool observed,
@@ -612,21 +633,58 @@ void FactoredParticleFilter::ResampleReaders(
   }
   readers_ = std::move(next);
 
-  // Remap every active object particle to a surviving copy of its reader.
-  // Particles whose reader died are re-pointed to a random survivor: an
-  // approximation (their conditioning hypothesis changes), but those
+  // Every active object particle must be remapped to a surviving copy of its
+  // reader. Particles whose reader died are re-pointed to a random survivor:
+  // an approximation (their conditioning hypothesis changes), but those
   // particles belonged to down-weighted readers, so the bias is bounded by
-  // the resampling threshold. Objects are independent here, so the remap
-  // fans out across the pool; each slot draws from its own salted stream to
-  // stay deterministic at any thread count.
-  pool_.ParallelFor(states_.size(), [&](size_t slot, int) {
-    ParticleSoa& particles = states_[slot].particles;
-    const size_t n = particles.size();
-    if (n == 0) return;
-    Rng rng(SlotStreamSeed(static_cast<uint32_t>(slot), kRepointSalt));
-    uint32_t* reader_idx = particles.mutable_reader_indices();
+  // the resampling threshold. The repoint map is recorded here; the remap
+  // itself replays in SyncReaderAttachments — immediately for every slot in
+  // eager mode, or when a slot is next touched in lazy mode. Either way each
+  // slot draws from its own stream keyed by the step recorded below, so the
+  // attachments come out bit-identical regardless of when the replay runs.
+  remap_history_.push_back({step_, std::move(new_slots_of)});
+  ++reader_gen_;
+  // Slots with no particles have nothing to remap and draw nothing (the
+  // remap always skipped n == 0): fast-forward them so a population of
+  // compressed/hibernated tags never pins the history.
+  for (ObjectState& state : states_) {
+    if (state.particles.empty()) state.reader_gen = reader_gen_;
+  }
+  if (!config_.lazy_reader_remap) {
+    SyncAllReaderAttachments();
+    return;
+  }
+  PruneRemapHistory();
+  // Bounded deferral: slots that are never touched again while resamples
+  // keep firing must not grow the history without bound. The cap is
+  // count-based, hence identical across thread counts and schedules.
+  if (remap_history_.size() >= kMaxRemapHistory) SyncAllReaderAttachments();
+}
+
+void FactoredParticleFilter::SyncReaderAttachments(uint32_t slot) const {
+  if (states_[slot].reader_gen == reader_gen_) return;
+  // Logically const: replaying the pending remaps is the lazy completion of
+  // ResampleReaders, and every observable read of the attachments goes
+  // through a sync first — a synced filter and an eager one are
+  // indistinguishable.
+  auto* self = const_cast<FactoredParticleFilter*>(this);
+  ObjectState& state = self->states_[slot];
+  ParticleSoa& particles = state.particles;
+  const size_t n = particles.size();
+  if (n == 0) {
+    state.reader_gen = reader_gen_;
+    return;
+  }
+  assert(state.reader_gen >= remap_base_gen_);
+  uint32_t* reader_idx = particles.mutable_reader_indices();
+  const size_t first = static_cast<size_t>(state.reader_gen - remap_base_gen_);
+  for (size_t r = first; r < remap_history_.size(); ++r) {
+    const ReaderRemapRecord& rec = remap_history_[r];
+    const size_t num_readers = rec.new_slots_of.size();
+    // The exact stream the eager remap would have consumed at rec.step.
+    Rng rng(SlotStreamSeedAt(slot, kRepointSalt, rec.step));
     for (size_t k = 0; k < n; ++k) {
-      const auto& slots = new_slots_of[reader_idx[k]];
+      const auto& slots = rec.new_slots_of[reader_idx[k]];
       if (slots.empty()) {
         reader_idx[k] = static_cast<uint32_t>(rng.UniformInt(num_readers));
       } else if (slots.size() == 1) {
@@ -635,7 +693,107 @@ void FactoredParticleFilter::ResampleReaders(
         reader_idx[k] = slots[rng.UniformInt(slots.size())];
       }
     }
+  }
+  state.reader_gen = reader_gen_;
+}
+
+void FactoredParticleFilter::SyncAllReaderAttachments() const {
+  // The history is pruned to empty whenever every slot is synced, so this
+  // emptiness test is the cheap "nothing pending" fast path.
+  if (remap_history_.empty()) return;
+  auto* self = const_cast<FactoredParticleFilter*>(this);
+  // Slots are independent under the replay (each writes only its own
+  // attachments from its own stream), so the catch-up fans out too.
+  self->pool_.ParallelFor(states_.size(), [this](size_t slot, int) {
+    SyncReaderAttachments(static_cast<uint32_t>(slot));
   });
+  self->PruneRemapHistory();
+}
+
+void FactoredParticleFilter::PruneRemapHistory() {
+  if (remap_history_.empty()) return;
+  uint64_t min_gen = reader_gen_;
+  for (const ObjectState& s : states_) {
+    min_gen = std::min(min_gen, s.reader_gen);
+  }
+  const auto drop = static_cast<size_t>(min_gen - remap_base_gen_);
+  if (drop == 0) return;
+  remap_history_.erase(remap_history_.begin(),
+                       remap_history_.begin() + static_cast<long>(drop));
+  remap_base_gen_ = min_gen;
+}
+
+void FactoredParticleFilter::DispatchObjectUpdates(
+    const std::vector<uint32_t>& slots) {
+  const size_t m = slots.size();
+  if (m == 0) return;
+  auto run_one = [this, &slots](size_t i, int lane) {
+    const uint32_t slot = slots[i];
+    SyncReaderAttachments(slot);
+    UpdateObject(&states_[slot], /*observed=*/false, slot, /*salt=*/0,
+                 &lane_scratch_[lane]);
+  };
+  if (pool_.num_threads() == 1 || m == 1) {
+    for (size_t i = 0; i < m; ++i) run_one(i, 0);
+    return;
+  }
+  if (!config_.work_stealing) {
+    pool_.ParallelFor(m, run_one);
+    return;
+  }
+  // Cost-balanced chunked stealing: pack slots greedily into chunks of
+  // roughly `target` particles, so a handful of full-budget objects no
+  // longer serializes a static lane while hundreds of tiny
+  // revived/near-floor slots are batched instead of dispatched one by one.
+  // The chunking depends only on slot sizes (state), never on timing, and
+  // every update still draws from its slot-keyed stream — which lane runs a
+  // chunk cannot affect the result.
+  size_t total = 0;
+  for (uint32_t slot : slots) {
+    total += std::max<size_t>(1, states_[slot].particles.size());
+  }
+  const auto lanes = static_cast<size_t>(pool_.num_threads());
+  const size_t target =
+      config_.sched_chunk_particles > 0
+          ? static_cast<size_t>(config_.sched_chunk_particles)
+          : std::max<size_t>(512, total / (lanes * 8));
+  std::vector<size_t>& starts = scratch_chunk_starts_;
+  starts.clear();
+  starts.push_back(0);
+  size_t acc = 0;
+  for (size_t i = 0; i < m; ++i) {
+    acc += std::max<size_t>(1, states_[slots[i]].particles.size());
+    if (acc >= target && i + 1 < m) {
+      starts.push_back(i + 1);
+      acc = 0;
+    }
+  }
+  starts.push_back(m);
+  const size_t num_chunks = starts.size() - 1;
+  pool_.ParallelForDynamic(num_chunks, /*chunk_size=*/1,
+                           [&run_one, &starts](size_t c, int lane) {
+                             for (size_t i = starts[c]; i < starts[c + 1]; ++i) {
+                               run_one(i, lane);
+                             }
+                           });
+}
+
+void FactoredParticleFilter::RunCapacityReclaim() {
+  if (config_.shrink_interval_epochs <= 0) return;
+  if ((step_ + 1) % config_.shrink_interval_epochs != 0) return;
+  // Objects that settled at a small elastic budget (or compressed away their
+  // particles before the compression path existed to shrink them) keep their
+  // high-water vector capacity forever; release it when at least half the
+  // allocation — and enough of it to matter — is dead. Content-preserving
+  // and RNG-free, so estimates are untouched.
+  constexpr size_t kMinReclaimParticles = 64;
+  for (ObjectState& s : states_) {
+    const size_t n = s.particles.size();
+    const size_t cap = s.particles.CapacityParticles();
+    if (cap >= n + kMinReclaimParticles && cap >= 2 * n) {
+      s.particles.ShrinkToFit();
+    }
+  }
 }
 
 GaussianBelief FactoredParticleFilter::FitBelief(
@@ -665,6 +823,11 @@ void FactoredParticleFilter::RunCompression() {
             compression_.config().compress_after_epochs) {
       continue;
     }
+    // The fit marginalizes over reader weights through the attachments, so
+    // deferred remaps must be replayed first. Compression targets exactly
+    // the slots the epoch sweep has not touched — the ones lazy mode left
+    // stale.
+    SyncReaderAttachments(slot);
     const GaussianBelief fit = FitBelief(state);
     CompressionCandidate c;
     c.slot = slot;
@@ -712,11 +875,17 @@ void FactoredParticleFilter::RunHibernation() {
        compression_.SelectForHibernation(step_, candidates, after)) {
     ObjectState& state = states_[slot];
     if (!state.IsCompressed()) {
+      SyncReaderAttachments(slot);  // The fit reads the attachments.
       state.compressed = FitBelief(state);
       state.particles.clear();
       state.particles.ShrinkToFit();
     }
     state.hibernated = true;
+    if (config_.use_spatial_index) {
+      // Entries whose slots are now all hibernated drop out of the probe
+      // sweep entirely (the index skips them until a revival).
+      index_.SetSlotHibernated(slot, true);
+    }
   }
 }
 
@@ -775,12 +944,15 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
   // stream, and the set is small (bounded by the tags read in one epoch).
   for (uint32_t slot : case1) {
     ObjectState& state = states_[slot];
+    // Catch up on deferred reader remaps before anything reads or keeps the
+    // attachments (re-init keeps half, the update weights against them).
+    SyncReaderAttachments(slot);
     const bool brand_new =
         state.particles.empty() && !state.IsCompressed();
     if (brand_new) {
       InitializeObjectParticles(&state, EffectiveFullBudget());
     } else if (state.IsCompressed()) {
-      DecompressObject(&state);
+      DecompressObject(&state, slot);
     } else if (state.last_observed_step >= 0) {
       MaybeReinitialize(&state, reader_ref);
     }
@@ -830,19 +1002,16 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
       const double pr = model_.sensor().ProbReadAt(
           Pose(reader_ref, reader_est.heading), state.compressed->mean());
       if (pr < revive_prob) continue;
-      DecompressObject(&state);
+      DecompressObject(&state, slot);
     }
     if (state.particles.empty()) continue;
     case2_updates.push_back(slot);
   }
-  // ...then the updates themselves fan out across the pool. Given the
-  // frozen reader frames they are conditionally independent (§IV-B), and
-  // each draws from its own (seed, slot, step) stream.
-  pool_.ParallelFor(case2_updates.size(), [&](size_t i, int lane) {
-    const uint32_t slot = case2_updates[i];
-    UpdateObject(&states_[slot], /*observed=*/false, slot, /*salt=*/0,
-                 &lane_scratch_[lane]);
-  });
+  // ...then the updates themselves fan out across the pool — cost-balanced
+  // stolen chunks (work_stealing) or the static per-lane partition. Given
+  // the frozen reader frames they are conditionally independent (§IV-B),
+  // and each draws from its own (seed, slot, step) stream.
+  DispatchObjectUpdates(case2_updates);
   std::vector<uint32_t> processed = case1;
   processed.reserve(case1.size() + case2_updates.size());
   for (uint32_t slot : case2_updates) {
@@ -882,6 +1051,7 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
   // deeper tier collapses whatever has been unread long enough.
   RunCompression();
   RunHibernation();
+  RunCapacityReclaim();
 
   ++step_;
 }
@@ -890,6 +1060,8 @@ std::optional<LocationEstimate> FactoredParticleFilter::EstimateObject(
     TagId tag) const {
   auto it = slot_of_tag_.find(tag);
   if (it == slot_of_tag_.end()) return std::nullopt;
+  // The marginal weights below read the reader attachments.
+  SyncReaderAttachments(it->second);
   const ObjectState& state = states_[it->second];
 
   LocationEstimate est;
@@ -960,6 +1132,7 @@ const FactoredParticleFilter::ObjectState* FactoredParticleFilter::FindObject(
     TagId tag) const {
   auto it = slot_of_tag_.find(tag);
   if (it == slot_of_tag_.end()) return nullptr;
+  SyncReaderAttachments(it->second);  // Callers read the attachments.
   return &states_[it->second];
 }
 

@@ -135,6 +135,39 @@ struct FactoredFilterConfig {
   /// are bit-identical across thread counts at a fixed seed.
   int num_threads = 1;
 
+  /// Schedule the Case-2 fan-out through chunked work stealing
+  /// (ThreadPool::ParallelForDynamic): the slots are grouped into
+  /// cost-balanced chunks claimed through an atomic cursor, so one expensive
+  /// object no longer serializes a whole static lane. Which lane runs a
+  /// chunk is timing-dependent; results are not — every update draws from
+  /// its slot-keyed RNG stream, so estimates stay bit-identical across
+  /// schedules, chunk sizes and thread counts. false = the seed's static
+  /// one-block-per-lane partition.
+  bool work_stealing = true;
+  /// Target particle mass per stolen chunk (the unit of cost balancing).
+  /// Objects are greedily packed into chunks of roughly this many particles,
+  /// batching tiny hibernated/compressed slots into one task while an
+  /// expensive slot gets a chunk of its own. <= 0 picks a default giving
+  /// each lane several chunks. Scheduling-only: any value yields
+  /// bit-identical estimates.
+  int sched_chunk_particles = 0;
+
+  /// Defer the reader-resample remap (§IV-B repoint of every particle's
+  /// reader attachment) from "all active objects immediately" to "each slot
+  /// when it is next touched". On a large site most slots are cold, so the
+  /// eager remap is a full-population stall for attachments nobody reads
+  /// before the *next* resample overwrites them. Laziness is invisible:
+  /// every read of a slot's attachments syncs it first by replaying the
+  /// pending remaps with the same per-slot RNG stream, keyed by the step at
+  /// which each resample fired, so posteriors are bit-identical to eager.
+  bool lazy_reader_remap = true;
+
+  /// Every this-many epochs, trim particle-vector capacity of objects whose
+  /// elastic budget left them far below their old high-water allocation
+  /// (capacity >= 2x size). Off-hot-path; 0 disables the sweep (capacity
+  /// then tracks the high-water mark, the seed behavior).
+  int shrink_interval_epochs = 64;
+
   /// Weight Eq. (5) through reader-run bucketing: counting-sort each
   /// object's particles by reader attachment, evaluate contiguous
   /// single-frame runs in one ProbReadBatchRuns call, scatter weights back
@@ -194,6 +227,10 @@ class FactoredParticleFilter final : public InferenceFilter {
     /// recording sensing-index entries ("objects that have at least one
     /// particle within the bounding box", Fig. 4(b)).
     Aabb particle_bounds;
+    /// Reader-resample generation this slot's particle attachments are
+    /// synced to. When it lags the filter's reader_gen_, the pending remaps
+    /// are replayed (lazy_reader_remap) before the attachments are read.
+    uint64_t reader_gen = 0;
 
     bool IsCompressed() const { return compressed.has_value(); }
   };
@@ -211,7 +248,12 @@ class FactoredParticleFilter final : public InferenceFilter {
   }
   const ObjectState* FindObject(TagId tag) const;
   /// All per-object states, indexed by slot (EM E-step iterates these).
-  const std::vector<ObjectState>& object_states() const { return states_; }
+  /// Replays any deferred reader remaps first, so the attachments read here
+  /// are identical to an eager filter's.
+  const std::vector<ObjectState>& object_states() const {
+    SyncAllReaderAttachments();
+    return states_;
+  }
   size_t NumActiveObjects() const;
   size_t NumCompressedObjects() const;
   size_t NumHibernatedObjects() const;
@@ -267,7 +309,9 @@ class FactoredParticleFilter final : public InferenceFilter {
   /// Builds a fresh particle set of `count` particles for a slot, sampling
   /// reader attachments proportionally to reader weights.
   void InitializeObjectParticles(ObjectState* state, int count);
-  void DecompressObject(ObjectState* state);
+  /// `slot` lets a hibernation revival clear the slot's bit in the sensing
+  /// index (the all-hibernated entry skip).
+  void DecompressObject(ObjectState* state, uint32_t slot);
   /// §IV-A re-initialization rules for a re-observed active object.
   void MaybeReinitialize(ObjectState* state, const Vec3& reader_ref);
   /// Keeps half of the particles and re-initializes the other half from the
@@ -279,6 +323,10 @@ class FactoredParticleFilter final : public InferenceFilter {
   /// shared rng_ consumption order. `salt` separates multiple updates of the
   /// same slot within one step (the conflict retry).
   uint64_t SlotStreamSeed(uint32_t slot, uint64_t salt) const;
+  /// Same stream keyed at an explicit step instead of the current step_ —
+  /// the lazy remap replays a resample recorded at step S with the exact
+  /// seed the eager remap would have used at step S.
+  uint64_t SlotStreamSeedAt(uint32_t slot, uint64_t salt, int64_t step) const;
 
   /// Propagates, weights and (if needed) resamples one processed object.
   /// Draws only from the slot's private RNG stream and writes only the
@@ -291,7 +339,32 @@ class FactoredParticleFilter final : public InferenceFilter {
 
   /// Resamples reader particles, scoring each by its own weight times the
   /// support it receives from the processed objects' particles (§IV-B).
+  /// Records the old-reader -> new-readers repoint map; eager mode applies
+  /// it to every active slot immediately, lazy mode defers to
+  /// SyncReaderAttachments.
   void ResampleReaders(const std::vector<uint32_t>& processed_slots);
+
+  /// Replays the reader-resample remaps a slot has not seen yet, in firing
+  /// order, using the same slot-keyed RNG streams the eager remap consumed —
+  /// bit-identical attachments, paid only when the slot is next touched.
+  /// Logically const: syncing changes no observable state (every public
+  /// reader of attachments syncs first), so const accessors may call it.
+  void SyncReaderAttachments(uint32_t slot) const;
+  /// Syncs every slot and prunes the remap history (bulk readers: snapshot
+  /// save, object_states(), history-cap overflow).
+  void SyncAllReaderAttachments() const;
+  /// Drops remap records every synced slot has already replayed.
+  void PruneRemapHistory();
+
+  /// Fans UpdateObject over the Case-2 slots: cost-balanced stolen chunks
+  /// (work_stealing) or the static per-lane partition. Each task syncs the
+  /// slot's reader attachments before updating it.
+  void DispatchObjectUpdates(const std::vector<uint32_t>& slots);
+
+  /// Off-hot-path capacity reclaim (shrink_interval_epochs): releases the
+  /// high-water vector capacity of objects whose elastic budget has settled
+  /// far below it.
+  void RunCapacityReclaim();
 
   /// Fits the current Gaussian to an object's particles (weights combined
   /// with reader weights, i.e. the true marginal).
@@ -333,6 +406,24 @@ class FactoredParticleFilter final : public InferenceFilter {
   std::vector<ObjectState> states_;
   std::unordered_map<TagId, uint32_t> slot_of_tag_;
 
+  /// One deferred reader-resample remap (lazy_reader_remap). Replaying a
+  /// record at a slot repoints each attachment old -> one of
+  /// new_slots_of[old], drawing from the slot's stream keyed at `step` —
+  /// exactly what the eager remap did at that step.
+  struct ReaderRemapRecord {
+    int64_t step = 0;  ///< Step the resample fired (RNG stream key).
+    std::vector<std::vector<uint32_t>> new_slots_of;
+  };
+  /// Pending remaps, oldest first; record i is generation
+  /// remap_base_gen_ + i + 1. Bounded: slots that fall behind by
+  /// kMaxRemapHistory force a sync-all (deterministic — count-based).
+  mutable std::vector<ReaderRemapRecord> remap_history_;
+  /// Generation of the newest reader resample (0 = none yet).
+  uint64_t reader_gen_ = 0;
+  /// Generation of the oldest retained record minus the records before it;
+  /// remap_history_.front() is generation remap_base_gen_ + 1.
+  uint64_t remap_base_gen_ = 0;
+
   SensingRegionIndex index_;
   SensingRegionIndex::ProbeScratch probe_scratch_;
   int64_t step_ = 0;
@@ -358,6 +449,7 @@ class FactoredParticleFilter final : public InferenceFilter {
   std::vector<uint32_t> scratch_ancestors_;
   std::vector<uint32_t> scratch_case2_;
   std::vector<uint32_t> scratch_case2_updates_;
+  std::vector<size_t> scratch_chunk_starts_;  ///< DispatchObjectUpdates.
 };
 
 }  // namespace rfid

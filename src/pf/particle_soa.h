@@ -54,8 +54,14 @@ class ParticleSoa {
 
   void clear();
   void reserve(size_t n);
-  /// Releases all storage (used when a compressed object drops its particles).
+  /// Trims each component vector's capacity to its size, preserving the
+  /// contents. Used both to release all storage when a compressed object
+  /// drops its particles and, on non-empty sets, by the off-hot-path
+  /// capacity-reclaim sweep for objects parked at the elastic floor.
   void ShrinkToFit();
+  /// Particle capacity of the component arrays (what ApproxMemoryBytes is
+  /// proportional to; the reclaim sweep compares this against size()).
+  size_t CapacityParticles() const { return x_.capacity(); }
 
   void PushBack(const Vec3& position, uint32_t reader_idx, double weight);
 

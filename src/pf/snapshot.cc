@@ -53,6 +53,10 @@ namespace snapshot_internal {
 
 Status SaveSnapshotImpl(const FactoredParticleFilter& filter, std::ostream& os,
                         uint32_t version) {
+  // The on-disk format has no notion of a pending reader remap: replay any
+  // deferred ones so the persisted attachments equal an eager filter's (a
+  // restored filter then starts with an empty remap history).
+  filter.SyncAllReaderAttachments();
   // The belief payload — everything after the magic+version header. Its
   // layout has been stable since v3; v4 only changes how it is framed on
   // disk. A lambda so it writes with this function's friend access.
@@ -277,6 +281,18 @@ Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
   filter->slot_of_tag_.clear();
   for (uint32_t slot = 0; slot < filter->states_.size(); ++slot) {
     filter->slot_of_tag_[filter->states_[slot].tag] = slot;
+  }
+  // Snapshots are saved fully synced, so the restored filter starts with no
+  // pending remaps (every loaded state carries the default reader_gen 0).
+  filter->remap_history_.clear();
+  filter->reader_gen_ = 0;
+  filter->remap_base_gen_ = 0;
+  // The index's hibernation bits are derived state; rebuild them so the
+  // all-hibernated entry skip resumes exactly where the saved filter was.
+  for (uint32_t slot = 0; slot < filter->states_.size(); ++slot) {
+    if (filter->states_[slot].hibernated) {
+      filter->index_.SetSlotHibernated(slot, true);
+    }
   }
   return Status::OK();
   };  // load_body

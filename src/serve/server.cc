@@ -97,6 +97,7 @@ Result<std::unique_ptr<StreamingServer>> StreamingServer::Create(
   pipeline_config.epoch_seconds = config.epoch_seconds;
   pipeline_config.max_lateness_seconds = config.max_lateness_seconds;
   pipeline_config.dead_letter_capacity = config.recovery.dead_letter_capacity;
+  pipeline_config.scan_boundary = config.scan_boundary;
   pipeline_config.engine = config.engine;
 
   std::vector<std::unique_ptr<SitePipeline>> pipelines;
@@ -153,7 +154,15 @@ void StreamingServer::NotifyWork() {
 
 size_t StreamingServer::PumpOnce() {
   std::atomic<size_t> processed{0};
-  pool_.ParallelFor(shards_.size(), [this, &processed](size_t s, int) {
+  // Dynamic shard claiming (chunk = one shard): a lane that drains a light
+  // shard immediately claims the next instead of idling behind a heavy one,
+  // which is what lets aggregate throughput keep climbing with shards x
+  // threads. Exactly one lane touches a shard per sweep — the queue pop,
+  // the governor cadence (one Update per sweep per shard) and each site's
+  // record order are identical to the static schedule, so per-site output
+  // is unchanged at any width.
+  pool_.ParallelForDynamic(
+      shards_.size(), /*chunk_size=*/1, [this, &processed](size_t s, int) {
     Shard& shard = shards_[s];
     if (shard.governor != nullptr) {
       // Occupancy is sampled before the drain so a sweep that empties the
@@ -187,8 +196,8 @@ size_t StreamingServer::PumpOnce() {
         HandleSiteFailure(it->second, e.what());
       }
     }
-    if (n > 0) processed.fetch_add(n, std::memory_order_relaxed);
-  });
+        if (n > 0) processed.fetch_add(n, std::memory_order_relaxed);
+      });
   return processed.load(std::memory_order_relaxed);
 }
 

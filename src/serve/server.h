@@ -19,10 +19,12 @@
 // target shard's bounded queue (blocking on overflow by default — the
 // backpressure shows up in queue stats). Processing happens in "pumps": one
 // sweep that drains every shard's queue through its site pipelines, fanned
-// across the existing ThreadPool with one static lane per shard subset.
-// Exactly one pump runs at a time (pump_mu_), and a given site is only ever
-// touched by the lane owning its shard, so pipelines need no locks and every
-// site's event stream is deterministic regardless of thread count.
+// across the existing ThreadPool with dynamic shard claiming — each shard is
+// one stolen chunk, so a lane finishing a light shard takes the next instead
+// of idling behind a heavy one. Exactly one pump runs at a time (pump_mu_),
+// and within a sweep a shard is claimed by exactly one lane (which lane is
+// timing-dependent; the per-shard work is not), so pipelines need no locks
+// and every site's event stream is deterministic regardless of thread count.
 //
 // Two driving modes:
 //  * Start()/Stop(): a driver thread pumps whenever records arrive — the
@@ -60,8 +62,9 @@ namespace rfid {
 struct ServeConfig {
   int num_shards = 2;
   /// Worker-pool width for the pump sweep (1 = everything on the pumping
-  /// thread). Shard-to-lane assignment is static, so results per site are
-  /// identical at any width.
+  /// thread). Shards are claimed dynamically, one per task; per-site results
+  /// are identical at any width (each shard is drained by exactly one lane
+  /// per sweep, in a deterministic per-shard order).
   int num_threads = 1;
   size_t queue_capacity = 1024;   ///< Per-shard ingest queue bound.
   size_t pump_batch = 256;        ///< Max records drained per shard per pump.
@@ -71,6 +74,12 @@ struct ServeConfig {
   double epoch_seconds = 1.0;
   /// Out-of-order admission slack per site stream (see synchronizer.h).
   double max_lateness_seconds = 2.0;
+
+  /// Mid-stream scan-boundary detection for every site (reader returns to
+  /// origin, or idle-gap timeout), so the kOnScanComplete emitter policy
+  /// works on endless streams instead of only at Flush(). See
+  /// site_pipeline.h.
+  ScanBoundaryConfig scan_boundary;
 
   /// Template for every site's engine. Seeds are decorrelated per site
   /// (seed ^ splitmix64(site)); the filter must be the factored one.

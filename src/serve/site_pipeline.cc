@@ -30,12 +30,16 @@ constexpr char kMagic[8] = {'R', 'F', 'I', 'D', 'S', 'I', 'T', 'E'};
 // bit-rotted checkpoints now fail section verification before any state is
 // parsed, which is what the generation manifest's save-verify-advance
 // protocol (serve/checkpoint.cc) relies on.
+// v4 inserts the scan-boundary detector section (origin/departed/idle
+// bookkeeping) between the header and the synchronizer, so a pipeline
+// restored mid-scan closes that scan exactly where the uninterrupted run
+// would have.
 //
-// Version window: one back. v2 still loads (its unframed layout is parsed
-// directly); v1 is rejected with an error naming the oldest loadable
-// version.
-constexpr uint32_t kVersion = 3;
-constexpr uint32_t kMinVersion = 2;
+// Version window: one back. v3 still loads (the detector state defaults to
+// "fresh scan", which is what a v3 writer's state implied); v2 and older
+// are rejected with an error naming the oldest loadable version.
+constexpr uint32_t kVersion = 4;
+constexpr uint32_t kMinVersion = 3;
 
 SynchronizerConfig MakeSyncConfig(const SitePipelineConfig& config) {
   SynchronizerConfig sc;
@@ -68,6 +72,19 @@ Result<std::unique_ptr<SitePipeline>> SitePipeline::Create(
         "serving pipelines require the factored filter (checkpointing "
         "serializes factored belief state)");
   }
+  if (config.scan_boundary.mode == ScanBoundaryConfig::Mode::kReaderReturn) {
+    if (config.scan_boundary.origin_radius <= 0 ||
+        config.scan_boundary.depart_radius <
+            config.scan_boundary.origin_radius) {
+      return Status::Invalid(
+          "scan_boundary reader-return radii must satisfy 0 < origin_radius "
+          "<= depart_radius");
+    }
+  }
+  if (config.scan_boundary.mode == ScanBoundaryConfig::Mode::kIdleGap &&
+      config.scan_boundary.idle_gap_seconds <= 0) {
+    return Status::Invalid("scan_boundary.idle_gap_seconds must be positive");
+  }
   auto engine = RfidInferenceEngine::Create(std::move(model), config.engine);
   if (!engine.ok()) return engine.status();
   return std::unique_ptr<SitePipeline>(
@@ -89,7 +106,56 @@ void SitePipeline::ProcessEpochs(std::vector<SyncedEpoch> epochs,
       if (bus != nullptr) bus->Dispatch(site_, event_scratch_);
       events_dispatched_ += event_scratch_.size();
     }
+    MaybeFireScanBoundary(epoch, bus);
   }
+}
+
+void SitePipeline::FireScanComplete(SubscriptionBus* bus) {
+  event_scratch_ = engine_->NotifyScanComplete(last_epoch_time_);
+  if (!event_scratch_.empty()) {
+    if (bus != nullptr) bus->Dispatch(site_, event_scratch_);
+    events_dispatched_ += event_scratch_.size();
+  }
+  ++scan_completes_;
+  epochs_since_scan_ = false;
+  // Reset the detector: the next scan's origin is the next reported
+  // location, and the idle clock restarts at the next reading.
+  scan_origin_valid_ = false;
+  scan_departed_ = false;
+  activity_since_scan_ = false;
+}
+
+void SitePipeline::MaybeFireScanBoundary(const SyncedEpoch& epoch,
+                                         SubscriptionBus* bus) {
+  const ScanBoundaryConfig& sb = config_.scan_boundary;
+  if (sb.mode == ScanBoundaryConfig::Mode::kOnFlushOnly) return;
+  // Mirror Flush(): scan completion is only an observable concept under the
+  // kOnScanComplete emitter policy.
+  if (config_.engine.emitter.policy != EmitPolicy::kOnScanComplete) return;
+  bool fire = false;
+  if (sb.mode == ScanBoundaryConfig::Mode::kReaderReturn) {
+    if (epoch.has_location) {
+      if (!scan_origin_valid_) {
+        scan_origin_ = epoch.reported_location;
+        scan_origin_valid_ = true;
+      }
+      const double d = (epoch.reported_location - scan_origin_).Norm();
+      if (d >= sb.depart_radius) {
+        scan_departed_ = true;
+      } else if (scan_departed_ && d <= sb.origin_radius) {
+        fire = epochs_since_scan_;
+      }
+    }
+  } else {  // kIdleGap
+    if (!epoch.tags.empty()) {
+      last_activity_time_ = epoch.time;
+      activity_since_scan_ = true;
+    } else if (activity_since_scan_ &&
+               epoch.time - last_activity_time_ >= sb.idle_gap_seconds) {
+      fire = epochs_since_scan_;
+    }
+  }
+  if (fire) FireScanComplete(bus);
 }
 
 void SitePipeline::Quarantine(const ServeRecord& record, const char* reason) {
@@ -140,17 +206,12 @@ void SitePipeline::Flush(SubscriptionBus* bus) {
   ProcessEpochs(sync_.Finish(), bus);
   if (config_.engine.emitter.policy == EmitPolicy::kOnScanComplete &&
       epochs_since_scan_) {
-    // The stream end is the scan boundary. Without this call the
-    // kOnScanComplete policy was dead through the serving path: nothing
-    // ever told the engine a scan finished, so subscriptions saw zero
-    // events while the offline Synchronize runs of the same trace emitted.
-    event_scratch_ = engine_->NotifyScanComplete(last_epoch_time_);
-    if (!event_scratch_.empty()) {
-      if (bus != nullptr) bus->Dispatch(site_, event_scratch_);
-      events_dispatched_ += event_scratch_.size();
-    }
-    ++scan_completes_;
-    epochs_since_scan_ = false;
+    // The stream end is always a scan boundary (regardless of the
+    // mid-stream detector mode). Without this call the kOnScanComplete
+    // policy was dead through the serving path: nothing ever told the
+    // engine a scan finished, so subscriptions saw zero events while the
+    // offline Synchronize runs of the same trace emitted.
+    FireScanComplete(bus);
   }
 }
 
@@ -189,9 +250,10 @@ SitePipelineStats SitePipeline::Stats() const {
 }
 
 Status SitePipeline::SaveCheckpoint(std::ostream& os) const {
-  // v3 layout: magic + version, then five CRC-framed sections in fixed
-  // order — header/counters, synchronizer, emitter, engine stats, filter
-  // snapshot. Each section is verifiable before it is parsed.
+  // v4 layout: magic + version, then six CRC-framed sections in fixed
+  // order — header/counters, scan-boundary detector, synchronizer, emitter,
+  // engine stats, filter snapshot. Each section is verifiable before it is
+  // parsed.
   os.write(kMagic, sizeof(kMagic));
   WritePod(os, kVersion);
   {
@@ -205,6 +267,17 @@ Status SitePipeline::SaveCheckpoint(std::ostream& os) const {
     WritePod(header, last_epoch_time_);
     WritePod(header, static_cast<uint8_t>(epochs_since_scan_ ? 1 : 0));
     WriteFramedSection(os, header.str());
+  }
+  {
+    std::ostringstream detector;
+    WritePod(detector, static_cast<uint8_t>(scan_origin_valid_ ? 1 : 0));
+    WritePod(detector, scan_origin_.x);
+    WritePod(detector, scan_origin_.y);
+    WritePod(detector, scan_origin_.z);
+    WritePod(detector, static_cast<uint8_t>(scan_departed_ ? 1 : 0));
+    WritePod(detector, static_cast<uint8_t>(activity_since_scan_ ? 1 : 0));
+    WritePod(detector, last_activity_time_);
+    WriteFramedSection(os, detector.str());
   }
   {
     std::ostringstream sync;
@@ -268,6 +341,11 @@ Status SitePipeline::LoadCheckpoint(std::istream& is) {
   uint64_t records_quarantined = 0;
   double last_epoch_time = 0.0;
   uint8_t epochs_since_scan = 0;
+  // Detector defaults = "fresh scan": exactly what a v3 writer (which had
+  // no mid-stream detector) implied.
+  uint8_t scan_origin_valid = 0, scan_departed = 0, activity_since_scan = 0;
+  Vec3 scan_origin;
+  double last_activity_time = 0.0;
   StreamSynchronizer sync(MakeSyncConfig(config_));
   EventEmitter emitter(config_.engine.emitter);
   EngineStats stats;
@@ -279,66 +357,58 @@ Status SitePipeline::LoadCheckpoint(std::istream& is) {
   if (filter == nullptr) {
     return Status::Internal("serving pipeline filter is not factored");
   }
-  if (version >= 3) {
-    // Framed path: every section's checksum is verified before its bytes
-    // are parsed, so a torn or bit-rotted checkpoint fails cleanly here.
-    std::string header_bytes, sync_bytes, emitter_bytes;
-    std::string stats_bytes, snapshot_bytes;
-    RFID_RETURN_NOT_OK(ReadFramedSection(is, &header_bytes));
-    RFID_RETURN_NOT_OK(ReadFramedSection(is, &sync_bytes));
-    RFID_RETURN_NOT_OK(ReadFramedSection(is, &emitter_bytes));
-    RFID_RETURN_NOT_OK(ReadFramedSection(is, &stats_bytes));
-    RFID_RETURN_NOT_OK(ReadFramedSection(is, &snapshot_bytes));
-    std::istringstream header(header_bytes);
-    if (!ReadPod(header, &site) || !ReadPod(header, &records_processed) ||
-        !ReadPod(header, &events_dispatched) ||
-        !ReadPod(header, &records_shed) || !ReadPod(header, &scan_completes) ||
-        !ReadPod(header, &records_quarantined) ||
-        !ReadPod(header, &last_epoch_time) ||
-        !ReadPod(header, &epochs_since_scan)) {
-      return Status::IOError("truncated site checkpoint header section");
-    }
-    if (site != site_) {
-      return Status::Invalid("site checkpoint is for site " +
-                             std::to_string(site) + ", pipeline is site " +
-                             std::to_string(site_));
-    }
-    std::istringstream sync_stream(sync_bytes);
-    RFID_RETURN_NOT_OK(sync.LoadState(sync_stream));
-    std::istringstream emitter_stream(emitter_bytes);
-    RFID_RETURN_NOT_OK(emitter.LoadState(emitter_stream));
-    std::istringstream stats_stream(stats_bytes);
-    if (!ReadPod(stats_stream, &stats.epochs_processed) ||
-        !ReadPod(stats_stream, &stats.readings_processed) ||
-        !ReadPod(stats_stream, &stats.events_emitted) ||
-        !ReadPod(stats_stream, &stats.processing_seconds)) {
-      return Status::IOError("truncated site checkpoint stats section");
-    }
-    std::istringstream snapshot_stream(snapshot_bytes);
-    RFID_RETURN_NOT_OK(LoadFilterSnapshot(snapshot_stream, filter));
-  } else {
-    // Legacy v2: unframed fields parsed straight off the stream.
-    if (!ReadPod(is, &site) || !ReadPod(is, &records_processed) ||
-        !ReadPod(is, &events_dispatched) || !ReadPod(is, &records_shed) ||
-        !ReadPod(is, &scan_completes) || !ReadPod(is, &last_epoch_time) ||
-        !ReadPod(is, &epochs_since_scan)) {
-      return Status::IOError("truncated site checkpoint");
-    }
-    if (site != site_) {
-      return Status::Invalid("site checkpoint is for site " +
-                             std::to_string(site) + ", pipeline is site " +
-                             std::to_string(site_));
-    }
-    RFID_RETURN_NOT_OK(sync.LoadState(is));
-    RFID_RETURN_NOT_OK(emitter.LoadState(is));
-    if (!ReadPod(is, &stats.epochs_processed) ||
-        !ReadPod(is, &stats.readings_processed) ||
-        !ReadPod(is, &stats.events_emitted) ||
-        !ReadPod(is, &stats.processing_seconds)) {
-      return Status::IOError("truncated site checkpoint");
-    }
-    RFID_RETURN_NOT_OK(LoadFilterSnapshot(is, filter));
+  // Framed path (every supported version): each section's checksum is
+  // verified before its bytes are parsed, so a torn or bit-rotted
+  // checkpoint fails cleanly here.
+  std::string header_bytes, detector_bytes, sync_bytes, emitter_bytes;
+  std::string stats_bytes, snapshot_bytes;
+  RFID_RETURN_NOT_OK(ReadFramedSection(is, &header_bytes));
+  if (version >= 4) {
+    RFID_RETURN_NOT_OK(ReadFramedSection(is, &detector_bytes));
   }
+  RFID_RETURN_NOT_OK(ReadFramedSection(is, &sync_bytes));
+  RFID_RETURN_NOT_OK(ReadFramedSection(is, &emitter_bytes));
+  RFID_RETURN_NOT_OK(ReadFramedSection(is, &stats_bytes));
+  RFID_RETURN_NOT_OK(ReadFramedSection(is, &snapshot_bytes));
+  std::istringstream header(header_bytes);
+  if (!ReadPod(header, &site) || !ReadPod(header, &records_processed) ||
+      !ReadPod(header, &events_dispatched) ||
+      !ReadPod(header, &records_shed) || !ReadPod(header, &scan_completes) ||
+      !ReadPod(header, &records_quarantined) ||
+      !ReadPod(header, &last_epoch_time) ||
+      !ReadPod(header, &epochs_since_scan)) {
+    return Status::IOError("truncated site checkpoint header section");
+  }
+  if (site != site_) {
+    return Status::Invalid("site checkpoint is for site " +
+                           std::to_string(site) + ", pipeline is site " +
+                           std::to_string(site_));
+  }
+  if (version >= 4) {
+    std::istringstream detector(detector_bytes);
+    if (!ReadPod(detector, &scan_origin_valid) ||
+        !ReadPod(detector, &scan_origin.x) ||
+        !ReadPod(detector, &scan_origin.y) ||
+        !ReadPod(detector, &scan_origin.z) ||
+        !ReadPod(detector, &scan_departed) ||
+        !ReadPod(detector, &activity_since_scan) ||
+        !ReadPod(detector, &last_activity_time)) {
+      return Status::IOError("truncated site checkpoint detector section");
+    }
+  }
+  std::istringstream sync_stream(sync_bytes);
+  RFID_RETURN_NOT_OK(sync.LoadState(sync_stream));
+  std::istringstream emitter_stream(emitter_bytes);
+  RFID_RETURN_NOT_OK(emitter.LoadState(emitter_stream));
+  std::istringstream stats_stream(stats_bytes);
+  if (!ReadPod(stats_stream, &stats.epochs_processed) ||
+      !ReadPod(stats_stream, &stats.readings_processed) ||
+      !ReadPod(stats_stream, &stats.events_emitted) ||
+      !ReadPod(stats_stream, &stats.processing_seconds)) {
+    return Status::IOError("truncated site checkpoint stats section");
+  }
+  std::istringstream snapshot_stream(snapshot_bytes);
+  RFID_RETURN_NOT_OK(LoadFilterSnapshot(snapshot_stream, filter));
   sync_ = std::move(sync);
   engine_->emitter() = std::move(emitter);
   engine_->RestoreStats(stats);
@@ -349,6 +419,11 @@ Status SitePipeline::LoadCheckpoint(std::istream& is) {
   records_quarantined_ = records_quarantined;
   last_epoch_time_ = last_epoch_time;
   epochs_since_scan_ = epochs_since_scan != 0;
+  scan_origin_valid_ = scan_origin_valid != 0;
+  scan_origin_ = scan_origin;
+  scan_departed_ = scan_departed != 0;
+  activity_since_scan_ = activity_since_scan != 0;
+  last_activity_time_ = last_activity_time;
   return Status::OK();
 }
 

@@ -22,6 +22,21 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::RunLane(int lane) {
+  if (job_dynamic_) {
+    // Chunked work stealing: every lane pulls the next unclaimed chunk off
+    // the shared cursor until the range is exhausted. fetch_add hands each
+    // chunk to exactly one lane, so every index still runs exactly once.
+    const size_t num_chunks = (job_n_ + job_chunk_ - 1) / job_chunk_;
+    for (;;) {
+      const size_t c = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      const size_t begin = c * job_chunk_;
+      const size_t end = std::min(job_n_, begin + job_chunk_);
+      for (size_t i = begin; i < end; ++i) {
+        (*job_)(i, lane);
+      }
+    }
+  }
   const size_t begin = job_n_ * lane / num_lanes_;
   const size_t end = job_n_ * (lane + 1) / num_lanes_;
   for (size_t i = begin; i < end; ++i) {
@@ -48,17 +63,15 @@ void ThreadPool::WorkerLoop(int lane) {
   }
 }
 
-void ThreadPool::ParallelFor(size_t n,
-                             const std::function<void(size_t, int)>& fn) {
-  if (n == 0) return;
-  if (num_lanes_ == 1 || n == 1) {
-    for (size_t i = 0; i < n; ++i) fn(i, 0);
-    return;
-  }
+void ThreadPool::RunJob(const std::function<void(size_t, int)>& fn, size_t n,
+                        size_t chunk_size, bool dynamic) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     job_ = &fn;
     job_n_ = n;
+    job_chunk_ = chunk_size;
+    job_dynamic_ = dynamic;
+    cursor_.store(0, std::memory_order_relaxed);
     lanes_remaining_ = num_lanes_ - 1;
     ++generation_;
   }
@@ -69,6 +82,32 @@ void ThreadPool::ParallelFor(size_t n,
     done_cv_.wait(lock, [&] { return lanes_remaining_ == 0; });
     job_ = nullptr;
   }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t, int)>& fn) {
+  if (n == 0) return;
+  if (num_lanes_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  RunJob(fn, n, /*chunk_size=*/0, /*dynamic=*/false);
+}
+
+void ThreadPool::ParallelForDynamic(
+    size_t n, size_t chunk_size, const std::function<void(size_t, int)>& fn) {
+  if (n == 0) return;
+  if (num_lanes_ == 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i, 0);
+    return;
+  }
+  if (chunk_size == 0) {
+    // Several chunks per lane so one expensive chunk can be balanced around,
+    // without shrinking chunks to the point where the cursor contends.
+    const size_t lanes = static_cast<size_t>(num_lanes_);
+    chunk_size = std::max<size_t>(1, n / (lanes * 8));
+  }
+  RunJob(fn, n, chunk_size, /*dynamic=*/true);
 }
 
 }  // namespace rfid

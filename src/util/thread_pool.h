@@ -2,17 +2,28 @@
 // updates across cores.
 //
 // Design constraints, in order:
-//  1. Determinism: ParallelFor partitions the index range into one static
-//     block per lane, so which lane runs which index is a pure function of
-//     (n, num_threads). Callers keep results bit-identical across thread
-//     counts by deriving all randomness from the *index* (per-slot RNG
-//     streams), never from the lane.
+//  1. Determinism: both scheduling modes guarantee fn(i, lane) runs exactly
+//     once per index; only *where* an index runs depends on the mode. Callers
+//     keep results bit-identical across thread counts (and across schedules)
+//     by deriving all randomness from the *index* (per-slot RNG streams),
+//     never from the lane.
 //  2. No per-epoch thread churn: workers are created once and parked on a
 //     condition variable between epochs.
-//  3. Zero overhead at num_threads == 1: ParallelFor degenerates to a plain
-//     inline loop without touching any synchronization primitive.
+//  3. Zero overhead at num_threads == 1: both entry points degenerate to a
+//     plain inline loop without touching any synchronization primitive.
+//
+// Two scheduling modes:
+//  * ParallelFor — static partitioning: lane t handles the contiguous block
+//    [t*n/L, (t+1)*n/L). The lane-to-index map is a pure function of
+//    (n, num_threads); cheapest when per-index cost is uniform.
+//  * ParallelForDynamic — chunked work stealing: the range is cut into
+//    fixed-size chunks claimed through a single atomic cursor, so a lane
+//    that finishes early takes the next chunk instead of idling behind a
+//    lane stuck on expensive indices. Which lane runs a chunk is
+//    timing-dependent; what the chunk computes must not be.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -39,9 +50,24 @@ class ThreadPool {
   /// blocks until every index is done. Not reentrant.
   void ParallelFor(size_t n, const std::function<void(size_t, int)>& fn);
 
+  /// Calls fn(i, lane) for every i in [0, n) exactly once, dispatching
+  /// contiguous chunks of `chunk_size` indices (the last chunk may be short)
+  /// through an atomic claim cursor shared by all lanes — work stealing in
+  /// its simplest deterministic-safe form. `chunk_size` 0 picks a default
+  /// that gives each lane several chunks to balance over. The caller
+  /// participates as lane 0 and blocks until every index is done. Lane ids
+  /// remain valid scratch indices (one lane runs one chunk at a time), but
+  /// the chunk-to-lane assignment is a race by design: fn must derive
+  /// results from the index alone. Not reentrant.
+  void ParallelForDynamic(size_t n, size_t chunk_size,
+                          const std::function<void(size_t, int)>& fn);
+
  private:
   void WorkerLoop(int lane);
   void RunLane(int lane);
+  /// Publishes a job, runs the caller's share as lane 0, waits for workers.
+  void RunJob(const std::function<void(size_t, int)>& fn, size_t n,
+              size_t chunk_size, bool dynamic);
 
   int num_lanes_;
   std::vector<std::thread> workers_;
@@ -51,7 +77,14 @@ class ThreadPool {
   std::condition_variable done_cv_;
   const std::function<void(size_t, int)>* job_ = nullptr;
   size_t job_n_ = 0;
-  uint64_t generation_ = 0;  ///< Bumped per ParallelFor to wake workers.
+  size_t job_chunk_ = 0;     ///< Chunk width of a dynamic job.
+  bool job_dynamic_ = false; ///< Claim chunks via cursor_ vs static blocks.
+  /// Next unclaimed chunk of a dynamic job. Relaxed ordering suffices: the
+  /// job fields are published via mu_ before any lane runs, each chunk is
+  /// claimed by exactly one fetch_add winner, and completion is observed
+  /// through the lanes_remaining_/done_cv_ protocol (also under mu_).
+  std::atomic<size_t> cursor_{0};
+  uint64_t generation_ = 0;  ///< Bumped per job to wake workers.
   int lanes_remaining_ = 0;
   bool shutdown_ = false;
 };

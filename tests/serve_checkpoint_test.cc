@@ -221,39 +221,38 @@ std::string Slurp(const std::string& path) {
   return buffer.str();
 }
 
-/// Converts current-format (v3, CRC-framed) site-checkpoint bytes into the
-/// legacy v2 unframed layout: strips every [u64 len][u32 crc] frame header,
-/// removes the records_quarantined counter v3 added to the header section,
-/// and patches the version. This is what real v2 files on disk look like.
-std::string DownconvertToV2(const std::string& v3_bytes) {
-  const std::string magic = v3_bytes.substr(0, 8);
+/// Converts current-format (v4) site-checkpoint bytes into the legacy v3
+/// layout: removes the scan-boundary detector section (the second CRC-framed
+/// section, which v4 inserted) and patches the version. The other sections
+/// are byte-identical between the two versions, so this is what real v3
+/// files on disk look like.
+std::string DownconvertToV3(const std::string& v4_bytes) {
+  const std::string magic = v4_bytes.substr(0, 8);
   std::string out = magic;
-  const uint32_t version = 2;
+  const uint32_t version = 3;
   out.append(reinterpret_cast<const char*>(&version), sizeof(version));
   size_t pos = 8 + sizeof(uint32_t);
-  bool first_section = true;
-  while (pos < v3_bytes.size()) {
+  size_t section = 0;
+  while (pos < v4_bytes.size()) {
     uint64_t length = 0;
-    std::memcpy(&length, v3_bytes.data() + pos, sizeof(length));
-    pos += sizeof(uint64_t) + sizeof(uint32_t);  // Skip length + crc.
-    std::string body = v3_bytes.substr(pos, length);
-    pos += length;
-    if (first_section) {
-      // Header section: drop records_quarantined (u64 after site + four
-      // u64 counters: 4 + 8 + 8 + 8 + 8 = offset 36).
-      body.erase(36, 8);
-      first_section = false;
+    std::memcpy(&length, v4_bytes.data() + pos, sizeof(length));
+    const size_t frame_size =
+        sizeof(uint64_t) + sizeof(uint32_t) + static_cast<size_t>(length);
+    if (section != 1) {  // Section 1 is the v4 detector — drop it whole.
+      out += v4_bytes.substr(pos, frame_size);
     }
-    out += body;
+    pos += frame_size;
+    ++section;
   }
   return out;
 }
 
-TEST_F(ServeCheckpointTest, LoadsLegacyV2Checkpoints) {
-  // v2 site checkpoints (the previous release's unframed layout) must
-  // restore into today's pipeline — upgrading the binary cannot force a
-  // cold start. The v2 file is placed as a bare legacy `site_<id>.ckpt`
-  // with no manifest, exercising the legacy discovery path too.
+TEST_F(ServeCheckpointTest, LoadsLegacyV3Checkpoints) {
+  // v3 site checkpoints (the previous release's layout, no detector
+  // section) must restore into today's pipeline — upgrading the binary
+  // cannot force a cold start. The v3 file is placed as a bare legacy
+  // `site_<id>.ckpt` with no manifest, exercising the legacy discovery
+  // path too.
   LabConfig lc;
   lc.seed = 505;
   lc.tags_per_row = 10;
@@ -269,16 +268,16 @@ TEST_F(ServeCheckpointTest, LoadsLegacyV2Checkpoints) {
   server.value()->Pump();
   ASSERT_TRUE(server.value()->Checkpoint(Dir()).ok());
 
-  const std::string v3_bytes =
+  const std::string v4_bytes =
       Slurp(SiteGenerationPath(Dir(), kSite, 1));
-  ASSERT_FALSE(v3_bytes.empty());
+  ASSERT_FALSE(v4_bytes.empty());
   const std::string legacy_dir = Dir() + "_legacy";
   std::filesystem::create_directories(legacy_dir);
   {
     std::ofstream os(SiteCheckpointPath(legacy_dir, kSite),
                      std::ios::binary | std::ios::trunc);
-    const std::string v2_bytes = DownconvertToV2(v3_bytes);
-    os.write(v2_bytes.data(), static_cast<long>(v2_bytes.size()));
+    const std::string v3_bytes = DownconvertToV3(v4_bytes);
+    os.write(v3_bytes.data(), static_cast<long>(v3_bytes.size()));
   }
 
   auto fresh = MakeLabServer(lab.value());
@@ -292,8 +291,8 @@ TEST_F(ServeCheckpointTest, LoadsLegacyV2Checkpoints) {
   std::filesystem::remove_all(legacy_dir);
 }
 
-TEST_F(ServeCheckpointTest, RejectsV1CheckpointsOutsideTheWindow) {
-  // v1 fell out of the one-back load window when v3 became the writer. The
+TEST_F(ServeCheckpointTest, RejectsV2CheckpointsOutsideTheWindow) {
+  // v2 fell out of the one-back load window when v4 became the writer. The
   // rejection must name the oldest loadable version — deprecation, not
   // corruption.
   LabConfig lc;
@@ -307,17 +306,17 @@ TEST_F(ServeCheckpointTest, RejectsV1CheckpointsOutsideTheWindow) {
     std::ofstream os(SiteCheckpointPath(Dir(), kSite),
                      std::ios::binary | std::ios::trunc);
     os.write("RFIDSITE", 8);
-    const uint32_t version = 1;
+    const uint32_t version = 2;
     os.write(reinterpret_cast<const char*>(&version), sizeof(version));
   }
   auto server = MakeLabServer(lab.value());
   ASSERT_TRUE(server.ok());
   const Status status = server.value()->Restore(Dir());
   ASSERT_FALSE(status.ok());
-  EXPECT_NE(status.message().find("unsupported site checkpoint version 1"),
+  EXPECT_NE(status.message().find("unsupported site checkpoint version 2"),
             std::string::npos)
       << status.message();
-  EXPECT_NE(status.message().find("oldest loadable is v2"), std::string::npos)
+  EXPECT_NE(status.message().find("oldest loadable is v3"), std::string::npos)
       << status.message();
 }
 
