@@ -13,9 +13,13 @@
 // Expected shape: aggregate readings/s roughly flat in shard count at one
 // thread (shards only partition work), scaling with threads up to the host's
 // cores because shards are independent. Results land in BENCH_serve.json.
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 
 #include "bench_util.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/server.h"
 #include "sim/trace.h"
 #include "util/stopwatch.h"
@@ -67,8 +71,17 @@ struct RunResult {
   uint64_t events = 0;
 };
 
+/// `telemetry` flips both the metrics/latency switch and the span tracer
+/// around the run (for the overhead comparison; the sweep runs with
+/// everything on — that is the shipping configuration). `bundle_dir`, when
+/// set, quarantines one malformed record after the timed section and dumps
+/// a full diagnostics bundle there (the CI artifact).
 RunResult RunServer(const std::vector<SiteTraffic>& traffic, int num_shards,
-                    int num_threads) {
+                    int num_threads, bool telemetry = true,
+                    const char* bundle_dir = nullptr) {
+  obs::SetTelemetryEnabled(telemetry);
+  obs::Tracer::Default().Clear();
+  obs::Tracer::Default().SetEnabled(telemetry);
   ServeConfig config;
   config.num_shards = num_shards;
   config.num_threads = num_threads;
@@ -118,6 +131,22 @@ RunResult RunServer(const std::vector<SiteTraffic>& traffic, int num_shards,
   result.records = stats.TotalRecordsProcessed();
   result.readings = stats.TotalReadingsProcessed();
   result.events = events.load();
+  if (bundle_dir != nullptr) {
+    // After the timed section: one malformed record exercises the
+    // quarantine path so the bundle carries a dead-letter spill and a
+    // "quarantine" flight capture alongside the metrics and trace.
+    server.value()->Ingest(ServeRecord::Reading(
+        traffic.front().site,
+        {std::numeric_limits<double>::quiet_NaN(), 0}));
+    server.value()->Pump();
+    const Status dumped = server.value()->DumpDiagnostics(bundle_dir);
+    if (!dumped.ok()) {
+      std::fprintf(stderr, "diagnostics dump failed: %s\n",
+                   dumped.ToString().c_str());
+    }
+  }
+  obs::Tracer::Default().SetEnabled(false);
+  obs::SetTelemetryEnabled(true);
   return result;
 }
 
@@ -171,6 +200,43 @@ int main() {
     }
   }
   bench::PrintTable(table);
+
+  // Instrumentation overhead: the same fixed workload with metrics latency
+  // sampling + span tracing fully enabled vs disabled, best of 5 each with
+  // the off/on runs interleaved — machine-load drift during the loop then
+  // hits both sides instead of biasing whichever ran last. The rows land
+  // in BENCH_serve.json under configuration "obs-overhead"; CI gates
+  // on/off staying within a few percent (see PERF.md).
+  double best_off = 0.0;
+  double best_on = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    for (const bool obs_on : {false, true}) {
+      const RunResult run = RunServer(traffic, 2, 2, obs_on);
+      if (run.wall_seconds <= 0) continue;
+      double& best = obs_on ? best_on : best_off;
+      best = std::max(
+          best, static_cast<double>(run.records) / run.wall_seconds);
+    }
+  }
+  for (const bool obs_on : {false, true}) {
+    json.BeginRow();
+    json.Add("configuration", "obs-overhead");
+    json.Add("obs", obs_on ? "on" : "off");
+    json.Add("shards", 2);
+    json.Add("threads", 2);
+    json.Add("records_per_sec", obs_on ? best_on : best_off);
+  }
+  if (best_off > 0) {
+    std::printf("\ninstrumentation overhead (2 shards x 2 threads, best of "
+                "5 interleaved): off %.0f rec/s, on %.0f rec/s, ratio %.4f\n",
+                best_off, best_on, best_on / best_off);
+  }
+
+  // A complete post-mortem bundle as a CI artifact: metrics scrape, trace,
+  // stats, flight records and a dead-letter spill from a real run.
+  (void)RunServer(traffic, 2, 2, /*telemetry=*/true, "diagnostics_sample");
+  std::printf("wrote diagnostics_sample/ (post-mortem bundle)\n");
+
   bench::WriteBenchJson(json, "serve");
   std::printf("note: shards partition sites; threads set the pump pool "
               "width. Run with RFID_FULL_SCALE=1 for 16 sites x 100 "

@@ -93,12 +93,15 @@ Result<std::unique_ptr<RfidInferenceEngine>> RfidInferenceEngine::Create(
 void RfidInferenceEngine::ProcessEpoch(const SyncedEpoch& epoch) {
   Stopwatch watch;
   filter_->ObserveEpoch(epoch);
-  stats_.processing_seconds += watch.ElapsedSeconds();
+  timings_.filter_seconds = watch.ElapsedSeconds();
+  stats_.processing_seconds += timings_.filter_seconds;
   stats_.epochs_processed += 1;
   stats_.readings_processed += epoch.tags.size();
 
+  Stopwatch emit_watch;
   auto events = emitter_.OnEpoch(
       epoch, [this](TagId tag) { return filter_->EstimateObject(tag); });
+  timings_.emit_seconds = emit_watch.ElapsedSeconds();
   stats_.events_emitted += events.size();
   if (pending_events_.empty()) {
     pending_events_ = std::move(events);

@@ -67,6 +67,13 @@ struct EngineStats {
   std::string ToJson() const;
 };
 
+/// Wall-clock split of the most recent ProcessEpoch (telemetry for the
+/// serving layer's stage histograms; never read by inference).
+struct EngineEpochTimings {
+  double filter_seconds = 0.0;  ///< InferenceFilter::ObserveEpoch.
+  double emit_seconds = 0.0;    ///< EventEmitter::OnEpoch.
+};
+
 class RfidInferenceEngine {
  public:
   /// Validates the configuration and builds the engine.
@@ -97,6 +104,8 @@ class RfidInferenceEngine {
   const InferenceFilter& filter() const { return *filter_; }
   const EngineStats& stats() const { return stats_; }
   const EngineConfig& config() const { return config_; }
+  /// Timing split of the most recent ProcessEpoch (telemetry).
+  const EngineEpochTimings& last_epoch_timings() const { return timings_; }
 
   // --- Checkpoint hooks (src/serve/checkpoint.cc) ---
   /// Mutable filter access for snapshot restore into a live engine.
@@ -117,6 +126,7 @@ class RfidInferenceEngine {
   EventEmitter emitter_;
   std::vector<LocationEvent> pending_events_;
   EngineStats stats_;
+  EngineEpochTimings timings_;
 };
 
 }  // namespace rfid

@@ -1,0 +1,115 @@
+// Span tracer: RAII spans recorded into per-thread ring buffers and dumped
+// on demand as Chrome/Perfetto trace-event JSON (load chrome://tracing or
+// ui.perfetto.dev on the dump to see an epoch's fan-out across pump lanes).
+//
+// Concurrency contract:
+//  - Each ring has exactly one writer (its owning thread); writes are plain
+//    stores behind a relaxed ring cursor. Disabled cost is one relaxed load
+//    per span site.
+//  - DumpChromeJson()/Clear() may only run while all instrumented threads
+//    are quiescent (the server dumps under its pump mutex, after pool joins
+//    establish happens-before). They are not concurrent-safe against
+//    in-flight span writers by design — tracing never adds hot-path fences.
+//  - Span names and categories must be string literals (the ring stores
+//    the pointers).
+//
+// Like the metrics layer, tracing never touches RNG streams or event
+// ordering: the determinism sweep is bit-identical with tracing on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/stopwatch.h"
+
+namespace rfid {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = nullptr;      // literal
+  const char* category = nullptr;  // literal
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint64_t tid = 0;
+  // Optional single numeric argument (site id, epoch step, ...).
+  const char* arg_name = nullptr;  // literal; nullptr = no arg
+  uint64_t arg = 0;
+};
+
+class Tracer {
+ public:
+  /// Default per-thread ring capacity (power of two).
+  static constexpr size_t kDefaultRingCapacity = 8192;
+
+  static Tracer& Default();
+
+  /// Tracing is off by default (metrics are always-on; traces are opt-in
+  /// because rings hold raw timelines the user asks for explicitly).
+  void SetEnabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool Enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records one completed span into the calling thread's ring.
+  void Record(const char* name, const char* category, uint64_t start_ns,
+              uint64_t dur_ns, const char* arg_name, uint64_t arg);
+
+  /// Chrome trace-event JSON of every ring's contents (oldest first per
+  /// thread). Quiescent-only; see the contract above.
+  std::string DumpChromeJson() const;
+
+  /// Drops all recorded events. Quiescent-only.
+  void Clear();
+
+  /// Events currently retained across all rings (for tests).
+  size_t EventCount() const;
+
+ private:
+  struct Ring {
+    uint64_t tid = 0;
+    std::vector<TraceEvent> events;  // capacity slots, wrap at head
+    std::atomic<uint64_t> head{0};   // total events ever written
+  };
+
+  Ring* RingForThisThread();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex rings_mu_;  // guards rings_ vector growth only
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/// RAII span. One relaxed load when tracing is disabled; two clock reads
+/// plus a ring store when enabled. `name`/`category` must be literals.
+class TraceSpan {
+ public:
+  TraceSpan(const char* name, const char* category,
+            const char* arg_name = nullptr, uint64_t arg = 0)
+      : name_(name),
+        category_(category),
+        arg_name_(arg_name),
+        arg_(arg),
+        start_ns_(Tracer::Default().Enabled() ? MonotonicNanos() : 0) {}
+
+  ~TraceSpan() {
+    if (start_ns_ == 0) return;
+    Tracer::Default().Record(name_, category_, start_ns_,
+                             MonotonicNanos() - start_ns_, arg_name_, arg_);
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  const char* category_;
+  const char* arg_name_;
+  uint64_t arg_;
+  uint64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace rfid

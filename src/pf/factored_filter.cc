@@ -6,6 +6,9 @@
 #include <limits>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+#include "util/stopwatch.h"
+
 namespace rfid {
 
 namespace {
@@ -676,6 +679,11 @@ void FactoredParticleFilter::SyncReaderAttachments(uint32_t slot) const {
     return;
   }
   assert(state.reader_gen >= remap_base_gen_);
+  // Telemetry: the replay below is the lazy-remap cost the serving layer
+  // reports as its own stage. Clock reads only on the slow path (pending
+  // remaps exist) and only with telemetry on; the accumulator is a relaxed
+  // atomic because lanes sync slots concurrently.
+  const uint64_t sync_start = obs::TelemetryEnabled() ? MonotonicNanos() : 0;
   uint32_t* reader_idx = particles.mutable_reader_indices();
   const size_t first = static_cast<size_t>(state.reader_gen - remap_base_gen_);
   for (size_t r = first; r < remap_history_.size(); ++r) {
@@ -695,6 +703,10 @@ void FactoredParticleFilter::SyncReaderAttachments(uint32_t slot) const {
     }
   }
   state.reader_gen = reader_gen_;
+  if (sync_start != 0) {
+    remap_sync_ns_.fetch_add(MonotonicNanos() - sync_start,
+                             std::memory_order_relaxed);
+  }
 }
 
 void FactoredParticleFilter::SyncAllReaderAttachments() const {
@@ -890,6 +902,13 @@ void FactoredParticleFilter::RunHibernation() {
 }
 
 void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
+  // Stage clocks are telemetry only: clock reads happen between stages,
+  // never inside the sampled loops, and nothing below branches on them —
+  // estimates stay bit-identical with telemetry on or off.
+  const bool telemetry = obs::TelemetryEnabled();
+  if (telemetry) remap_sync_ns_.store(0, std::memory_order_relaxed);
+  const uint64_t t_start = telemetry ? MonotonicNanos() : 0;
+
   // --- Reader update -------------------------------------------------------
   if (!readers_initialized_) {
     InitializeReaders(epoch);
@@ -1019,6 +1038,8 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
     processed.push_back(slot);
   }
 
+  const uint64_t t_weighted = telemetry ? MonotonicNanos() : 0;
+
   // --- Reader resampling (rare; factored weights persist across epochs) ----
   scratch_weights_.resize(readers_.size());
   for (size_t j = 0; j < readers_.size(); ++j) {
@@ -1028,6 +1049,8 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
       config_.reader_resample_threshold * static_cast<double>(readers_.size())) {
     ResampleReaders(processed);
   }
+
+  const uint64_t t_resampled = telemetry ? MonotonicNanos() : 0;
 
   // --- Spatial-index maintenance -------------------------------------------
   if (config_.use_spatial_index) {
@@ -1052,6 +1075,23 @@ void FactoredParticleFilter::ObserveEpoch(const SyncedEpoch& epoch) {
   RunCompression();
   RunHibernation();
   RunCapacityReclaim();
+
+  if (telemetry) {
+    const uint64_t t_end = MonotonicNanos();
+    const double remap =
+        static_cast<double>(remap_sync_ns_.load(std::memory_order_relaxed)) *
+        1e-9;
+    // The remap replay runs inside the weighting phase (attachment syncs on
+    // lanes); report it separately and subtract it from `weight` so the two
+    // never double-count.
+    stages_.weight =
+        static_cast<double>(t_weighted - t_start) * 1e-9 - remap;
+    if (stages_.weight < 0) stages_.weight = 0;
+    stages_.reader_resample =
+        static_cast<double>(t_resampled - t_weighted) * 1e-9;
+    stages_.remap_replay = remap;
+    stages_.compress = static_cast<double>(t_end - t_resampled) * 1e-9;
+  }
 
   ++step_;
 }

@@ -279,6 +279,18 @@ class FactoredParticleFilter final : public InferenceFilter {
     return particle_updates_.load(std::memory_order_relaxed);
   }
 
+  /// Stage breakdown of the most recent ObserveEpoch, for the serving
+  /// layer's stage histograms and flight recorder. Pure telemetry: all
+  /// zeros while obs::TelemetryEnabled() is false (no clocks are read),
+  /// and never consulted by inference itself.
+  struct EpochStageSeconds {
+    double weight = 0.0;          ///< Reader update + object weighting.
+    double reader_resample = 0.0; ///< ResampleReaders (rare).
+    double remap_replay = 0.0;    ///< Lazy remap replay, summed over lanes.
+    double compress = 0.0;        ///< Index + compression + hibernation.
+  };
+  const EpochStageSeconds& last_epoch_stages() const { return stages_; }
+
  private:
   friend Status snapshot_internal::SaveSnapshotImpl(
       const FactoredParticleFilter&, std::ostream&, uint32_t);
@@ -441,6 +453,12 @@ class FactoredParticleFilter final : public InferenceFilter {
   Aabb reader_reach_;
 
   std::atomic<uint64_t> particle_updates_{0};
+
+  /// Telemetry only (see EpochStageSeconds). remap_sync_ns_ is mutable and
+  /// atomic because SyncReaderAttachments is logically const and runs
+  /// concurrently on pool lanes during DispatchObjectUpdates.
+  EpochStageSeconds stages_;
+  mutable std::atomic<uint64_t> remap_sync_ns_{0};
 
   // Scratch buffers reused across epochs to avoid per-epoch allocation.
   std::vector<double> scratch_weights_;

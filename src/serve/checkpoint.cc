@@ -297,6 +297,15 @@ Status SaveSiteCheckpoint(const SitePipeline& pipeline, const std::string& dir,
   const uint64_t next_generation = prior.current + 1;
   const std::string next_path = SiteGenerationPath(dir, site, next_generation);
 
+  obs::Histogram* write_h = nullptr;
+  obs::Histogram* verify_h = nullptr;
+  if (options.metrics != nullptr) {
+    write_h = options.metrics->GetHistogram("rfid_checkpoint_seconds",
+                                            "op=\"write\"");
+    verify_h = options.metrics->GetHistogram("rfid_checkpoint_seconds",
+                                             "op=\"verify\"");
+  }
+
   const int max_attempts = options.max_attempts > 0 ? options.max_attempts : 1;
   Status last_error = Status::OK();
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
@@ -307,8 +316,15 @@ Status SaveSiteCheckpoint(const SitePipeline& pipeline, const std::string& dir,
     }
     // Write -> verify -> advance. Any failure aborts this attempt with the
     // manifest untouched, so the last-good checkpoint stays authoritative.
-    Status step = WriteSiteCheckpointFile(pipeline, next_path);
-    if (step.ok()) step = VerifySiteCheckpointFile(next_path);
+    Status step;
+    {
+      obs::LatencyTimer write_timer(write_h);
+      step = WriteSiteCheckpointFile(pipeline, next_path);
+    }
+    if (step.ok()) {
+      obs::LatencyTimer verify_timer(verify_h);
+      step = VerifySiteCheckpointFile(next_path);
+    }
     if (step.ok()) {
       CheckpointManifest advanced;
       advanced.current = next_generation;

@@ -59,6 +59,9 @@ struct CheckpointWriteOptions {
   int max_attempts = 3;
   /// Backoff before the second attempt; doubles per subsequent attempt.
   double backoff_initial_ms = 1.0;
+  /// When set, SaveSiteCheckpoint times its write and verify steps into
+  /// `rfid_checkpoint_seconds{op="write"|"verify"}`. Must outlive the call.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct CheckpointWriteReport {

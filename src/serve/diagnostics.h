@@ -1,0 +1,41 @@
+// Dead-letter spill format: the per-site quarantine ring serialized to disk
+// as part of a diagnostics bundle, so a post-mortem survives the process.
+//
+// Layout (same same-architecture binary conventions as every other state
+// format in the tree — see util/serialize.h):
+//
+//   magic "RFIDDLQ\0", u32 version, then one CRC-framed section holding
+//   [u32 site][u64 count] followed by `count` entries of
+//   [u64 sequence][u32 reason_len][reason bytes][ServeRecord fields].
+//
+// The frame's checksum is verified before any entry is parsed, so a torn
+// spill fails with a clean Status instead of yielding garbage records.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/site_pipeline.h"
+#include "util/status.h"
+
+namespace rfid {
+
+/// One dead-letter entry as read back from a spill file. `reason` is an
+/// owned string here (the in-memory ring stores a static literal).
+struct SpilledDeadLetter {
+  uint64_t sequence = 0;
+  std::string reason;
+  ServeRecord record;
+};
+
+/// Writes one site's dead-letter ring to `path` (tmp + rename, so a crash
+/// mid-spill never leaves a truncated file under the final name).
+Status WriteDeadLetterSpill(SiteId site,
+                            const std::deque<DeadLetterEntry>& entries,
+                            const std::string& path);
+
+/// Reads a spill file back; `site` receives the site id recorded in it.
+Status ReadDeadLetterSpill(const std::string& path, SiteId* site,
+                           std::vector<SpilledDeadLetter>* entries);
+
+}  // namespace rfid

@@ -1,9 +1,9 @@
 #include "serve/ingest_queue.h"
 
 #include <algorithm>
-#include <chrono>
 
 #include "util/fault.h"
+#include "util/stopwatch.h"
 
 namespace rfid {
 
@@ -11,13 +11,31 @@ IngestQueue::IngestQueue(size_t capacity, double rate_tau_seconds)
     : capacity_(std::max<size_t>(1, capacity)),
       arrival_rate_(rate_tau_seconds) {}
 
-double IngestQueue::NowSeconds() {
-  return std::chrono::duration<double>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
+void IngestQueue::BindMetrics(obs::MetricsRegistry* registry, int shard) {
+  if (registry == nullptr) return;
+  const std::string label = "shard=\"" + std::to_string(shard) + "\"";
+  enqueue_latency_ =
+      registry->GetHistogram("rfid_ingest_enqueue_seconds", label);
+  occupancy_ = registry->GetGauge("rfid_ingest_queue_occupancy", label);
+  dropped_full_ =
+      registry->GetCounter("rfid_ingest_dropped_total",
+                           label + ",reason=\"full\"");
+  dropped_closed_ =
+      registry->GetCounter("rfid_ingest_dropped_total",
+                           label + ",reason=\"closed\"");
+}
+
+void IngestQueue::NoteAccepted() {
+  ++stats_.pushed;
+  stats_.high_water = std::max<uint64_t>(stats_.high_water, items_.size());
+  arrival_rate_.Observe(MonotonicSeconds(), 1);
+  if (occupancy_ != nullptr) {
+    occupancy_->Set(static_cast<double>(items_.size()));
+  }
 }
 
 bool IngestQueue::Push(const ServeRecord& record) {
+  obs::LatencyTimer timer(enqueue_latency_);
   std::unique_lock<std::mutex> lock(mu_);
   if (MaybeInjectFault(FaultPoint::kQueueEnqueue, record.site)) {
     // An injected enqueue failure models a lost datagram at the ingest
@@ -30,28 +48,35 @@ bool IngestQueue::Push(const ServeRecord& record) {
     not_full_.wait(lock,
                    [this] { return items_.size() < capacity_ || closed_; });
   }
-  if (closed_) return false;
+  if (closed_) {
+    ++stats_.rejected_closed;
+    if (dropped_closed_ != nullptr) dropped_closed_->Add();
+    return false;
+  }
   items_.push_back(record);
-  ++stats_.pushed;
-  stats_.high_water = std::max<uint64_t>(stats_.high_water, items_.size());
-  arrival_rate_.Observe(NowSeconds(), 1);
+  NoteAccepted();
   return true;
 }
 
 bool IngestQueue::TryPush(const ServeRecord& record) {
+  obs::LatencyTimer timer(enqueue_latency_);
   std::lock_guard<std::mutex> lock(mu_);
   if (MaybeInjectFault(FaultPoint::kQueueEnqueue, record.site)) {
     ++stats_.injected_drops;
     return false;
   }
-  if (closed_ || items_.size() >= capacity_) {
-    if (!closed_) ++stats_.rejected_full;
+  if (closed_) {
+    ++stats_.rejected_closed;
+    if (dropped_closed_ != nullptr) dropped_closed_->Add();
+    return false;
+  }
+  if (items_.size() >= capacity_) {
+    ++stats_.rejected_full;
+    if (dropped_full_ != nullptr) dropped_full_->Add();
     return false;
   }
   items_.push_back(record);
-  ++stats_.pushed;
-  stats_.high_water = std::max<uint64_t>(stats_.high_water, items_.size());
-  arrival_rate_.Observe(NowSeconds(), 1);
+  NoteAccepted();
   return true;
 }
 
@@ -65,7 +90,12 @@ size_t IngestQueue::PopBatch(std::vector<ServeRecord>* out,
     items_.pop_front();
   }
   stats_.popped += n;
-  if (n > 0) not_full_.notify_all();
+  if (n > 0) {
+    if (occupancy_ != nullptr) {
+      occupancy_->Set(static_cast<double>(items_.size()));
+    }
+    not_full_.notify_all();
+  }
   return n;
 }
 
@@ -87,13 +117,13 @@ size_t IngestQueue::size() const {
 
 double IngestQueue::ArrivalRatePerSec() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return arrival_rate_.RatePerSec(NowSeconds());
+  return arrival_rate_.RatePerSec(MonotonicSeconds());
 }
 
 IngestQueueStats IngestQueue::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   IngestQueueStats stats = stats_;
-  stats.arrival_rate_per_sec = arrival_rate_.RatePerSec(NowSeconds());
+  stats.arrival_rate_per_sec = arrival_rate_.RatePerSec(MonotonicSeconds());
   return stats;
 }
 

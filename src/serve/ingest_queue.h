@@ -15,11 +15,15 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/load_governor.h"
 #include "serve/record.h"
 
 namespace rfid {
 
+/// Lifetime counters: monotonic since queue construction. Close()/Reopen()
+/// (the server's Stop()/Start() cycle) never reset them, so scrape deltas
+/// across a restart stay meaningful.
 struct IngestQueueStats {
   uint64_t pushed = 0;
   uint64_t popped = 0;
@@ -27,6 +31,10 @@ struct IngestQueueStats {
   uint64_t blocked_pushes = 0;
   /// TryPush calls rejected because the queue was full.
   uint64_t rejected_full = 0;
+  /// Pushes rejected because the queue was closed (records arriving during
+  /// or after Stop()). Previously these returned false uncounted — the one
+  /// drop class that was invisible to stats.
+  uint64_t rejected_closed = 0;
   /// Maximum occupancy ever observed.
   uint64_t high_water = 0;
   /// Pushes dropped by the kQueueEnqueue fault point (chaos testing only;
@@ -39,6 +47,11 @@ struct IngestQueueStats {
 class IngestQueue {
  public:
   explicit IngestQueue(size_t capacity, double rate_tau_seconds = 1.0);
+
+  /// Wires this queue's telemetry into `registry` as shard `shard`: an
+  /// enqueue-latency histogram (lock wait + blocking time), an occupancy
+  /// gauge, and mirrors of the drop counters. Call once, before traffic.
+  void BindMetrics(obs::MetricsRegistry* registry, int shard);
 
   /// Blocks while the queue is full (backpressure). Returns false only when
   /// the queue was closed.
@@ -66,8 +79,8 @@ class IngestQueue {
   double ArrivalRatePerSec() const;
 
  private:
-  /// Seconds on the steady clock (the EWMA needs monotonic time).
-  static double NowSeconds();
+  /// Counts one accepted push and publishes occupancy (caller holds mu_).
+  void NoteAccepted();
 
   const size_t capacity_;
   mutable std::mutex mu_;
@@ -76,6 +89,11 @@ class IngestQueue {
   IngestQueueStats stats_;
   ArrivalRateEwma arrival_rate_;
   bool closed_ = false;
+  // --- Telemetry (null until BindMetrics; writes are one relaxed store) ---
+  obs::Histogram* enqueue_latency_ = nullptr;
+  obs::Gauge* occupancy_ = nullptr;
+  obs::Counter* dropped_full_ = nullptr;
+  obs::Counter* dropped_closed_ = nullptr;
 };
 
 }  // namespace rfid

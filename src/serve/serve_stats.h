@@ -140,6 +140,8 @@ struct ServerStatsSnapshot {
              std::to_string(shard.queue.blocked_pushes);
       out += ", \"rejected_full\": " +
              std::to_string(shard.queue.rejected_full);
+      out += ", \"rejected_closed\": " +
+             std::to_string(shard.queue.rejected_closed);
       out += ", \"high_water\": " + std::to_string(shard.queue.high_water);
       out += ", \"injected_drops\": " +
              std::to_string(shard.queue.injected_drops);
@@ -166,6 +168,7 @@ struct ServerStatsSnapshot {
         out += ", \"scan_completes\": " + std::to_string(site.scan_completes);
         out += ", \"records_quarantined\": " +
                std::to_string(site.records_quarantined);
+        out += ", \"slow_epochs\": " + std::to_string(site.slow_epochs);
         out += ", \"dead_letter_size\": " +
                std::to_string(site.dead_letter_size);
         out += ", \"health\": {\"failures\": " +

@@ -1,8 +1,11 @@
 #include "serve/server.h"
 
 #include <filesystem>
+#include <fstream>
 
+#include "obs/trace.h"
 #include "serve/checkpoint.h"
+#include "serve/diagnostics.h"
 #include "util/fault.h"
 #include "util/rng.h"
 
@@ -62,20 +65,47 @@ Status ValidateConfig(const ServeConfig& config, size_t num_sites) {
 
 StreamingServer::StreamingServer(
     std::vector<std::unique_ptr<SitePipeline>> pipelines,
-    const ServeConfig& config)
+    const ServeConfig& config, std::unique_ptr<obs::MetricsRegistry> metrics)
     : config_(config),
+      metrics_(std::move(metrics)),
       router_(config.num_shards),
       pipelines_(std::move(pipelines)),
       pool_(config.num_threads) {
+  checkpoints_saved_c_ = metrics_->GetCounter("rfid_checkpoint_saved_total");
+  checkpoint_failures_c_ =
+      metrics_->GetCounter("rfid_checkpoint_failures_total");
+  checkpoint_retries_c_ = metrics_->GetCounter("rfid_checkpoint_retries_total");
+  checkpoint_fallback_loads_c_ =
+      metrics_->GetCounter("rfid_checkpoint_fallback_loads_total");
+  checkpoint_skipped_parked_c_ =
+      metrics_->GetCounter("rfid_checkpoint_skipped_parked_total");
+  site_failures_c_ = metrics_->GetCounter("rfid_site_failures_total");
+  site_recoveries_c_ = metrics_->GetCounter("rfid_site_recoveries_total");
+  site_parked_c_ = metrics_->GetCounter("rfid_site_parked_total");
+  pump_records_c_ = metrics_->GetCounter("rfid_pump_records_total");
+  pump_sweep_h_ = metrics_->GetHistogram("rfid_pump_sweep_seconds");
+  checkpoint_load_h_ =
+      metrics_->GetHistogram("rfid_checkpoint_seconds", "op=\"load\"");
   // Pins must land before pipelines are bucketed into shards: routing is
   // resolved exactly once, here.
   for (const auto& pin : config_.shard_pins) router_.Pin(pin.site, pin.shard);
   shards_.resize(static_cast<size_t>(config_.num_shards));
-  for (auto& shard : shards_) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
     shard.queue = std::make_unique<IngestQueue>(
         config_.queue_capacity, config_.load_shed.rate_tau_seconds);
+    shard.queue->BindMetrics(metrics_.get(), static_cast<int>(s));
     if (config_.load_shed.enabled) {
       shard.governor = std::make_unique<LoadShedGovernor>(config_.load_shed);
+      const std::string shard_label = "shard=\"" + std::to_string(s) + "\"";
+      shard.shed_level_g =
+          metrics_->GetGauge("rfid_shed_level", shard_label);
+      shard.shed_escalations_c = metrics_->GetCounter(
+          "rfid_shed_transitions_total",
+          shard_label + ",direction=\"escalate\"");
+      shard.shed_deescalations_c = metrics_->GetCounter(
+          "rfid_shed_transitions_total",
+          shard_label + ",direction=\"deescalate\"");
     }
   }
   for (auto& pipeline : pipelines_) {
@@ -93,12 +123,18 @@ Result<std::unique_ptr<StreamingServer>> StreamingServer::Create(
     std::vector<SiteSpec> sites, const ServeConfig& config) {
   RFID_RETURN_NOT_OK(ValidateConfig(config, sites.size()));
 
+  // The registry must exist before the pipelines: each pipeline resolves
+  // its stage-histogram handles at construction.
+  auto metrics = std::make_unique<obs::MetricsRegistry>();
+
   SitePipelineConfig pipeline_config;
   pipeline_config.epoch_seconds = config.epoch_seconds;
   pipeline_config.max_lateness_seconds = config.max_lateness_seconds;
   pipeline_config.dead_letter_capacity = config.recovery.dead_letter_capacity;
   pipeline_config.scan_boundary = config.scan_boundary;
   pipeline_config.engine = config.engine;
+  pipeline_config.flight = config.flight;
+  pipeline_config.metrics = metrics.get();
 
   std::vector<std::unique_ptr<SitePipeline>> pipelines;
   pipelines.reserve(sites.size());
@@ -121,8 +157,8 @@ Result<std::unique_ptr<StreamingServer>> StreamingServer::Create(
     if (!pipeline.ok()) return pipeline.status();
     pipelines.push_back(std::move(pipeline).value());
   }
-  return std::unique_ptr<StreamingServer>(
-      new StreamingServer(std::move(pipelines), config));
+  return std::unique_ptr<StreamingServer>(new StreamingServer(
+      std::move(pipelines), config, std::move(metrics)));
 }
 
 StreamingServer::~StreamingServer() { Stop(); }
@@ -153,6 +189,8 @@ void StreamingServer::NotifyWork() {
 }
 
 size_t StreamingServer::PumpOnce() {
+  obs::LatencyTimer sweep_timer(pump_sweep_h_);
+  obs::TraceSpan sweep_span("pump_sweep", "server");
   std::atomic<size_t> processed{0};
   // Dynamic shard claiming (chunk = one shard): a lane that drains a light
   // shard immediately claims the next instead of idling behind a heavy one,
@@ -175,6 +213,20 @@ size_t StreamingServer::PumpOnce() {
       const LoadShedDecision decision =
           shard.governor->Update(occupancy, shard.queue->ArrivalRatePerSec());
       for (SitePipeline* site : shard.sites) site->ApplyLoadShed(decision);
+      // Mirror the governor's monotonic transition totals into the registry
+      // as deltas; the gauge tracks the current rung. Telemetry only —
+      // Stats() keeps reading the governor directly.
+      shard.shed_level_g->Set(static_cast<double>(decision.level));
+      const uint64_t esc = shard.governor->escalations();
+      if (esc > shard.shed_escalations_seen) {
+        shard.shed_escalations_c->Add(esc - shard.shed_escalations_seen);
+        shard.shed_escalations_seen = esc;
+      }
+      const uint64_t deesc = shard.governor->deescalations();
+      if (deesc > shard.shed_deescalations_seen) {
+        shard.shed_deescalations_c->Add(deesc - shard.shed_deescalations_seen);
+        shard.shed_deescalations_seen = deesc;
+      }
     }
     const size_t n = shard.queue->PopBatch(&shard.batch, config_.pump_batch);
     for (size_t i = 0; i < n; ++i) {
@@ -198,7 +250,9 @@ size_t StreamingServer::PumpOnce() {
     }
         if (n > 0) processed.fetch_add(n, std::memory_order_relaxed);
       });
-  return processed.load(std::memory_order_relaxed);
+  const size_t total = processed.load(std::memory_order_relaxed);
+  if (total > 0) pump_records_c_->Add(total);
+  return total;
 }
 
 void StreamingServer::HandleSiteFailure(SitePipeline* pipeline,
@@ -206,9 +260,11 @@ void StreamingServer::HandleSiteFailure(SitePipeline* pipeline,
   const SiteId site = pipeline->site();
   SiteHealth& health = health_.find(site)->second;
   ++health.failures;
-  const auto park = [&health](std::string reason) {
+  site_failures_c_->Add();
+  const auto park = [this, &health](std::string reason) {
     health.parked = true;
     health.park_reason = std::move(reason);
+    site_parked_c_->Add();
   };
   if (health.recoveries >=
       static_cast<uint64_t>(config_.recovery.max_restarts)) {
@@ -222,20 +278,25 @@ void StreamingServer::HandleSiteFailure(SitePipeline* pipeline,
     return;
   }
   CheckpointLoadReport report;
-  const Status restored =
-      LoadSiteCheckpoint(last_checkpoint_dir_, site, pipeline, &report);
+  Status restored;
+  {
+    obs::LatencyTimer load_timer(checkpoint_load_h_);
+    restored = LoadSiteCheckpoint(last_checkpoint_dir_, site, pipeline, &report);
+  }
   if (!restored.ok()) {
     park("restore after failure (" + std::string(what) +
          ") failed: " + restored.message());
     return;
   }
-  if (report.used_fallback) {
-    checkpoint_fallback_loads_.fetch_add(1, std::memory_order_relaxed);
-  }
+  if (report.used_fallback) checkpoint_fallback_loads_c_->Add();
   // The restored pipeline replays from the checkpoint cut; operator state
   // accumulated past that cut must go with it (see ResetSiteState).
   bus_.ResetSiteState(site);
   ++health.recoveries;
+  site_recoveries_c_->Add();
+  // Mark the restart in the site's flight recorder so a later diagnostics
+  // bundle shows the epochs leading up to the crash.
+  pipeline->NotePipelineRestart();
 }
 
 size_t StreamingServer::Pump() {
@@ -331,6 +392,7 @@ Status StreamingServer::Checkpoint(const std::string& dir) {
   CheckpointWriteOptions options;
   options.max_attempts = config_.recovery.checkpoint_max_attempts;
   options.backoff_initial_ms = config_.recovery.checkpoint_backoff_ms;
+  options.metrics = metrics_.get();
   // Every site is attempted even when one fails: a failed save leaves that
   // site's manifest on its last-good generation (stale checkpoint + longer
   // replay), and aborting the loop would deny the remaining sites a fresh
@@ -341,20 +403,18 @@ Status StreamingServer::Checkpoint(const std::string& dir) {
     if (health.parked) {
       // A parked pipeline's in-memory state is mid-failure; checkpointing
       // it would overwrite a good generation with a suspect one.
-      checkpoint_skipped_parked_.fetch_add(1, std::memory_order_relaxed);
+      checkpoint_skipped_parked_c_->Add();
       continue;
     }
     CheckpointWriteReport report;
     const Status saved = SaveSiteCheckpoint(*pipeline, dir, options, &report);
     if (report.attempts > 1) {
-      checkpoint_retries_.fetch_add(
-          static_cast<uint64_t>(report.attempts - 1),
-          std::memory_order_relaxed);
+      checkpoint_retries_c_->Add(static_cast<uint64_t>(report.attempts - 1));
     }
     if (saved.ok()) {
-      checkpoints_saved_.fetch_add(1, std::memory_order_relaxed);
+      checkpoints_saved_c_->Add();
     } else {
-      checkpoint_failures_.fetch_add(1, std::memory_order_relaxed);
+      checkpoint_failures_c_->Add();
       if (first_error.ok()) first_error = saved;
     }
   }
@@ -368,11 +428,12 @@ Status StreamingServer::Restore(const std::string& dir) {
   std::lock_guard<std::mutex> lock(pump_mu_);
   for (auto& pipeline : pipelines_) {
     CheckpointLoadReport report;
-    RFID_RETURN_NOT_OK(
-        LoadSiteCheckpoint(dir, pipeline->site(), pipeline.get(), &report));
-    if (report.used_fallback) {
-      checkpoint_fallback_loads_.fetch_add(1, std::memory_order_relaxed);
+    {
+      obs::LatencyTimer load_timer(checkpoint_load_h_);
+      RFID_RETURN_NOT_OK(
+          LoadSiteCheckpoint(dir, pipeline->site(), pipeline.get(), &report));
     }
+    if (report.used_fallback) checkpoint_fallback_loads_c_->Add();
     // Drop operator state the bus accumulated for this site (live
     // subscriptions survive a restore; their per-site operators must not —
     // they reflect events past or divergent from the checkpoint cut).
@@ -407,11 +468,12 @@ Status StreamingServer::ReviveSite(SiteId site) {
        std::filesystem::exists(SiteCheckpointPath(last_checkpoint_dir_, site)));
   if (has_data) {
     CheckpointLoadReport report;
-    RFID_RETURN_NOT_OK(
-        LoadSiteCheckpoint(last_checkpoint_dir_, site, pipeline, &report));
-    if (report.used_fallback) {
-      checkpoint_fallback_loads_.fetch_add(1, std::memory_order_relaxed);
+    {
+      obs::LatencyTimer load_timer(checkpoint_load_h_);
+      RFID_RETURN_NOT_OK(
+          LoadSiteCheckpoint(last_checkpoint_dir_, site, pipeline, &report));
     }
+    if (report.used_fallback) checkpoint_fallback_loads_c_->Add();
     bus_.ResetSiteState(site);
   }
   SiteHealth& health = health_it->second;
@@ -431,6 +493,10 @@ const SitePipeline* StreamingServer::FindSite(SiteId site) const {
 ServerStatsSnapshot StreamingServer::Stats() const {
   // Exclude a concurrent pump so pipeline counters are read quiescent.
   std::lock_guard<std::mutex> lock(pump_mu_);
+  return StatsLocked();
+}
+
+ServerStatsSnapshot StreamingServer::StatsLocked() const {
   ServerStatsSnapshot snapshot;
   snapshot.shards.reserve(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
@@ -456,20 +522,61 @@ ServerStatsSnapshot StreamingServer::Stats() const {
   }
   snapshot.subscription_dispatches = bus_.dispatched_events();
   snapshot.operators = bus_.OperatorStatsSnapshot();
-  snapshot.checkpoint.saved =
-      checkpoints_saved_.load(std::memory_order_relaxed);
-  snapshot.checkpoint.failures =
-      checkpoint_failures_.load(std::memory_order_relaxed);
-  snapshot.checkpoint.retries =
-      checkpoint_retries_.load(std::memory_order_relaxed);
-  snapshot.checkpoint.fallback_loads =
-      checkpoint_fallback_loads_.load(std::memory_order_relaxed);
-  snapshot.checkpoint.skipped_parked =
-      checkpoint_skipped_parked_.load(std::memory_order_relaxed);
+  snapshot.checkpoint.saved = checkpoints_saved_c_->Value();
+  snapshot.checkpoint.failures = checkpoint_failures_c_->Value();
+  snapshot.checkpoint.retries = checkpoint_retries_c_->Value();
+  snapshot.checkpoint.fallback_loads = checkpoint_fallback_loads_c_->Value();
+  snapshot.checkpoint.skipped_parked = checkpoint_skipped_parked_c_->Value();
   if (FaultInjector* injector = FaultInjector::Installed()) {
     snapshot.faults = injector->Snapshot();
   }
   return snapshot;
+}
+
+Status StreamingServer::DumpDiagnostics(const std::string& dir) {
+  // Under pump_mu_ the pipelines are quiescent, so the flight recorders,
+  // dead-letter rings and stats snapshot form one consistent cut. (Metrics
+  // and trace rings are safe to read any time; holding the lock just keeps
+  // all the bundle's views aligned.)
+  std::lock_guard<std::mutex> lock(pump_mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create diagnostics dir " + dir + ": " +
+                           ec.message());
+  }
+  const auto write_file = [](const std::string& path,
+                             const std::string& body) -> Status {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) return Status::IOError("cannot open " + path + " for writing");
+    os << body;
+    os.flush();
+    if (!os.good()) return Status::IOError("failed writing " + path);
+    return Status::OK();
+  };
+  RFID_RETURN_NOT_OK(
+      write_file(dir + "/metrics.prom", metrics_->RenderPrometheus()));
+  RFID_RETURN_NOT_OK(write_file(dir + "/metrics.json", metrics_->RenderJson()));
+  RFID_RETURN_NOT_OK(
+      write_file(dir + "/trace.json", obs::Tracer::Default().DumpChromeJson()));
+  RFID_RETURN_NOT_OK(write_file(dir + "/stats.json", StatsLocked().ToJson()));
+  std::string flight = "{\"sites\": [";
+  for (size_t i = 0; i < pipelines_.size(); ++i) {
+    if (i > 0) flight += ", ";
+    flight += "{\"site\": " + std::to_string(pipelines_[i]->site()) +
+              ", \"flight\": " + pipelines_[i]->flight().ToJson() + "}";
+  }
+  flight += "]}";
+  RFID_RETURN_NOT_OK(write_file(dir + "/flight.json", flight));
+  for (const auto& pipeline : pipelines_) {
+    const std::deque<DeadLetterEntry>& dead = pipeline->DeadLetters();
+    if (dead.empty()) continue;
+    RFID_RETURN_NOT_OK(WriteDeadLetterSpill(
+        pipeline->site(), dead,
+        dir + "/dead_letter_site_" + std::to_string(pipeline->site()) +
+            ".bin"));
+  }
+  return Status::OK();
 }
 
 }  // namespace rfid

@@ -48,6 +48,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/ingest_queue.h"
 #include "serve/load_governor.h"
 #include "serve/record.h"
@@ -90,6 +91,10 @@ struct ServeConfig {
   /// shard's sites). Disabled by default — when disabled, per-site output
   /// is bit-identical to a server without the governor.
   LoadShedConfig load_shed;
+
+  /// Per-site slow-epoch flight recorder tuning (ring sizes, EWMA slow
+  /// threshold); applied to every site's pipeline.
+  obs::FlightRecorder::Config flight;
 
   /// Explicit site-to-shard pins, applied before the hash route (e.g. to
   /// isolate one very hot site on its own shard). Out-of-range shards fail
@@ -180,6 +185,26 @@ class StreamingServer {
   ServerStatsSnapshot Stats() const;
   std::string StatsJson() const { return Stats().ToJson(); }
 
+  /// The server-owned metrics registry every queue, pipeline and checkpoint
+  /// instrument registers into (isolated per server: two servers in one
+  /// process never mix counters).
+  obs::MetricsRegistry& metrics() const { return *metrics_; }
+  /// Prometheus text-format scrape of the registry. Safe any time.
+  std::string MetricsPrometheus() const { return metrics_->RenderPrometheus(); }
+  /// JSON rendering of the registry. Safe any time.
+  std::string MetricsJson() const { return metrics_->RenderJson(); }
+
+  /// Writes a post-mortem bundle into `dir` (created if missing):
+  ///   metrics.prom / metrics.json   registry scrape in both formats
+  ///   trace.json                    Chrome/Perfetto trace of the span rings
+  ///   stats.json                    full ServerStatsSnapshot
+  ///   flight.json                   per-site flight-recorder rings and
+  ///                                 captured slow/quarantine diagnostics
+  ///   dead_letter_site_<id>.bin     CRC-framed spill of each non-empty
+  ///                                 dead-letter ring (serve/diagnostics.h)
+  /// Excludes a concurrent pump, so the bundle is a consistent cut.
+  Status DumpDiagnostics(const std::string& dir);
+
   /// One site's pipeline (introspection: estimates, per-site stats);
   /// nullptr for unknown sites. Do not call while a pump may be running.
   const SitePipeline* FindSite(SiteId site) const;
@@ -211,14 +236,28 @@ class StreamingServer {
     std::vector<ServeRecord> batch;    ///< Pop scratch, reused per pump.
     /// Degradation ladder for this shard's queue (nullptr when disabled).
     std::unique_ptr<LoadShedGovernor> governor;
+    // --- Governor telemetry (one lane touches a shard per sweep, so plain
+    // fields suffice; nullptr when the governor is disabled) ---
+    obs::Gauge* shed_level_g = nullptr;
+    obs::Counter* shed_escalations_c = nullptr;
+    obs::Counter* shed_deescalations_c = nullptr;
+    /// Governor transition totals already mirrored into the counters (the
+    /// governor keeps its own monotonic totals; the counters get deltas).
+    uint64_t shed_escalations_seen = 0;
+    uint64_t shed_deescalations_seen = 0;
   };
 
   StreamingServer(std::vector<std::unique_ptr<SitePipeline>> pipelines,
-                  const ServeConfig& config);
+                  const ServeConfig& config,
+                  std::unique_ptr<obs::MetricsRegistry> metrics);
 
   /// One sweep over all shards; caller holds pump_mu_. Returns records
   /// processed.
   size_t PumpOnce();
+  /// Snapshot assembly; caller holds pump_mu_ (Stats() takes it, while
+  /// DumpDiagnostics reuses this under its own hold — re-locking would
+  /// deadlock).
+  ServerStatsSnapshot StatsLocked() const;
   void DriverLoop();
   void NotifyWork();
 
@@ -229,6 +268,9 @@ class StreamingServer {
   void HandleSiteFailure(SitePipeline* pipeline, const char* what);
 
   ServeConfig config_;
+  /// Owned registry; created in Create() before the pipelines so their
+  /// instruments can register into it, then moved here for lifetime.
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
   ShardRouter router_;
   std::vector<std::unique_ptr<SitePipeline>> pipelines_;
   std::vector<Shard> shards_;
@@ -242,13 +284,21 @@ class StreamingServer {
   /// auto-recovery looks for the last-good generation. Guarded by pump_mu_
   /// (written by Checkpoint/Restore, read during pump sweeps).
   std::string last_checkpoint_dir_;
-  /// Checkpoint protocol outcome counters (see CheckpointStatsSnapshot).
-  /// Atomic: fallback loads are counted from concurrent pump lanes.
-  std::atomic<uint64_t> checkpoints_saved_{0};
-  std::atomic<uint64_t> checkpoint_failures_{0};
-  std::atomic<uint64_t> checkpoint_retries_{0};
-  std::atomic<uint64_t> checkpoint_fallback_loads_{0};
-  std::atomic<uint64_t> checkpoint_skipped_parked_{0};
+  // --- Telemetry handles, resolved once at construction (see obs/metrics.h;
+  // Counter::Add is a relaxed fetch_add, safe from concurrent pump lanes).
+  // The checkpoint counters replace what used to be raw atomics here: same
+  // semantics (monotonic since construction), now scrapeable. ---
+  obs::Counter* checkpoints_saved_c_ = nullptr;
+  obs::Counter* checkpoint_failures_c_ = nullptr;
+  obs::Counter* checkpoint_retries_c_ = nullptr;
+  obs::Counter* checkpoint_fallback_loads_c_ = nullptr;
+  obs::Counter* checkpoint_skipped_parked_c_ = nullptr;
+  obs::Counter* site_failures_c_ = nullptr;
+  obs::Counter* site_recoveries_c_ = nullptr;
+  obs::Counter* site_parked_c_ = nullptr;
+  obs::Counter* pump_records_c_ = nullptr;
+  obs::Histogram* pump_sweep_h_ = nullptr;
+  obs::Histogram* checkpoint_load_h_ = nullptr;
 
   /// Serializes pump sweeps vs checkpoint/flush/stats (mutable: Stats() is
   /// logically const but must exclude a concurrent pump).

@@ -6,9 +6,11 @@
 #include <ostream>
 #include <sstream>
 
+#include "obs/trace.h"
 #include "pf/snapshot.h"
 #include "util/fault.h"
 #include "util/serialize.h"
+#include "util/stopwatch.h"
 
 namespace rfid {
 
@@ -55,7 +57,33 @@ SitePipeline::SitePipeline(SiteId site, const SitePipelineConfig& config,
     : site_(site),
       config_(config),
       sync_(MakeSyncConfig(config)),
-      engine_(std::move(engine)) {}
+      engine_(std::move(engine)),
+      flight_(new obs::FlightRecorder(config.flight)) {
+  // Metric handles are resolved once here and written lock-free forever.
+  // Stage series are labeled by stage only (not site) so cardinality stays
+  // bounded at any fleet size; per-site introspection goes through the
+  // flight recorder instead.
+  obs::MetricsRegistry& reg = config_.metrics != nullptr
+                                  ? *config_.metrics
+                                  : obs::MetricsRegistry::Default();
+  epoch_h_ = reg.GetHistogram("rfid_epoch_seconds");
+  stage_sync_h_ = reg.GetHistogram("rfid_stage_seconds", "stage=\"synchronize\"");
+  stage_weight_h_ = reg.GetHistogram("rfid_stage_seconds", "stage=\"weight\"");
+  stage_resample_h_ =
+      reg.GetHistogram("rfid_stage_seconds", "stage=\"reader_resample\"");
+  stage_remap_h_ =
+      reg.GetHistogram("rfid_stage_seconds", "stage=\"remap_replay\"");
+  stage_compress_h_ =
+      reg.GetHistogram("rfid_stage_seconds", "stage=\"compress\"");
+  stage_emit_h_ = reg.GetHistogram("rfid_stage_seconds", "stage=\"emit\"");
+  stage_dispatch_h_ =
+      reg.GetHistogram("rfid_stage_seconds", "stage=\"dispatch\"");
+  records_c_ = reg.GetCounter("rfid_records_processed_total");
+  events_c_ = reg.GetCounter("rfid_events_dispatched_total");
+  shed_c_ = reg.GetCounter("rfid_records_shed_total");
+  quarantined_c_ = reg.GetCounter("rfid_records_quarantined_total");
+  slow_epochs_c_ = reg.GetCounter("rfid_slow_epochs_total");
+}
 
 Result<std::unique_ptr<SitePipeline>> SitePipeline::Create(
     SiteId site, WorldModel model, const SitePipelineConfig& config) {
@@ -98,15 +126,69 @@ void SitePipeline::ProcessEpochs(std::vector<SyncedEpoch> epochs,
       throw FaultInjectedError("injected pipeline fault at site " +
                                std::to_string(site_));
     }
+    // Telemetry reads clocks between stages and stores the results; it
+    // never touches RNG streams or event ordering, so the per-site event
+    // stream is bit-identical with telemetry/tracing on or off.
+    const bool telemetry = obs::TelemetryEnabled();
+    obs::TraceSpan span("epoch", "pipeline", "site", site_);
+    const uint64_t start_ns = telemetry ? MonotonicNanos() : 0;
     engine_->ProcessEpoch(epoch);
     last_epoch_time_ = epoch.time;
     epochs_since_scan_ = true;
     engine_->TakeEvents(&event_scratch_);
+    uint64_t dispatch_ns = 0;
+    const size_t event_count = event_scratch_.size();
     if (!event_scratch_.empty()) {
+      obs::TraceSpan dispatch_span("dispatch", "pipeline", "site", site_);
+      const uint64_t d0 = telemetry ? MonotonicNanos() : 0;
       if (bus != nullptr) bus->Dispatch(site_, event_scratch_);
-      events_dispatched_ += event_scratch_.size();
+      if (d0 != 0) dispatch_ns = MonotonicNanos() - d0;
+      events_dispatched_ += event_count;
+      events_c_->Add(event_count);
     }
     MaybeFireScanBoundary(epoch, bus);
+    if (telemetry) {
+      RecordEpochTelemetry(epoch, start_ns, dispatch_ns, event_count);
+    }
+  }
+}
+
+void SitePipeline::RecordEpochTelemetry(const SyncedEpoch& epoch,
+                                        uint64_t start_ns,
+                                        uint64_t dispatch_ns, size_t events) {
+  obs::EpochStageTimings t;
+  t.step = engine_->stats().epochs_processed;
+  t.epoch_time = epoch.time;
+  t.total = static_cast<double>(MonotonicNanos() - start_ns) * 1e-9;
+  t.synchronize = static_cast<double>(pending_sync_ns_) * 1e-9;
+  pending_sync_ns_ = 0;
+  const EngineEpochTimings& engine_t = engine_->last_epoch_timings();
+  t.emit = engine_t.emit_seconds;
+  t.dispatch = static_cast<double>(dispatch_ns) * 1e-9;
+  const auto* filter =
+      dynamic_cast<const FactoredParticleFilter*>(&engine_->filter());
+  if (filter != nullptr) {
+    const auto& stages = filter->last_epoch_stages();
+    t.weight = stages.weight;
+    t.resample = stages.reader_resample;
+    t.remap = stages.remap_replay;
+    t.compress = stages.compress;
+  }
+  t.readings = static_cast<uint32_t>(epoch.tags.size());
+  t.events = static_cast<uint32_t>(events);
+
+  epoch_h_->Observe(t.total);
+  stage_sync_h_->Observe(t.synchronize);
+  stage_weight_h_->Observe(t.weight);
+  stage_resample_h_->Observe(t.resample);
+  stage_remap_h_->Observe(t.remap);
+  stage_compress_h_->Observe(t.compress);
+  stage_emit_h_->Observe(t.emit);
+  stage_dispatch_h_->Observe(t.dispatch);
+
+  if (flight_->RecordEpoch(t)) {
+    ++slow_epochs_;
+    slow_epochs_c_->Add();
   }
 }
 
@@ -167,6 +249,10 @@ void SitePipeline::Quarantine(const ServeRecord& record, const char* reason) {
   while (dead_letters_.size() > config_.dead_letter_capacity) {
     dead_letters_.pop_front();
   }
+  quarantined_c_->Add();
+  // A quarantine is a post-mortem trigger: snapshot the recent epochs so
+  // the bundle shows what the site was doing when the bad record arrived.
+  flight_->CaptureDiagnostic("quarantine");
 }
 
 void SitePipeline::OnRecord(const ServeRecord& record, SubscriptionBus* bus) {
@@ -189,8 +275,13 @@ void SitePipeline::OnRecord(const ServeRecord& record, SubscriptionBus* bus) {
   }
   if (shed_.shed_records) {
     ++records_shed_;
+    shed_c_->Add();
     return;
   }
+  // Time the synchronizer work (admission + watermark poll) separately from
+  // epoch processing; it accumulates until the next closed epoch, which
+  // reports it as its `synchronize` stage.
+  const uint64_t sync_start = obs::TelemetryEnabled() ? MonotonicNanos() : 0;
   bool admitted;
   if (record.kind == ServeRecord::Kind::kReading) {
     admitted = sync_.Push(record.reading);
@@ -199,7 +290,10 @@ void SitePipeline::OnRecord(const ServeRecord& record, SubscriptionBus* bus) {
   }
   if (!admitted) return;  // Dropped-late; counted by the synchronizer.
   ++records_processed_;
-  ProcessEpochs(sync_.PollWatermark(), bus);
+  records_c_->Add();
+  std::vector<SyncedEpoch> epochs = sync_.PollWatermark();
+  if (sync_start != 0) pending_sync_ns_ += MonotonicNanos() - sync_start;
+  ProcessEpochs(std::move(epochs), bus);
 }
 
 void SitePipeline::Flush(SubscriptionBus* bus) {
@@ -234,6 +328,7 @@ SitePipelineStats SitePipeline::Stats() const {
   stats.events_dispatched = events_dispatched_;
   stats.scan_completes = scan_completes_;
   stats.records_quarantined = records_quarantined_;
+  stats.slow_epochs = slow_epochs_;
   stats.dead_letter_size = dead_letters_.size();
   stats.shed_level = static_cast<int>(shed_.level);
   stats.watermark = sync_.watermark();

@@ -22,6 +22,8 @@
 #include <memory>
 
 #include "core/engine.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
 #include "serve/load_governor.h"
 #include "serve/record.h"
 #include "serve/subscription_bus.h"
@@ -69,6 +71,12 @@ struct SitePipelineConfig {
   /// emitter policy; inert otherwise).
   ScanBoundaryConfig scan_boundary;
   EngineConfig engine;
+  /// Slow-epoch flight recorder tuning (ring sizes, EWMA slow threshold).
+  obs::FlightRecorder::Config flight;
+  /// Metrics registry the pipeline's stage histograms and counters register
+  /// into; nullptr uses the process-wide obs::MetricsRegistry::Default().
+  /// Must outlive the pipeline.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// One quarantined record: kept out of the pipeline, never crashed on.
@@ -93,6 +101,9 @@ struct SitePipelineStats {
   uint64_t scan_completes = 0;
   /// Malformed / fault-injected records diverted to the dead-letter ring.
   uint64_t records_quarantined = 0;
+  /// Epochs the flight recorder flagged as slow (total > slow_multiple x
+  /// EWMA). Telemetry: counts only while obs::TelemetryEnabled().
+  uint64_t slow_epochs = 0;
   /// Dead-letter entries currently retained (<= dead_letter_capacity).
   size_t dead_letter_size = 0;
   /// Current LoadShedLevel (as int, 0 = normal).
@@ -136,6 +147,15 @@ class SitePipeline {
     return dead_letters_;
   }
 
+  /// Slow-epoch flight recorder (recent per-epoch stage timings plus
+  /// captured diagnostics). Single-writer like the pipeline itself.
+  const obs::FlightRecorder& flight() const { return *flight_; }
+
+  /// Captures a "restart" flight diagnostic; the server calls this after
+  /// restoring the pipeline from a checkpoint mid-failure, so the bundle
+  /// shows what the epochs before the crash looked like.
+  void NotePipelineRestart() { flight_->CaptureDiagnostic("restart"); }
+
   /// End of stream: closes all pending epochs and processes them. With the
   /// kOnScanComplete emitter policy this is also the scan boundary — the
   /// engine's scan-complete events are dispatched to `bus` here (timed at
@@ -169,6 +189,10 @@ class SitePipeline {
   /// (shared tail of Flush() and the mid-stream detector).
   void FireScanComplete(SubscriptionBus* bus);
   void Quarantine(const ServeRecord& record, const char* reason);
+  /// Feeds one processed epoch's stage split into the histograms and the
+  /// flight recorder (telemetry on only).
+  void RecordEpochTelemetry(const SyncedEpoch& epoch, uint64_t start_ns,
+                            uint64_t dispatch_ns, size_t events);
 
   SiteId site_;
   SitePipelineConfig config_;
@@ -196,6 +220,26 @@ class SitePipeline {
   bool scan_departed_ = false;      ///< Cleared depart_radius since origin.
   bool activity_since_scan_ = false;  ///< kIdleGap: any readings this scan.
   double last_activity_time_ = 0.0;   ///< Time of the newest reading epoch.
+  // --- Telemetry (handles resolved once in the ctor; all writes are
+  // relaxed stores — see obs/metrics.h). None of it is checkpointed. ---
+  std::unique_ptr<obs::FlightRecorder> flight_;
+  uint64_t slow_epochs_ = 0;
+  /// Synchronizer time (Push + PollWatermark) accumulated since the last
+  /// closed epoch; attributed to the next epoch's `synchronize` stage.
+  uint64_t pending_sync_ns_ = 0;
+  obs::Histogram* epoch_h_ = nullptr;
+  obs::Histogram* stage_sync_h_ = nullptr;
+  obs::Histogram* stage_weight_h_ = nullptr;
+  obs::Histogram* stage_resample_h_ = nullptr;
+  obs::Histogram* stage_remap_h_ = nullptr;
+  obs::Histogram* stage_compress_h_ = nullptr;
+  obs::Histogram* stage_emit_h_ = nullptr;
+  obs::Histogram* stage_dispatch_h_ = nullptr;
+  obs::Counter* records_c_ = nullptr;
+  obs::Counter* events_c_ = nullptr;
+  obs::Counter* shed_c_ = nullptr;
+  obs::Counter* quarantined_c_ = nullptr;
+  obs::Counter* slow_epochs_c_ = nullptr;
 };
 
 }  // namespace rfid

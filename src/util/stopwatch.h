@@ -1,27 +1,50 @@
-// Wall-clock stopwatch for throughput measurements.
+// The single monotonic clock source for the repo, plus a stopwatch over it.
+//
+// Everything that timestamps or measures — the metrics registry, the span
+// tracer, the flight recorder, the ingest queue's arrival-rate EWMA, the
+// benches — reads this clock, so durations from different subsystems are
+// directly comparable and trace timelines line up.
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace rfid {
+
+/// The one clock. steady_clock: monotonic, immune to NTP steps.
+using MonotonicClock = std::chrono::steady_clock;
+
+/// Nanoseconds since an arbitrary (per-process, monotonic) origin.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          MonotonicClock::now().time_since_epoch())
+          .count());
+}
+
+/// Seconds since the same origin as MonotonicNanos().
+inline double MonotonicSeconds() {
+  return std::chrono::duration<double>(MonotonicClock::now().time_since_epoch())
+      .count();
+}
 
 /// Monotonic stopwatch; Start() resets, Elapsed*() reads without stopping.
 class Stopwatch {
  public:
   Stopwatch() { Start(); }
 
-  void Start() { start_ = Clock::now(); }
+  void Start() { start_ = MonotonicClock::now(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return std::chrono::duration<double>(MonotonicClock::now() - start_)
+        .count();
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  MonotonicClock::time_point start_;
 };
 
 }  // namespace rfid

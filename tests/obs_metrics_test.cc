@@ -1,0 +1,229 @@
+// Metrics registry: bucket boundary arithmetic, concurrent-writer
+// aggregation (exercised under TSan in CI), Prometheus/JSON rendering, the
+// telemetry kill switch, and the trace ring's Chrome JSON dump.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rfid {
+namespace obs {
+namespace {
+
+/// Re-arms telemetry even when a test body fails mid-way (the switch is
+/// process-global; leaking "disabled" would cascade into later tests).
+struct TelemetryGuard {
+  ~TelemetryGuard() { SetTelemetryEnabled(true); }
+};
+
+TEST(HistogramBucketsTest, BoundsAreLogSpaced) {
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(1), 2e-6);
+  EXPECT_DOUBLE_EQ(Histogram::BucketBound(10), 1e-6 * 1024.0);
+  for (int i = 1; i < Histogram::kNumBounds; ++i) {
+    EXPECT_DOUBLE_EQ(Histogram::BucketBound(i),
+                     2.0 * Histogram::BucketBound(i - 1));
+  }
+}
+
+TEST(HistogramBucketsTest, IndexClampsAndRoundsAtExactBounds) {
+  // Non-positive and sub-first-bound values land in bucket 0.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(-1.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1e-9), 0);
+  // A value exactly on a bound belongs to that bucket (le semantics), the
+  // next representable value above it to the following bucket.
+  for (int i = 0; i < Histogram::kNumBounds; ++i) {
+    const double bound = Histogram::BucketBound(i);
+    EXPECT_EQ(Histogram::BucketIndex(bound), i) << "bound " << i;
+    const double above = std::nextafter(bound, 1e9);
+    const int expected = i + 1 <= Histogram::kNumBounds ? i + 1 : i;
+    EXPECT_EQ(Histogram::BucketIndex(above), expected) << "above bound " << i;
+  }
+  // Mid-bucket values.
+  EXPECT_EQ(Histogram::BucketIndex(3e-6), 2);
+  EXPECT_EQ(Histogram::BucketIndex(1.5e-3), 11);
+  // Far past the largest finite bound: the overflow bucket.
+  EXPECT_EQ(Histogram::BucketIndex(1e9), Histogram::kNumBounds);
+}
+
+TEST(CounterTest, ConcurrentWritersSumExactly) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test_total");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([counter] {
+      for (uint64_t i = 0; i < kPerThread; ++i) counter->Add();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, ConcurrentObserversAggregateExactly) {
+  MetricsRegistry registry;
+  Histogram* histogram = registry.GetHistogram("test_seconds");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([histogram, t] {
+      // Each thread writes one distinct bucket, so per-bucket totals are
+      // exact evidence that no sample was lost to a racing shard.
+      const double value = Histogram::BucketBound(t);
+      for (int i = 0; i < kPerThread; ++i) histogram->Observe(value);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const Histogram::Snapshot snap = histogram->Snap();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(snap.buckets[t], static_cast<uint64_t>(kPerThread))
+        << "bucket " << t;
+  }
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += Histogram::BucketBound(t) * kPerThread;
+  }
+  EXPECT_NEAR(snap.sum_seconds, expected_sum, 1e-9 * snap.count);
+}
+
+TEST(GaugeTest, LastWriterWins) {
+  MetricsRegistry registry;
+  Gauge* gauge = registry.GetGauge("test_gauge");
+  EXPECT_DOUBLE_EQ(gauge->Value(), 0.0);
+  gauge->Set(2.5);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 2.5);
+  gauge->Set(-1.0);
+  EXPECT_DOUBLE_EQ(gauge->Value(), -1.0);
+}
+
+TEST(MetricsRegistryTest, HandlesAreStableAndKeyedByLabels) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x_total", "stage=\"a\"");
+  Counter* b = registry.GetCounter("x_total", "stage=\"b\"");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, registry.GetCounter("x_total", "stage=\"a\""));
+  a->Add(3);
+  EXPECT_EQ(a->Value(), 3u);
+  EXPECT_EQ(b->Value(), 0u);
+}
+
+TEST(MetricsRegistryTest, PrometheusRendering) {
+  MetricsRegistry registry;
+  registry.GetCounter("app_requests_total", "code=\"200\"")->Add(7);
+  registry.GetCounter("app_requests_total", "code=\"500\"")->Add(1);
+  registry.GetGauge("app_occupancy")->Set(0.5);
+  Histogram* h = registry.GetHistogram("app_latency_seconds");
+  h->Observe(1e-6);  // bucket 0
+  h->Observe(3e-6);  // bucket 2
+  h->Observe(1e9);   // overflow
+
+  const std::string prom = registry.RenderPrometheus();
+  // One # TYPE line per family, counters with their label bodies.
+  EXPECT_NE(prom.find("# TYPE app_requests_total counter"), std::string::npos);
+  EXPECT_NE(prom.find("app_requests_total{code=\"200\"} 7\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("app_requests_total{code=\"500\"} 1\n"),
+            std::string::npos);
+  EXPECT_EQ(prom.find("# TYPE app_requests_total counter"),
+            prom.rfind("# TYPE app_requests_total counter"));
+  EXPECT_NE(prom.find("# TYPE app_occupancy gauge"), std::string::npos);
+  EXPECT_NE(prom.find("app_occupancy 0.5\n"), std::string::npos);
+  // Histogram buckets are cumulative; +Inf equals the total count.
+  EXPECT_NE(prom.find("# TYPE app_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("app_latency_seconds_bucket{le=\"1e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("app_latency_seconds_bucket{le=\"2e-06\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("app_latency_seconds_bucket{le=\"4e-06\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("app_latency_seconds_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("app_latency_seconds_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonRendering) {
+  MetricsRegistry registry;
+  registry.GetCounter("c_total", "k=\"v\"")->Add(2);
+  registry.GetGauge("g")->Set(1.5);
+  registry.GetHistogram("h_seconds")->Observe(1e-6);
+
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\":{\"c_total{k=\\\"v\\\"}\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"g\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"h_seconds\":{\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[1,0,"), std::string::npos);
+}
+
+TEST(TelemetrySwitchTest, GatesHistogramsAndGaugesButNeverCounters) {
+  TelemetryGuard guard;
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("switch_total");
+  Gauge* gauge = registry.GetGauge("switch_gauge");
+  Histogram* histogram = registry.GetHistogram("switch_seconds");
+
+  SetTelemetryEnabled(false);
+  counter->Add();
+  gauge->Set(9.0);
+  histogram->Observe(1.0);
+  {
+    LatencyTimer timer(histogram);
+  }
+  // Counters stay truthful (they back the stats surfaces); samples gated.
+  EXPECT_EQ(counter->Value(), 1u);
+  EXPECT_DOUBLE_EQ(gauge->Value(), 0.0);
+  EXPECT_EQ(histogram->Snap().count, 0u);
+
+  SetTelemetryEnabled(true);
+  histogram->Observe(1.0);
+  {
+    LatencyTimer timer(histogram);
+  }
+  EXPECT_EQ(histogram->Snap().count, 2u);
+}
+
+TEST(LatencyTimerTest, NullHistogramIsANoOp) {
+  LatencyTimer timer(nullptr);
+  timer.Stop();  // Must not crash.
+}
+
+TEST(TracerTest, RecordsSpansAndDumpsChromeJson) {
+  Tracer& tracer = Tracer::Default();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  {
+    TraceSpan span("unit_span", "test", "arg", 42);
+  }
+  {
+    TraceSpan span("plain_span", "test");
+  }
+  tracer.SetEnabled(false);
+  {
+    TraceSpan span("gated_span", "test");
+  }
+  EXPECT_EQ(tracer.EventCount(), 2u);
+  const std::string json = tracer.DumpChromeJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"unit_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"plain_span\""), std::string::npos);
+  EXPECT_EQ(json.find("gated_span"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"arg\":42"), std::string::npos);
+  tracer.Clear();
+  EXPECT_EQ(tracer.EventCount(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace rfid
