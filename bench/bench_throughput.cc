@@ -129,16 +129,18 @@ int main() {
 
   // Naive filter with 20 objects (the paper's 0.1 reading/s data point).
   {
-    WarehouseLayout layout;
-    const SimulatedTrace trace = MakeTrace(20, 5200, &layout);
+    WarehouseLayout naive_layout;
+    const SimulatedTrace naive_trace = MakeTrace(20, 5200, &naive_layout);
     EngineConfig config;
     config.filter = EngineConfig::FilterKind::kBasic;
     config.basic.num_particles = bench::FullScale() ? 100000 : 20000;
     config.basic.seed = 52;
     auto engine = RfidInferenceEngine::Create(
-        MakeWorldModel(layout, std::make_unique<ConeSensorModel>(), Options()),
+        MakeWorldModel(naive_layout, std::make_unique<ConeSensorModel>(),
+                       Options()),
         config);
-    const TraceEvaluation eval = RunEngineOnTrace(engine.value().get(), trace);
+    const TraceEvaluation eval =
+        RunEngineOnTrace(engine.value().get(), naive_trace);
     (void)table.AddRow(
         {"unfactorized (naive)", "20", "1", "off",
          FormatDouble(eval.engine_stats.ReadingsPerSecond(), 1),

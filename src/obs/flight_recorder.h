@@ -12,6 +12,9 @@
 // Single-writer: one recorder belongs to one SitePipeline and is fed only
 // from the pipeline's consumer lane (same single-consumer contract as the
 // pipeline itself). ToJson() runs only while the server is quiescent.
+// Like SitePipeline, the recorder intentionally has no mutex and no
+// thread-safety annotations — there is no lock discipline to check; the
+// exclusion is the pump sweep's fork/join shard ownership.
 #pragma once
 
 #include <cstdint>

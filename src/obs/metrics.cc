@@ -158,12 +158,16 @@ MetricsRegistry& MetricsRegistry::Default() {
   return *registry;
 }
 
+// The kind is pinned at first registration (it names the family's # TYPE
+// line); a later Get* of a different kind on the same key must not flip it,
+// or the first-registered series silently disappears from every render.
+
 Counter* MetricsRegistry::GetCounter(const std::string& name,
                                      const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = entries_[Key(name, labels)];
   if (!entry.counter) {
-    entry.kind = Kind::kCounter;
+    if (entry.empty()) entry.kind = Kind::kCounter;
     entry.counter.reset(new Counter());
   }
   return entry.counter.get();
@@ -171,10 +175,10 @@ Counter* MetricsRegistry::GetCounter(const std::string& name,
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name,
                                  const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = entries_[Key(name, labels)];
   if (!entry.gauge) {
-    entry.kind = Kind::kGauge;
+    if (entry.empty()) entry.kind = Kind::kGauge;
     entry.gauge.reset(new Gauge());
   }
   return entry.gauge.get();
@@ -182,19 +186,21 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name,
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          const std::string& labels) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Entry& entry = entries_[Key(name, labels)];
   if (!entry.histogram) {
-    entry.kind = Kind::kHistogram;
+    if (entry.empty()) entry.kind = Kind::kHistogram;
     entry.histogram.reset(new Histogram());
   }
   return entry.histogram.get();
 }
 
 std::string MetricsRegistry::RenderPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   std::string last_family;
+  // Every non-null object in an entry is rendered (not just the pinned
+  // kind): a mixed-kind registration collision keeps both series visible.
   for (const auto& kv : entries_) {
     const std::string& name = kv.first.first;
     const std::string& labels = kv.first.second;
@@ -215,67 +221,59 @@ std::string MetricsRegistry::RenderPrometheus() const {
       out += '\n';
       last_family = name;
     }
-    switch (entry.kind) {
-      case Kind::kCounter:
-        AppendSample(&out, name, labels, "",
-                     static_cast<double>(entry.counter->Value()));
-        break;
-      case Kind::kGauge:
-        AppendSample(&out, name, labels, "", entry.gauge->Value());
-        break;
-      case Kind::kHistogram: {
-        const Histogram::Snapshot snap = entry.histogram->Snap();
-        uint64_t cumulative = 0;
-        for (int b = 0; b < Histogram::kNumBounds; ++b) {
-          cumulative += snap.buckets[b];
-          AppendSample(&out, name + "_bucket", labels,
-                       "le=\"" + FormatBound(Histogram::BucketBound(b)) + "\"",
-                       static_cast<double>(cumulative));
-        }
-        AppendSample(&out, name + "_bucket", labels, "le=\"+Inf\"",
-                     static_cast<double>(snap.count));
-        AppendSample(&out, name + "_sum", labels, "", snap.sum_seconds);
-        AppendSample(&out, name + "_count", labels, "",
-                     static_cast<double>(snap.count));
-        break;
+    if (entry.counter) {
+      AppendSample(&out, name, labels, "",
+                   static_cast<double>(entry.counter->Value()));
+    }
+    if (entry.gauge) {
+      AppendSample(&out, name, labels, "", entry.gauge->Value());
+    }
+    if (entry.histogram) {
+      const Histogram::Snapshot snap = entry.histogram->Snap();
+      uint64_t cumulative = 0;
+      for (int b = 0; b < Histogram::kNumBounds; ++b) {
+        cumulative += snap.buckets[b];
+        AppendSample(&out, name + "_bucket", labels,
+                     "le=\"" + FormatBound(Histogram::BucketBound(b)) + "\"",
+                     static_cast<double>(cumulative));
       }
+      AppendSample(&out, name + "_bucket", labels, "le=\"+Inf\"",
+                   static_cast<double>(snap.count));
+      AppendSample(&out, name + "_sum", labels, "", snap.sum_seconds);
+      AppendSample(&out, name + "_count", labels, "",
+                   static_cast<double>(snap.count));
     }
   }
   return out;
 }
 
 std::string MetricsRegistry::RenderJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string counters, gauges, histograms;
   for (const auto& kv : entries_) {
     const std::string key = SeriesKey(kv.first.first, kv.first.second);
     const Entry& entry = kv.second;
-    switch (entry.kind) {
-      case Kind::kCounter: {
-        if (!counters.empty()) counters += ',';
-        counters += JsonQuote(key) + ':' +
-                    FormatValue(static_cast<double>(entry.counter->Value()));
-        break;
+    if (entry.counter) {
+      if (!counters.empty()) counters += ',';
+      counters += JsonQuote(key) + ':' +
+                  FormatValue(static_cast<double>(entry.counter->Value()));
+    }
+    if (entry.gauge) {
+      if (!gauges.empty()) gauges += ',';
+      gauges += JsonQuote(key) + ':' + FormatValue(entry.gauge->Value());
+    }
+    if (entry.histogram) {
+      const Histogram::Snapshot snap = entry.histogram->Snap();
+      if (!histograms.empty()) histograms += ',';
+      histograms += JsonQuote(key) + ":{\"count\":" +
+                    FormatValue(static_cast<double>(snap.count)) +
+                    ",\"sum_seconds\":" + FormatValue(snap.sum_seconds) +
+                    ",\"buckets\":[";
+      for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+        if (b > 0) histograms += ',';
+        histograms += FormatValue(static_cast<double>(snap.buckets[b]));
       }
-      case Kind::kGauge: {
-        if (!gauges.empty()) gauges += ',';
-        gauges += JsonQuote(key) + ':' + FormatValue(entry.gauge->Value());
-        break;
-      }
-      case Kind::kHistogram: {
-        const Histogram::Snapshot snap = entry.histogram->Snap();
-        if (!histograms.empty()) histograms += ',';
-        histograms += JsonQuote(key) + ":{\"count\":" +
-                      FormatValue(static_cast<double>(snap.count)) +
-                      ",\"sum_seconds\":" + FormatValue(snap.sum_seconds) +
-                      ",\"buckets\":[";
-        for (int b = 0; b < Histogram::kNumBuckets; ++b) {
-          if (b > 0) histograms += ',';
-          histograms += FormatValue(static_cast<double>(snap.buckets[b]));
-        }
-        histograms += "]}";
-        break;
-      }
+      histograms += "]}";
     }
   }
   return "{\"counters\":{" + counters + "},\"gauges\":{" + gauges +

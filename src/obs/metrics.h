@@ -26,11 +26,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace rfid {
 namespace obs {
@@ -161,17 +161,25 @@ class MetricsRegistry {
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };
+  /// One (name, labels) series. `kind` is pinned by the FIRST registration
+  /// and drives the family's # TYPE line; later Get* calls of a different
+  /// kind on the same key get their own object (rendering emits every
+  /// non-null object, so a mixed-kind collision shows both series instead
+  /// of silently dropping the first-registered one — which is what the old
+  /// "last Get* wins" kind assignment did).
   struct Entry {
     Kind kind = Kind::kCounter;
     std::unique_ptr<Counter> counter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
+
+    bool empty() const { return !counter && !gauge && !histogram; }
   };
   /// Keyed (name, labels) so rendering iterates families contiguously.
   using Key = std::pair<std::string, std::string>;
 
-  mutable std::mutex mu_;
-  std::map<Key, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<Key, Entry> entries_ RFID_GUARDED_BY(mu_);
 };
 
 /// Scoped latency sample into a histogram: reads the clock only when

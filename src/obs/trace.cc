@@ -38,7 +38,7 @@ Tracer::Ring* Tracer::RingForThisThread() {
     owned->tid = g_next_trace_tid.fetch_add(1, std::memory_order_relaxed);
     owned->events.resize(kDefaultRingCapacity);
     ring = owned.get();
-    std::lock_guard<std::mutex> lock(rings_mu_);
+    MutexLock lock(rings_mu_);
     rings_.push_back(std::move(owned));
   }
   return ring;
@@ -61,7 +61,7 @@ void Tracer::Record(const char* name, const char* category, uint64_t start_ns,
 }
 
 std::string Tracer::DumpChromeJson() const {
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   std::string out = "{\"traceEvents\":[";
   bool first = true;
   char buf[256];
@@ -99,14 +99,14 @@ std::string Tracer::DumpChromeJson() const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   for (const auto& ring : rings_) {
     ring->head.store(0, std::memory_order_relaxed);
   }
 }
 
 size_t Tracer::EventCount() const {
-  std::lock_guard<std::mutex> lock(rings_mu_);
+  MutexLock lock(rings_mu_);
   size_t total = 0;
   for (const auto& ring : rings_) {
     total += static_cast<size_t>(std::min<uint64_t>(

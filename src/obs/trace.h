@@ -20,11 +20,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/stopwatch.h"
+#include "util/thread_annotations.h"
 
 namespace rfid {
 namespace obs {
@@ -78,8 +78,12 @@ class Tracer {
   Ring* RingForThisThread();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex rings_mu_;  // guards rings_ vector growth only
-  std::vector<std::unique_ptr<Ring>> rings_;
+  /// Guards the rings_ vector's shape only. Ring *contents* are deliberately
+  /// outside any capability: each ring has a single writer (its owning
+  /// thread, no lock) and readers run only at quiescence (see the
+  /// concurrency contract above).
+  mutable Mutex rings_mu_;
+  std::vector<std::unique_ptr<Ring>> rings_ RFID_GUARDED_BY(rings_mu_);
 };
 
 /// RAII span. One relaxed load when tracing is disabled; two clock reads

@@ -51,8 +51,8 @@ Status Truncated() { return Status::IOError("truncated snapshot"); }
 
 namespace snapshot_internal {
 
-Status SaveSnapshotImpl(const FactoredParticleFilter& filter, std::ostream& os,
-                        uint32_t version) {
+Status SaveSnapshotImpl(const FactoredParticleFilter& filter,
+                        std::ostream& sink, uint32_t version) {
   // The on-disk format has no notion of a pending reader remap: replay any
   // deferred ones so the persisted attachments equal an eager filter's (a
   // restored filter then starts with an empty remap history).
@@ -112,19 +112,19 @@ Status SaveSnapshotImpl(const FactoredParticleFilter& filter, std::ostream& os,
   WritePod(os, filter.particle_updates_.load(std::memory_order_relaxed));
   };  // write_body
 
-  os.write(kMagic, sizeof(kMagic));
-  WritePod(os, version);
+  sink.write(kMagic, sizeof(kMagic));
+  WritePod(sink, version);
   if (version >= 4) {
     // CRC frame around the whole payload: the loader verifies the checksum
     // before parsing a single field.
     std::ostringstream body;
     write_body(body);
     if (!body.good()) return Status::IOError("failed serializing snapshot");
-    WriteFramedSection(os, body.str());
+    WriteFramedSection(sink, body.str());
   } else {
-    write_body(os);
+    write_body(sink);
   }
-  if (!os.good()) return Status::IOError("failed writing snapshot");
+  if (!sink.good()) return Status::IOError("failed writing snapshot");
   return Status::OK();
 }
 
@@ -156,7 +156,7 @@ Status SaveFilterSnapshotV2(const FactoredParticleFilter& filter,
   return snapshot_internal::SaveSnapshotImpl(filter, os, 2);
 }
 
-Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
+Status LoadFilterSnapshot(std::istream& source, FactoredParticleFilter* filter) {
   // Body parser (everything after the header), lambda for friend access.
   // `version` is always within the supported window when this runs.
   const auto load_body = [filter](std::istream& is,
@@ -298,12 +298,12 @@ Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
   };  // load_body
 
   char magic[8];
-  is.read(magic, sizeof(magic));
-  if (!is.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  source.read(magic, sizeof(magic));
+  if (!source.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
     return Status::Invalid("not a filter snapshot (bad magic)");
   }
   uint32_t version = 0;
-  if (!ReadPod(is, &version)) return Truncated();
+  if (!ReadPod(source, &version)) return Truncated();
   if (version < kMinVersion || version > kVersion) {
     return Status::Invalid(
         "unsupported snapshot version " + std::to_string(version) +
@@ -314,11 +314,11 @@ Status LoadFilterSnapshot(std::istream& is, FactoredParticleFilter* filter) {
   if (version >= 4) {
     // Verify the payload checksum before parsing a single field.
     std::string body;
-    RFID_RETURN_NOT_OK(ReadFramedSection(is, &body));
+    RFID_RETURN_NOT_OK(ReadFramedSection(source, &body));
     std::istringstream body_stream(body);
     return load_body(body_stream, version);
   }
-  return load_body(is, version);
+  return load_body(source, version);
 }
 
 }  // namespace rfid

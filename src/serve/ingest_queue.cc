@@ -36,7 +36,7 @@ void IngestQueue::NoteAccepted() {
 
 bool IngestQueue::Push(const ServeRecord& record) {
   obs::LatencyTimer timer(enqueue_latency_);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (MaybeInjectFault(FaultPoint::kQueueEnqueue, record.site)) {
     // An injected enqueue failure models a lost datagram at the ingest
     // boundary: dropped and counted, never enqueued half-written.
@@ -45,8 +45,7 @@ bool IngestQueue::Push(const ServeRecord& record) {
   }
   if (items_.size() >= capacity_ && !closed_) {
     ++stats_.blocked_pushes;
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || closed_; });
+    while (items_.size() >= capacity_ && !closed_) not_full_.Wait(lock);
   }
   if (closed_) {
     ++stats_.rejected_closed;
@@ -60,7 +59,7 @@ bool IngestQueue::Push(const ServeRecord& record) {
 
 bool IngestQueue::TryPush(const ServeRecord& record) {
   obs::LatencyTimer timer(enqueue_latency_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (MaybeInjectFault(FaultPoint::kQueueEnqueue, record.site)) {
     ++stats_.injected_drops;
     return false;
@@ -83,7 +82,7 @@ bool IngestQueue::TryPush(const ServeRecord& record) {
 size_t IngestQueue::PopBatch(std::vector<ServeRecord>* out,
                              size_t max_records) {
   out->clear();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const size_t n = std::min(max_records, items_.size());
   for (size_t i = 0; i < n; ++i) {
     out->push_back(items_.front());
@@ -94,34 +93,34 @@ size_t IngestQueue::PopBatch(std::vector<ServeRecord>* out,
     if (occupancy_ != nullptr) {
       occupancy_->Set(static_cast<double>(items_.size()));
     }
-    not_full_.notify_all();
+    not_full_.NotifyAll();
   }
   return n;
 }
 
 void IngestQueue::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
-  not_full_.notify_all();
+  not_full_.NotifyAll();
 }
 
 void IngestQueue::Reopen() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = false;
 }
 
 size_t IngestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return items_.size();
 }
 
 double IngestQueue::ArrivalRatePerSec() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return arrival_rate_.RatePerSec(MonotonicSeconds());
 }
 
 IngestQueueStats IngestQueue::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   IngestQueueStats stats = stats_;
   stats.arrival_rate_per_sec = arrival_rate_.RatePerSec(MonotonicSeconds());
   return stats;

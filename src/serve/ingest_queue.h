@@ -9,15 +9,14 @@
 // sizing shards.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <vector>
 
 #include "obs/metrics.h"
 #include "serve/load_governor.h"
 #include "serve/record.h"
+#include "util/thread_annotations.h"
 
 namespace rfid {
 
@@ -79,17 +78,19 @@ class IngestQueue {
   double ArrivalRatePerSec() const;
 
  private:
-  /// Counts one accepted push and publishes occupancy (caller holds mu_).
-  void NoteAccepted();
+  /// Counts one accepted push and publishes occupancy.
+  void NoteAccepted() RFID_REQUIRES(mu_);
 
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::deque<ServeRecord> items_;
-  IngestQueueStats stats_;
-  ArrivalRateEwma arrival_rate_;
-  bool closed_ = false;
-  // --- Telemetry (null until BindMetrics; writes are one relaxed store) ---
+  mutable Mutex mu_;
+  CondVar not_full_;
+  std::deque<ServeRecord> items_ RFID_GUARDED_BY(mu_);
+  IngestQueueStats stats_ RFID_GUARDED_BY(mu_);
+  ArrivalRateEwma arrival_rate_ RFID_GUARDED_BY(mu_);
+  bool closed_ RFID_GUARDED_BY(mu_) = false;
+  // --- Telemetry handles: written once by BindMetrics before any traffic,
+  // then read-only (each points at sharded-atomic metric cells, so the
+  // writes through them need no lock either). Deliberately unguarded. ---
   obs::Histogram* enqueue_latency_ = nullptr;
   obs::Gauge* occupancy_ = nullptr;
   obs::Counter* dropped_full_ = nullptr;

@@ -182,10 +182,10 @@ bool StreamingServer::Ingest(const ServeRecord& record) {
 
 void StreamingServer::NotifyWork() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     work_pending_ = true;
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 size_t StreamingServer::PumpOnce() {
@@ -200,59 +200,64 @@ size_t StreamingServer::PumpOnce() {
   // record order are identical to the static schedule, so per-site output
   // is unchanged at any width.
   pool_.ParallelForDynamic(
-      shards_.size(), /*chunk_size=*/1, [this, &processed](size_t s, int) {
-    Shard& shard = shards_[s];
-    if (shard.governor != nullptr) {
-      // Occupancy is sampled before the drain so a sweep that empties the
-      // queue still sees the pressure that built up while it was away; the
-      // arrival-rate EWMA catches bursts the pump absorbs without letting
-      // occupancy rise.
-      const double occupancy =
-          static_cast<double>(shard.queue->size()) /
-          static_cast<double>(shard.queue->capacity());
-      const LoadShedDecision decision =
-          shard.governor->Update(occupancy, shard.queue->ArrivalRatePerSec());
-      for (SitePipeline* site : shard.sites) site->ApplyLoadShed(decision);
-      // Mirror the governor's monotonic transition totals into the registry
-      // as deltas; the gauge tracks the current rung. Telemetry only —
-      // Stats() keeps reading the governor directly.
-      shard.shed_level_g->Set(static_cast<double>(decision.level));
-      const uint64_t esc = shard.governor->escalations();
-      if (esc > shard.shed_escalations_seen) {
-        shard.shed_escalations_c->Add(esc - shard.shed_escalations_seen);
-        shard.shed_escalations_seen = esc;
-      }
-      const uint64_t deesc = shard.governor->deescalations();
-      if (deesc > shard.shed_deescalations_seen) {
-        shard.shed_deescalations_c->Add(deesc - shard.shed_deescalations_seen);
-        shard.shed_deescalations_seen = deesc;
-      }
-    }
-    const size_t n = shard.queue->PopBatch(&shard.batch, config_.pump_batch);
-    for (size_t i = 0; i < n; ++i) {
-      const ServeRecord& record = shard.batch[i];
-      const auto it = shard.site_lookup.find(record.site);
-      if (it == shard.site_lookup.end()) continue;
-      SiteHealth& health = health_.find(record.site)->second;
-      if (health.parked) {
-        ++health.records_dropped_parked;
-        continue;
-      }
-      // Blast-radius boundary: one site's pipeline throwing (engine fault,
-      // injected kPipelineStep) must not abort the sweep or touch any other
-      // site. The failed site is restored from the last-good checkpoint or
-      // parked; the loop continues with the next record either way.
-      try {
-        it->second->OnRecord(record, &bus_);
-      } catch (const std::exception& e) {
-        HandleSiteFailure(it->second, e.what());
-      }
-    }
-        if (n > 0) processed.fetch_add(n, std::memory_order_relaxed);
-      });
+      shards_.size(), /*chunk_size=*/1,
+      [this, &processed](size_t s, int) { DrainShard(s, processed); });
   const size_t total = processed.load(std::memory_order_relaxed);
   if (total > 0) pump_records_c_->Add(total);
   return total;
+}
+
+// Thread-safety analysis is off here — see the SAFETY note on the
+// declaration in server.h (fork/join shard ownership under the sweep
+// holder's pump_mu_).
+void StreamingServer::DrainShard(size_t s, std::atomic<size_t>& processed) {
+  Shard& shard = shards_[s];
+  if (shard.governor != nullptr) {
+    // Occupancy is sampled before the drain so a sweep that empties the
+    // queue still sees the pressure that built up while it was away; the
+    // arrival-rate EWMA catches bursts the pump absorbs without letting
+    // occupancy rise.
+    const double occupancy = static_cast<double>(shard.queue->size()) /
+                             static_cast<double>(shard.queue->capacity());
+    const LoadShedDecision decision =
+        shard.governor->Update(occupancy, shard.queue->ArrivalRatePerSec());
+    for (SitePipeline* site : shard.sites) site->ApplyLoadShed(decision);
+    // Mirror the governor's monotonic transition totals into the registry
+    // as deltas; the gauge tracks the current rung. Telemetry only —
+    // Stats() keeps reading the governor directly.
+    shard.shed_level_g->Set(static_cast<double>(decision.level));
+    const uint64_t esc = shard.governor->escalations();
+    if (esc > shard.shed_escalations_seen) {
+      shard.shed_escalations_c->Add(esc - shard.shed_escalations_seen);
+      shard.shed_escalations_seen = esc;
+    }
+    const uint64_t deesc = shard.governor->deescalations();
+    if (deesc > shard.shed_deescalations_seen) {
+      shard.shed_deescalations_c->Add(deesc - shard.shed_deescalations_seen);
+      shard.shed_deescalations_seen = deesc;
+    }
+  }
+  const size_t n = shard.queue->PopBatch(&shard.batch, config_.pump_batch);
+  for (size_t i = 0; i < n; ++i) {
+    const ServeRecord& record = shard.batch[i];
+    const auto it = shard.site_lookup.find(record.site);
+    if (it == shard.site_lookup.end()) continue;
+    SiteHealth& health = health_.find(record.site)->second;
+    if (health.parked) {
+      ++health.records_dropped_parked;
+      continue;
+    }
+    // Blast-radius boundary: one site's pipeline throwing (engine fault,
+    // injected kPipelineStep) must not abort the sweep or touch any other
+    // site. The failed site is restored from the last-good checkpoint or
+    // parked; the loop continues with the next record either way.
+    try {
+      it->second->OnRecord(record, &bus_);
+    } catch (const std::exception& e) {
+      HandleSiteFailure(it->second, e.what());
+    }
+  }
+  if (n > 0) processed.fetch_add(n, std::memory_order_relaxed);
 }
 
 void StreamingServer::HandleSiteFailure(SitePipeline* pipeline,
@@ -300,7 +305,7 @@ void StreamingServer::HandleSiteFailure(SitePipeline* pipeline,
 }
 
 size_t StreamingServer::Pump() {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   size_t total = 0;
   while (true) {
     const size_t n = PumpOnce();
@@ -313,27 +318,31 @@ size_t StreamingServer::Pump() {
 void StreamingServer::DriverLoop() {
   while (running_.load(std::memory_order_acquire)) {
     {
-      std::unique_lock<std::mutex> lock(wake_mu_);
-      wake_cv_.wait(lock, [this] {
-        return work_pending_ || !running_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(wake_mu_);
+      while (!work_pending_ && running_.load(std::memory_order_acquire)) {
+        wake_cv_.Wait(lock);
+      }
       work_pending_ = false;
     }
     // Clear the hint before draining: a record pushed after this point
     // finds the hint false and re-notifies; one pushed before it is picked
     // up by the drain below.
     wake_hint_.store(false, std::memory_order_release);
-    std::lock_guard<std::mutex> lock(pump_mu_);
+    MutexLock lock(pump_mu_);
     while (PumpOnce() > 0) {
     }
   }
   // Final drain: records that raced shutdown.
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   while (PumpOnce() > 0) {
   }
 }
 
 void StreamingServer::Start() {
+  // Serialize against Stop(): both assign/join the driver_ handle, and an
+  // unserialized start racing a stop could spawn into a handle the stop is
+  // concurrently joining.
+  MutexLock lifecycle(lifecycle_mu_);
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   // A previous Stop() closed the queues; a restarted server must accept
@@ -347,6 +356,7 @@ void StreamingServer::Start() {
 }
 
 void StreamingServer::Stop() {
+  MutexLock lifecycle(lifecycle_mu_);
   if (running_.exchange(false)) {
     // Signal under wake_mu_: notifying without the lock can slip between
     // the driver's predicate check and its wait (lost wakeup -> join hangs).
@@ -357,13 +367,13 @@ void StreamingServer::Stop() {
   // ones wake with failure.
   for (auto& shard : shards_) shard.queue->Close();
   // Catch anything ingested after the driver exited (or in inline mode).
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   while (PumpOnce() > 0) {
   }
 }
 
 void StreamingServer::Flush() {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   while (PumpOnce() > 0) {
   }
   for (auto& pipeline : pipelines_) {
@@ -380,7 +390,7 @@ void StreamingServer::Flush() {
 }
 
 Status StreamingServer::Checkpoint(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   while (PumpOnce() > 0) {
   }
   std::error_code ec;
@@ -425,7 +435,7 @@ Status StreamingServer::Checkpoint(const std::string& dir) {
 }
 
 Status StreamingServer::Restore(const std::string& dir) {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   for (auto& pipeline : pipelines_) {
     CheckpointLoadReport report;
     {
@@ -447,7 +457,7 @@ Status StreamingServer::Restore(const std::string& dir) {
 }
 
 Status StreamingServer::ReviveSite(SiteId site) {
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   const auto health_it = health_.find(site);
   if (health_it == health_.end()) {
     return Status::NotFound("unknown site " + std::to_string(site));
@@ -492,7 +502,7 @@ const SitePipeline* StreamingServer::FindSite(SiteId site) const {
 
 ServerStatsSnapshot StreamingServer::Stats() const {
   // Exclude a concurrent pump so pipeline counters are read quiescent.
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   return StatsLocked();
 }
 
@@ -538,7 +548,7 @@ Status StreamingServer::DumpDiagnostics(const std::string& dir) {
   // dead-letter rings and stats snapshot form one consistent cut. (Metrics
   // and trace rings are safe to read any time; holding the lock just keeps
   // all the bundle's views aligned.)
-  std::lock_guard<std::mutex> lock(pump_mu_);
+  MutexLock lock(pump_mu_);
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {

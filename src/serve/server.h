@@ -40,9 +40,7 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -56,6 +54,7 @@
 #include "serve/shard_router.h"
 #include "serve/site_pipeline.h"
 #include "serve/subscription_bus.h"
+#include "util/thread_annotations.h"
 #include "util/thread_pool.h"
 
 namespace rfid {
@@ -153,7 +152,8 @@ class StreamingServer {
   }
 
   /// Spawns the driver thread (reopening the ingest queues if a previous
-  /// Stop() closed them). Idempotent while running.
+  /// Stop() closed them). Idempotent while running; safe to race Stop()
+  /// from another thread (lifecycle transitions are serialized).
   void Start();
   /// Drains outstanding records, stops the driver and closes the ingest
   /// queues so late producers fail fast instead of queueing into a server
@@ -253,19 +253,38 @@ class StreamingServer {
 
   /// One sweep over all shards; caller holds pump_mu_. Returns records
   /// processed.
-  size_t PumpOnce();
+  size_t PumpOnce() RFID_REQUIRES(pump_mu_);
   /// Snapshot assembly; caller holds pump_mu_ (Stats() takes it, while
   /// DumpDiagnostics reuses this under its own hold — re-locking would
   /// deadlock).
-  ServerStatsSnapshot StatsLocked() const;
+  ServerStatsSnapshot StatsLocked() const RFID_REQUIRES(pump_mu_);
   void DriverLoop();
-  void NotifyWork();
+  void NotifyWork() RFID_EXCLUDES(wake_mu_);
 
+  // SAFETY (no thread-safety analysis): DrainShard runs on pool lanes while
+  // pump_mu_ is held by the thread inside PumpOnce, so the analysis cannot
+  // see the capability from the lane's frame. The discipline is fork/join
+  // ownership handoff, not locking: exactly one lane claims a shard per
+  // sweep (ParallelForDynamic, chunk = 1 shard), a site's health_ entry is
+  // only touched by the lane owning that site's shard, the map's shape is
+  // fixed at construction, and the pool's barrier + pump_mu_ serialization
+  // order every access across sweeps.
+  /// Governor update + queue drain for one shard; the body of the pump
+  /// sweep's per-lane work.
+  void DrainShard(size_t s, std::atomic<size_t>& processed)
+      RFID_NO_THREAD_SAFETY_ANALYSIS;
+
+  // SAFETY (no thread-safety analysis): called from DrainShard on the lane
+  // that owns the failed site's shard, under the same fork/join handoff —
+  // it mutates only that site's health_ entry and reads
+  // last_checkpoint_dir_, which is written only under pump_mu_ while no
+  // sweep is in flight.
   /// Blast-radius containment for a pipeline that threw mid-sweep: restore
   /// it from the last-good checkpoint, or park it when the restart budget
   /// is exhausted (or there is nothing to restore from). Runs on the lane
   /// owning the site's shard; touches only that site's state.
-  void HandleSiteFailure(SitePipeline* pipeline, const char* what);
+  void HandleSiteFailure(SitePipeline* pipeline, const char* what)
+      RFID_NO_THREAD_SAFETY_ANALYSIS;
 
   ServeConfig config_;
   /// Owned registry; created in Create() before the pipelines so their
@@ -277,13 +296,19 @@ class StreamingServer {
   SubscriptionBus bus_;
   ThreadPool pool_;
 
+  /// Serializes pump sweeps vs checkpoint/flush/stats (mutable: Stats() is
+  /// logically const but must exclude a concurrent pump). Lanes inside a
+  /// sweep access the guarded members without holding it — see the SAFETY
+  /// notes on DrainShard/HandleSiteFailure.
+  mutable Mutex pump_mu_;
+
   /// One entry per site, created at construction (lanes mutate their own
   /// sites' entries concurrently; the map itself is never reshaped).
-  std::unordered_map<SiteId, SiteHealth> health_;
+  std::unordered_map<SiteId, SiteHealth> health_ RFID_GUARDED_BY(pump_mu_);
   /// Last directory a checkpoint was written to or restored from — where
-  /// auto-recovery looks for the last-good generation. Guarded by pump_mu_
-  /// (written by Checkpoint/Restore, read during pump sweeps).
-  std::string last_checkpoint_dir_;
+  /// auto-recovery looks for the last-good generation (written by
+  /// Checkpoint/Restore, read during pump sweeps).
+  std::string last_checkpoint_dir_ RFID_GUARDED_BY(pump_mu_);
   // --- Telemetry handles, resolved once at construction (see obs/metrics.h;
   // Counter::Add is a relaxed fetch_add, safe from concurrent pump lanes).
   // The checkpoint counters replace what used to be raw atomics here: same
@@ -300,15 +325,17 @@ class StreamingServer {
   obs::Histogram* pump_sweep_h_ = nullptr;
   obs::Histogram* checkpoint_load_h_ = nullptr;
 
-  /// Serializes pump sweeps vs checkpoint/flush/stats (mutable: Stats() is
-  /// logically const but must exclude a concurrent pump).
-  mutable std::mutex pump_mu_;
-
-  std::thread driver_;
+  /// Serializes Start()/Stop() against each other: both touch driver_ (a
+  /// plain std::thread member), so two threads racing a start against a
+  /// stop could assign and join the handle concurrently. The lifecycle lock
+  /// nests outside wake_mu_ and pump_mu_ and is never taken by the driver
+  /// itself.
+  Mutex lifecycle_mu_;
+  std::thread driver_ RFID_GUARDED_BY(lifecycle_mu_);
   std::atomic<bool> running_{false};
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  bool work_pending_ = false;  ///< Guarded by wake_mu_ (cv protocol).
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  bool work_pending_ RFID_GUARDED_BY(wake_mu_) = false;
   /// Lock-free gate in front of the wakeup mutex: producers only take
   /// wake_mu_ on the false->true transition, so the hot ingest path costs
   /// one atomic exchange per record instead of a mutex round-trip. The

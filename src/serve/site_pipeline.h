@@ -4,7 +4,10 @@
 // A pipeline is single-consumer: exactly one shard lane feeds it (the
 // ShardRouter guarantees a site's records always land on the same shard, and
 // a shard is pumped by one lane at a time), so the pipeline itself needs no
-// locking. Epoch completion is watermark-driven: a record only advances the
+// locking — and deliberately carries no thread-safety capabilities: the
+// ownership handoff lives in the server's pump sweep (see the SAFETY notes
+// on StreamingServer::DrainShard), not in any mutex the analysis could
+// check here. Epoch completion is watermark-driven: a record only advances the
 // engine once the site's watermark (newest record time minus the lateness
 // bound) passes the end of an epoch, and epochs close contiguously — quiet
 // gaps synthesize empty epochs so the filter keeps aging beliefs through

@@ -1,11 +1,41 @@
 #include "serve/subscription_bus.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace rfid {
 
+namespace {
+
+// Depth of Dispatch() frames on this thread. Subscribe/Unsubscribe from a
+// dispatch callback would self-deadlock on registry_mu_ (shared held across
+// dispatch, exclusive wanted by the mutation); the counter turns that into
+// an immediate, debuggable failure. Thread-local because only the
+// *dispatching* thread is at risk — other threads may mutate the registry
+// concurrently with a dispatch just fine.
+thread_local int t_dispatch_depth = 0;
+
+struct ScopedDispatchDepth {
+  ScopedDispatchDepth() { ++t_dispatch_depth; }
+  ~ScopedDispatchDepth() { --t_dispatch_depth; }
+  ScopedDispatchDepth(const ScopedDispatchDepth&) = delete;
+  ScopedDispatchDepth& operator=(const ScopedDispatchDepth&) = delete;
+};
+
+}  // namespace
+
+void SubscriptionBus::CheckNotDispatching(const char* op) const {
+  if (t_dispatch_depth > 0) {
+    throw std::logic_error(
+        std::string(op) +
+        " called from inside a SubscriptionBus callback; this would "
+        "deadlock on the registry lock held across Dispatch");
+  }
+}
+
 SubscriptionBus::SubscriptionId SubscriptionBus::Add(Subscription sub) {
-  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  CheckNotDispatching("Subscribe");
+  SharedMutexLock lock(registry_mu_);
   sub.id = next_id_++;
   subs_.push_back(std::move(sub));
   return subs_.back().id;
@@ -65,7 +95,8 @@ SubscriptionBus::SubscriptionId SubscriptionBus::SubscribeColocation(
 }
 
 bool SubscriptionBus::Unsubscribe(SubscriptionId id) {
-  std::unique_lock<std::shared_mutex> lock(registry_mu_);
+  CheckNotDispatching("Unsubscribe");
+  SharedMutexLock lock(registry_mu_);
   const auto it = std::find_if(
       subs_.begin(), subs_.end(),
       [id](const Subscription& sub) { return sub.id == id; });
@@ -75,7 +106,7 @@ bool SubscriptionBus::Unsubscribe(SubscriptionId id) {
 }
 
 size_t SubscriptionBus::num_subscriptions() const {
-  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  SharedReaderLock lock(registry_mu_);
   return subs_.size();
 }
 
@@ -83,10 +114,10 @@ void SubscriptionBus::ResetSiteState(SiteId site) {
   // Shared registry lock (the subscription list is only read), exclusive
   // per-subscription lock for the state map — the same discipline Dispatch
   // uses, so a reset is safe against concurrent dispatch of other sites.
-  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  SharedReaderLock lock(registry_mu_);
   for (auto& sub : subs_) {
-    std::lock_guard<std::mutex> state_lock(*sub.mu);
-    sub.states.erase(site);
+    MutexLock state_lock(sub.states->mu);
+    sub.states->map.erase(site);
   }
 }
 
@@ -94,9 +125,10 @@ uint64_t SubscriptionBus::dispatched_events() const {
   return dispatched_.load(std::memory_order_relaxed);
 }
 
-SubscriptionBus::SiteState& SubscriptionBus::StateFor(Subscription& sub,
+SubscriptionBus::SiteState& SubscriptionBus::StateFor(const Subscription& sub,
+                                                      SiteStates& states,
                                                       SiteId site) const {
-  SiteState& state = sub.states[site];
+  SiteState& state = states.map[site];
   switch (sub.kind) {
     case Kind::kLocationUpdate:
       if (!state.update) {
@@ -124,11 +156,12 @@ SubscriptionBus::SiteState& SubscriptionBus::StateFor(Subscription& sub,
 void SubscriptionBus::Dispatch(SiteId site,
                                const std::vector<LocationEvent>& events) {
   if (events.empty()) return;
-  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  SharedReaderLock lock(registry_mu_);
+  ScopedDispatchDepth depth;
   for (auto& sub : subs_) {
     if (sub.site_filter && *sub.site_filter != site) continue;
-    std::lock_guard<std::mutex> sub_lock(*sub.mu);
-    SiteState& state = StateFor(sub, site);
+    MutexLock sub_lock(sub.states->mu);
+    SiteState& state = StateFor(sub, *sub.states, site);
     for (const LocationEvent& event : events) {
       switch (sub.kind) {
         case Kind::kRaw:
@@ -154,14 +187,14 @@ void SubscriptionBus::Dispatch(SiteId site,
 }
 
 std::vector<BusOperatorStats> SubscriptionBus::OperatorStatsSnapshot() const {
-  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  SharedReaderLock lock(registry_mu_);
   std::vector<BusOperatorStats> out;
   for (const auto& sub : subs_) {
     if (sub.kind == Kind::kRaw) continue;
-    std::lock_guard<std::mutex> sub_lock(*sub.mu);
+    MutexLock sub_lock(sub.states->mu);
     std::vector<BusOperatorStats> rows;
-    rows.reserve(sub.states.size());
-    for (const auto& [site, state] : sub.states) {
+    rows.reserve(sub.states->map.size());
+    for (const auto& [site, state] : sub.states->map) {
       BusOperatorStats row;
       row.subscription = sub.id;
       row.site = site;
@@ -186,7 +219,7 @@ std::vector<BusOperatorStats> SubscriptionBus::OperatorStatsSnapshot() const {
       }
       rows.push_back(row);
     }
-    // sub.states is unordered; emit sites in a stable order.
+    // sub.states->map is unordered; emit sites in a stable order.
     std::sort(rows.begin(), rows.end(),
               [](const BusOperatorStats& x, const BusOperatorStats& y) {
                 return x.site < y.site;
@@ -198,12 +231,12 @@ std::vector<BusOperatorStats> SubscriptionBus::OperatorStatsSnapshot() const {
 
 std::vector<ColocationCandidate> SubscriptionBus::ColocationCandidates(
     SubscriptionId id, SiteId site) const {
-  std::shared_lock<std::shared_mutex> lock(registry_mu_);
+  SharedReaderLock lock(registry_mu_);
   for (const auto& sub : subs_) {
     if (sub.id != id || sub.kind != Kind::kColocation) continue;
-    std::lock_guard<std::mutex> sub_lock(*sub.mu);
-    const auto it = sub.states.find(site);
-    if (it == sub.states.end() || !it->second.coloc) return {};
+    MutexLock sub_lock(sub.states->mu);
+    const auto it = sub.states->map.find(site);
+    if (it == sub.states->map.end() || !it->second.coloc) return {};
     return it->second.coloc->Candidates();
   }
   return {};

@@ -13,15 +13,15 @@
 //
 // Callbacks run on the dispatching shard's lane. They must be fast and must
 // NOT call Subscribe/Unsubscribe (the registry lock is held across
-// dispatch).
+// dispatch). That misuse used to deadlock silently on the registry lock;
+// Subscribe/Unsubscribe from inside a callback on the dispatching thread
+// now throws std::logic_error immediately instead.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -30,6 +30,7 @@
 #include "stream/events.h"
 #include "stream/operator_stats.h"
 #include "stream/query.h"
+#include "util/thread_annotations.h"
 
 namespace rfid {
 
@@ -119,6 +120,15 @@ class SubscriptionBus {
     std::unique_ptr<ColocationTracker> coloc;
   };
 
+  /// A subscription's per-site operator instances behind their own mutex
+  /// (two shards may dispatch different sites through the same
+  /// subscription). Heap-allocated so Subscription stays movable while the
+  /// mutex address stays stable.
+  struct SiteStates {
+    Mutex mu;
+    std::unordered_map<SiteId, SiteState> map RFID_GUARDED_BY(mu);
+  };
+
   struct Subscription {
     SubscriptionId id = 0;
     Kind kind = Kind::kRaw;
@@ -133,18 +143,20 @@ class SubscriptionBus {
     FireCodeQuery::WeightFn weight_fn;
     ColocationConfig coloc_config;
 
-    /// Guards `states` and the operator instances inside (two shards may
-    /// dispatch different sites through the same subscription).
-    std::unique_ptr<std::mutex> mu = std::make_unique<std::mutex>();
-    std::unordered_map<SiteId, SiteState> states;
+    std::unique_ptr<SiteStates> states = std::make_unique<SiteStates>();
   };
 
-  SubscriptionId Add(Subscription sub);
-  SiteState& StateFor(Subscription& sub, SiteId site) const;
+  SubscriptionId Add(Subscription sub) RFID_EXCLUDES(registry_mu_);
+  SiteState& StateFor(const Subscription& sub, SiteStates& states,
+                      SiteId site) const RFID_REQUIRES(states.mu);
+  /// Throws std::logic_error when called from inside a Dispatch callback on
+  /// this thread (re-entrant registry mutation would deadlock on
+  /// registry_mu_; failing fast beats hanging a pump lane).
+  void CheckNotDispatching(const char* op) const;
 
-  mutable std::shared_mutex registry_mu_;
-  std::vector<Subscription> subs_;
-  SubscriptionId next_id_ = 1;
+  mutable SharedMutex registry_mu_;
+  std::vector<Subscription> subs_ RFID_GUARDED_BY(registry_mu_);
+  SubscriptionId next_id_ RFID_GUARDED_BY(registry_mu_) = 1;
   std::atomic<uint64_t> dispatched_{0};
 };
 

@@ -31,19 +31,19 @@ const char* FaultPointName(FaultPoint point) {
 }
 
 void FaultInjector::Arm(FaultPoint point, FaultRule rule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PointState& state = points_[static_cast<int>(point)];
   state.armed = true;
   state.rule = std::move(rule);
 }
 
 void FaultInjector::Disarm(FaultPoint point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_[static_cast<int>(point)].armed = false;
 }
 
 bool FaultInjector::ShouldFire(FaultPoint point, uint64_t scope) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PointState& state = points_[static_cast<int>(point)];
   ++state.hits_total;
   const uint64_t hit = state.hits_by_scope[scope]++;
@@ -73,24 +73,24 @@ bool FaultInjector::ShouldFire(FaultPoint point, uint64_t scope) {
 }
 
 uint64_t FaultInjector::hits(FaultPoint point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return points_[static_cast<int>(point)].hits_total;
 }
 
 uint64_t FaultInjector::fires(FaultPoint point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return points_[static_cast<int>(point)].fires_total;
 }
 
 uint64_t FaultInjector::total_fires() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   uint64_t total = 0;
   for (const PointState& state : points_) total += state.fires_total;
   return total;
 }
 
 std::vector<FaultPointStats> FaultInjector::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<FaultPointStats> out;
   for (int i = 0; i < static_cast<int>(FaultPoint::kNumPoints); ++i) {
     const PointState& state = points_[i];

@@ -27,10 +27,11 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace rfid {
 
@@ -112,8 +113,9 @@ class FaultInjector {
   static std::atomic<FaultInjector*> installed_;
 
   const uint64_t seed_;
-  mutable std::mutex mu_;
-  PointState points_[static_cast<int>(FaultPoint::kNumPoints)];
+  mutable Mutex mu_;
+  PointState points_[static_cast<int>(FaultPoint::kNumPoints)] RFID_GUARDED_BY(
+      mu_);
 };
 
 /// Asks the installed injector (if any) whether `point` should fail now.

@@ -79,8 +79,10 @@ class Status {
 template <typename T>
 class Result {
  public:
-  Result(T value) : repr_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
-  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+  // NOLINT(google-explicit-constructor): implicit `return value;` is the API.
+  Result(T value) : repr_(std::move(value)) {}
+  // NOLINT(google-explicit-constructor): implicit `return status;` is the API.
+  Result(Status status) : repr_(std::move(status)) {
     assert(!std::get<Status>(repr_).ok() && "Result must not hold an OK status");
   }
 

@@ -14,13 +14,15 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
+// Justification for the escape on this function lives on its declaration
+// in thread_pool.h (job-publish protocol; mu_ handoff).
 void ThreadPool::RunLane(int lane) {
   if (job_dynamic_) {
     // Chunked work stealing: every lane pulls the next unclaimed chunk off
@@ -48,17 +50,17 @@ void ThreadPool::WorkerLoop(int lane) {
   uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        work_cv_.Wait(lock);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
     }
     RunLane(lane);
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--lanes_remaining_ == 0) done_cv_.notify_one();
+      MutexLock lock(mu_);
+      if (--lanes_remaining_ == 0) done_cv_.NotifyOne();
     }
   }
 }
@@ -66,7 +68,7 @@ void ThreadPool::WorkerLoop(int lane) {
 void ThreadPool::RunJob(const std::function<void(size_t, int)>& fn, size_t n,
                         size_t chunk_size, bool dynamic) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &fn;
     job_n_ = n;
     job_chunk_ = chunk_size;
@@ -75,11 +77,11 @@ void ThreadPool::RunJob(const std::function<void(size_t, int)>& fn, size_t n,
     lanes_remaining_ = num_lanes_ - 1;
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   RunLane(0);  // The caller is lane 0.
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return lanes_remaining_ == 0; });
+    MutexLock lock(mu_);
+    while (lanes_remaining_ != 0) done_cv_.Wait(lock);
     job_ = nullptr;
   }
 }

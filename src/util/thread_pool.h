@@ -24,12 +24,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace rfid {
 
@@ -64,7 +64,14 @@ class ThreadPool {
 
  private:
   void WorkerLoop(int lane);
-  void RunLane(int lane);
+  // SAFETY: RunLane reads the job_* fields without holding mu_. They are
+  // written only by RunJob under mu_ before the job is published (workers
+  // observe the generation_ bump under mu_ before calling RunLane; the
+  // caller wrote them itself), and never change while lanes_remaining_ > 0
+  // — RunJob cannot return, so no new job can be published, until every
+  // worker has decremented the count under mu_. The mutex release/acquire
+  // pair is the happens-before edge; the analysis cannot see the handoff.
+  void RunLane(int lane) RFID_NO_THREAD_SAFETY_ANALYSIS;
   /// Publishes a job, runs the caller's share as lane 0, waits for workers.
   void RunJob(const std::function<void(size_t, int)>& fn, size_t n,
               size_t chunk_size, bool dynamic);
@@ -72,21 +79,30 @@ class ThreadPool {
   int num_lanes_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(size_t, int)>* job_ = nullptr;
-  size_t job_n_ = 0;
-  size_t job_chunk_ = 0;     ///< Chunk width of a dynamic job.
-  bool job_dynamic_ = false; ///< Claim chunks via cursor_ vs static blocks.
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  // The job_* fields are written by RunJob under mu_ before workers are
+  // woken (generation_ bump observed under mu_ gives the happens-before),
+  // and read by RunLane outside the lock while the job runs. The analysis
+  // cannot model that publish protocol, so RunLane carries the one
+  // justified RFID_NO_THREAD_SAFETY_ANALYSIS escape in this file; every
+  // other access checks against these annotations.
+  const std::function<void(size_t, int)>* job_ RFID_GUARDED_BY(mu_) = nullptr;
+  size_t job_n_ RFID_GUARDED_BY(mu_) = 0;
+  /// Chunk width of a dynamic job.
+  size_t job_chunk_ RFID_GUARDED_BY(mu_) = 0;
+  /// Claim chunks via cursor_ vs static blocks.
+  bool job_dynamic_ RFID_GUARDED_BY(mu_) = false;
   /// Next unclaimed chunk of a dynamic job. Relaxed ordering suffices: the
   /// job fields are published via mu_ before any lane runs, each chunk is
   /// claimed by exactly one fetch_add winner, and completion is observed
   /// through the lanes_remaining_/done_cv_ protocol (also under mu_).
   std::atomic<size_t> cursor_{0};
-  uint64_t generation_ = 0;  ///< Bumped per job to wake workers.
-  int lanes_remaining_ = 0;
-  bool shutdown_ = false;
+  /// Bumped per job to wake workers.
+  uint64_t generation_ RFID_GUARDED_BY(mu_) = 0;
+  int lanes_remaining_ RFID_GUARDED_BY(mu_) = 0;
+  bool shutdown_ RFID_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace rfid

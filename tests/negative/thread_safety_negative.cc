@@ -1,0 +1,49 @@
+// Negative compile-time harness: this file MUST NOT compile under Clang
+// with -Werror=thread-safety. It exists to prove the wall is actually on —
+// if the annotations were silently disabled (macro gate broken, flag
+// dropped from the build), the `thread_safety_negative` target would start
+// compiling and the WILL_FAIL ctest registered in CMakeLists.txt would
+// fail the suite.
+//
+// The target is EXCLUDE_FROM_ALL and Clang-only; it is built exclusively
+// by that ctest invocation.
+
+#include "util/thread_annotations.h"
+
+namespace rfid {
+namespace {
+
+class Guarded {
+ public:
+  // Each method is one distinct discipline violation the analysis must
+  // reject. A single violation would do; several make it obvious which
+  // guarantee regressed if this file ever partially compiles.
+
+  // guarded_by read without the lock.
+  int ReadUnlocked() const { return value_; }
+
+  // guarded_by write without the lock.
+  void WriteUnlocked(int v) { value_ = v; }
+
+  // REQUIRES not satisfied by the caller.
+  void CallRequiresWithoutLock() { MutateLocked(); }
+
+  // Lock acquired but never released on one path.
+  void LeakLock(bool flag) {
+    mu_.Lock();
+    if (flag) return;  // escapes with mu_ held
+    mu_.Unlock();
+  }
+
+ private:
+  void MutateLocked() RFID_REQUIRES(mu_) { ++value_; }
+
+  mutable Mutex mu_;
+  int value_ RFID_GUARDED_BY(mu_) = 0;
+};
+
+// Anchor so the TU is not empty even if the class is optimized away.
+Guarded g_instance;
+
+}  // namespace
+}  // namespace rfid

@@ -166,6 +166,32 @@ TEST(MetricsRegistryTest, JsonRendering) {
   EXPECT_NE(json.find("\"buckets\":[1,0,"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, MixedKindRegistrationKeepsBothSeries) {
+  // Registering a second kind on the same (name, labels) key used to flip
+  // the entry's kind, silently dropping the first-registered series from
+  // every render. Both must stay live and visible.
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("mixed_metric");
+  counter->Add(4);
+  Gauge* gauge = registry.GetGauge("mixed_metric");
+  gauge->Set(1.5);
+
+  // Handles are stable across the collision.
+  EXPECT_EQ(counter, registry.GetCounter("mixed_metric"));
+  EXPECT_EQ(gauge, registry.GetGauge("mixed_metric"));
+  EXPECT_EQ(counter->Value(), 4u);
+
+  const std::string prom = registry.RenderPrometheus();
+  // The TYPE line reflects the FIRST registration, and both values render.
+  EXPECT_NE(prom.find("# TYPE mixed_metric counter"), std::string::npos);
+  EXPECT_NE(prom.find("mixed_metric 4\n"), std::string::npos);
+  EXPECT_NE(prom.find("mixed_metric 1.5\n"), std::string::npos);
+
+  const std::string json = registry.RenderJson();
+  EXPECT_NE(json.find("\"counters\":{\"mixed_metric\":4}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{\"mixed_metric\":1.5}"), std::string::npos);
+}
+
 TEST(TelemetrySwitchTest, GatesHistogramsAndGaugesButNeverCounters) {
   TelemetryGuard guard;
   MetricsRegistry registry;

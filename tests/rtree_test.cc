@@ -71,7 +71,9 @@ TEST(RStarTreeTest, InvariantsHoldDuringGrowth) {
   Rng rng(3);
   for (int i = 0; i < 500; ++i) {
     tree.Insert(RandomBox(rng), i);
-    if (i % 50 == 0) EXPECT_TRUE(tree.CheckInvariants()) << "at insert " << i;
+    if (i % 50 == 0) {
+      EXPECT_TRUE(tree.CheckInvariants()) << "at insert " << i;
+    }
   }
   EXPECT_TRUE(tree.CheckInvariants());
 }

@@ -210,5 +210,62 @@ TEST(SubscriptionBusTest, UnsubscribeStopsDelivery) {
   EXPECT_EQ(bus.num_subscriptions(), 0u);
 }
 
+TEST(SubscriptionBusTest, ReentrantRegistryMutationThrowsInsteadOfDeadlocking) {
+  // Subscribe/Unsubscribe from inside a dispatch callback used to
+  // self-deadlock on the registry lock (shared held across Dispatch,
+  // exclusive wanted by the mutation) — a silent pump-lane hang. It now
+  // fails fast with std::logic_error on the dispatching thread.
+  SubscriptionBus bus;
+  int caught_subscribe = 0;
+  int caught_unsubscribe = 0;
+  const auto id = bus.SubscribeEvents(
+      [&](SiteId, const LocationEvent&) {
+        try {
+          bus.SubscribeEvents([](SiteId, const LocationEvent&) {});
+        } catch (const std::logic_error&) {
+          ++caught_subscribe;
+        }
+        try {
+          bus.Unsubscribe(999);
+        } catch (const std::logic_error&) {
+          ++caught_unsubscribe;
+        }
+      });
+  bus.Dispatch(1, {Event(0.0, 10, {0, 0, 0})});
+  EXPECT_EQ(caught_subscribe, 1);
+  EXPECT_EQ(caught_unsubscribe, 1);
+  // The bus survives the rejected mutation: the registry is unchanged and
+  // dispatch keeps working, including mutations once dispatch has returned.
+  EXPECT_EQ(bus.num_subscriptions(), 1u);
+  EXPECT_TRUE(bus.Unsubscribe(id));
+  bus.Dispatch(1, {Event(1.0, 11, {0, 0, 0})});
+  EXPECT_EQ(caught_subscribe, 1);
+}
+
+TEST(SubscriptionBusTest, RegistryMutationFromOtherThreadsStillWorks) {
+  // The re-entrancy guard is per-thread: a different thread subscribing
+  // while this one is mid-dispatch must still be allowed (that is ordinary
+  // reader/writer contention on the registry lock, not a deadlock).
+  SubscriptionBus bus;
+  std::atomic<int> dispatched{0};
+  bus.SubscribeEvents(
+      [&](SiteId, const LocationEvent&) { ++dispatched; });
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    while (!stop.load()) {
+      const auto id =
+          bus.SubscribeEvents([](SiteId, const LocationEvent&) {});
+      bus.Unsubscribe(id);
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    bus.Dispatch(1, {Event(static_cast<double>(i), 10, {0, 0, 0})});
+  }
+  stop.store(true);
+  mutator.join();
+  EXPECT_EQ(dispatched.load(), 200);
+  EXPECT_EQ(bus.num_subscriptions(), 1u);
+}
+
 }  // namespace
 }  // namespace rfid

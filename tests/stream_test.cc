@@ -143,7 +143,9 @@ TEST(EmitterTest, AfterDelayEmitsOncePerScope) {
     const auto events =
         emitter.OnEpoch(EmitterEpoch(t, {1000}), estimate);
     total += events.size();
-    if (t < 5) EXPECT_TRUE(events.empty()) << "premature emit at " << t;
+    if (t < 5) {
+      EXPECT_TRUE(events.empty()) << "premature emit at " << t;
+    }
   }
   EXPECT_EQ(total, 1u);
 }

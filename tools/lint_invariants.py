@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter.
+
+Fast (<5s), zero-dependency checks for the invariants the compilers cannot
+enforce. Run from anywhere; exits nonzero with file:line findings when an
+invariant is violated. CI gates on it (see .github/workflows/ci.yml).
+
+Enforced invariants:
+
+1. Determinism: nondeterminism sources (std::mt19937, std::random_device,
+   rand/srand, time(), std::chrono::system_clock) are banned everywhere in
+   src/ except the two files that exist to own them — util/rng.h (the
+   counter-based deterministic RNG) and util/stopwatch.h (the monotonic
+   clock; telemetry timestamps only). Everything else must go through
+   those. Wall-clock time and ambient RNG state are exactly what makes a
+   replay diverge.
+
+2. Stable serialization: the checkpoint/diagnostics emit paths must never
+   iterate an unordered container straight into bytes (hash order varies
+   across libc++/libstdc++ and process runs, breaking bit-identical
+   checkpoints and golden outputs). The emit-path files may not mention
+   unordered_map/unordered_set at all; ordering must be imposed before
+   data reaches them.
+
+3. Escape-hatch accounting: every RFID_NO_THREAD_SAFETY_ANALYSIS outside
+   the defining header needs a "// SAFETY:" justification comment within
+   the preceding few lines, and every NOLINT must name a check and carry a
+   reason ("NOLINT(check-name): why").
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src"
+
+# --- Invariant 1: nondeterminism sources ---------------------------------
+
+# Files allowed to touch RNG / clock primitives: the deterministic RNG
+# wrapper and the monotonic stopwatch.
+RNG_ALLOWED = {"util/rng.h", "util/stopwatch.h"}
+
+BANNED_PATTERNS = [
+    (re.compile(r"\bstd::mt19937\b"), "std::mt19937 (use util/rng.h)"),
+    (re.compile(r"\bstd::random_device\b"),
+     "std::random_device (use util/rng.h)"),
+    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"), "rand() (use util/rng.h)"),
+    (re.compile(r"(?<![\w:])srand\s*\("), "srand() (use util/rng.h)"),
+    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
+     "time() (use util/stopwatch.h)"),
+    (re.compile(r"\bsystem_clock\b"),
+     "system_clock (wall clock; use util/stopwatch.h)"),
+]
+
+# --- Invariant 2: unordered iteration in emit paths ----------------------
+
+EMIT_PATHS = [
+    "pf/snapshot.cc",
+    "serve/checkpoint.cc",
+    "serve/diagnostics.cc",
+]
+
+UNORDERED_RE = re.compile(r"\bunordered_(map|set)\b")
+
+# --- Invariant 3: escape-hatch accounting --------------------------------
+
+NO_TSA = "RFID_NO_THREAD_SAFETY_ANALYSIS"
+# The header that defines the macro (and documents the policy).
+NO_TSA_DEFINING = "util/thread_annotations.h"
+SAFETY_RE = re.compile(r"//\s*SAFETY")
+# How many lines above an escape the SAFETY comment may start. The comment
+# block is usually several lines (and a /// doc comment may sit between it
+# and the declaration); any line of it within the window counts.
+SAFETY_WINDOW = 12
+
+NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?\b(?P<rest>[^\n]*)")
+NOLINT_OK_RE = re.compile(r"^\([\w\-.,* ]+\)\s*:\s*\S")
+
+
+def strip_line_comments(line: str) -> str:
+    """Code part of a line (comments removed). Good enough for our
+    patterns; block comments spanning lines are rare in this tree and the
+    banned tokens never legitimately appear inside them anyway."""
+    idx = line.find("//")
+    return line[:idx] if idx >= 0 else line
+
+
+def lint_file(path: Path, findings: list[str]) -> int:
+    rel = path.relative_to(REPO).as_posix()
+    rel_src = path.relative_to(SRC).as_posix() if SRC in path.parents else rel
+    try:
+        lines = path.read_text(encoding="utf-8").splitlines()
+    except UnicodeDecodeError:
+        findings.append(f"{rel}: not valid UTF-8")
+        return 0
+
+    escapes = 0
+    for i, raw in enumerate(lines, start=1):
+        code = strip_line_comments(raw)
+
+        if rel_src not in RNG_ALLOWED:
+            for pattern, what in BANNED_PATTERNS:
+                if pattern.search(code):
+                    findings.append(
+                        f"{rel}:{i}: banned nondeterminism source: {what}")
+
+        if rel_src in EMIT_PATHS and UNORDERED_RE.search(code):
+            findings.append(
+                f"{rel}:{i}: unordered container in a serialization emit "
+                "path (hash order must never reach bytes; sort upstream)")
+
+        if NO_TSA in code and rel_src != NO_TSA_DEFINING:
+            escapes += 1
+            window = lines[max(0, i - 1 - SAFETY_WINDOW):i]
+            if not any(SAFETY_RE.search(w) for w in window):
+                findings.append(
+                    f"{rel}:{i}: {NO_TSA} without a '// SAFETY:' "
+                    f"justification within the {SAFETY_WINDOW} lines above")
+
+        for m in NOLINT_RE.finditer(raw):
+            rest = m.group("rest").strip()
+            if not NOLINT_OK_RE.match(rest):
+                findings.append(
+                    f"{rel}:{i}: NOLINT must name its check and a reason: "
+                    "// NOLINT(check-name): why")
+    return escapes
+
+
+def main() -> int:
+    files = sorted(
+        p for p in SRC.rglob("*")
+        if p.suffix in {".h", ".cc", ".cpp", ".hpp"} and p.is_file())
+    if not files:
+        print("lint_invariants: no sources found under src/", file=sys.stderr)
+        return 2
+
+    findings: list[str] = []
+    total_escapes = 0
+    for path in files:
+        total_escapes += lint_file(path, findings)
+
+    for finding in findings:
+        print(finding)
+    print(
+        f"lint_invariants: {len(files)} files, "
+        f"{total_escapes} justified thread-safety escapes, "
+        f"{len(findings)} findings")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

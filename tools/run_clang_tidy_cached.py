@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""clang-tidy over compile_commands.json with a content-hash skip cache.
+
+CI runs tidy on every push; most pushes touch a handful of files. Each
+translation unit's verdict is cached under a key derived from the tidy
+binary version, .clang-tidy, the compile command, and the SHA-256 of the
+main source file plus every repo header it includes (transitively,
+discovered via a cheap #include scan). A TU whose key is unchanged since
+the last clean run is skipped. The cache directory is restored/saved by
+actions/cache in CI, so a no-op push re-tidies nothing.
+
+Usage:
+    tools/run_clang_tidy_cached.py --build-dir build [--cache-dir .tidy-cache]
+                                   [--clang-tidy clang-tidy] [-j N]
+
+Exit status: 0 when every TU is clean, 1 when tidy reported findings,
+2 on setup errors (missing compile_commands.json or binary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import multiprocessing
+import re
+import subprocess
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"', re.MULTILINE)
+
+
+def repo_includes(source: Path, include_root: Path,
+                  seen: set[Path]) -> None:
+    """Transitive repo-local includes of `source` (quoted includes resolved
+    against src/). System headers are irrelevant: the toolchain version is
+    already part of the cache key."""
+    if source in seen or not source.is_file():
+        return
+    seen.add(source)
+    try:
+        text = source.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return
+    for name in INCLUDE_RE.findall(text):
+        repo_includes(include_root / name, include_root, seen)
+
+
+def tu_key(entry: dict, tidy_version: str, config_hash: str,
+           include_root: Path) -> str:
+    h = hashlib.sha256()
+    h.update(tidy_version.encode())
+    h.update(config_hash.encode())
+    h.update(entry.get("command", " ".join(entry.get("arguments", []))).encode())
+    deps: set[Path] = set()
+    repo_includes(Path(entry["file"]), include_root, deps)
+    for dep in sorted(deps):
+        h.update(str(dep).encode())
+        h.update(hashlib.sha256(dep.read_bytes()).hexdigest().encode())
+    return h.hexdigest()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--cache-dir", default=".tidy-cache")
+    parser.add_argument("--clang-tidy", default="clang-tidy")
+    parser.add_argument("-j", "--jobs", type=int,
+                        default=multiprocessing.cpu_count())
+    args = parser.parse_args()
+
+    compdb_path = REPO / args.build_dir / "compile_commands.json"
+    if not compdb_path.is_file():
+        print(f"missing {compdb_path}; configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON", file=sys.stderr)
+        return 2
+    try:
+        tidy_version = subprocess.run(
+            [args.clang_tidy, "--version"], capture_output=True, text=True,
+            check=True).stdout
+    except (OSError, subprocess.CalledProcessError) as e:
+        print(f"cannot run {args.clang_tidy}: {e}", file=sys.stderr)
+        return 2
+
+    config = REPO / ".clang-tidy"
+    config_hash = hashlib.sha256(config.read_bytes()).hexdigest()
+    cache_dir = REPO / args.cache_dir
+    cache_dir.mkdir(parents=True, exist_ok=True)
+    include_root = REPO / "src"
+
+    compdb = json.loads(compdb_path.read_text())
+    # Only first-party TUs; tests and benches follow the same config via
+    # the src/ headers they include.
+    entries = [e for e in compdb
+               if str((REPO / "src")) in str(Path(e["file"]).resolve())]
+
+    todo = []
+    skipped = 0
+    for entry in entries:
+        key = tu_key(entry, tidy_version, config_hash, include_root)
+        stamp = cache_dir / key
+        if stamp.is_file():
+            skipped += 1
+        else:
+            todo.append((entry, stamp))
+
+    print(f"clang-tidy: {len(entries)} TUs, {skipped} cached clean, "
+          f"{len(todo)} to check")
+
+    failed = False
+
+    def run_one(item):
+        entry, stamp = item
+        proc = subprocess.run(
+            [args.clang_tidy, "-p", str(REPO / args.build_dir),
+             "--quiet", entry["file"]],
+            capture_output=True, text=True)
+        return entry["file"], stamp, proc
+
+    with ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        for file, stamp, proc in pool.map(run_one, todo):
+            if proc.returncode == 0:
+                stamp.touch()
+            else:
+                failed = True
+                sys.stdout.write(proc.stdout)
+                sys.stderr.write(proc.stderr)
+                print(f"clang-tidy FAILED: {file}")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
