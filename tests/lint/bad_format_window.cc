@@ -1,0 +1,31 @@
+// rfid-verify negative corpus: MUST be flagged by [format-window].
+//
+// The writer version was bumped to 5 but the loader still accepts back to
+// version 3 — a 2-version window, against the repo's one-version-back
+// deprecation policy. Bumping kVersion requires moving kMinVersion in the
+// same change. This file is analyzed, never compiled.
+#include <cstdint>
+#include <iostream>
+
+#include "util/serialize.h"
+
+namespace rfid {
+namespace {
+
+constexpr uint32_t kVersion = 5;     // bumped...
+constexpr uint32_t kMinVersion = 3;  // ...without moving the loader floor
+
+}  // namespace
+
+void SaveThing(std::ostream& os) {
+  serialize::WriteFramedSection(os, kVersion, [](std::ostream&) {});
+}
+
+bool LoadThing(std::istream& is) {
+  uint32_t version = 0;
+  serialize::ReadFramedSection(is, &version);
+  if (version < kMinVersion || version > kVersion) return false;
+  return true;
+}
+
+}  // namespace rfid

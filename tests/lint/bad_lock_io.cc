@@ -1,0 +1,25 @@
+// rfid-verify negative corpus: MUST be flagged by [lock-hold-io].
+//
+// PersistLocked REQUIRES mu_ (PR 9's annotations are the lock-discipline
+// source of truth) and opens a file while it is held: blocking IO under a
+// mutex stalls every waiter. This file is analyzed, never compiled.
+#include <fstream>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace rfid {
+
+class BadWriter {
+ public:
+  void PersistLocked() RFID_REQUIRES(mu_) {
+    std::ofstream out("state.bin");  // file IO while the lock is held
+    out << counter_;
+  }
+
+ private:
+  std::mutex mu_;
+  int counter_ = 0;
+};
+
+}  // namespace rfid

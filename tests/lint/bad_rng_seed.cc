@@ -1,0 +1,16 @@
+// rfid-verify negative corpus: MUST be flagged by [rng-discipline].
+//
+// A raw integer-literal seed outside tests/ and bench/ breaks the per-slot
+// stream discipline: every Rng must be seeded through SlotStreamSeed /
+// SlotStreamSeedAt or a chained SplitMix64 helper so streams stay keyed by
+// (seed, slot, step). This file is analyzed, never compiled.
+#include "util/rng.h"
+
+namespace rfid {
+
+uint64_t BadSeed() {
+  Rng rng(12345);  // literal seed: no provenance from the seed chain
+  return rng.NextU64();
+}
+
+}  // namespace rfid

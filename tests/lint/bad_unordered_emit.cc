@@ -1,0 +1,21 @@
+// rfid-verify negative corpus: MUST be flagged by [ordered-emit].
+//
+// StatsJson is an emit root: anything it reaches feeds rendered output, so
+// iterating an unordered container here lets hash order decide byte order.
+// This file is analyzed, never compiled.
+#include <string>
+#include <unordered_map>
+
+namespace rfid {
+
+std::string StatsJson() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  std::string out;
+  for (const auto& [k, v] : counts) {  // hash order reaches the output
+    out += std::to_string(k) + ":" + std::to_string(v) + ",";
+  }
+  return out;
+}
+
+}  // namespace rfid

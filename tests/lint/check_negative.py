@@ -1,0 +1,42 @@
+#!/usr/bin/env python3
+"""Negative-corpus driver: asserts rfid-verify REJECTS a known-bad snippet.
+
+Usage: check_negative.py <check-name> <file.cc> [<file.cc>...]
+
+Passes when rfid-verify exits non-zero AND the output names the expected
+check. If the tool ever goes blind to one of these seeded violations — a
+parser regression, a deleted check, an over-broad allowlist — this flips
+the ctest suite red, the same contract as tests/negative/ for the
+thread-safety wall.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__)
+        return 2
+    check, files = sys.argv[1], sys.argv[2:]
+    repo = Path(__file__).resolve().parents[2]
+    proc = subprocess.run(
+        [sys.executable, str(repo / "tools" / "rfid_verify"),
+         "--no-cache", "--file", *files],
+        capture_output=True, text=True)
+    out = proc.stdout + proc.stderr
+    if proc.returncode == 0:
+        print(f"FAIL: rfid-verify passed the known-bad snippet(s) {files}")
+        print(out)
+        return 1
+    if f"[{check}]" not in out:
+        print(f"FAIL: expected a [{check}] violation, tool reported:")
+        print(out)
+        return 1
+    print(f"OK: rfid-verify rejected {files} with [{check}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

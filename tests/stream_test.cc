@@ -215,6 +215,53 @@ TEST(EmitterTest, EveryEpochPolicyEmitsContinuously) {
   EXPECT_EQ(events.size(), 1u);  // Tag 1 still tracked.
 }
 
+std::vector<TagId> EventTags(const std::vector<LocationEvent>& events) {
+  std::vector<TagId> tags;
+  for (const auto& e : events) tags.push_back(e.tag);
+  return tags;
+}
+
+// Event order is part of the stream's bit-identity contract: the same set
+// of tracked tags must produce the same event sequence no matter what order
+// the scope map saw them in (hash order must never leak into the stream).
+TEST(EmitterTest, EveryEpochOrderIndependentOfInsertion) {
+  EmitterConfig config;
+  config.policy = EmitPolicy::kEveryEpoch;
+  const auto estimate = FixedEstimate({1, 1, 0});
+  const std::vector<TagId> forward{11, 503, 7, 90210, 42, 1, 65536, 8};
+  std::vector<TagId> reversed(forward.rbegin(), forward.rend());
+
+  EventEmitter a(config);
+  EventEmitter b(config);
+  for (TagId tag : forward) a.OnEpoch(EmitterEpoch(0, {tag}), estimate);
+  for (TagId tag : reversed) b.OnEpoch(EmitterEpoch(0, {tag}), estimate);
+
+  const auto ta = EventTags(a.OnEpoch(EmitterEpoch(1, {}), estimate));
+  const auto tb = EventTags(b.OnEpoch(EmitterEpoch(1, {}), estimate));
+  EXPECT_EQ(ta, tb);
+  EXPECT_TRUE(std::is_sorted(ta.begin(), ta.end()));
+  EXPECT_EQ(ta.size(), forward.size());
+}
+
+TEST(EmitterTest, ScanCompleteOrderIndependentOfInsertion) {
+  EmitterConfig config;
+  config.policy = EmitPolicy::kOnScanComplete;
+  const auto estimate = FixedEstimate({2, 2, 0});
+  const std::vector<TagId> forward{9, 1000, 3, 77, 123456, 2};
+  std::vector<TagId> reversed(forward.rbegin(), forward.rend());
+
+  EventEmitter a(config);
+  EventEmitter b(config);
+  for (TagId tag : forward) a.OnEpoch(EmitterEpoch(0, {tag}), estimate);
+  for (TagId tag : reversed) b.OnEpoch(EmitterEpoch(0, {tag}), estimate);
+
+  const auto ta = EventTags(a.NotifyScanComplete(5.0, estimate));
+  const auto tb = EventTags(b.NotifyScanComplete(5.0, estimate));
+  EXPECT_EQ(ta, tb);
+  EXPECT_TRUE(std::is_sorted(ta.begin(), ta.end()));
+  EXPECT_EQ(ta.size(), forward.size());
+}
+
 // --------------------------------------------------- LocationUpdateQuery ---
 
 LocationEvent Event(double time, TagId tag, const Vec3& loc) {

@@ -1,31 +1,32 @@
 #!/usr/bin/env python3
-"""Repo-specific invariant linter.
+"""Fast escape-hatch accounting linter.
 
-Fast (<5s), zero-dependency checks for the invariants the compilers cannot
-enforce. Run from anywhere; exits nonzero with file:line findings when an
-invariant is violated. CI gates on it (see .github/workflows/ci.yml).
+Sub-second, zero-dependency, file-local checks — the fast path of the
+repo's two-tier lint stack:
 
-Enforced invariants:
+  tools/lint_invariants.py   (this file) comment-hygiene rules that need no
+                             parsing: SAFETY justifications, NOLINT and
+                             RFID_VERIFY_ALLOW reason formats.
+  tools/rfid_verify/         the call-graph-aware semantic linter. Owns the
+                             invariants that need reachability: rng-stream
+                             discipline, ordered emission, lock-held IO and
+                             serialization format windows. The nondeterminism
+                             and unordered-emit regex checks that used to
+                             live here migrated there — rfid-verify sees
+                             every function reachable from an emit root, not
+                             just three hard-coded files.
 
-1. Determinism: nondeterminism sources (std::mt19937, std::random_device,
-   rand/srand, time(), std::chrono::system_clock) are banned everywhere in
-   src/ except the two files that exist to own them — util/rng.h (the
-   counter-based deterministic RNG) and util/stopwatch.h (the monotonic
-   clock; telemetry timestamps only). Everything else must go through
-   those. Wall-clock time and ambient RNG state are exactly what makes a
-   replay diverge.
+Enforced here:
 
-2. Stable serialization: the checkpoint/diagnostics emit paths must never
-   iterate an unordered container straight into bytes (hash order varies
-   across libc++/libstdc++ and process runs, breaking bit-identical
-   checkpoints and golden outputs). The emit-path files may not mention
-   unordered_map/unordered_set at all; ordering must be imposed before
-   data reaches them.
-
-3. Escape-hatch accounting: every RFID_NO_THREAD_SAFETY_ANALYSIS outside
+1. Escape-hatch accounting: every RFID_NO_THREAD_SAFETY_ANALYSIS outside
    the defining header needs a "// SAFETY:" justification comment within
    the preceding few lines, and every NOLINT must name a check and carry a
    reason ("NOLINT(check-name): why").
+
+2. RFID_VERIFY_ALLOW format: suppressions for rfid-verify must name a known
+   check and carry a reason ("// RFID_VERIFY_ALLOW(check): why"). The deep
+   linter re-validates (and rejects *unused* suppressions); this fast path
+   catches malformed ones without waiting for a full analysis.
 """
 
 from __future__ import annotations
@@ -37,35 +38,7 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src"
 
-# --- Invariant 1: nondeterminism sources ---------------------------------
-
-# Files allowed to touch RNG / clock primitives: the deterministic RNG
-# wrapper and the monotonic stopwatch.
-RNG_ALLOWED = {"util/rng.h", "util/stopwatch.h"}
-
-BANNED_PATTERNS = [
-    (re.compile(r"\bstd::mt19937\b"), "std::mt19937 (use util/rng.h)"),
-    (re.compile(r"\bstd::random_device\b"),
-     "std::random_device (use util/rng.h)"),
-    (re.compile(r"(?<![\w:])rand\s*\(\s*\)"), "rand() (use util/rng.h)"),
-    (re.compile(r"(?<![\w:])srand\s*\("), "srand() (use util/rng.h)"),
-    (re.compile(r"(?<![\w:])time\s*\(\s*(NULL|nullptr|0)?\s*\)"),
-     "time() (use util/stopwatch.h)"),
-    (re.compile(r"\bsystem_clock\b"),
-     "system_clock (wall clock; use util/stopwatch.h)"),
-]
-
-# --- Invariant 2: unordered iteration in emit paths ----------------------
-
-EMIT_PATHS = [
-    "pf/snapshot.cc",
-    "serve/checkpoint.cc",
-    "serve/diagnostics.cc",
-]
-
-UNORDERED_RE = re.compile(r"\bunordered_(map|set)\b")
-
-# --- Invariant 3: escape-hatch accounting --------------------------------
+# --- Invariant 1: escape-hatch accounting --------------------------------
 
 NO_TSA = "RFID_NO_THREAD_SAFETY_ANALYSIS"
 # The header that defines the macro (and documents the policy).
@@ -78,6 +51,14 @@ SAFETY_WINDOW = 12
 
 NOLINT_RE = re.compile(r"//\s*NOLINT(NEXTLINE)?\b(?P<rest>[^\n]*)")
 NOLINT_OK_RE = re.compile(r"^\([\w\-.,* ]+\)\s*:\s*\S")
+
+# --- Invariant 2: RFID_VERIFY_ALLOW format -------------------------------
+
+# Kept in sync with tools/rfid_verify/config.py CHECKS.
+VERIFY_CHECKS = {"rng-discipline", "ordered-emit", "lock-hold-io",
+                 "format-window"}
+ALLOW_RE = re.compile(r"RFID_VERIFY_ALLOW\b(?P<rest>[^\n]*)")
+ALLOW_OK_RE = re.compile(r"^\(\s*(?P<check>[\w-]+)\s*\)\s*:\s*\S")
 
 
 def strip_line_comments(line: str) -> str:
@@ -101,17 +82,6 @@ def lint_file(path: Path, findings: list[str]) -> int:
     for i, raw in enumerate(lines, start=1):
         code = strip_line_comments(raw)
 
-        if rel_src not in RNG_ALLOWED:
-            for pattern, what in BANNED_PATTERNS:
-                if pattern.search(code):
-                    findings.append(
-                        f"{rel}:{i}: banned nondeterminism source: {what}")
-
-        if rel_src in EMIT_PATHS and UNORDERED_RE.search(code):
-            findings.append(
-                f"{rel}:{i}: unordered container in a serialization emit "
-                "path (hash order must never reach bytes; sort upstream)")
-
         if NO_TSA in code and rel_src != NO_TSA_DEFINING:
             escapes += 1
             window = lines[max(0, i - 1 - SAFETY_WINDOW):i]
@@ -126,6 +96,18 @@ def lint_file(path: Path, findings: list[str]) -> int:
                 findings.append(
                     f"{rel}:{i}: NOLINT must name its check and a reason: "
                     "// NOLINT(check-name): why")
+
+        for m in ALLOW_RE.finditer(raw):
+            ok = ALLOW_OK_RE.match(m.group("rest").strip())
+            if not ok:
+                findings.append(
+                    f"{rel}:{i}: RFID_VERIFY_ALLOW must name a check and a "
+                    "reason: // RFID_VERIFY_ALLOW(check): why")
+            elif ok.group("check") not in VERIFY_CHECKS:
+                findings.append(
+                    f"{rel}:{i}: RFID_VERIFY_ALLOW names unknown check "
+                    f"'{ok.group('check')}' (known: "
+                    f"{', '.join(sorted(VERIFY_CHECKS))})")
     return escapes
 
 

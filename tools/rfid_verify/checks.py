@@ -1,0 +1,337 @@
+"""The four rfid-verify checks.
+
+Each check yields Violation records anchored at a file:line; suppression
+matching (``// RFID_VERIFY_ALLOW(<check>): <reason>`` on the anchor line or
+up to two lines above) happens after all checks ran, so unused suppressions
+can be reported as violations themselves.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import config
+from graph import CallGraph
+from parse import FileModel, Function
+
+
+@dataclass
+class Violation:
+    check: str
+    path: str
+    line: int
+    message: str
+    path_chain: Optional[List[str]] = None
+
+    def render(self, repo_rel) -> str:
+        loc = f"{repo_rel(self.path)}:{self.line}"
+        msg = f"{loc}: [{self.check}] {self.message}"
+        if self.path_chain and len(self.path_chain) > 1:
+            msg += "\n    reachable via: " + " -> ".join(self.path_chain)
+        return msg
+
+
+ALLOW_RE = re.compile(
+    r"RFID_VERIFY_ALLOW\(\s*(?P<check>[\w-]+)\s*\)\s*(?::\s*(?P<reason>.*))?")
+
+
+@dataclass
+class Suppression:
+    check: str
+    reason: str
+    path: str
+    line: int
+    used: bool = False
+
+
+def collect_suppressions(files: List[FileModel]) -> List[Suppression]:
+    out = []
+    for fm in files:
+        for line, text in fm.comments:
+            m = ALLOW_RE.search(text)
+            if m:
+                out.append(Suppression(
+                    check=m.group("check"),
+                    reason=(m.group("reason") or "").strip(),
+                    path=fm.path, line=line))
+    return out
+
+
+# ---- rng-discipline -------------------------------------------------------
+
+_INT_LITERAL_RE = re.compile(r"^(?:0[xX][0-9a-fA-F']+|\d[\d']*)[uUlL]*$")
+
+
+def check_rng_discipline(files: List[FileModel],
+                         graph: CallGraph) -> List[Violation]:
+    out: List[Violation] = []
+    for fm in files:
+        exempt = any(fm.path.endswith(a) for a in config.NONDET_ALLOWED_FILES)
+        for fn in fm.functions:
+            for line, what in fn.nondet:
+                if exempt:
+                    continue
+                out.append(Violation(
+                    "rng-discipline", fm.path, line,
+                    f"banned nondeterminism source: {what}"))
+            for site in fn.rng_sites:
+                verdict = _seed_verdict(site.args, exempt)
+                if verdict:
+                    out.append(Violation(
+                        "rng-discipline", fm.path, site.line,
+                        f"Rng {site.kind} seeded from {verdict}; seeds must "
+                        "flow from SlotStreamSeed/SlotStreamSeedAt or a "
+                        "chained SplitMix64 helper"))
+    return out
+
+
+def _seed_verdict(args: str, exempt: bool) -> Optional[str]:
+    args = args.strip()
+    if not args:
+        return None  # default-constructed; must be re-seeded via Seed().
+    tokens = re.findall(r"[A-Za-z_]\w*|\S", args)
+    idents = [t for t in tokens if t[0].isalpha() or t[0] == "_"]
+    clockish = [t for t in idents if t in
+                ("time", "system_clock", "steady_clock", "random_device",
+                 "getpid", "gettimeofday", "clock",
+                 "high_resolution_clock")]
+    if clockish:
+        return f"a wall-clock/entropy source ({clockish[0]})"
+    if exempt:
+        return None
+    if any(t in config.SEED_CHAIN_HELPERS for t in idents):
+        return None
+    if not idents:
+        return "a bare integer literal"
+    return None  # flows from a variable: provenance accepted.
+
+
+# ---- ordered-emit ---------------------------------------------------------
+
+def _emit_roots(graph: CallGraph) -> List[Function]:
+    roots = []
+    for fn in graph.functions:
+        if fn.writes_serialized:
+            roots.append(fn)
+            continue
+        for name, cls in config.ORDERED_EMIT_ROOTS:
+            if fn.name == name and (cls is None or fn.class_name == cls):
+                roots.append(fn)
+                break
+    return roots
+
+
+def check_ordered_emit(files: List[FileModel],
+                       graph: CallGraph) -> List[Violation]:
+    unordered_members = {}
+    for fm in files:
+        for name, classes in fm.unordered_members.items():
+            unordered_members.setdefault(name, set()).update(classes)
+    reachable = graph.reachable(_emit_roots(graph))
+    out: List[Violation] = []
+    for i, chain in sorted(reachable.items()):
+        fn = graph.functions[i]
+        for it in fn.iterations:
+            owner = None
+            if it.base in fn.unordered_locals:
+                owner = "local"
+            elif it.base in unordered_members:
+                owners = unordered_members[it.base]
+                if it.base.endswith("_"):
+                    # Member-shaped name: only a match against the method's
+                    # own class counts (same-named members of other classes
+                    # must not alias — e.g. Histogram::cells_ is an array,
+                    # FireCodeQuery::cells_ an unordered_map).
+                    if fn.class_name in owners:
+                        owner = fn.class_name
+                else:
+                    owner = "/".join(sorted(owners))
+            if owner is None:
+                continue
+            out.append(Violation(
+                "ordered-emit", fn.path, it.line,
+                f"iteration over unordered container `{it.expr}` "
+                f"({owner}) in a function reachable from an emit root; "
+                "hash order must never decide event, byte or sample order — "
+                "impose an order first",
+                path_chain=chain))
+    return out
+
+
+# ---- lock-hold-io ---------------------------------------------------------
+
+def check_lock_hold_io(files: List[FileModel],
+                       graph: CallGraph) -> List[Violation]:
+    """One violation per lock-holding function that can reach file IO.
+
+    Aggregated per holder (not per IO sink or per call line): a holder that
+    deliberately does IO under its lock — the serving layer's quiescent-cut
+    checkpoints are the canonical case — carries exactly one suppression at
+    its definition, and a new IO path from an unsanctioned holder is a new
+    finding."""
+    out: List[Violation] = []
+    # Reverse taint: every function that can reach file IO.
+    io_fns = [fn for fn in graph.functions if fn.io_lines]
+    callers: Dict[int, List[int]] = {}
+    for i, edges in graph.edges.items():
+        for j, _line in edges:
+            callers.setdefault(j, []).append(i)
+    tainted: Dict[int, Function] = {}
+    stack = [graph.index_of(fn) for fn in io_fns]
+    for i in stack:
+        tainted[i] = graph.functions[i]
+    while stack:
+        i = stack.pop()
+        for c in callers.get(i, ()):  # noqa: B023 — plain reverse BFS
+            if c not in tainted:
+                tainted[c] = graph.functions[c]
+                stack.append(c)
+
+    def first_io_target(start: Function) -> Tuple[str, List[str]]:
+        reach = graph.reachable([start])
+        best: Optional[Tuple[int, Function, List[str]]] = None
+        for i, chain in reach.items():
+            t = graph.functions[i]
+            if t.io_lines and (best is None or len(chain) < best[0]):
+                best = (len(chain), t, chain)
+        assert best is not None
+        _, t, chain = best
+        where = f"{t.path.rsplit('/', 1)[-1]}:{t.io_lines[0]}"
+        return where, chain
+
+    for fn in graph.functions:
+        direct = bool(fn.io_lines) and (fn.requires_lock or
+                                        fn.has_lock_scope)
+        held_edges = [c for c in fn.calls if c.under_lock]
+        transitive = any(
+            graph.index_of(callee) in tainted
+            for c in held_edges
+            for callee in graph._resolve(fn, c.name, c.hint))
+        if not direct and not transitive:
+            continue
+        if direct:
+            why = (f"file IO at line {fn.io_lines[0]} inside {fn.qual}, "
+                   "which holds a lock (REQUIRES annotation or scoped "
+                   "MutexLock)")
+            chain = None
+        else:
+            where, chain = first_io_target(fn)
+            why = (f"{fn.qual} can reach file IO ({where}) while holding "
+                   "a lock; blocking IO under a mutex stalls every waiter")
+        out.append(Violation("lock-hold-io", fn.path, fn.line, why,
+                             path_chain=chain))
+    return out
+
+
+# ---- format-window --------------------------------------------------------
+
+def check_format_window(files: List[FileModel],
+                        graph: CallGraph) -> List[Violation]:
+    out: List[Violation] = []
+    for fm in files:
+        if fm.calls_write_framed and not fm.calls_read_framed:
+            line = next((fn.line for fn in fm.functions
+                         if fn.writes_serialized), 1)
+            out.append(Violation(
+                "format-window", fm.path, line,
+                "WriteFramedSection without a matching ReadFramedSection "
+                "reader in this translation unit; every framed writer needs "
+                "a version-gated loader beside it"))
+        if not fm.version_consts:
+            if fm.calls_write_framed:
+                line = next((fn.line for fn in fm.functions
+                             if fn.writes_serialized), 1)
+                out.append(Violation(
+                    "format-window", fm.path, line,
+                    "framed sections written without a k*Version constant; "
+                    "serialized formats must carry an explicit version"))
+            continue
+        mins = [v for v in fm.version_consts if v.is_min]
+        for vc in fm.version_consts:
+            if not vc.compared:
+                out.append(Violation(
+                    "format-window", fm.path, vc.line,
+                    f"{vc.name} is never compared against a decoded "
+                    "version; the loader lost its version gate"))
+        for vc in fm.version_consts:
+            if vc.is_min:
+                continue
+            if not mins:
+                # Exact-gate formats (version != kVersion) are fine as long
+                # as the constant is compared — handled above.
+                continue
+            best = max((m.value for m in mins), default=None)
+            if best is not None and vc.value - best > config.MAX_VERSION_WINDOW:
+                out.append(Violation(
+                    "format-window", fm.path, vc.line,
+                    f"{vc.name}={vc.value} but oldest loadable version is "
+                    f"{best}: the load window is {vc.value - best} versions "
+                    f"(max {config.MAX_VERSION_WINDOW}). Bumping the writer "
+                    "version requires moving the loader's min-version "
+                    "constant in the same change"))
+    return out
+
+
+# ---- driver ---------------------------------------------------------------
+
+CHECK_FNS = {
+    "rng-discipline": check_rng_discipline,
+    "ordered-emit": check_ordered_emit,
+    "lock-hold-io": check_lock_hold_io,
+    "format-window": check_format_window,
+}
+
+
+def run_checks(files: List[FileModel], graph: CallGraph,
+               checks=config.CHECKS) -> List[Violation]:
+    out: List[Violation] = []
+    for name in checks:
+        out.extend(CHECK_FNS[name](files, graph))
+    return out
+
+
+def apply_suppressions(
+        violations: List[Violation],
+        suppressions: List[Suppression]) -> Tuple[List[Violation],
+                                                  Dict[str, int],
+                                                  List[Violation]]:
+    """Returns (remaining violations, per-check suppression use counts,
+    suppression-hygiene violations)."""
+    by_key: Dict[Tuple[str, str, int], Suppression] = {}
+    hygiene: List[Violation] = []
+    for s in suppressions:
+        if s.check not in config.CHECKS:
+            hygiene.append(Violation(
+                "suppression", s.path, s.line,
+                f"RFID_VERIFY_ALLOW names unknown check '{s.check}'"))
+            continue
+        if not s.reason:
+            hygiene.append(Violation(
+                "suppression", s.path, s.line,
+                "RFID_VERIFY_ALLOW without a reason — write "
+                "`// RFID_VERIFY_ALLOW(check): why this is safe`"))
+            continue
+        by_key[(s.check, s.path, s.line)] = s
+    remaining: List[Violation] = []
+    for v in violations:
+        sup = None
+        for delta in (0, 1, 2):
+            sup = by_key.get((v.check, v.path, v.line - delta))
+            if sup:
+                break
+        if sup:
+            sup.used = True
+        else:
+            remaining.append(v)
+    counts: Dict[str, int] = {c: 0 for c in config.CHECKS}
+    for s in by_key.values():
+        if s.used:
+            counts[s.check] += 1
+        else:
+            hygiene.append(Violation(
+                "suppression", s.path, s.line,
+                f"unused RFID_VERIFY_ALLOW({s.check}) — the violation it "
+                "excused is gone; delete the comment"))
+    return remaining, counts, hygiene

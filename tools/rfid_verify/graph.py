@@ -1,0 +1,86 @@
+"""Project-wide call graph over the per-file models.
+
+Resolution is name-based with hints, erring toward over-approximation —
+for a reachability linter a spurious edge can only surface a finding a
+human reviews once (and suppresses with a reason); a missing edge hides a
+real violation forever.
+
+Resolution order for a call site `name` from function F:
+  1. explicit qualifier hint (`Class::name(...)`)        -> that class only
+  2. a method of F's own class with that name            -> same class
+  3. any definition in F's file                          -> same file
+  4. every project definition with that name             -> union
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from parse import FileModel, Function
+
+
+class CallGraph:
+    def __init__(self, files: List[FileModel]):
+        self.files = files
+        self.functions: List[Function] = [
+            fn for fm in files for fn in fm.functions]
+        self.by_name: Dict[str, List[Function]] = defaultdict(list)
+        for fn in self.functions:
+            self.by_name[fn.name].append(fn)
+        self.edges: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        #            caller index -> [(callee index, call line)]
+        self._index = {id(fn): i for i, fn in enumerate(self.functions)}
+        self._build()
+
+    def _resolve(self, caller: Function, name: str,
+                 hint: Optional[str]) -> List[Function]:
+        candidates = self.by_name.get(name)
+        if not candidates:
+            return []
+        if hint:
+            hinted = [f for f in candidates if f.class_name == hint or
+                      f.qual.endswith(hint + "::" + name)]
+            if hinted:
+                return hinted
+        if caller.class_name:
+            same_class = [f for f in candidates
+                          if f.class_name == caller.class_name]
+            if same_class:
+                return same_class
+        same_file = [f for f in candidates if f.path == caller.path]
+        if same_file:
+            return same_file
+        return candidates
+
+    def _build(self) -> None:
+        for i, fn in enumerate(self.functions):
+            seen: Set[Tuple[int, int]] = set()
+            for call in fn.calls:
+                for callee in self._resolve(fn, call.name, call.hint):
+                    j = self._index[id(callee)]
+                    key = (j, call.line)
+                    if key not in seen:
+                        seen.add(key)
+                        self.edges[i].append(key)
+
+    def reachable(self, roots: Iterable[Function]) -> Dict[int, List[str]]:
+        """BFS from `roots`; returns {function index: path of qualnames
+        from a root to that function} (shortest-first thanks to BFS)."""
+        paths: Dict[int, List[str]] = {}
+        q: deque = deque()
+        for fn in roots:
+            i = self._index[id(fn)]
+            if i not in paths:
+                paths[i] = [fn.qual]
+                q.append(i)
+        while q:
+            i = q.popleft()
+            for j, _line in self.edges[i]:
+                if j not in paths:
+                    paths[j] = paths[i] + [self.functions[j].qual]
+                    q.append(j)
+        return paths
+
+    def index_of(self, fn: Function) -> int:
+        return self._index[id(fn)]

@@ -1,0 +1,175 @@
+"""C++ lexing for rfid-verify's built-in frontend.
+
+Produces, for one source file:
+  * `code`  — the file text with comments, string/char literal contents and
+    preprocessor directives blanked to spaces (newlines preserved, so byte
+    offsets map to the original line numbers);
+  * `comments` — every comment with its starting line (suppression and
+    SAFETY annotations live here);
+  * `tokens` — identifiers, numbers and punctuators over the blanked text.
+
+This is deliberately not a full C++ parser: rfid-verify needs function
+extents, call sites, declarations and a few token patterns, all of which
+survive this approximation. The container toolchain is gcc-only (no
+libclang), so the frontend is self-contained; see tools/rfid_verify/README
+note in the repo README for the trade-offs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+# Order matters: multi-char operators before their single-char prefixes.
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_]\w*"                      # identifier / keyword
+    r"|0[xX][0-9a-fA-F']+[uUlL]*"        # hex literal
+    r"|\d[\d']*\.?[\d']*(?:[eE][+-]?\d+)?[uUlLfF]*"  # numeric literal
+    r"|::|->\*?|<<=|>>=|<=>|<<|>>|<=|>=|==|!=|\|\||&&|\+\+|--"
+    r"|[+\-*/%&|^!=<>]=?"
+    r"|[{}()\[\];:,~?.#]"
+)
+
+KEYWORDS = frozenset({
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "sizeof", "alignof", "new",
+    "delete", "throw", "try", "catch", "const", "constexpr", "consteval",
+    "constinit", "volatile", "mutable", "static", "inline", "extern",
+    "register", "thread_local", "typedef", "using", "namespace", "class",
+    "struct", "union", "enum", "template", "typename", "public", "private",
+    "protected", "friend", "virtual", "override", "final", "noexcept",
+    "operator", "explicit", "auto", "decltype", "static_assert",
+    "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast",
+    "co_await", "co_return", "co_yield", "requires", "concept", "export",
+    "true", "false", "nullptr", "this", "void", "bool", "char", "int",
+    "short", "long", "float", "double", "signed", "unsigned", "wchar_t",
+    "char8_t", "char16_t", "char32_t", "and", "or", "not",
+})
+
+
+@dataclass(frozen=True)
+class Token:
+    text: str
+    pos: int   # byte offset into the blanked text
+    line: int  # 1-based source line
+
+    @property
+    def is_ident(self) -> bool:
+        c = self.text[0]
+        return (c.isalpha() or c == "_") and self.text not in KEYWORDS
+
+    @property
+    def is_name(self) -> bool:
+        """Identifier-shaped, keywords included."""
+        c = self.text[0]
+        return c.isalpha() or c == "_"
+
+
+@dataclass
+class LexedFile:
+    path: str
+    code: str
+    tokens: List[Token]
+    comments: List[Tuple[int, str]]  # (line, comment text incl. leading //)
+
+
+def _line_starts(text: str) -> List[int]:
+    starts = [0]
+    for i, ch in enumerate(text):
+        if ch == "\n":
+            starts.append(i + 1)
+    return starts
+
+
+_RAW_OPEN_RE = re.compile(r'R"([^\s()\\]{0,16})\(')
+
+
+def blank_regions(text: str) -> Tuple[str, List[Tuple[int, str]]]:
+    """Blanks comments, literal contents and preprocessor directives.
+
+    Returns (blanked text, comments with 1-based start lines). Newlines are
+    always preserved so positions keep their line numbers.
+    """
+    out = list(text)
+    comments: List[Tuple[int, str]] = []
+    starts = _line_starts(text)
+
+    def line_of(pos: int) -> int:
+        return bisect.bisect_right(starts, pos)
+
+    def blank(a: int, b: int) -> None:
+        for i in range(a, b):
+            if out[i] != "\n":
+                out[i] = " "
+
+    i, n = 0, len(text)
+    at_line_start = True  # only whitespace seen since the last newline
+    while i < n:
+        ch = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if ch == "\n":
+            at_line_start = True
+            i += 1
+            continue
+        if at_line_start and ch == "#":
+            # Preprocessor directive (with backslash continuations).
+            j = i
+            while j < n:
+                if text[j] == "\n" and text[j - 1] != "\\":
+                    break
+                j += 1
+            blank(i, j)
+            i = j
+            continue
+        if ch == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            comments.append((line_of(i), text[i:j]))
+            blank(i, j)
+            i = j
+            continue
+        if ch == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            comments.append((line_of(i), text[i:j]))
+            blank(i, j)
+            i = j
+            continue
+        if ch == "R" and nxt == '"':
+            m = _RAW_OPEN_RE.match(text, i)
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = text.find(close, m.end())
+                j = n if j < 0 else j + len(close)
+                blank(i, j)
+                i = j
+                at_line_start = False
+                continue
+        if ch == '"' or ch == "'":
+            quote = ch
+            j = i + 1
+            while j < n and text[j] != quote:
+                if text[j] == "\\":
+                    j += 1
+                j += 1
+            j = min(j + 1, n)
+            blank(i, j)
+            i = j
+            at_line_start = False
+            continue
+        if not ch.isspace():
+            at_line_start = False
+        i += 1
+    return "".join(out), comments
+
+
+def lex(path: str, text: str) -> LexedFile:
+    code, comments = blank_regions(text)
+    starts = _line_starts(code)
+    tokens = [
+        Token(m.group(0), m.start(), bisect.bisect_right(starts, m.start()))
+        for m in _TOKEN_RE.finditer(code)
+    ]
+    return LexedFile(path=path, code=code, tokens=tokens, comments=comments)

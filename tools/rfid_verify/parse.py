@@ -1,0 +1,465 @@
+"""Per-file semantic extraction for rfid-verify.
+
+One linear pass over the token stream recovers the declaration structure
+(namespaces, classes, function definitions with their body extents), then a
+second pass over each function body extracts what the checks consume:
+
+  * call sites (with receiver/qualifier hints for resolution),
+  * range-for / .begin() iteration sites and their base identifier,
+  * Rng construction / Seed() sites with their argument text,
+  * file-IO touchpoints,
+  * scoped-lock regions (MutexLock / SharedReaderLock) and REQUIRES-style
+    capability annotations,
+  * WritePod / WriteFramedSection usage (auto-roots for ordered-emit),
+  * nondeterminism-source tokens (mt19937, random_device, wall clocks).
+
+Class bodies contribute a registry of unordered-container members; files
+contribute version constants and the comparison gates that reference them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from lexer import KEYWORDS, LexedFile, Token
+
+UNORDERED_TYPES = ("unordered_map", "unordered_set", "unordered_multimap",
+                   "unordered_multiset")
+
+LOCK_TYPES = ("MutexLock", "SharedReaderLock")
+
+REQUIRES_ANNOTATIONS = ("RFID_REQUIRES", "RFID_REQUIRES_SHARED",
+                        "RFID_ACQUIRE", "RFID_ACQUIRE_SHARED")
+
+# Tokens whose appearance marks a file-IO touchpoint. `std::remove` is
+# ambiguous (algorithm vs <cstdio>) and deliberately absent; filesystem
+# removal in this tree goes through std::filesystem, whose namespace token
+# is matched instead.
+IO_TOKENS = frozenset({
+    "ofstream", "ifstream", "fstream", "fopen", "freopen", "fwrite", "fread",
+    "fsync", "fdatasync", "fflush", "tmpfile", "mkstemp", "system",
+    "filesystem", "rename", "unlink",
+})
+
+CLOCK_TOKENS = frozenset({
+    "time", "system_clock", "steady_clock", "high_resolution_clock",
+    "random_device", "getpid", "gettimeofday", "clock",
+})
+
+BANNED_NONDET = {
+    "mt19937": "std::mt19937 (use util/rng.h)",
+    "mt19937_64": "std::mt19937_64 (use util/rng.h)",
+    "random_device": "std::random_device (use util/rng.h)",
+    "system_clock": "system_clock (wall clock; use util/stopwatch.h)",
+}
+
+CONTROL_KEYWORDS = frozenset({
+    "if", "for", "while", "switch", "catch", "return", "sizeof", "alignof",
+    "throw", "new", "delete", "static_cast", "dynamic_cast", "const_cast",
+    "reinterpret_cast", "static_assert", "decltype", "noexcept", "assert",
+    "case", "do", "else", "try", "using", "typedef", "operator",
+})
+
+
+@dataclass
+class CallSite:
+    name: str
+    hint: Optional[str]  # receiver class / qualifier, when syntactic
+    line: int
+    under_lock: bool = False
+
+
+@dataclass
+class IterationSite:
+    base: str        # final identifier of the iterated expression chain
+    expr: str
+    line: int
+    kind: str        # "range-for" | "begin"
+
+
+@dataclass
+class RngSite:
+    args: str        # argument token text ('' for default construction)
+    line: int
+    kind: str        # "construct" | "seed"
+
+
+@dataclass
+class Function:
+    name: str
+    qual: str             # Namespace::Class::Name when recoverable
+    class_name: Optional[str]
+    path: str
+    line: int
+    end_line: int
+    annotations: str = ""           # text between param list and body
+    calls: List[CallSite] = field(default_factory=list)
+    iterations: List[IterationSite] = field(default_factory=list)
+    rng_sites: List[RngSite] = field(default_factory=list)
+    io_lines: List[int] = field(default_factory=list)
+    nondet: List[Tuple[int, str]] = field(default_factory=list)
+    unordered_locals: Set[str] = field(default_factory=set)
+    writes_serialized: bool = False   # calls WritePod/WriteFramedSection
+    has_lock_scope: bool = False
+
+    @property
+    def requires_lock(self) -> bool:
+        return any(a in self.annotations for a in REQUIRES_ANNOTATIONS)
+
+
+@dataclass
+class VersionConst:
+    name: str
+    value: int
+    line: int
+    path: str
+    compared: bool = False
+
+    @property
+    def is_min(self) -> bool:
+        n = self.name.lower()
+        return "min" in n or "first" in n
+
+
+@dataclass
+class FileModel:
+    path: str
+    functions: List[Function] = field(default_factory=list)
+    unordered_members: Dict[str, Set[str]] = field(default_factory=dict)
+    #                  ^ member name -> owning class names
+    version_consts: List[VersionConst] = field(default_factory=list)
+    calls_write_framed: bool = False
+    calls_read_framed: bool = False
+    comments: List[Tuple[int, str]] = field(default_factory=list)
+
+
+def _match_forward(tokens: List[Token], i: int, open_t: str,
+                   close_t: str) -> int:
+    """Index just past the token matching tokens[i] == open_t."""
+    depth = 0
+    n = len(tokens)
+    while i < n:
+        t = tokens[i].text
+        if t == open_t:
+            depth += 1
+        elif t == close_t:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif open_t == "<" and t == ">>":
+            depth -= 2
+            if depth <= 0:
+                return i + 1
+        elif open_t == "<" and t in (";", "{"):
+            return i  # not a template argument list after all
+        i += 1
+    return n
+
+
+def _skip_template_args(tokens: List[Token], i: int) -> int:
+    if i < len(tokens) and tokens[i].text == "<":
+        return _match_forward(tokens, i, "<", ">")
+    return i
+
+
+class FileParser:
+    def __init__(self, lexed: LexedFile):
+        self.lx = lexed
+        self.model = FileModel(path=lexed.path, comments=lexed.comments)
+
+    # ---- pass 1: structure ------------------------------------------------
+
+    def parse(self) -> FileModel:
+        self._scan_scope(0, len(self.lx.tokens), [], None)
+        self._scan_version_consts()
+        return self.model
+
+    def _scan_scope(self, i: int, end: int, ns: List[str],
+                    class_name: Optional[str]) -> None:
+        """Walks one namespace/class body, recursing into nested scopes and
+        extracting function definitions (whose bodies are handled opaquely
+        here and analyzed in pass 2)."""
+        tokens = self.lx.tokens
+        stmt_start = i  # first token since the last statement boundary
+        while i < end:
+            t = tokens[i]
+            if t.text in (";", ":") and (
+                    i == 0 or tokens[i - 1].text in ("public", "private",
+                                                     "protected") or
+                    t.text == ";"):
+                stmt_start = i + 1
+                i += 1
+                continue
+            if t.text == "{":
+                close = _match_forward(tokens, i, "{", "}")
+                head = tokens[stmt_start:i]
+                self._classify_block(head, i, close, ns, class_name)
+                i = close
+                stmt_start = i
+                continue
+            if t.text == "}":
+                i += 1
+                stmt_start = i
+                continue
+            if class_name is not None and t.text in UNORDERED_TYPES:
+                i = self._maybe_member_decl(i, end, class_name)
+                continue
+            i += 1
+
+    def _classify_block(self, head: List[Token], open_i: int, close_i: int,
+                        ns: List[str], class_name: Optional[str]) -> None:
+        head_texts = [t.text for t in head]
+        if "namespace" in head_texts:
+            name = head[-1].text if head and head[-1].is_ident else "<anon>"
+            self._scan_scope(open_i + 1, close_i - 1, ns + [name], None)
+            return
+        if "enum" in head_texts:
+            return
+        # class/struct/union definition (the *last* such keyword wins:
+        # `template <class T> struct Foo`).
+        for k in range(len(head) - 1, -1, -1):
+            if head_texts[k] in ("class", "struct", "union"):
+                # A '(' before the keyword means this is something else
+                # (e.g. a function returning a struct — not in this tree).
+                if "(" in head_texts[:k]:
+                    break
+                name = None
+                for j in range(k + 1, len(head)):
+                    if head[j].is_ident:
+                        name = head[j].text
+                        break
+                    if head[j].text in (":", "{"):
+                        break
+                self._scan_scope(open_i + 1, close_i - 1, ns, name or "<anon>")
+                return
+        # Function definition: the statement head must contain a balanced
+        # top-level parameter list.
+        fn = self._try_function(head, ns, class_name)
+        if fn is not None:
+            fn.end_line = self.lx.tokens[close_i - 1].line
+            self._analyze_body(fn, open_i + 1, close_i - 1)
+            self.model.functions.append(fn)
+        # Anything else (initializers, lambdas in member init) is opaque.
+
+    def _try_function(self, head: List[Token], ns: List[str],
+                      class_name: Optional[str]) -> Optional[Function]:
+        # Find the first top-level '(' — the parameter list.
+        depth = 0
+        paren_i = -1
+        for j, t in enumerate(head):
+            if t.text == "(":
+                paren_i = j
+                break
+            if t.text == "=":
+                return None  # initializer, not a definition
+        if paren_i <= 0:
+            return None
+        name_tok = head[paren_i - 1]
+        if not name_tok.is_name or name_tok.text in CONTROL_KEYWORDS:
+            return None
+        if name_tok.text in KEYWORDS and name_tok.text != "operator":
+            return None
+        # Qualified prefix: walk back over `A ::` pairs.
+        qual_parts = [name_tok.text]
+        j = paren_i - 2
+        while j >= 1 and head[j].text == "::" and head[j - 1].is_name:
+            qual_parts.insert(0, head[j - 1].text)
+            j -= 2
+        owner = class_name if len(qual_parts) == 1 else qual_parts[-2]
+        # Param list must be balanced within the head.
+        close = _match_forward(head, paren_i, "(", ")")
+        annotations = " ".join(t.text for t in head[close:])
+        # Param-list + annotation zone may contain RFID_REQUIRES(mu_) etc.
+        qual = "::".join([p for p in ns if p != "<anon>"] +
+                         ([owner] if owner else []) + [qual_parts[-1]])
+        fn = Function(name=qual_parts[-1], qual=qual, class_name=owner,
+                      path=self.lx.path, line=name_tok.line,
+                      end_line=name_tok.line, annotations=annotations)
+        # Unordered-typed parameters count as iterable locals.
+        params = head[paren_i:close]
+        for k, t in enumerate(params):
+            if t.text in UNORDERED_TYPES:
+                idx = _skip_template_args(params, k + 1)
+                while idx < len(params) and params[idx].text in ("&", "*",
+                                                                 "const"):
+                    idx += 1
+                if idx < len(params) and params[idx].is_ident:
+                    fn.unordered_locals.add(params[idx].text)
+        return fn
+
+    def _maybe_member_decl(self, i: int, end: int, class_name: str) -> int:
+        tokens = self.lx.tokens
+        j = _skip_template_args(tokens, i + 1)
+        while j < end and tokens[j].text in ("&", "*", "const"):
+            j += 1
+        if j < end and tokens[j].is_ident:
+            name = tokens[j].text
+            k = j + 1
+            if k < end and tokens[k].text in (";", "=", "{") or (
+                    k < end and tokens[k].text.startswith("RFID_")):
+                self.model.unordered_members.setdefault(name, set()).add(
+                    class_name)
+        return i + 1
+
+    # ---- pass 2: function bodies -----------------------------------------
+
+    def _analyze_body(self, fn: Function, i: int, end: int) -> None:
+        tokens = self.lx.tokens
+        depth = 0
+        lock_depths: List[int] = []
+        j = i
+        while j < end:
+            t = tokens[j]
+            txt = t.text
+            if txt == "{":
+                depth += 1
+            elif txt == "}":
+                depth -= 1
+                while lock_depths and depth < lock_depths[-1]:
+                    lock_depths.pop()
+            elif txt in UNORDERED_TYPES:
+                # Local declaration: unordered_map<...> name
+                k = _skip_template_args(tokens, j + 1)
+                while k < end and tokens[k].text in ("&", "*", "const"):
+                    k += 1
+                if k < end and tokens[k].is_ident:
+                    fn.unordered_locals.add(tokens[k].text)
+            elif txt == "for" and j + 1 < end and tokens[j + 1].text == "(":
+                close = _match_forward(tokens, j + 1, "(", ")")
+                self._range_for(fn, tokens[j + 2:close - 1])
+            elif txt in IO_TOKENS:
+                prev = tokens[j - 1].text if j > i else ""
+                if prev not in (".", "->"):  # skip same-named methods
+                    fn.io_lines.append(t.line)
+            if txt in BANNED_NONDET:
+                fn.nondet.append((t.line, BANNED_NONDET[txt]))
+            if txt in LOCK_TYPES and j + 2 < end and tokens[j + 1].is_ident \
+                    and tokens[j + 2].text == "(":
+                # `MutexLock lock(mu_);` — scoped lock held until the
+                # enclosing block closes.
+                lock_depths.append(depth)
+                fn.has_lock_scope = True
+            if t.is_name and j + 1 < end and tokens[j + 1].text == "(":
+                self._call_site(fn, tokens, j, end,
+                                under_lock=bool(lock_depths) or
+                                fn.requires_lock)
+                if txt in ("rand", "srand"):
+                    prev = tokens[j - 1].text if j > i else ""
+                    if prev not in (".", "->", "::") or prev == "::":
+                        fn.nondet.append(
+                            (t.line, txt + "() (use util/rng.h)"))
+                if txt == "time":
+                    prev = tokens[j - 1].text if j > i else ""
+                    nxt2 = tokens[j + 2].text if j + 2 < end else ""
+                    if prev not in (".", "->") and nxt2 in ("nullptr", "0",
+                                                            "NULL", ")"):
+                        fn.nondet.append(
+                            (t.line, "time() (use util/stopwatch.h)"))
+            j += 1
+
+    def _range_for(self, fn: Function, inner: List[Token]) -> None:
+        # Find the top-level ':' separating declaration from range expr.
+        depth = 0
+        for k, t in enumerate(inner):
+            if t.text in ("(", "[", "{", "<"):
+                depth += 1
+            elif t.text in (")", "]", "}", ">"):
+                depth -= 1
+            elif t.text == ":" and depth <= 0:
+                expr = inner[k + 1:]
+                idents = [x.text for x in expr if x.is_ident]
+                if idents:
+                    fn.iterations.append(IterationSite(
+                        base=idents[-1],
+                        expr=" ".join(x.text for x in expr),
+                        line=t.line, kind="range-for"))
+                return
+
+    def _call_site(self, fn: Function, tokens: List[Token], j: int,
+                   end: int, under_lock: bool) -> None:
+        t = tokens[j]
+        name = t.text
+        if name in CONTROL_KEYWORDS or name in KEYWORDS:
+            return
+        prev = tokens[j - 1].text if j > 0 else ""
+        hint: Optional[str] = None
+        is_decl_ctor = False
+        if prev == "::":
+            hint = tokens[j - 2].text if j >= 2 and tokens[j - 2].is_name \
+                else None
+        elif prev in (".", "->"):
+            hint = None
+            if name == "begin":
+                base = tokens[j - 2]
+                if base.is_ident:
+                    fn.iterations.append(IterationSite(
+                        base=base.text, expr=base.text + ".begin()",
+                        line=t.line, kind="begin"))
+                return
+        elif prev and (prev[0].isalpha() or prev[0] == "_") \
+                and prev not in KEYWORDS:
+            # `Type var(args)` declaration: the constructed type is the
+            # callee, `name` is the variable.
+            is_decl_ctor = True
+        if is_decl_ctor:
+            ctor = prev
+            args_close = _match_forward(tokens, j + 1, "(", ")")
+            args = " ".join(x.text for x in tokens[j + 2:args_close - 1])
+            fn.calls.append(CallSite(name=ctor, hint=None, line=t.line,
+                                     under_lock=under_lock))
+            if ctor == "Rng":
+                fn.rng_sites.append(RngSite(args=args, line=t.line,
+                                            kind="construct"))
+            return
+        fn.calls.append(CallSite(name=name, hint=hint, line=t.line,
+                                 under_lock=under_lock))
+        if name == "Rng":
+            args_close = _match_forward(tokens, j + 1, "(", ")")
+            args = " ".join(x.text for x in tokens[j + 2:args_close - 1])
+            fn.rng_sites.append(RngSite(args=args, line=t.line,
+                                        kind="construct"))
+        elif name == "Seed" and prev in (".", "->"):
+            args_close = _match_forward(tokens, j + 1, "(", ")")
+            args = " ".join(x.text for x in tokens[j + 2:args_close - 1])
+            fn.rng_sites.append(RngSite(args=args, line=t.line, kind="seed"))
+        elif name in ("WritePod", "WriteFramedSection"):
+            fn.writes_serialized = True
+            if name == "WriteFramedSection":
+                self.model.calls_write_framed = True
+        elif name == "ReadFramedSection":
+            self.model.calls_read_framed = True
+
+    # ---- file-scope version constants ------------------------------------
+
+    def _scan_version_consts(self) -> None:
+        tokens = self.lx.tokens
+        n = len(tokens)
+        for j, t in enumerate(tokens):
+            if not t.is_ident or not t.text.startswith("k") \
+                    or "Version" not in t.text:
+                continue
+            nxt = tokens[j + 1].text if j + 1 < n else ""
+            prev = tokens[j - 1].text if j > 0 else ""
+            if nxt == "=" and j + 2 < n and tokens[j + 2].text[0].isdigit() \
+                    and prev != "<":
+                self.model.version_consts.append(VersionConst(
+                    name=t.text, value=int(tokens[j + 2].text.rstrip("uUlL"),
+                                           0),
+                    line=t.line, path=self.lx.path))
+        # Comparison gates may appear anywhere relative to the definition;
+        # scan for them once all constants are known.
+        for j, t in enumerate(tokens):
+            if not t.is_ident:
+                continue
+            nxt = tokens[j + 1].text if j + 1 < n else ""
+            prev = tokens[j - 1].text if j > 0 else ""
+            if nxt in ("<", ">", "<=", ">=", "==", "!=") or \
+                    prev in ("<", ">", "<=", ">=", "==", "!="):
+                for vc in self.model.version_consts:
+                    if vc.name == t.text:
+                        vc.compared = True
+
+
+def parse_file(lexed: LexedFile) -> FileModel:
+    return FileParser(lexed).parse()
